@@ -1,0 +1,78 @@
+// E6 — Lemmas 5.3/5.4: α-graph construction plus bridge identification is
+// O(n + e), and restricted-class equivalence is O(a log a). Measured over
+// generated rules of growing arity.
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/narrow_wide.h"
+#include "analysis/rule_analysis.h"
+#include "cq/fast_equivalence.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+void BM_RuleAnalysis(benchmark::State& state) {
+  auto pair = MakeRestrictedCommutingPair(static_cast<int>(state.range(0)));
+  if (!pair.ok()) {
+    state.SkipWithError(pair.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto analysis = RuleAnalysis::Compute(pair->first);
+    if (!analysis.ok()) {
+      state.SkipWithError(analysis.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(analysis);
+  }
+  state.counters["a"] =
+      static_cast<double>(pair->first.rule().TotalArgumentPositions());
+}
+
+void BM_FastEquivalence(benchmark::State& state) {
+  auto p1 = MakeRestrictedCommutingPair(static_cast<int>(state.range(0)));
+  auto p2 = MakeRestrictedCommutingPair(static_cast<int>(state.range(0)));
+  if (!p1.ok() || !p2.ok()) {
+    state.SkipWithError("generation failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto verdict =
+        FastEquivalenceDistinctPredicates(p1->first.rule(), p2->first.rule());
+    if (!verdict.has_value() || !*verdict) {
+      state.SkipWithError("expected equivalent rules");
+    }
+    benchmark::DoNotOptimize(verdict);
+  }
+}
+
+void BM_NarrowRuleExtraction(benchmark::State& state) {
+  auto pair = MakeRestrictedCommutingPair(static_cast<int>(state.range(0)));
+  if (!pair.ok()) {
+    state.SkipWithError(pair.status().ToString().c_str());
+    return;
+  }
+  auto analysis = RuleAnalysis::Compute(pair->first);
+  if (!analysis.ok()) {
+    state.SkipWithError(analysis.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    for (const Bridge& b : analysis->commutativity_bridges()) {
+      if (b.atom_indices.empty()) continue;
+      auto narrow = MakeNarrowRule(*analysis, b);
+      benchmark::DoNotOptimize(narrow);
+    }
+  }
+  state.counters["bridges"] =
+      static_cast<double>(analysis->commutativity_bridges().size());
+}
+
+BENCHMARK(BM_RuleAnalysis)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_FastEquivalence)->Arg(2)->Arg(8)->Arg(32)->Arg(128)->Arg(512);
+BENCHMARK(BM_NarrowRuleExtraction)->Arg(2)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace linrec
+
+BENCHMARK_MAIN();

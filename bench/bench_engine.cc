@@ -1,0 +1,101 @@
+// E7 — engine baseline (Section 2 substrate): semi-naive vs naive fixpoint
+// on transitive closure. Both must produce identical relations; naive
+// rederives the whole relation each round.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+struct Fixture {
+  LinearRule rule;
+  Database db;
+  Relation q{2};
+};
+
+Fixture ChainFixture(int n) {
+  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
+  f.db.GetOrCreate("e", 2) = ChainGraph(n);
+  f.q.Insert({0, 0});
+  return f;
+}
+
+Fixture RandomFixture(int n) {
+  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
+  f.db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, 17);
+  for (int i = 0; i < n; i += 8) f.q.Insert({i, i});
+  return f;
+}
+
+void BM_SemiNaive_Chain(benchmark::State& state) {
+  Fixture f = ChainFixture(static_cast<int>(state.range(0)));
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["iterations"] = static_cast<double>(stats.iterations);
+}
+
+void BM_Naive_Chain(benchmark::State& state) {
+  Fixture f = ChainFixture(static_cast<int>(state.range(0)));
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = NaiveClosure({f.rule}, f.db, f.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["iterations"] = static_cast<double>(stats.iterations);
+}
+
+void BM_SemiNaive_Random(benchmark::State& state) {
+  Fixture f = RandomFixture(static_cast<int>(state.range(0)));
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["result"] = static_cast<double>(stats.result_size);
+}
+
+void BM_GridClosure(benchmark::State& state) {
+  int side = static_cast<int>(state.range(0));
+  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
+  f.db.GetOrCreate("e", 2) = GridGraph(side, side);
+  f.q.Insert({0, 0});
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  // Grids have many parallel paths: duplicates dominate (cf. [1] in the
+  // paper: duplicate elimination often dominates recursive computations).
+  state.counters["duplicates"] = static_cast<double>(stats.duplicates);
+}
+
+BENCHMARK(BM_SemiNaive_Chain)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Naive_Chain)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SemiNaive_Random)->Arg(128)->Arg(512)->Arg(2048)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GridClosure)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace linrec
+
+BENCHMARK_MAIN();

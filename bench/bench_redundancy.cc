@@ -1,0 +1,117 @@
+// E4 — Theorems 4.2/6.4: with a recursively redundant C, the closure can be
+// computed applying C's predicates a bounded number of times on small
+// prefix sets; the unbounded tail applies only B. Workload: the fan-out
+// variant of Example 6.1,
+//
+//   buys(X,Y) :- knows(X,Z), buys(Z,Y), endorses(W,Y).
+//
+// `endorses` (the redundant predicate) has `fanout` matches per item, so
+// the direct closure pays fanout-many duplicate derivations per iteration;
+// the redundancy-aware closure pays them once. The win should scale with
+// the fan-out and with the recursion depth.
+
+#include <benchmark/benchmark.h>
+
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "redundancy/closure.h"
+#include "redundancy/factorize.h"
+#include "workload/databases.h"
+
+namespace linrec {
+namespace {
+
+constexpr const char* kRule =
+    "buys(X,Y) :- knows(X,Z), buys(Z,Y), endorses(W,Y).";
+
+const RedundantFactorization& Factorization() {
+  static const RedundantFactorization* f = [] {
+    auto rule = ParseLinearRule(kRule);
+    auto factorization = FactorFirstRedundant(*rule);
+    return new RedundantFactorization(*factorization);
+  }();
+  return *f;
+}
+
+EndorsedBuysWorkload MakeWorkload(int people, int fanout) {
+  return MakeEndorsedBuys(people, /*items=*/people / 4, fanout,
+                          /*initial_buys=*/people / 4, /*seed=*/3);
+}
+
+void BM_Direct_FanoutSweep(benchmark::State& state) {
+  auto rule = ParseLinearRule(kRule);
+  EndorsedBuysWorkload w =
+      MakeWorkload(200, static_cast<int>(state.range(0)));
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = SemiNaiveClosure({*rule}, w.db, w.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["result"] = static_cast<double>(stats.result_size);
+}
+
+void BM_RedundancyAware_FanoutSweep(benchmark::State& state) {
+  const RedundantFactorization& f = Factorization();
+  EndorsedBuysWorkload w =
+      MakeWorkload(200, static_cast<int>(state.range(0)));
+  ClosureStats stats;
+  for (auto _ : state) {
+    stats = ClosureStats();
+    auto out = RedundantClosure(f, w.db, w.q, &stats);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["result"] = static_cast<double>(stats.result_size);
+  state.counters["commuting_path"] = f.commuting ? 1 : 0;
+}
+
+void BM_Direct_DepthSweep(benchmark::State& state) {
+  auto rule = ParseLinearRule(kRule);
+  EndorsedBuysWorkload w =
+      MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
+  for (auto _ : state) {
+    auto out = SemiNaiveClosure({*rule}, w.db, w.q);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_RedundancyAware_DepthSweep(benchmark::State& state) {
+  const RedundantFactorization& f = Factorization();
+  EndorsedBuysWorkload w =
+      MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
+  for (auto _ : state) {
+    auto out = RedundantClosure(f, w.db, w.q);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void BM_FactorizationCost(benchmark::State& state) {
+  // One-off analysis cost (Theorem 6.3 + Lemmas 6.3-6.5 + torsion search).
+  auto rule = ParseLinearRule(kRule);
+  for (auto _ : state) {
+    auto f = FactorFirstRedundant(*rule);
+    if (!f.ok()) state.SkipWithError(f.status().ToString().c_str());
+    benchmark::DoNotOptimize(f);
+  }
+}
+
+BENCHMARK(BM_Direct_FanoutSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RedundancyAware_FanoutSweep)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Direct_DepthSweep)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RedundancyAware_DepthSweep)->Arg(100)->Arg(200)->Arg(400)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FactorizationCost)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace linrec
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Quickstart: parse two linear recursive rules, test whether they commute,
+// and use the decomposition (A1+A2)* = A1*A2* to answer a query.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "algebra/closure.h"
+#include "algebra/plan.h"
+#include "commutativity/oracle.h"
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+#include "workload/graphs.h"
+
+using namespace linrec;
+
+int main() {
+  // The two linear forms of transitive closure (Example 5.2 of the paper):
+  // their product is the same-generation rule, and they commute.
+  auto r1 = ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y).");
+  auto r2 = ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
+  if (!r1.ok() || !r2.ok()) {
+    std::cerr << "parse error: " << r1.status() << " / " << r2.status()
+              << "\n";
+    return 1;
+  }
+  std::cout << "r1: " << ToString(*r1) << "\n";
+  std::cout << "r2: " << ToString(*r2) << "\n\n";
+
+  // 1. Do the operators commute? (Theorem 5.1/5.2 syntactic test.)
+  auto report = CheckCommutativity(*r1, *r2);
+  if (!report.ok()) {
+    std::cerr << "commutativity check failed: " << report.status() << "\n";
+    return 1;
+  }
+  std::cout << "commute: " << (report->commute ? "yes" : "no")
+            << "  (syntactic condition "
+            << (report->syntactic_holds ? "holds" : "fails")
+            << ", restricted class: "
+            << (report->restricted_class ? "yes" : "no") << ")\n";
+  for (const std::string& note : report->notes) {
+    std::cout << "  " << note << "\n";
+  }
+
+  // 2. Build a small database: a binary tree, with `down` its edges and
+  // `up` their reversals; seed q with the identity over all nodes.
+  Database db;
+  Relation down = TreeGraph(/*branching=*/2, /*depth=*/6);
+  Relation up(2);
+  for (const Tuple& t : down) up.Insert({t[1], t[0]});
+  std::size_t nodes = 0;
+  Relation q(2);
+  for (const Tuple& t : down) {
+    q.Insert({t[0], t[0]});
+    q.Insert({t[1], t[1]});
+    ++nodes;
+  }
+  db.GetOrCreate("down", 2) = std::move(down);
+  db.GetOrCreate("up", 2) = std::move(up);
+
+  // 3. Evaluate (r1 + r2)* q two ways and compare the work.
+  ClosureStats direct_stats;
+  auto direct = DirectClosure({*r1, *r2}, db, q, &direct_stats);
+  ClosureStats decomposed_stats;
+  auto plan = PlanDecomposition({*r1, *r2});
+  auto decomposed = EvaluateWithPlan({*r1, *r2}, *plan, db, q,
+                                     &decomposed_stats);
+  if (!direct.ok() || !decomposed.ok()) {
+    std::cerr << "evaluation failed\n";
+    return 1;
+  }
+
+  std::cout << "\nsame-generation pairs over a binary tree:\n";
+  std::cout << "  result size        : " << direct->size() << " tuples\n";
+  std::cout << "  results identical  : "
+            << (*direct == *decomposed ? "yes" : "NO (bug!)") << "\n";
+  std::cout << "  direct (A1+A2)*    : " << direct_stats.derivations
+            << " derivations, " << direct_stats.duplicates
+            << " duplicates\n";
+  std::cout << "  decomposed A1*A2*  : " << decomposed_stats.derivations
+            << " derivations, " << decomposed_stats.duplicates
+            << " duplicates\n";
+  std::cout << "\nTheorem 3.1 in action: the decomposed evaluation never "
+               "produces more duplicates.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Selection pushdown with the separable algorithm (Theorem 4.1 /
+// Algorithm 4.1): answering σ(A1+A2)* q without materializing the full
+// closure.
+//
+// Scenario: "which nodes are in the same generation as node N?" over a
+// layered organization chart. The naive plan computes every same-generation
+// pair and then filters; the separable plan closes the up-side once,
+// filters, and only then runs the down-side closure.
+
+#include <iostream>
+
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+#include "separability/algorithm.h"
+#include "separability/separable.h"
+#include "workload/databases.h"
+
+using namespace linrec;
+
+int main() {
+  auto r1 = ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y).");
+  auto r2 = ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
+  if (!r1.ok() || !r2.ok()) return 1;
+
+  // Naughton's separability conditions hold for this pair.
+  auto separable = CheckSeparable(*r1, *r2);
+  if (!separable.ok()) return 1;
+  std::cout << "separable: " << (separable->separable ? "yes" : "no") << " ("
+            << separable->detail << ")\n";
+
+  SameGenerationWorkload w =
+      MakeSameGeneration(/*layers=*/7, /*width=*/24, /*fanout=*/2,
+                         /*seed=*/2024);
+  Value node = w.q.Sorted().front()[0];
+  Selection sigma{0, node};
+  std::cout << "query: sigma_{X=" << node << "} (r1+r2)* q\n\n";
+
+  // σ on X commutes with r1 (X is 1-persistent there): r1 is the outer
+  // closure in the pushed-down plan.
+  auto commutes = SelectionCommutesWith(*r1, sigma);
+  std::cout << "sigma commutes with r1: "
+            << (commutes.ok() && *commutes ? "yes" : "no") << "\n";
+
+  ClosureStats slow_stats;
+  auto slow = ClosureThenSelect({*r1}, {*r2}, sigma, w.db, w.q, &slow_stats);
+  ClosureStats fast_stats;
+  auto fast = SeparableClosure({*r1}, {*r2}, sigma, w.db, w.q, &fast_stats);
+  if (!slow.ok() || !fast.ok()) {
+    std::cerr << "evaluation failed: " << slow.status() << " / "
+              << fast.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "\nanswers: " << fast->size() << " tuples (plans agree: "
+            << (*fast == *slow ? "yes" : "NO — bug!") << ")\n";
+  std::cout << "full closure then filter : " << slow_stats.derivations
+            << " derivations, " << slow_stats.millis << " ms\n";
+  std::cout << "separable algorithm      : " << fast_stats.derivations
+            << " derivations, " << fast_stats.millis << " ms\n";
+  std::cout << "\nsample answers:\n";
+  int shown = 0;
+  for (const Tuple& t : fast->Sorted()) {
+    std::cout << "  p" << t << "\n";
+    if (++shown == 5) break;
+  }
+  return 0;
+}

@@ -1,0 +1,30 @@
+#include "algebra/closure.h"
+
+namespace linrec {
+
+Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
+                               const Database& db, const Relation& q,
+                               ClosureStats* stats) {
+  return SemiNaiveClosure(rules, db, q, stats);
+}
+
+Result<Relation> DecomposedClosure(
+    const std::vector<std::vector<LinearRule>>& groups, const Database& db,
+    const Relation& q, ClosureStats* stats) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("DecomposedClosure requires >= 1 group");
+  }
+  Relation current = q;
+  IndexCache cache;
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    ClosureStats group_stats;
+    Result<Relation> next =
+        SemiNaiveClosure(*it, db, current, &group_stats, &cache);
+    if (!next.ok()) return next.status();
+    current = std::move(next).value();
+    if (stats != nullptr) stats->Accumulate(group_stats);
+  }
+  return current;
+}
+
+}  // namespace linrec

@@ -1,0 +1,32 @@
+// Closure strategies over sums of linear operators (Section 3).
+//
+// DirectClosure computes (Σ_i A_i)* q by semi-naive evaluation of the whole
+// sum. DecomposedClosure evaluates an ordered product of group closures
+// G_1* G_2* ... G_k* q — licensed when all pairs of operators across
+// different groups commute, in which case it equals the direct closure with
+// no more (and typically many fewer) duplicate derivations (Theorem 3.1).
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+
+namespace linrec {
+
+/// (Σ rules)* q by semi-naive evaluation.
+Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
+                               const Database& db, const Relation& q,
+                               ClosureStats* stats = nullptr);
+
+/// groups[0]* groups[1]* ... groups[k-1]* q — the rightmost group closure is
+/// applied first, matching operator-product order. Callers are responsible
+/// for the cross-group commutativity that makes this equal the direct
+/// closure (PlanDecomposition produces such groups).
+Result<Relation> DecomposedClosure(
+    const std::vector<std::vector<LinearRule>>& groups, const Database& db,
+    const Relation& q, ClosureStats* stats = nullptr);
+
+}  // namespace linrec

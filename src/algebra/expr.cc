@@ -1,0 +1,193 @@
+#include "algebra/expr.h"
+
+#include <cassert>
+
+#include "algebra/plan.h"
+#include "common/strings.h"
+#include "cq/compose.h"
+
+namespace linrec {
+
+OpExpr OpExpr::Leaf(LinearRule rule, std::string name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kOperator;
+  if (name.empty()) name = rule.head().predicate;
+  node->name = std::move(name);
+  node->rule = std::move(rule);
+  return OpExpr(std::move(node));
+}
+
+OpExpr OpExpr::Sum(std::vector<OpExpr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSum;
+  node->children = std::move(children);
+  return OpExpr(std::move(node));
+}
+
+OpExpr OpExpr::Product(std::vector<OpExpr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kProduct;
+  node->children = std::move(children);
+  return OpExpr(std::move(node));
+}
+
+OpExpr OpExpr::Closure(OpExpr child) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kClosure;
+  node->children.push_back(std::move(child));
+  return OpExpr(std::move(node));
+}
+
+Result<Relation> OpExpr::Evaluate(const Database& db, const Relation& input,
+                                  ClosureStats* stats) const {
+  switch (kind()) {
+    case Kind::kOperator:
+      return ApplySum({rule()}, db, input, stats);
+    case Kind::kSum: {
+      Relation out(input.arity());
+      for (const OpExpr& child : children()) {
+        Result<Relation> part = child.Evaluate(db, input, stats);
+        if (!part.ok()) return part.status();
+        if (out.arity() != part->arity()) {
+          return Status::InvalidArgument("sum of operators with mixed arity");
+        }
+        out.UnionWith(*part);
+      }
+      return out;
+    }
+    case Kind::kProduct: {
+      Relation current = input;
+      for (auto it = children().rbegin(); it != children().rend(); ++it) {
+        Result<Relation> next = it->Evaluate(db, current, stats);
+        if (!next.ok()) return next.status();
+        current = std::move(next).value();
+      }
+      return current;
+    }
+    case Kind::kClosure: {
+      // Generic semi-naive: every OpExpr denotes a linear, hence additive,
+      // operator, so applying the body to Δ only is sound.
+      const OpExpr& body = children()[0];
+      Relation result = input;
+      Relation delta = input;
+      while (!delta.empty()) {
+        if (stats != nullptr) ++stats->iterations;
+        Result<Relation> produced = body.Evaluate(db, delta, stats);
+        if (!produced.ok()) return produced.status();
+        Relation next_delta(input.arity());
+        for (const Tuple& t : *produced) {
+          if (result.Insert(t)) next_delta.Insert(t);
+        }
+        delta = std::move(next_delta);
+      }
+      if (stats != nullptr) stats->result_size = result.size();
+      return result;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<std::optional<LinearRule>> OpExpr::AsSingleRule() const {
+  switch (kind()) {
+    case Kind::kOperator:
+      return std::optional<LinearRule>(rule());
+    case Kind::kProduct: {
+      std::optional<LinearRule> acc;
+      // Compose left-to-right: Product(A,B) = A·B.
+      for (const OpExpr& child : children()) {
+        Result<std::optional<LinearRule>> part = child.AsSingleRule();
+        if (!part.ok()) return part.status();
+        if (!part->has_value()) return std::optional<LinearRule>(std::nullopt);
+        if (!acc.has_value()) {
+          acc = std::move(*part);
+        } else {
+          Result<LinearRule> composed = Compose(*acc, **part);
+          if (!composed.ok()) return composed.status();
+          acc = std::move(composed).value();
+        }
+      }
+      return acc;
+    }
+    case Kind::kSum:
+    case Kind::kClosure:
+      return std::optional<LinearRule>(std::nullopt);
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<OpExpr> OpExpr::DecomposeClosures() const {
+  switch (kind()) {
+    case Kind::kOperator:
+      return *this;
+    case Kind::kSum:
+    case Kind::kProduct: {
+      std::vector<OpExpr> rewritten;
+      for (const OpExpr& child : children()) {
+        Result<OpExpr> r = child.DecomposeClosures();
+        if (!r.ok()) return r.status();
+        rewritten.push_back(std::move(r).value());
+      }
+      return kind() == Kind::kSum ? Sum(std::move(rewritten))
+                                  : Product(std::move(rewritten));
+    }
+    case Kind::kClosure: {
+      Result<OpExpr> body = children()[0].DecomposeClosures();
+      if (!body.ok()) return body.status();
+      if (body->kind() != Kind::kSum) return Closure(std::move(*body));
+
+      // Reduce every summand to a single rule, if possible.
+      std::vector<LinearRule> rules;
+      std::vector<const OpExpr*> summands;
+      for (const OpExpr& child : body->children()) {
+        summands.push_back(&child);
+      }
+      for (const OpExpr* child : summands) {
+        Result<std::optional<LinearRule>> single = child->AsSingleRule();
+        if (!single.ok()) return single.status();
+        if (!single->has_value()) return Closure(std::move(*body));
+        rules.push_back(std::move(**single));
+      }
+      Result<DecompositionPlan> plan = PlanDecomposition(rules);
+      if (!plan.ok()) return plan.status();
+      if (!plan->fully_decomposed && plan->groups.size() <= 1) {
+        return Closure(std::move(*body));
+      }
+      std::vector<OpExpr> factors;
+      for (const std::vector<int>& group : plan->groups) {
+        std::vector<OpExpr> members;
+        for (int index : group) {
+          members.push_back(*summands[static_cast<std::size_t>(index)]);
+        }
+        factors.push_back(Closure(Sum(std::move(members))));
+      }
+      return Product(std::move(factors));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string OpExpr::ToString() const {
+  switch (kind()) {
+    case Kind::kOperator:
+      return name();
+    case Kind::kSum: {
+      std::vector<std::string> parts;
+      for (const OpExpr& child : children()) parts.push_back(child.ToString());
+      return StrCat("(", Join(parts, " + "), ")");
+    }
+    case Kind::kProduct: {
+      std::vector<std::string> parts;
+      for (const OpExpr& child : children()) parts.push_back(child.ToString());
+      return Join(parts, "·");
+    }
+    case Kind::kClosure:
+      return StrCat(children()[0].ToString(), "*");
+  }
+  return "?";
+}
+
+}  // namespace linrec

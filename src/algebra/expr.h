@@ -1,0 +1,78 @@
+// Symbolic operator expressions over the closed semi-ring of linear
+// relational operators (Section 2).
+//
+// An OpExpr is a tree of named base operators combined with + (union of
+// results), · (composition: (A·B)P = A(BP)) and * (transitive closure).
+// Expressions evaluate against a database and an initial relation, and
+// closures of sums can be rewritten into products of smaller closures using
+// the commutativity planner:
+//
+//   (A + B)*  ──DecomposeClosures──►  A* · B*      when A, B commute.
+//
+// Every node denotes a linear (hence additive) operator, so the generic
+// closure evaluator can run semi-naive over arbitrary sub-expressions.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+
+namespace linrec {
+
+/// Immutable operator-expression tree.
+class OpExpr {
+ public:
+  enum class Kind { kOperator, kSum, kProduct, kClosure };
+
+  /// A base operator; `name` is used by ToString (defaults to the head
+  /// predicate with an index).
+  static OpExpr Leaf(LinearRule rule, std::string name = "");
+  /// A1 + A2 + ... (at least one child).
+  static OpExpr Sum(std::vector<OpExpr> children);
+  /// A1 · A2 · ... — the rightmost factor applies first.
+  static OpExpr Product(std::vector<OpExpr> children);
+  /// A*.
+  static OpExpr Closure(OpExpr child);
+
+  Kind kind() const { return node_->kind; }
+  const std::vector<OpExpr>& children() const { return node_->children; }
+  /// Requires kind() == kOperator.
+  const LinearRule& rule() const { return *node_->rule; }
+  const std::string& name() const { return node_->name; }
+
+  /// Applies the denoted operator to `input` (closure nodes compute the
+  /// full closure including the identity term, i.e. Closure(A).Evaluate(q)
+  /// = A* q ⊇ q).
+  Result<Relation> Evaluate(const Database& db, const Relation& input,
+                            ClosureStats* stats = nullptr) const;
+
+  /// Rewrites every Closure(Sum(...)) node whose summands reduce to single
+  /// rules into a product of group closures per the commutativity planner
+  /// (Section 3). Sub-expressions that cannot be analyzed are left intact.
+  Result<OpExpr> DecomposeClosures() const;
+
+  /// If the expression is a leaf or a product of reducible factors, the
+  /// single LinearRule it denotes (via composition); nullopt otherwise.
+  Result<std::optional<LinearRule>> AsSingleRule() const;
+
+  /// Rendering such as "(up + down)*" or "up*·down*".
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::vector<OpExpr> children;
+    std::optional<LinearRule> rule;
+    std::string name;
+  };
+  explicit OpExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace linrec

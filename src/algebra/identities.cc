@@ -1,0 +1,98 @@
+#include "algebra/identities.h"
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+
+namespace linrec {
+namespace {
+
+struct ClosureSet {
+  Relation b_star_c_star;
+  Relation c_star_b_star;
+  Relation union_of_stars;
+  Relation sum_star;
+};
+
+Result<ClosureSet> ComputeClosures(const LinearRule& b, const LinearRule& c,
+                                   const Database& db, const Relation& q) {
+  std::vector<LinearRule> only_b{b};
+  std::vector<LinearRule> only_c{c};
+  std::vector<LinearRule> both{b, c};
+
+  Result<Relation> c_star = SemiNaiveClosure(only_c, db, q);
+  if (!c_star.ok()) return c_star.status();
+  Result<Relation> bc = SemiNaiveClosure(only_b, db, *c_star);
+  if (!bc.ok()) return bc.status();
+
+  Result<Relation> b_star = SemiNaiveClosure(only_b, db, q);
+  if (!b_star.ok()) return b_star.status();
+  Result<Relation> cb = SemiNaiveClosure(only_c, db, *b_star);
+  if (!cb.ok()) return cb.status();
+
+  Relation unioned = *b_star;
+  unioned.UnionWith(*c_star);
+
+  Result<Relation> sum = SemiNaiveClosure(both, db, q);
+  if (!sum.ok()) return sum.status();
+
+  ClosureSet out;
+  out.b_star_c_star = std::move(bc).value();
+  out.c_star_b_star = std::move(cb).value();
+  out.union_of_stars = std::move(unioned);
+  out.sum_star = std::move(sum).value();
+  return out;
+}
+
+}  // namespace
+
+Result<IdentityCheck> CheckLassezMaher1(const LinearRule& b,
+                                        const LinearRule& c,
+                                        const Database& db,
+                                        const Relation& q) {
+  Result<ClosureSet> closures = ComputeClosures(b, c, db, q);
+  if (!closures.ok()) return closures.status();
+  IdentityCheck check;
+  check.premise = closures->b_star_c_star == closures->c_star_b_star &&
+                  closures->b_star_c_star == closures->union_of_stars;
+  check.conclusion = closures->sum_star == closures->union_of_stars;
+  check.holds = !check.premise || check.conclusion;
+  return check;
+}
+
+Result<IdentityCheck> CheckLassezMaher2(const LinearRule& b,
+                                        const LinearRule& c,
+                                        const Database& db,
+                                        const Relation& q) {
+  // Premise is operator-level: BC = CB = B + C.
+  Result<LinearRule> bc = Compose(b, c);
+  if (!bc.ok()) return bc.status();
+  Result<LinearRule> cb = Compose(c, b);
+  if (!cb.ok()) return cb.status();
+  std::vector<Rule> product{bc->rule()};
+  std::vector<Rule> sum{b.rule(), c.rule()};
+  IdentityCheck check;
+  check.premise = AreEquivalent(bc->rule(), cb->rule()) &&
+                  UnionsEquivalent(product, sum);
+
+  Result<ClosureSet> closures = ComputeClosures(b, c, db, q);
+  if (!closures.ok()) return closures.status();
+  check.conclusion = closures->sum_star == closures->union_of_stars;
+  check.holds = !check.premise || check.conclusion;
+  return check;
+}
+
+Result<IdentityCheck> CheckDong(const LinearRule& b, const LinearRule& c,
+                                const Database& db, const Relation& q) {
+  Result<ClosureSet> closures = ComputeClosures(b, c, db, q);
+  if (!closures.ok()) return closures.status();
+  IdentityCheck check;
+  check.premise = closures->b_star_c_star == closures->c_star_b_star;
+  check.conclusion = closures->sum_star == closures->b_star_c_star &&
+                     closures->sum_star == closures->c_star_b_star;
+  // On a single instance only premise ⇐ conclusion is a theorem; report the
+  // biconditional as observed.
+  check.holds = check.premise == check.conclusion;
+  return check;
+}
+
+}  // namespace linrec

@@ -1,0 +1,39 @@
+// Decomposition identities related to commutativity (Section 3.2):
+// Lassez–Maher and Dong. Premises are checked syntactically (CQ/union
+// equivalence) where the identity is syntactic, and on a concrete database
+// instance where it is semantic; conclusions are checked on the instance.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+
+namespace linrec {
+
+/// Result of verifying "premise ⇒ conclusion" style identities.
+struct IdentityCheck {
+  bool premise = false;
+  bool conclusion = false;
+  /// The identity is respected on this instance (¬premise ∨ conclusion, or
+  /// premise ⇔ conclusion for biconditionals).
+  bool holds = false;
+};
+
+/// Lassez–Maher (i): B*C* = C*B* = B* + C*  ⇒  (B+C)* = B* + C*,
+/// evaluated on (db, q).
+Result<IdentityCheck> CheckLassezMaher1(const LinearRule& b,
+                                        const LinearRule& c,
+                                        const Database& db, const Relation& q);
+
+/// Lassez–Maher (ii): BC = CB = B + C (as operators, checked by CQ/union
+/// equivalence) ⇒ (B+C)* = B* + C* on (db, q).
+Result<IdentityCheck> CheckLassezMaher2(const LinearRule& b,
+                                        const LinearRule& c,
+                                        const Database& db, const Relation& q);
+
+/// Dong: B*C* = C*B*  ⇔  (B+C)* = B*C* = C*B*, evaluated on (db, q).
+Result<IdentityCheck> CheckDong(const LinearRule& b, const LinearRule& c,
+                                const Database& db, const Relation& q);
+
+}  // namespace linrec

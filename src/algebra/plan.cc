@@ -1,0 +1,61 @@
+#include "algebra/plan.h"
+
+#include <map>
+#include <numeric>
+
+#include "algebra/closure.h"
+#include "commutativity/oracle.h"
+
+namespace linrec {
+
+Result<DecompositionPlan> PlanDecomposition(
+    const std::vector<LinearRule>& rules) {
+  const int n = static_cast<int>(rules.size());
+  if (n == 0) {
+    return Status::InvalidArgument("PlanDecomposition requires >= 1 rule");
+  }
+  // Union-find over rule indices: union rules that do NOT commute.
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+
+  DecompositionPlan plan;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      Result<bool> commute = Commute(rules[static_cast<std::size_t>(i)],
+                                     rules[static_cast<std::size_t>(j)]);
+      if (!commute.ok()) return commute.status();
+      ++plan.pair_tests;
+      if (!*commute) {
+        parent[static_cast<std::size_t>(find(i))] = find(j);
+      }
+    }
+  }
+  std::map<int, std::vector<int>> by_root;
+  for (int i = 0; i < n; ++i) by_root[find(i)].push_back(i);
+  for (auto& [root, group] : by_root) plan.groups.push_back(group);
+  plan.fully_decomposed =
+      static_cast<int>(plan.groups.size()) == n;
+  return plan;
+}
+
+Result<Relation> EvaluateWithPlan(const std::vector<LinearRule>& rules,
+                                  const DecompositionPlan& plan,
+                                  const Database& db, const Relation& q,
+                                  ClosureStats* stats) {
+  std::vector<std::vector<LinearRule>> groups;
+  for (const std::vector<int>& indices : plan.groups) {
+    std::vector<LinearRule> group;
+    for (int i : indices) group.push_back(rules[static_cast<std::size_t>(i)]);
+    groups.push_back(std::move(group));
+  }
+  return DecomposedClosure(groups, db, q, stats);
+}
+
+}  // namespace linrec

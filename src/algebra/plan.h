@@ -1,0 +1,39 @@
+// Decomposition planning: partition a sum of operators into groups such
+// that operators in different groups commute pairwise, so that
+// (Σ A_i)* = G_1* G_2* ... G_k* (Section 3.1; n-operator generalization of
+// (B+C)* = B*C*).
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+
+namespace linrec {
+
+/// A partition of rule indices into commuting groups.
+struct DecompositionPlan {
+  /// Groups of indices into the planned rule vector. Operators in different
+  /// groups commute pairwise; within a group, nothing is guaranteed.
+  std::vector<std::vector<int>> groups;
+  /// True when every group is a singleton (all operators mutually commute).
+  bool fully_decomposed = false;
+  /// Number of pairwise commutativity tests performed.
+  int pair_tests = 0;
+};
+
+/// Builds the finest valid plan: the groups are the connected components of
+/// the non-commutativity graph (two rules in one group iff they are linked
+/// by a chain of non-commuting pairs). Uses the combined oracle per pair.
+Result<DecompositionPlan> PlanDecomposition(
+    const std::vector<LinearRule>& rules);
+
+/// Evaluates (Σ rules)* q according to `plan` via DecomposedClosure.
+Result<Relation> EvaluateWithPlan(const std::vector<LinearRule>& rules,
+                                  const DecompositionPlan& plan,
+                                  const Database& db, const Relation& q,
+                                  ClosureStats* stats = nullptr);
+
+}  // namespace linrec

@@ -1,0 +1,160 @@
+#include "algebra/program_eval.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "algebra/plan.h"
+#include "common/strings.h"
+#include "datalog/equality.h"
+#include "datalog/printer.h"
+#include "eval/apply.h"
+#include "eval/fixpoint.h"
+
+namespace linrec {
+namespace {
+
+/// Rules grouped per derived predicate.
+struct PredicateRules {
+  std::size_t arity = 0;
+  std::vector<Rule> base;          // head predicate absent from the body
+  std::vector<LinearRule> linear;  // head predicate exactly once in body
+};
+
+/// Topological order of derived predicates by body dependencies; mutual
+/// recursion across predicates is rejected.
+Result<std::vector<std::string>> OrderPredicates(
+    const std::map<std::string, PredicateRules>& rules) {
+  std::map<std::string, std::set<std::string>> deps;
+  for (const auto& [pred, group] : rules) {
+    std::set<std::string>& d = deps[pred];
+    auto scan = [&](const Rule& rule) {
+      for (const Atom& atom : rule.body()) {
+        if (atom.predicate != pred && rules.count(atom.predicate) > 0) {
+          d.insert(atom.predicate);
+        }
+      }
+    };
+    for (const Rule& rule : group.base) scan(rule);
+    for (const LinearRule& lr : group.linear) scan(lr.rule());
+  }
+  std::vector<std::string> order;
+  std::set<std::string> done;
+  std::set<std::string> in_progress;
+  std::function<Status(const std::string&)> visit =
+      [&](const std::string& pred) -> Status {
+    if (done.count(pred) > 0) return Status::OK();
+    if (!in_progress.insert(pred).second) {
+      return Status::InvalidArgument(
+          StrCat("mutual recursion through predicate '", pred,
+                 "' is outside the linear single-predicate class"));
+    }
+    for (const std::string& dep : deps[pred]) {
+      LINREC_RETURN_IF_ERROR(visit(dep));
+    }
+    in_progress.erase(pred);
+    done.insert(pred);
+    order.push_back(pred);
+    return Status::OK();
+  };
+  for (const auto& [pred, group] : rules) {
+    LINREC_RETURN_IF_ERROR(visit(pred));
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<ProgramResult> EvaluateProgram(const Program& program,
+                                      const ProgramEvalOptions& options) {
+  ProgramResult result;
+  Result<Database> edb = program.FactsToDatabase();
+  if (!edb.ok()) return edb.status();
+  result.db = std::move(edb).value();
+
+  // Group rules by head predicate; classify base vs linear recursive.
+  std::map<std::string, PredicateRules> rules;
+  for (const Rule& rule : program.rules) {
+    const std::string& pred = rule.head().predicate;
+    PredicateRules& group = rules[pred];
+    if (group.base.empty() && group.linear.empty()) {
+      group.arity = rule.head().arity();
+    } else if (group.arity != rule.head().arity()) {
+      return Status::InvalidArgument(
+          StrCat("predicate '", pred, "' defined with arities ", group.arity,
+                 " and ", rule.head().arity()));
+    }
+    int occurrences = 0;
+    for (const Atom& atom : rule.body()) {
+      if (atom.predicate == pred) ++occurrences;
+    }
+    if (occurrences == 0) {
+      group.base.push_back(rule);
+    } else {
+      Result<LinearRule> lr = LinearRule::Make(rule);
+      if (!lr.ok()) {
+        return Status::InvalidArgument(
+            StrCat("rule is not linear: ", ToString(rule), " (",
+                   lr.status().message(), ")"));
+      }
+      group.linear.push_back(std::move(lr).value());
+    }
+  }
+
+  Result<std::vector<std::string>> order = OrderPredicates(rules);
+  if (!order.ok()) return order.status();
+
+  IndexCache cache;
+  for (const std::string& pred : *order) {
+    const PredicateRules& group = rules[pred];
+    // Seed Q from the base rules.
+    Relation seed(group.arity);
+    if (const Relation* facts = result.db.Find(pred)) {
+      if (facts->arity() != group.arity) {
+        return Status::InvalidArgument(
+            StrCat("facts for '", pred, "' have arity ", facts->arity(),
+                   ", rules use ", group.arity));
+      }
+      seed = *facts;
+    }
+    for (const Rule& base : group.base) {
+      Rule effective = base;
+      if (HasEqualities(base)) {
+        Result<std::optional<Rule>> eliminated = EliminateEqualities(base);
+        if (!eliminated.ok()) return eliminated.status();
+        if (!eliminated->has_value()) continue;
+        effective = std::move(**eliminated);
+      }
+      LINREC_RETURN_IF_ERROR(ApplyRule(effective, result.db, {}, &seed,
+                                       &result.stats, &cache));
+    }
+    // Close under the linear rules, decomposing into commuting groups when
+    // requested (Section 3).
+    Relation value = std::move(seed);
+    if (!group.linear.empty()) {
+      ClosureStats closure_stats;
+      Result<Relation> closed = Status::Internal("unset");
+      if (options.use_decomposition && group.linear.size() > 1) {
+        Result<DecompositionPlan> plan = PlanDecomposition(group.linear);
+        if (!plan.ok()) return plan.status();
+        closed = EvaluateWithPlan(group.linear, *plan, result.db, value,
+                                  &closure_stats);
+      } else {
+        closed = SemiNaiveClosure(group.linear, result.db, value,
+                                  &closure_stats, &cache);
+      }
+      if (!closed.ok()) return closed.status();
+      value = std::move(closed).value();
+      result.stats.Accumulate(closure_stats);
+    }
+    result.db.GetOrCreate(pred, group.arity) = std::move(value);
+  }
+  result.stats.result_size = 0;
+  for (const std::string& name : result.db.Names()) {
+    result.stats.result_size += result.db.Find(name)->size();
+  }
+  return result;
+}
+
+}  // namespace linrec

@@ -1,0 +1,41 @@
+// Whole-program evaluation.
+//
+// Evaluates a parsed Program: facts load the EDB; for every rule-defined
+// predicate, nonrecursive rules seed the initial relation (the paper's Q in
+// P = AP ∪ Q, eq. 2.3) and the linear recursive rules are closed with the
+// semi-naive engine — optionally decomposed into commuting groups first
+// (Section 3). Predicates are evaluated in dependency order.
+//
+// Scope: recursion must be linear and confined to one predicate per rule
+// (the paper's class). Mutual recursion between predicates and non-linear
+// rules yield InvalidArgument.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/parser.h"
+#include "eval/stats.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+/// Evaluation options.
+struct ProgramEvalOptions {
+  /// Use PlanDecomposition + DecomposedClosure for each recursive predicate
+  /// with more than one rule (otherwise plain semi-naive on the sum).
+  bool use_decomposition = false;
+};
+
+/// Result of evaluating a program: the final database (EDB facts plus one
+/// relation per derived predicate) and aggregate statistics.
+struct ProgramResult {
+  Database db;
+  ClosureStats stats;
+};
+
+/// Evaluates `program` bottom-up. Every predicate is materialized into the
+/// returned database.
+Result<ProgramResult> EvaluateProgram(const Program& program,
+                                      const ProgramEvalOptions& options = {});
+
+}  // namespace linrec

@@ -1,0 +1,49 @@
+#include "analysis/alpha_graph.h"
+
+#include "datalog/traits.h"
+
+namespace linrec {
+
+Result<AlphaGraph> AlphaGraph::Build(const LinearRule& rule) {
+  LINREC_RETURN_IF_ERROR(ValidateForAnalysis(rule));
+
+  AlphaGraph graph;
+  graph.node_count_ = rule.rule().var_count();
+  graph.incident_.resize(static_cast<std::size_t>(graph.node_count_));
+
+  auto add_arc = [&](AlphaArc arc) {
+    int id = static_cast<int>(graph.arcs_.size());
+    graph.arcs_.push_back(arc);
+    graph.incident_[static_cast<std::size_t>(arc.u)].push_back(id);
+    if (arc.v != arc.u) {
+      graph.incident_[static_cast<std::size_t>(arc.v)].push_back(id);
+    }
+    if (arc.is_dynamic()) graph.dynamic_arcs_.push_back(id);
+  };
+
+  // Static arcs from nonrecursive atoms.
+  const Rule& r = rule.rule();
+  for (int ai : rule.NonRecursiveAtomIndices()) {
+    const Atom& atom = r.body()[static_cast<std::size_t>(ai)];
+    if (atom.arity() == 1) {
+      VarId x = atom.terms[0].var();
+      add_arc({AlphaArc::Kind::kStatic, x, x, ai, 0});
+      continue;
+    }
+    for (std::size_t p = 0; p + 1 < atom.terms.size(); ++p) {
+      add_arc({AlphaArc::Kind::kStatic, atom.terms[p].var(),
+               atom.terms[p + 1].var(), ai, static_cast<int>(p)});
+    }
+  }
+
+  // Dynamic arcs from the recursive atom / head.
+  const Atom& rec = rule.recursive_atom();
+  const Atom& head = r.head();
+  for (std::size_t p = 0; p < head.terms.size(); ++p) {
+    add_arc({AlphaArc::Kind::kDynamic, rec.terms[p].var(),
+             head.terms[p].var(), -1, static_cast<int>(p)});
+  }
+  return graph;
+}
+
+}  // namespace linrec

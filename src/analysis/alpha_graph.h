@@ -1,0 +1,62 @@
+// The α-graph of a linear rule (Section 5.1).
+//
+//   (i)  one node per variable;
+//   (ii) a static arc (x → y) for every pair of consecutive argument
+//        positions x, y of a nonrecursive body atom, and a static self-arc
+//        (x → x) for a unary nonrecursive atom, labeled by the predicate;
+//   (iii) a dynamic arc (x → y) when x appears at some position of the
+//        recursive atom in the antecedent and y at the same position of the
+//        consequent.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// One arc of the α-graph.
+struct AlphaArc {
+  enum class Kind { kStatic, kDynamic };
+
+  Kind kind = Kind::kStatic;
+  VarId u = -1;  ///< tail (antecedent side for dynamic arcs)
+  VarId v = -1;  ///< head (consequent side for dynamic arcs)
+  /// Static arcs: index of the nonrecursive body atom; dynamic arcs: -1.
+  int atom_index = -1;
+  /// Static arcs: index of the first of the two consecutive positions.
+  /// Dynamic arcs: the shared argument position.
+  int position = 0;
+
+  bool is_dynamic() const { return kind == Kind::kDynamic; }
+};
+
+/// The α-graph of a validated linear rule.
+class AlphaGraph {
+ public:
+  /// Requires ValidateForAnalysis(rule) to hold (constant-free, distinct
+  /// head variables); returns its error otherwise.
+  static Result<AlphaGraph> Build(const LinearRule& rule);
+
+  int node_count() const { return node_count_; }
+  const std::vector<AlphaArc>& arcs() const { return arcs_; }
+
+  /// Arc ids incident to node v (self-arcs listed once).
+  const std::vector<int>& IncidentArcs(VarId v) const {
+    return incident_[static_cast<std::size_t>(v)];
+  }
+
+  /// Ids of the dynamic arcs only.
+  const std::vector<int>& dynamic_arcs() const { return dynamic_arcs_; }
+
+ private:
+  int node_count_ = 0;
+  std::vector<AlphaArc> arcs_;
+  std::vector<std::vector<int>> incident_;
+  std::vector<int> dynamic_arcs_;
+};
+
+}  // namespace linrec

@@ -1,0 +1,122 @@
+#include "analysis/bridges.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+namespace linrec {
+namespace {
+
+/// Plain union-find over int ids.
+class UnionFind {
+ public:
+  explicit UnionFind(int n) : parent_(static_cast<std::size_t>(n)) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  int Find(int x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[static_cast<std::size_t>(Find(a))] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+void SortUnique(std::vector<VarId>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+void SortUniqueInt(std::vector<int>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+}  // namespace
+
+bool Bridge::ContainsVar(VarId v) const {
+  return std::binary_search(nodes.begin(), nodes.end(), v) ||
+         std::binary_search(attached.begin(), attached.end(), v);
+}
+
+std::vector<Bridge> ComputeBridges(const AlphaGraph& graph,
+                                   const std::vector<bool>& vprime,
+                                   const std::vector<bool>& in_eprime) {
+  const std::vector<AlphaArc>& arcs = graph.arcs();
+  const int narcs = static_cast<int>(arcs.size());
+
+  // 1. Walk equivalence: arcs sharing a non-V′ endpoint are equivalent.
+  UnionFind uf(narcs);
+  for (VarId v = 0; v < graph.node_count(); ++v) {
+    if (vprime[static_cast<std::size_t>(v)]) continue;
+    int first = -1;
+    for (int arc_id : graph.IncidentArcs(v)) {
+      if (in_eprime[static_cast<std::size_t>(arc_id)]) continue;
+      if (first < 0) {
+        first = arc_id;
+      } else {
+        uf.Union(first, arc_id);
+      }
+    }
+  }
+  // 2. Literal coarsening: all static arcs of one atom stay together.
+  std::map<int, int> first_arc_of_atom;
+  for (int id = 0; id < narcs; ++id) {
+    if (in_eprime[static_cast<std::size_t>(id)]) continue;
+    if (arcs[static_cast<std::size_t>(id)].atom_index < 0) continue;
+    auto [it, inserted] =
+        first_arc_of_atom.emplace(arcs[static_cast<std::size_t>(id)].atom_index, id);
+    if (!inserted) uf.Union(it->second, id);
+  }
+
+  // 3. Collect bridges.
+  std::map<int, Bridge> by_root;
+  for (int id = 0; id < narcs; ++id) {
+    if (in_eprime[static_cast<std::size_t>(id)]) continue;
+    Bridge& b = by_root[uf.Find(id)];
+    const AlphaArc& arc = arcs[static_cast<std::size_t>(id)];
+    b.arcs.push_back(id);
+    b.nodes.push_back(arc.u);
+    b.nodes.push_back(arc.v);
+    if (arc.atom_index >= 0) b.atom_indices.push_back(arc.atom_index);
+  }
+
+  // 4. Augmentation: connected components of G′ = (V′, E′), attached to the
+  // bridges they touch.
+  UnionFind gprime(graph.node_count());
+  for (int id = 0; id < narcs; ++id) {
+    if (!in_eprime[static_cast<std::size_t>(id)]) continue;
+    gprime.Union(arcs[static_cast<std::size_t>(id)].u,
+                 arcs[static_cast<std::size_t>(id)].v);
+  }
+  std::map<int, std::vector<VarId>> gprime_components;
+  for (VarId v = 0; v < graph.node_count(); ++v) {
+    if (vprime[static_cast<std::size_t>(v)]) {
+      gprime_components[gprime.Find(v)].push_back(v);
+    }
+  }
+
+  std::vector<Bridge> bridges;
+  for (auto& [root, bridge] : by_root) {
+    SortUnique(&bridge.nodes);
+    SortUniqueInt(&bridge.atom_indices);
+    SortUniqueInt(&bridge.arcs);
+    for (VarId v : bridge.nodes) {
+      if (vprime[static_cast<std::size_t>(v)]) {
+        const std::vector<VarId>& component =
+            gprime_components[gprime.Find(v)];
+        bridge.attached.insert(bridge.attached.end(), component.begin(),
+                               component.end());
+      }
+    }
+    SortUnique(&bridge.attached);
+    bridges.push_back(std::move(bridge));
+  }
+  return bridges;
+}
+
+}  // namespace linrec

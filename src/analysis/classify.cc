@@ -1,0 +1,151 @@
+#include "analysis/classify.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/strings.h"
+#include "datalog/traits.h"
+
+namespace linrec {
+
+std::string VarClass::Describe() const {
+  if (!distinguished) return "nondistinguished";
+  if (persistent) {
+    return StrCat(free_persistent ? "free " : "link ", period, "-persistent");
+  }
+  if (ray_depth >= 1) return StrCat(ray_depth, "-ray general");
+  return "general";
+}
+
+Result<Classification> Classification::Compute(const LinearRule& rule) {
+  LINREC_RETURN_IF_ERROR(ValidateForAnalysis(rule));
+  const Rule& r = rule.rule();
+  const Atom& head = r.head();
+  const Atom& rec = rule.recursive_atom();
+  const int nvars = r.var_count();
+  const int arity = static_cast<int>(head.arity());
+
+  Classification c;
+  c.classes_.assign(static_cast<std::size_t>(nvars), VarClass{});
+  c.head_position_.assign(static_cast<std::size_t>(nvars), -1);
+  c.head_var_.resize(static_cast<std::size_t>(arity));
+  c.recursive_var_.resize(static_cast<std::size_t>(arity));
+
+  for (int p = 0; p < arity; ++p) {
+    VarId hv = head.terms[static_cast<std::size_t>(p)].var();
+    VarId rv = rec.terms[static_cast<std::size_t>(p)].var();
+    c.head_var_[static_cast<std::size_t>(p)] = hv;
+    c.recursive_var_[static_cast<std::size_t>(p)] = rv;
+    c.head_position_[static_cast<std::size_t>(hv)] = p;
+    c.classes_[static_cast<std::size_t>(hv)].distinguished = true;
+  }
+
+  // Occurrence counts used for the free/link distinction.
+  std::vector<int> nonrec_occurrences(static_cast<std::size_t>(nvars), 0);
+  std::vector<int> rec_occurrences(static_cast<std::size_t>(nvars), 0);
+  for (int ai : rule.NonRecursiveAtomIndices()) {
+    for (const Term& t : r.body()[static_cast<std::size_t>(ai)].terms) {
+      ++nonrec_occurrences[static_cast<std::size_t>(t.var())];
+    }
+  }
+  for (const Term& t : rec.terms) {
+    ++rec_occurrences[static_cast<std::size_t>(t.var())];
+  }
+
+  // Persistence: follow h from each distinguished variable.
+  auto h_of = [&](VarId x) -> std::optional<VarId> {
+    int p = c.head_position_[static_cast<std::size_t>(x)];
+    if (p < 0) return std::nullopt;
+    return c.recursive_var_[static_cast<std::size_t>(p)];
+  };
+  for (int p = 0; p < arity; ++p) {
+    VarId x = c.head_var_[static_cast<std::size_t>(p)];
+    VarClass& vc = c.classes_[static_cast<std::size_t>(x)];
+    if (vc.persistent) continue;  // already classified via another cycle walk
+    VarId cur = x;
+    for (int step = 1; step <= arity + 1; ++step) {
+      std::optional<VarId> next = h_of(cur);
+      if (!next.has_value()) break;  // cur nondistinguished: chain ends
+      cur = *next;
+      if (!c.classes_[static_cast<std::size_t>(cur)].distinguished) break;
+      if (cur == x) {
+        // Found the cycle {x, h(x), ..., h^{step-1}(x)}.
+        std::vector<VarId> cycle;
+        VarId w = x;
+        for (int i = 0; i < step; ++i) {
+          cycle.push_back(w);
+          w = *h_of(w);
+        }
+        bool free_cycle = true;
+        for (VarId v : cycle) {
+          if (nonrec_occurrences[static_cast<std::size_t>(v)] > 0 ||
+              rec_occurrences[static_cast<std::size_t>(v)] != 1) {
+            free_cycle = false;
+          }
+        }
+        for (VarId v : cycle) {
+          VarClass& cvc = c.classes_[static_cast<std::size_t>(v)];
+          cvc.persistent = true;
+          cvc.period = step;
+          cvc.free_persistent = free_cycle;
+        }
+        break;
+      }
+    }
+  }
+
+  // Ray depths: BFS from link-persistent variables along dynamic arcs,
+  // treated as undirected ("connected ... through a path of dynamic arcs").
+  std::vector<std::vector<VarId>> dyn_adj(static_cast<std::size_t>(nvars));
+  for (int p = 0; p < arity; ++p) {
+    VarId u = c.recursive_var_[static_cast<std::size_t>(p)];
+    VarId v = c.head_var_[static_cast<std::size_t>(p)];
+    dyn_adj[static_cast<std::size_t>(u)].push_back(v);
+    if (u != v) dyn_adj[static_cast<std::size_t>(v)].push_back(u);
+  }
+  std::vector<int> depth(static_cast<std::size_t>(nvars), -1);
+  std::deque<VarId> queue;
+  for (VarId v = 0; v < nvars; ++v) {
+    if (c.classes_[static_cast<std::size_t>(v)].IsLinkPersistent()) {
+      depth[static_cast<std::size_t>(v)] = 0;
+      queue.push_back(v);
+      c.link_persistent_.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    VarId v = queue.front();
+    queue.pop_front();
+    for (VarId w : dyn_adj[static_cast<std::size_t>(v)]) {
+      if (depth[static_cast<std::size_t>(w)] < 0) {
+        depth[static_cast<std::size_t>(w)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  for (VarId v = 0; v < nvars; ++v) {
+    VarClass& vc = c.classes_[static_cast<std::size_t>(v)];
+    if (vc.IsLinkPersistent()) {
+      vc.ray_depth = 0;
+    } else if (vc.IsGeneral() && depth[static_cast<std::size_t>(v)] >= 1) {
+      vc.ray_depth = depth[static_cast<std::size_t>(v)];
+    }
+  }
+
+  // I = link-persistent ∪ ray (sorted by construction order then sort).
+  for (VarId v = 0; v < nvars; ++v) {
+    const VarClass& vc = c.classes_[static_cast<std::size_t>(v)];
+    if (vc.IsLinkPersistent() || vc.IsRay()) c.i_set_.push_back(v);
+  }
+  std::sort(c.i_set_.begin(), c.i_set_.end());
+  std::sort(c.link_persistent_.begin(), c.link_persistent_.end());
+  return c;
+}
+
+std::optional<VarId> Classification::H(VarId x) const {
+  int p = head_position_[static_cast<std::size_t>(x)];
+  if (p < 0) return std::nullopt;
+  return recursive_var_[static_cast<std::size_t>(p)];
+}
+
+}  // namespace linrec

@@ -1,0 +1,83 @@
+// Classification of the variables of a linear rule (Section 5.1 and 6.2):
+// free/link n-persistent, general, and n-ray, via the h function.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// The class of one variable.
+struct VarClass {
+  bool distinguished = false;
+  /// x is n-persistent when h cycles back: hⁿ(x) = x through distinguished
+  /// variables; `period` is that n (0 when not persistent).
+  bool persistent = false;
+  int period = 0;
+  /// A persistent variable is *free* when no variable of its cycle appears
+  /// anywhere in the rule beyond the cycle's own head/recursive-atom
+  /// positions; otherwise it is *link* persistent.
+  bool free_persistent = false;
+  /// Link-persistent variables carry 0; an n-ray general variable carries n
+  /// (shortest dynamic-arc path to a link-persistent variable); -1 otherwise.
+  int ray_depth = -1;
+
+  bool IsGeneral() const { return distinguished && !persistent; }
+  bool IsFreePersistent() const { return persistent && free_persistent; }
+  bool IsLinkPersistent() const { return persistent && !free_persistent; }
+  bool IsFree1Persistent() const { return IsFreePersistent() && period == 1; }
+  bool IsLink1Persistent() const { return IsLinkPersistent() && period == 1; }
+  bool IsRay() const { return IsGeneral() && ray_depth >= 1; }
+
+  /// Short description such as "free 2-persistent", "link 1-persistent",
+  /// "general", "1-ray general", "nondistinguished".
+  std::string Describe() const;
+};
+
+/// The h function of a rule plus per-variable classes.
+class Classification {
+ public:
+  /// Requires ValidateForAnalysis(rule).
+  static Result<Classification> Compute(const LinearRule& rule);
+
+  const VarClass& Of(VarId v) const {
+    return classes_[static_cast<std::size_t>(v)];
+  }
+
+  /// Head position of a distinguished variable (unique; -1 otherwise).
+  int HeadPositionOf(VarId v) const {
+    return head_position_[static_cast<std::size_t>(v)];
+  }
+  /// The variable at head position p (head variables are distinct).
+  VarId HeadVarAt(int p) const {
+    return head_var_[static_cast<std::size_t>(p)];
+  }
+
+  /// h(x): the variable at x's head position in the recursive atom.
+  /// Defined exactly for distinguished x.
+  std::optional<VarId> H(VarId x) const;
+
+  /// All link-persistent variables (any period), sorted.
+  const std::vector<VarId>& link_persistent_vars() const {
+    return link_persistent_;
+  }
+  /// I = link-persistent ∪ ray variables (Section 6.2), sorted.
+  const std::vector<VarId>& i_set() const { return i_set_; }
+
+  int var_count() const { return static_cast<int>(classes_.size()); }
+
+ private:
+  std::vector<VarClass> classes_;
+  std::vector<int> head_position_;
+  std::vector<VarId> head_var_;
+  std::vector<VarId> recursive_var_;  // per head position: antecedent var
+  std::vector<VarId> link_persistent_;
+  std::vector<VarId> i_set_;
+};
+
+}  // namespace linrec

@@ -1,0 +1,74 @@
+#include "analysis/dot.h"
+
+#include "common/strings.h"
+#include "datalog/printer.h"
+
+namespace linrec {
+
+std::string ToDot(const RuleAnalysis& analysis) {
+  const Rule& r = analysis.rule().rule();
+  std::string out = "digraph alpha {\n";
+  out += StrCat("  label=\"", ToString(r), "\";\n");
+  for (VarId v = 0; v < r.var_count(); ++v) {
+    const VarClass& vc = analysis.classes().Of(v);
+    out += StrCat("  \"", r.var_name(v), "\" [shape=",
+                  vc.distinguished ? "circle" : "point", ", xlabel=\"",
+                  vc.Describe(), "\"];\n");
+  }
+  for (const AlphaArc& arc : analysis.graph().arcs()) {
+    if (arc.is_dynamic()) {
+      out += StrCat("  \"", r.var_name(arc.u), "\" -> \"", r.var_name(arc.v),
+                    "\" [style=bold];\n");
+    } else {
+      const Atom& atom = r.body()[static_cast<std::size_t>(arc.atom_index)];
+      out += StrCat("  \"", r.var_name(arc.u), "\" -> \"", r.var_name(arc.v),
+                    "\" [label=\"", atom.predicate, "\", arrowhead=none];\n");
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+namespace {
+
+std::string DescribeBridges(const RuleAnalysis& analysis,
+                            const std::vector<Bridge>& bridges) {
+  const Rule& r = analysis.rule().rule();
+  std::string out;
+  for (std::size_t i = 0; i < bridges.size(); ++i) {
+    const Bridge& b = bridges[i];
+    std::vector<std::string> node_names;
+    for (VarId v : b.nodes) node_names.push_back(r.var_name(v));
+    std::vector<std::string> attached_names;
+    for (VarId v : b.attached) attached_names.push_back(r.var_name(v));
+    std::vector<std::string> atom_names;
+    for (int ai : b.atom_indices) {
+      atom_names.push_back(
+          ToString(r.body()[static_cast<std::size_t>(ai)], r));
+    }
+    out += StrCat("  bridge ", i, ": nodes {", Join(node_names, ","),
+                  "} attached {", Join(attached_names, ","), "} atoms {",
+                  Join(atom_names, ", "), "}\n");
+  }
+  if (bridges.empty()) out += "  (none)\n";
+  return out;
+}
+
+}  // namespace
+
+std::string AsciiReport(const RuleAnalysis& analysis) {
+  const Rule& r = analysis.rule().rule();
+  std::string out = StrCat("rule: ", ToString(r), "\n");
+  out += "variables:\n";
+  for (VarId v = 0; v < r.var_count(); ++v) {
+    out += StrCat("  ", r.var_name(v), ": ",
+                  analysis.classes().Of(v).Describe(), "\n");
+  }
+  out += "commutativity bridges (V' = link 1-persistent):\n";
+  out += DescribeBridges(analysis, analysis.commutativity_bridges());
+  out += "redundancy bridges (V' = I = link-persistent + ray):\n";
+  out += DescribeBridges(analysis, analysis.redundancy_bridges());
+  return out;
+}
+
+}  // namespace linrec

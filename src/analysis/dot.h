@@ -1,0 +1,22 @@
+// Rendering of α-graphs: Graphviz DOT and a plain-text report.
+//
+// The paper draws static arcs as thin lines and dynamic arcs as thick ones;
+// the DOT output follows that convention (solid/bold).
+
+#pragma once
+
+#include <string>
+
+#include "analysis/rule_analysis.h"
+
+namespace linrec {
+
+/// Graphviz digraph of the α-graph. Static arcs solid and labeled with the
+/// predicate; dynamic arcs bold.
+std::string ToDot(const RuleAnalysis& analysis);
+
+/// Plain-text report: the rule, each variable's class, and both bridge
+/// decompositions (used by examples/paper_figures to regenerate Figures 1-9).
+std::string AsciiReport(const RuleAnalysis& analysis);
+
+}  // namespace linrec

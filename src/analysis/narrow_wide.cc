@@ -1,0 +1,156 @@
+#include "analysis/narrow_wide.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/strings.h"
+
+namespace linrec {
+namespace {
+
+/// Head positions (sorted) whose consequent variable lies in any of the
+/// given augmented bridges.
+std::vector<int> BridgeHeadPositions(const RuleAnalysis& analysis,
+                                     const std::vector<const Bridge*>& bridges) {
+  std::vector<int> positions;
+  const int arity = static_cast<int>(analysis.rule().arity());
+  for (int p = 0; p < arity; ++p) {
+    VarId x = analysis.classes().HeadVarAt(p);
+    for (const Bridge* b : bridges) {
+      if (b->ContainsVar(x)) {
+        positions.push_back(p);
+        break;
+      }
+    }
+  }
+  return positions;
+}
+
+std::set<int> BridgeAtomSet(const std::vector<const Bridge*>& bridges) {
+  std::set<int> atoms;
+  for (const Bridge* b : bridges) {
+    atoms.insert(b->atom_indices.begin(), b->atom_indices.end());
+  }
+  return atoms;
+}
+
+}  // namespace
+
+Result<LinearRule> MakeNarrowRule(const RuleAnalysis& analysis,
+                                  const Bridge& bridge) {
+  const Rule& r = analysis.rule().rule();
+  std::vector<const Bridge*> one{&bridge};
+  std::vector<int> positions = BridgeHeadPositions(analysis, one);
+  if (positions.empty()) {
+    return Status::InvalidArgument(
+        "bridge touches no distinguished variable; narrow rule undefined");
+  }
+
+  std::vector<std::string> pos_names;
+  for (int p : positions) pos_names.push_back(StrCat(p));
+  std::string pred = StrCat(r.head().predicate, "#", Join(pos_names, "_"));
+
+  RuleBuilder builder;
+  auto var_term = [&](const Term& t) {
+    return Term::MakeVar(builder.Var(r.var_name(t.var())));
+  };
+
+  std::vector<Term> head_terms;
+  std::vector<Term> rec_terms;
+  const Atom& rec = analysis.rule().recursive_atom();
+  for (int p : positions) {
+    head_terms.push_back(var_term(r.head().terms[static_cast<std::size_t>(p)]));
+    rec_terms.push_back(var_term(rec.terms[static_cast<std::size_t>(p)]));
+  }
+  builder.SetHead(pred, std::move(head_terms));
+  builder.AddBodyAtom(pred, std::move(rec_terms));
+  for (int ai : bridge.atom_indices) {
+    const Atom& atom = r.body()[static_cast<std::size_t>(ai)];
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(var_term(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  return LinearRule::Make(std::move(built).value());
+}
+
+Result<LinearRule> MakeWideRule(const RuleAnalysis& analysis,
+                                const std::vector<const Bridge*>& bridges) {
+  const Rule& r = analysis.rule().rule();
+  const Atom& rec = analysis.rule().recursive_atom();
+  std::vector<int> positions = BridgeHeadPositions(analysis, bridges);
+  std::set<int> atom_set = BridgeAtomSet(bridges);
+
+  RuleBuilder builder;
+  auto var_term = [&](const Term& t) {
+    return Term::MakeVar(builder.Var(r.var_name(t.var())));
+  };
+
+  std::vector<Term> head_terms;
+  for (const Term& t : r.head().terms) head_terms.push_back(var_term(t));
+  builder.SetHead(r.head().predicate, head_terms);
+
+  std::vector<Term> rec_terms;
+  const int arity = static_cast<int>(analysis.rule().arity());
+  for (int p = 0; p < arity; ++p) {
+    bool in_bridge = std::binary_search(positions.begin(), positions.end(), p);
+    rec_terms.push_back(in_bridge
+                            ? var_term(rec.terms[static_cast<std::size_t>(p)])
+                            : head_terms[static_cast<std::size_t>(p)]);
+  }
+  builder.AddBodyAtom(r.head().predicate, std::move(rec_terms));
+  for (int ai : atom_set) {
+    const Atom& atom = r.body()[static_cast<std::size_t>(ai)];
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(var_term(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  return LinearRule::Make(std::move(built).value());
+}
+
+Result<LinearRule> MakeWideRule(const RuleAnalysis& analysis,
+                                const Bridge& bridge) {
+  return MakeWideRule(analysis, std::vector<const Bridge*>{&bridge});
+}
+
+Result<LinearRule> MakeComplementRule(
+    const RuleAnalysis& analysis, const std::vector<const Bridge*>& bridges) {
+  const Rule& r = analysis.rule().rule();
+  const Atom& rec = analysis.rule().recursive_atom();
+  std::vector<int> positions = BridgeHeadPositions(analysis, bridges);
+  std::set<int> atom_set = BridgeAtomSet(bridges);
+
+  RuleBuilder builder;
+  auto var_term = [&](const Term& t) {
+    return Term::MakeVar(builder.Var(r.var_name(t.var())));
+  };
+
+  std::vector<Term> head_terms;
+  for (const Term& t : r.head().terms) head_terms.push_back(var_term(t));
+  builder.SetHead(r.head().predicate, head_terms);
+
+  std::vector<Term> rec_terms;
+  const int arity = static_cast<int>(analysis.rule().arity());
+  for (int p = 0; p < arity; ++p) {
+    bool in_bridge = std::binary_search(positions.begin(), positions.end(), p);
+    rec_terms.push_back(in_bridge
+                            ? head_terms[static_cast<std::size_t>(p)]
+                            : var_term(rec.terms[static_cast<std::size_t>(p)]));
+  }
+  builder.AddBodyAtom(r.head().predicate, std::move(rec_terms));
+  for (int ai : analysis.rule().NonRecursiveAtomIndices()) {
+    if (atom_set.count(ai) > 0) continue;
+    const Atom& atom = r.body()[static_cast<std::size_t>(ai)];
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(var_term(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  return LinearRule::Make(std::move(built).value());
+}
+
+}  // namespace linrec

@@ -1,0 +1,38 @@
+// Narrow, wide and complement rules of augmented bridges (Sections 5.1, 6.2,
+// Lemma 6.5).
+//
+// For an augmented bridge of a rule r:
+//  * the narrow rule keeps only the bridge's atoms and projects the
+//    recursive predicate onto the argument positions whose consequent
+//    variables appear in the augmented bridge;
+//  * the wide rule keeps the recursive predicate at full arity, making the
+//    remaining distinguished variables free 1-persistent;
+//  * the complement rule (the operator B of Lemma 6.5) keeps every atom
+//    outside the bridge and makes the bridge's distinguished variables
+//    1-persistent, so that r = complement · wide as operators.
+
+#pragma once
+
+#include "analysis/rule_analysis.h"
+#include "common/status.h"
+
+namespace linrec {
+
+/// Narrow rule of one augmented bridge. Its head predicate is suffixed with
+/// the projected positions (e.g. "p#0_2"), so narrow rules are comparable
+/// across rules exactly when they project the same positions.
+Result<LinearRule> MakeNarrowRule(const RuleAnalysis& analysis,
+                                  const Bridge& bridge);
+
+/// Wide rule of the union of the given augmented bridges.
+Result<LinearRule> MakeWideRule(const RuleAnalysis& analysis,
+                                const std::vector<const Bridge*>& bridges);
+Result<LinearRule> MakeWideRule(const RuleAnalysis& analysis,
+                                const Bridge& bridge);
+
+/// Lemma 6.5: the operator B with A = B·C, where C is the wide rule of the
+/// given bridges.
+Result<LinearRule> MakeComplementRule(
+    const RuleAnalysis& analysis, const std::vector<const Bridge*>& bridges);
+
+}  // namespace linrec

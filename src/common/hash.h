@@ -1,0 +1,26 @@
+// Hashing helpers shared across linrec containers.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace linrec {
+
+/// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
+inline void HashCombine(std::size_t* seed, std::size_t value) {
+  *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
+}
+
+/// Hashes a contiguous range of integral values.
+template <typename It>
+std::size_t HashRange(It first, It last) {
+  std::size_t seed = 0xcbf29ce484222325ULL;
+  for (It it = first; it != last; ++it) {
+    HashCombine(&seed, std::hash<std::int64_t>{}(static_cast<std::int64_t>(*it)));
+  }
+  return seed;
+}
+
+}  // namespace linrec

@@ -1,0 +1,120 @@
+// Lightweight Status / Result error-handling primitives.
+//
+// Library code in linrec does not throw exceptions across public API
+// boundaries; fallible operations return Status or Result<T> in the style of
+// Arrow / RocksDB.
+
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace linrec {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  /// Input violates a documented precondition (e.g. rule not linear).
+  kInvalidArgument,
+  /// Text could not be parsed; message carries line/column context.
+  kParseError,
+  /// A budgeted search (torsion, boundedness) gave up before deciding.
+  kBudgetExhausted,
+  /// An entity (predicate, relation, variable) was not found.
+  kNotFound,
+  /// Internal invariant violated; indicates a bug in linrec itself.
+  kInternal,
+};
+
+/// Returns a short human-readable name such as "InvalidArgument".
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// Default-constructed Status is OK. Statuses are cheap to copy (the message
+/// is empty in the OK case, which is the common path).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a non-OK Status explaining its absence.
+template <typename T>
+class Result {
+ public:
+  /*implicit*/ Result(T value) : value_(std::move(value)) {}
+  /*implicit*/ Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok(). Accessors assert in debug builds.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define LINREC_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::linrec::Status _st = (expr);                    \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+}  // namespace linrec

@@ -1,0 +1,28 @@
+// Small string helpers used by the parser, printer and diagnostics.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace linrec {
+
+/// Joins `parts` with `sep`: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// printf-free concatenation: StrCat(1, "+", 2.5) == "1+2.5".
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+
+}  // namespace linrec

@@ -1,0 +1,16 @@
+#include "commutativity/definitional.h"
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+
+namespace linrec {
+
+Result<bool> DefinitionalCommute(const LinearRule& r1, const LinearRule& r2) {
+  Result<LinearRule> c12 = Compose(r1, r2);
+  if (!c12.ok()) return c12.status();
+  Result<LinearRule> c21 = Compose(r2, r1);
+  if (!c21.ok()) return c21.status();
+  return AreEquivalent(c12->rule(), c21->rule());
+}
+
+}  // namespace linrec

@@ -1,0 +1,17 @@
+// The definition-based commutativity test: form both composites and test
+// their equivalence as conjunctive queries (Section 5 preamble).
+// Exact for any pair of linear constant-free rules, but the equivalence
+// test is NP-complete in general.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// r1·r2 ≡ r2·r1? Requires composable rules (same head predicate/arity,
+/// distinct head variables).
+Result<bool> DefinitionalCommute(const LinearRule& r1, const LinearRule& r2);
+
+}  // namespace linrec

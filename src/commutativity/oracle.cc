@@ -1,0 +1,41 @@
+#include "commutativity/oracle.h"
+
+#include "commutativity/definitional.h"
+#include "datalog/traits.h"
+
+namespace linrec {
+
+Result<CommutativityReport> CheckCommutativity(const LinearRule& r1,
+                                               const LinearRule& r2) {
+  CommutativityReport report;
+  Result<SyntacticCommutativity> syntactic = CheckSyntacticCondition(r1, r2);
+  if (!syntactic.ok()) return syntactic.status();
+  report.syntactic_holds = syntactic->condition_holds;
+  report.notes = syntactic->notes;
+  report.restricted_class = ComputeTraits(r1.rule()).InRestrictedClass() &&
+                            ComputeTraits(r2.rule()).InRestrictedClass();
+
+  if (report.syntactic_holds) {
+    report.commute = true;  // Theorem 5.1 (sufficiency).
+    return report;
+  }
+  if (report.restricted_class) {
+    report.commute = false;  // Theorem 5.2 (necessity).
+    return report;
+  }
+  // Outside the restricted class the condition is only sufficient; decide
+  // exactly from the definition.
+  Result<bool> exact = DefinitionalCommute(r1, r2);
+  if (!exact.ok()) return exact.status();
+  report.definitional_used = true;
+  report.commute = *exact;
+  return report;
+}
+
+Result<bool> Commute(const LinearRule& r1, const LinearRule& r2) {
+  Result<CommutativityReport> report = CheckCommutativity(r1, r2);
+  if (!report.ok()) return report.status();
+  return report->commute;
+}
+
+}  // namespace linrec

@@ -1,0 +1,40 @@
+// Combined commutativity oracle.
+//
+// Strategy: run the O(a log a) syntactic condition first. If it holds, the
+// rules commute (Theorem 5.1). If it fails and both rules are in the
+// restricted class, they do not commute (Theorem 5.2). Otherwise fall back
+// to the exact definition-based test.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "commutativity/syntactic.h"
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Full verdict with provenance.
+struct CommutativityReport {
+  bool commute = false;
+  /// The Theorem 5.1 condition held.
+  bool syntactic_holds = false;
+  /// Both rules are in the restricted class, making the syntactic condition
+  /// exact (Theorem 5.2).
+  bool restricted_class = false;
+  /// The definition-based test was run (composites + CQ equivalence).
+  bool definitional_used = false;
+  /// Per-head-position explanation from the syntactic check.
+  std::vector<std::string> notes;
+};
+
+/// Decides whether r1 and r2 commute.
+Result<CommutativityReport> CheckCommutativity(const LinearRule& r1,
+                                               const LinearRule& r2);
+
+/// Convenience: just the verdict.
+Result<bool> Commute(const LinearRule& r1, const LinearRule& r2);
+
+}  // namespace linrec

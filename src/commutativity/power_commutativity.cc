@@ -1,0 +1,79 @@
+#include "commutativity/power_commutativity.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+
+namespace linrec {
+
+Result<AbsorptionWitness> FindAbsorption(const LinearRule& b,
+                                         const LinearRule& c,
+                                         int max_power) {
+  if (max_power < 1) {
+    return Status::InvalidArgument("max_power must be >= 1");
+  }
+  Result<LinearRule> cb = Compose(c, b);
+  if (!cb.ok()) return cb.status();
+
+  // Precompute powers lazily.
+  std::vector<LinearRule> b_powers{b};
+  std::vector<LinearRule> c_powers{c};
+  auto power_of = [&](std::vector<LinearRule>* cache, const LinearRule& base,
+                      int n) -> Result<LinearRule> {
+    while (static_cast<int>(cache->size()) < n) {
+      Result<LinearRule> next = Compose(cache->back(), base);
+      if (!next.ok()) return next.status();
+      cache->push_back(std::move(next).value());
+    }
+    return (*cache)[static_cast<std::size_t>(n - 1)];
+  };
+
+  // Enumerate candidates in (k+l, k) order; the side condition requires
+  // k <= 1 or l <= 1, and at least one factor present.
+  AbsorptionWitness witness;
+  for (int total = 1; total <= 2 * max_power; ++total) {
+    for (int k = 0; k <= std::min(total, max_power); ++k) {
+      int l = total - k;
+      if (l > max_power) continue;
+      if (k > 1 && l > 1) continue;  // outside the theorem's condition
+      // Build B^k C^l (absent factors skipped).
+      Result<LinearRule> rhs = Status::Internal("unset");
+      if (k == 0) {
+        rhs = power_of(&c_powers, c, l);
+      } else if (l == 0) {
+        rhs = power_of(&b_powers, b, k);
+      } else {
+        Result<LinearRule> bk = power_of(&b_powers, b, k);
+        if (!bk.ok()) return bk.status();
+        Result<LinearRule> cl = power_of(&c_powers, c, l);
+        if (!cl.ok()) return cl.status();
+        rhs = Compose(*bk, *cl);
+      }
+      if (!rhs.ok()) return rhs.status();
+      if (IsContainedIn(cb->rule(), rhs->rule())) {
+        witness.found = true;
+        witness.k = k;
+        witness.l = l;
+        return witness;
+      }
+    }
+  }
+  return witness;
+}
+
+Result<bool> PowersCommute(const LinearRule& b, int i, const LinearRule& c,
+                           int j) {
+  Result<LinearRule> bi = Power(b, i);
+  if (!bi.ok()) return bi.status();
+  Result<LinearRule> cj = Power(c, j);
+  if (!cj.ok()) return cj.status();
+  Result<LinearRule> bc = Compose(*bi, *cj);
+  if (!bc.ok()) return bc.status();
+  Result<LinearRule> cb = Compose(*cj, *bi);
+  if (!cb.ok()) return cb.status();
+  return AreEquivalent(bc->rule(), cb->rule());
+}
+
+}  // namespace linrec

@@ -1,0 +1,37 @@
+// Commutativity at higher powers and the generalized decomposition
+// condition of Section 3.1 / [13]:
+//
+//   if CB ≤ BᵏCˡ with k ∈ {0,1} or l ∈ {0,1}, then (B+C)* = B*C*.
+//
+// Plain commutativity is the k = l = 1 case. Section 7 lists "commutativity
+// appearing in some higher power of an operator" as a direction; the
+// entry points here cover both: testing CB ≤ BᵏCˡ for small exponents and
+// testing whether powers of two operators commute.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// A witness for the decomposition condition CB ≤ BᵏCˡ.
+struct AbsorptionWitness {
+  bool found = false;
+  int k = 0;
+  int l = 0;
+};
+
+/// Searches exponents k, l ≤ max_power with k ∈ {0,1} or l ∈ {0,1} (the
+/// paper's side condition) such that C·B ≤ Bᵏ·Cˡ. k = 0 (resp. l = 0)
+/// means the factor is absent; k = l = 0 would mean CB ≤ 1, which is not
+/// expressible for rules and is skipped. Returns the smallest witness in
+/// (k+l, k) order.
+Result<AbsorptionWitness> FindAbsorption(const LinearRule& b,
+                                         const LinearRule& c, int max_power);
+
+/// Do b^i and c^j commute? (Exact, via composites of the powers.)
+Result<bool> PowersCommute(const LinearRule& b, int i, const LinearRule& c,
+                           int j);
+
+}  // namespace linrec

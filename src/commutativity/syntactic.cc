@@ -1,0 +1,135 @@
+#include "commutativity/syntactic.h"
+
+#include <map>
+#include <optional>
+
+#include "analysis/narrow_wide.h"
+#include "analysis/rule_analysis.h"
+#include "common/strings.h"
+#include "cq/fast_equivalence.h"
+#include "cq/homomorphism.h"
+#include "datalog/printer.h"
+#include "datalog/traits.h"
+
+namespace linrec {
+namespace {
+
+/// h applied through head positions: the head position of h_i(var at `pos`),
+/// or nullopt if the image is nondistinguished.
+std::optional<int> HPosition(const RuleAnalysis& a, int pos) {
+  VarId x = a.classes().HeadVarAt(pos);
+  std::optional<VarId> hx = a.classes().H(x);
+  if (!hx.has_value()) return std::nullopt;
+  int p = a.classes().HeadPositionOf(*hx);
+  if (p < 0) return std::nullopt;
+  return p;
+}
+
+}  // namespace
+
+Result<SyntacticCommutativity> CheckSyntacticCondition(const LinearRule& r1,
+                                                       const LinearRule& r2) {
+  if (r1.head().predicate != r2.head().predicate ||
+      r1.arity() != r2.arity()) {
+    return Status::InvalidArgument(
+        "commutativity requires the same head predicate and arity");
+  }
+  Result<RuleAnalysis> a1 = RuleAnalysis::Compute(r1);
+  if (!a1.ok()) return a1.status();
+  Result<RuleAnalysis> a2 = RuleAnalysis::Compute(r2);
+  if (!a2.ok()) return a2.status();
+
+  const int arity = static_cast<int>(r1.arity());
+  SyntacticCommutativity out;
+  out.condition_holds = true;
+  out.clause_per_position.assign(static_cast<std::size_t>(arity), '-');
+  out.notes.resize(static_cast<std::size_t>(arity));
+
+  // Cache of narrow-rule equivalence per bridge pair.
+  std::map<std::pair<int, int>, bool> bridge_equiv_cache;
+  auto bridges_equivalent = [&](int b1, int b2) -> Result<bool> {
+    auto key = std::make_pair(b1, b2);
+    auto it = bridge_equiv_cache.find(key);
+    if (it != bridge_equiv_cache.end()) return it->second;
+    Result<LinearRule> n1 =
+        MakeNarrowRule(*a1, a1->commutativity_bridges()[static_cast<std::size_t>(b1)]);
+    if (!n1.ok()) return n1.status();
+    Result<LinearRule> n2 =
+        MakeNarrowRule(*a2, a2->commutativity_bridges()[static_cast<std::size_t>(b2)]);
+    if (!n2.ok()) return n2.status();
+    std::optional<bool> fast =
+        FastEquivalenceDistinctPredicates(n1->rule(), n2->rule());
+    bool equivalent =
+        fast.has_value() ? *fast : AreEquivalent(n1->rule(), n2->rule());
+    bridge_equiv_cache.emplace(key, equivalent);
+    return equivalent;
+  };
+
+  for (int p = 0; p < arity; ++p) {
+    VarId x1 = a1->classes().HeadVarAt(p);
+    VarId x2 = a2->classes().HeadVarAt(p);
+    const VarClass& c1 = a1->classes().Of(x1);
+    const VarClass& c2 = a2->classes().Of(x2);
+    char clause = '-';
+    std::string note;
+
+    if (c1.IsFree1Persistent() || c2.IsFree1Persistent()) {
+      clause = 'a';
+      note = StrCat("free 1-persistent in ",
+                    c1.IsFree1Persistent() ? "r1" : "r2");
+    } else if (c1.IsLink1Persistent() && c2.IsLink1Persistent()) {
+      clause = 'b';
+      note = "link 1-persistent in both rules";
+    } else if (c1.IsFreePersistent() && c1.period > 1 &&
+               c2.IsFreePersistent() && c2.period > 1) {
+      // h1(h2(x)) = h2(h1(x)), compared through head positions.
+      std::optional<int> j2 = HPosition(*a2, p);  // position of h2(x)
+      std::optional<int> j1 = HPosition(*a1, p);  // position of h1(x)
+      std::optional<int> h1h2 =
+          j2.has_value() ? HPosition(*a1, *j2) : std::nullopt;
+      std::optional<int> h2h1 =
+          j1.has_value() ? HPosition(*a2, *j1) : std::nullopt;
+      if (h1h2.has_value() && h2h1.has_value() && *h1h2 == *h2h1) {
+        clause = 'c';
+        note = StrCat("free ", c1.period, "-persistent in r1, free ",
+                      c2.period, "-persistent in r2, h1h2 = h2h1");
+      } else {
+        note = "free persistent in both but h1(h2(x)) != h2(h1(x))";
+      }
+    }
+
+    if (clause == '-') {
+      bool d1 = c1.IsGeneral() || (c1.IsLinkPersistent() && c1.period > 1);
+      bool d2 = c2.IsGeneral() || (c2.IsLinkPersistent() && c2.period > 1);
+      if (d1 && d2) {
+        int b1 = a1->CommutativityBridgeOf(x1);
+        int b2 = a2->CommutativityBridgeOf(x2);
+        if (b1 >= 0 && b2 >= 0) {
+          Result<bool> eq = bridges_equivalent(b1, b2);
+          if (!eq.ok()) return eq.status();
+          if (*eq) {
+            clause = 'd';
+            note = "equivalent augmented bridges in both rules";
+          } else {
+            note = "augmented bridges are not equivalent";
+          }
+        } else {
+          note = "variable not covered by a bridge";
+        }
+      } else if (note.empty()) {
+        note = StrCat("classes do not match any clause: r1=", c1.Describe(),
+                      ", r2=", c2.Describe());
+      }
+    }
+
+    out.clause_per_position[static_cast<std::size_t>(p)] = clause;
+    out.notes[static_cast<std::size_t>(p)] = StrCat(
+        a1->rule().rule().var_name(x1), " @", p, ": ",
+        clause == '-' ? StrCat("FAIL (", note, ")")
+                      : StrCat("(", std::string(1, clause), ") ", note));
+    if (clause == '-') out.condition_holds = false;
+  }
+  return out;
+}
+
+}  // namespace linrec

@@ -1,0 +1,108 @@
+#include "cq/compose.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+#include "cq/minimize.h"
+
+namespace linrec {
+
+Result<LinearRule> Compose(const LinearRule& r1, const LinearRule& r2) {
+  if (r1.head().predicate != r2.head().predicate ||
+      r1.arity() != r2.arity()) {
+    return Status::InvalidArgument(
+        StrCat("cannot compose rules over different recursive predicates: '",
+               r1.head().predicate, "'/", r1.arity(), " vs '",
+               r2.head().predicate, "'/", r2.arity()));
+  }
+  // r2's head must be a distinct-variable atom so that unifying it with
+  // r1's recursive literal is a substitution on r2's variables.
+  std::unordered_set<VarId> seen;
+  for (const Term& t : r2.head().terms) {
+    if (!t.is_var()) {
+      return Status::InvalidArgument(
+          "composition requires a constant-free head in the inner rule");
+    }
+    if (!seen.insert(t.var()).second) {
+      return Status::InvalidArgument(
+          "composition requires distinct head variables in the inner rule; "
+          "normalize repeated head variables first");
+    }
+  }
+
+  const Rule& rule1 = r1.rule();
+  const Rule& rule2 = r2.rule();
+
+  RuleBuilder builder;
+  // Copy r1's variables verbatim.
+  std::vector<VarId> copy1(static_cast<std::size_t>(rule1.var_count()));
+  for (VarId v = 0; v < rule1.var_count(); ++v) {
+    copy1[static_cast<std::size_t>(v)] = builder.Var(rule1.var_name(v));
+  }
+  auto map1 = [&](const Term& t) -> Term {
+    return t.is_var() ? Term::MakeVar(copy1[static_cast<std::size_t>(t.var())])
+                      : t;
+  };
+
+  // Substitution for r2: head var at position j ↦ r1's recursive-atom term
+  // at position j; other (nondistinguished) vars ↦ fresh.
+  std::unordered_map<VarId, Term> subst;
+  const Atom& rec1 = r1.recursive_atom();
+  for (std::size_t j = 0; j < rule2.head().terms.size(); ++j) {
+    subst.emplace(rule2.head().terms[j].var(), map1(rec1.terms[j]));
+  }
+  auto map2 = [&](const Term& t) -> Term {
+    if (t.is_const()) return t;
+    auto it = subst.find(t.var());
+    if (it != subst.end()) return it->second;
+    Term fresh = Term::MakeVar(builder.FreshVar(rule2.var_name(t.var())));
+    subst.emplace(t.var(), fresh);
+    return fresh;
+  };
+
+  // Head of the composite = head of r1.
+  std::vector<Term> head_terms;
+  for (const Term& t : rule1.head().terms) head_terms.push_back(map1(t));
+  builder.SetHead(rule1.head().predicate, std::move(head_terms));
+
+  // Body: r1's nonrecursive atoms, then r2's body (mapped). r2's recursive
+  // atom becomes the recursive atom of the composite.
+  for (int i : r1.NonRecursiveAtomIndices()) {
+    const Atom& atom = rule1.body()[static_cast<std::size_t>(i)];
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(map1(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  for (const Atom& atom : rule2.body()) {
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(map2(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  return LinearRule::Make(DeduplicateBodyAtoms(std::move(built).value()));
+}
+
+Result<LinearRule> Power(const LinearRule& r, int n, bool minimize) {
+  if (n < 1) {
+    return Status::InvalidArgument(
+        StrCat("Power requires n >= 1, got ", n,
+               " (the identity operator is not a rule)"));
+  }
+  LinearRule acc = r;
+  for (int i = 2; i <= n; ++i) {
+    Result<LinearRule> next = Compose(acc, r);
+    if (!next.ok()) return next.status();
+    acc = std::move(next).value();
+    if (minimize) {
+      Result<LinearRule> reduced = MinimizeLinearRule(acc);
+      if (!reduced.ok()) return reduced.status();
+      acc = std::move(reduced).value();
+    }
+  }
+  return acc;
+}
+
+}  // namespace linrec

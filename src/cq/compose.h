@@ -1,0 +1,24 @@
+// Rule composition and powers (Section 5 preamble).
+//
+// The composite r1·r2 resolves the consequent of r2 with the recursive
+// literal in the antecedent of r1; as operators, (r1·r2)P = r1(r2(P)).
+// The composite of a rule with itself n times is the power rⁿ.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Composes two linear rules over the same recursive predicate/arity.
+/// Requires r2's head to be a distinct-variable atom (the resolution is then
+/// a substitution). The result is linear with r1's head.
+Result<LinearRule> Compose(const LinearRule& r1, const LinearRule& r2);
+
+/// rⁿ for n ≥ 1 (r¹ = r). Duplicate body atoms introduced by composition
+/// are removed syntactically; set `minimize` to also compute the core after
+/// each composition (slower, smaller composites).
+Result<LinearRule> Power(const LinearRule& r, int n, bool minimize = false);
+
+}  // namespace linrec

@@ -1,0 +1,79 @@
+#include "cq/fast_equivalence.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace linrec {
+namespace {
+
+/// Maps predicate name to its unique body atom; nullopt if repeats exist.
+std::optional<std::map<std::string, const Atom*>> AtomIndex(const Rule& r) {
+  std::map<std::string, const Atom*> index;
+  for (const Atom& atom : r.body()) {
+    if (!index.emplace(atom.predicate, &atom).second) return std::nullopt;
+  }
+  return index;
+}
+
+}  // namespace
+
+std::optional<bool> FastEquivalenceDistinctPredicates(const Rule& a,
+                                                      const Rule& b) {
+  auto index_a = AtomIndex(a);
+  auto index_b = AtomIndex(b);
+  if (!index_a.has_value() || !index_b.has_value()) return std::nullopt;
+
+  if (a.head().predicate != b.head().predicate ||
+      a.head().arity() != b.head().arity()) {
+    return false;
+  }
+  if (index_a->size() != index_b->size()) return false;
+  for (const auto& [pred, atom] : *index_a) {
+    auto it = index_b->find(pred);
+    if (it == index_b->end() || it->second->arity() != atom->arity()) {
+      return false;
+    }
+  }
+
+  // Forced alignment f: vars(a) → vars(b), seeded by the head, extended
+  // positionally through every atom pair.
+  std::unordered_map<VarId, VarId> f;
+  std::unordered_set<VarId> image;
+  auto align = [&](const Term& ta, const Term& tb) -> bool {
+    if (ta.is_const() || tb.is_const()) {
+      return ta.is_const() && tb.is_const() &&
+             ta.constant() == tb.constant();
+    }
+    auto [it, inserted] = f.emplace(ta.var(), tb.var());
+    if (!inserted) return it->second == tb.var();
+    // Injectivity: two a-vars must not map to one b-var.
+    return image.insert(tb.var()).second;
+  };
+
+  for (std::size_t i = 0; i < a.head().terms.size(); ++i) {
+    if (!align(a.head().terms[i], b.head().terms[i])) return false;
+  }
+  for (const auto& [pred, atom_a] : *index_a) {
+    const Atom* atom_b = index_b->at(pred);
+    for (std::size_t i = 0; i < atom_a->terms.size(); ++i) {
+      if (!align(atom_a->terms[i], atom_b->terms[i])) return false;
+    }
+  }
+  // Surjectivity onto b's appearing variables.
+  std::unordered_set<VarId> b_vars;
+  for (const Term& t : b.head().terms) {
+    if (t.is_var()) b_vars.insert(t.var());
+  }
+  for (const Atom& atom : b.body()) {
+    for (const Term& t : atom.terms) {
+      if (t.is_var()) b_vars.insert(t.var());
+    }
+  }
+  for (VarId v : b_vars) {
+    if (image.count(v) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace linrec

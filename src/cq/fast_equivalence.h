@@ -1,0 +1,23 @@
+// O(a log a) equivalence for the restricted class (Lemma 5.4).
+//
+// For range-restricted rules with no repeated head variables and no repeated
+// nonrecursive predicate symbols, equivalence implies isomorphism, and the
+// only candidate isomorphism is forced: each body atom must map onto the
+// unique atom with the same predicate. Checking that forced alignment is a
+// consistent bijection decides equivalence.
+
+#pragma once
+
+#include <optional>
+
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Decides equivalence when both rules have pairwise-distinct body predicate
+/// symbols (the recursive atom counts as one symbol). Returns nullopt when
+/// that precondition fails — callers fall back to the homomorphism test.
+std::optional<bool> FastEquivalenceDistinctPredicates(const Rule& a,
+                                                      const Rule& b);
+
+}  // namespace linrec

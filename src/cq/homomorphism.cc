@@ -1,0 +1,147 @@
+#include "cq/homomorphism.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace linrec {
+namespace {
+
+/// Backtracking state for the homomorphism search.
+class HomSearch {
+ public:
+  HomSearch(const Rule& from, const Rule& to) : from_(from), to_(to) {
+    mapping_.assign(static_cast<std::size_t>(from.var_count()), std::nullopt);
+  }
+
+  std::optional<VarMapping> Run() {
+    if (from_.head().predicate != to_.head().predicate ||
+        from_.head().arity() != to_.head().arity()) {
+      return std::nullopt;
+    }
+    // Seed the mapping from the head: f(head_from) must equal head_to
+    // positionally.
+    for (std::size_t i = 0; i < from_.head().terms.size(); ++i) {
+      if (!Assign(from_.head().terms[i], to_.head().terms[i])) {
+        return std::nullopt;
+      }
+    }
+
+    // Candidate targets per source atom.
+    const std::vector<Atom>& to_body = to_.body();
+    atoms_.clear();
+    for (const Atom& atom : from_.body()) {
+      std::vector<const Atom*> candidates;
+      for (const Atom& target : to_body) {
+        if (target.predicate == atom.predicate &&
+            target.arity() == atom.arity()) {
+          candidates.push_back(&target);
+        }
+      }
+      if (candidates.empty()) return std::nullopt;
+      atoms_.push_back({&atom, std::move(candidates)});
+    }
+    // Most-constrained-first: fewest candidates first.
+    std::stable_sort(atoms_.begin(), atoms_.end(),
+                     [](const SourceAtom& a, const SourceAtom& b) {
+                       return a.candidates.size() < b.candidates.size();
+                     });
+
+    if (!Extend(0)) return std::nullopt;
+
+    VarMapping result;
+    for (VarId v = 0; v < from_.var_count(); ++v) {
+      if (mapping_[static_cast<std::size_t>(v)].has_value()) {
+        result.emplace(v, *mapping_[static_cast<std::size_t>(v)]);
+      }
+    }
+    return result;
+  }
+
+ private:
+  struct SourceAtom {
+    const Atom* atom;
+    std::vector<const Atom*> candidates;
+  };
+
+  /// Attempts f(source_term) = target_term; records new variable bindings in
+  /// trail_ so they can be undone.
+  bool Assign(const Term& source, const Term& target) {
+    if (source.is_const()) {
+      return target.is_const() && source.constant() == target.constant();
+    }
+    auto& slot = mapping_[static_cast<std::size_t>(source.var())];
+    if (slot.has_value()) return *slot == target;
+    slot = target;
+    trail_.push_back(source.var());
+    return true;
+  }
+
+  void UndoTo(std::size_t mark) {
+    while (trail_.size() > mark) {
+      mapping_[static_cast<std::size_t>(trail_.back())] = std::nullopt;
+      trail_.pop_back();
+    }
+  }
+
+  bool Extend(std::size_t depth) {
+    if (depth == atoms_.size()) return true;
+    const SourceAtom& sa = atoms_[depth];
+    for (const Atom* target : sa.candidates) {
+      std::size_t mark = trail_.size();
+      bool ok = true;
+      for (std::size_t i = 0; i < sa.atom->terms.size(); ++i) {
+        if (!Assign(sa.atom->terms[i], target->terms[i])) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok && Extend(depth + 1)) return true;
+      UndoTo(mark);
+    }
+    return false;
+  }
+
+  const Rule& from_;
+  const Rule& to_;
+  std::vector<std::optional<Term>> mapping_;
+  std::vector<VarId> trail_;
+  std::vector<SourceAtom> atoms_;
+};
+
+}  // namespace
+
+std::optional<VarMapping> FindHomomorphism(const Rule& from, const Rule& to) {
+  HomSearch search(from, to);
+  return search.Run();
+}
+
+bool IsContainedIn(const Rule& s, const Rule& r) {
+  return FindHomomorphism(r, s).has_value();
+}
+
+bool AreEquivalent(const Rule& a, const Rule& b) {
+  return IsContainedIn(a, b) && IsContainedIn(b, a);
+}
+
+bool AreEquivalent(const LinearRule& a, const LinearRule& b) {
+  return AreEquivalent(a.rule(), b.rule());
+}
+
+bool ContainedInUnion(const Rule& r, const std::vector<Rule>& sum) {
+  for (const Rule& s : sum) {
+    if (IsContainedIn(r, s)) return true;
+  }
+  return false;
+}
+
+bool UnionsEquivalent(const std::vector<Rule>& a, const std::vector<Rule>& b) {
+  for (const Rule& r : a) {
+    if (!ContainedInUnion(r, b)) return false;
+  }
+  for (const Rule& r : b) {
+    if (!ContainedInUnion(r, a)) return false;
+  }
+  return true;
+}
+
+}  // namespace linrec

@@ -1,0 +1,42 @@
+// Homomorphisms between conjunctive queries (Section 5 preamble).
+//
+// A homomorphism f: r → s maps the variables of r to terms of s such that
+// (i) f fixes the head positionally (distinguished variables map onto s's
+// head terms) and (ii) every body atom of r maps to a body atom of s.
+// By Chandra–Merlin, s ≤ r (containment of the defined queries) iff a
+// homomorphism r → s exists. The general problem is NP-complete; the finder
+// here uses backtracking over body atoms ordered by candidate count.
+
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Mapping from variables of the source rule to terms of the target rule.
+using VarMapping = std::unordered_map<VarId, Term>;
+
+/// Finds a homomorphism from `from` to `to`, or nullopt if none exists.
+/// Requires from.head and to.head to have the same predicate and arity
+/// (returns nullopt otherwise).
+std::optional<VarMapping> FindHomomorphism(const Rule& from, const Rule& to);
+
+/// s ≤ r: on every database, s's output is a subset of r's output.
+bool IsContainedIn(const Rule& s, const Rule& r);
+
+/// s ≡ r: containment in both directions.
+bool AreEquivalent(const Rule& a, const Rule& b);
+bool AreEquivalent(const LinearRule& a, const LinearRule& b);
+
+/// r ≤ ∪_i sum[i]. For conjunctive queries, containment in a union holds
+/// iff containment in a single member holds (Sagiv–Yannakakis), so this is
+/// a disjunction of pairwise tests.
+bool ContainedInUnion(const Rule& r, const std::vector<Rule>& sum);
+
+/// Union equivalence: each member of one side contained in the other side.
+bool UnionsEquivalent(const std::vector<Rule>& a, const std::vector<Rule>& b);
+
+}  // namespace linrec

@@ -1,0 +1,82 @@
+#include "cq/minimize.h"
+
+#include <unordered_set>
+
+#include "cq/homomorphism.h"
+
+namespace linrec {
+namespace {
+
+/// Rebuilds `rule` keeping only body atoms whose index passes `keep`.
+Rule WithBody(const Rule& rule, const std::vector<Atom>& body) {
+  return Rule(rule.head(), body, rule.var_names());
+}
+
+}  // namespace
+
+Rule DeduplicateBodyAtoms(const Rule& rule) {
+  std::vector<Atom> body;
+  for (const Atom& atom : rule.body()) {
+    bool seen = false;
+    for (const Atom& kept : body) {
+      if (kept == atom) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) body.push_back(atom);
+  }
+  return WithBody(rule, body);
+}
+
+Rule MinimizeRule(const Rule& rule) {
+  Rule current = DeduplicateBodyAtoms(rule);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Atom>& body = current.body();
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      std::vector<Atom> reduced;
+      reduced.reserve(body.size() - 1);
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        if (j != i) reduced.push_back(body[j]);
+      }
+      Rule candidate = WithBody(current, reduced);
+      // candidate ⊇ current always (fewer constraints); equivalent iff
+      // candidate ≤ current, i.e. a homomorphism current → candidate exists.
+      if (FindHomomorphism(current, candidate).has_value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+Result<LinearRule> MinimizeLinearRule(const LinearRule& rule) {
+  Rule current = DeduplicateBodyAtoms(rule.rule());
+  const std::string& pred = current.head().predicate;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Atom>& body = current.body();
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (body[i].predicate == pred) continue;  // pin the recursive atom
+      std::vector<Atom> reduced;
+      reduced.reserve(body.size() - 1);
+      for (std::size_t j = 0; j < body.size(); ++j) {
+        if (j != i) reduced.push_back(body[j]);
+      }
+      Rule candidate(current.head(), reduced, current.var_names());
+      if (FindHomomorphism(current, candidate).has_value()) {
+        current = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return LinearRule::Make(std::move(current));
+}
+
+}  // namespace linrec

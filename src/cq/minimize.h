@@ -1,0 +1,27 @@
+// Minimization of conjunctive queries (unique minimal form / core).
+//
+// The proof of Theorem 5.1 assumes rules are in their unique minimal form
+// [Chandra–Merlin]; composition and powers can introduce redundant atoms
+// that minimization removes.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Removes syntactically identical duplicate body atoms (cheap pre-pass).
+Rule DeduplicateBodyAtoms(const Rule& rule);
+
+/// Returns an equivalent rule with a minimal body (the core): repeatedly
+/// drops a body atom when a homomorphism from the rule onto the reduced rule
+/// exists. The result is unique up to isomorphism.
+Rule MinimizeRule(const Rule& rule);
+
+/// Minimizes while preserving linearity (never drops the recursive atom;
+/// with set semantics a homomorphism collapsing P_I away would change the
+/// operator, so the recursive atom is pinned).
+Result<LinearRule> MinimizeLinearRule(const LinearRule& rule);
+
+}  // namespace linrec

@@ -1,0 +1,69 @@
+// Core Datalog IR: terms, atoms, rules.
+//
+// The paper works with linear, function-free recursive rules
+//
+//   P(x^(k+1)) :- P(x^(0)) ∧ Q_1(x^(1)) ∧ ... ∧ Q_n(x^(n)).        (2.1)
+//
+// The IR here is slightly more general (constants are representable so the
+// engine can evaluate selections and facts) but has no function symbols.
+// Analyses that require constant-free rules validate explicitly.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace linrec {
+
+/// Rule-local variable identifier; indexes the rule's variable-name table.
+using VarId = std::int32_t;
+
+/// A term is either a variable or a constant.
+class Term {
+ public:
+  enum class Kind { kVariable, kConstant };
+
+  static Term MakeVar(VarId v) { return Term(Kind::kVariable, v, 0); }
+  static Term MakeConst(Value c) { return Term(Kind::kConstant, -1, c); }
+
+  Kind kind() const { return kind_; }
+  bool is_var() const { return kind_ == Kind::kVariable; }
+  bool is_const() const { return kind_ == Kind::kConstant; }
+
+  /// Requires is_var().
+  VarId var() const { return var_; }
+  /// Requires is_const().
+  Value constant() const { return constant_; }
+
+  bool operator==(const Term& other) const {
+    return kind_ == other.kind_ && var_ == other.var_ &&
+           constant_ == other.constant_;
+  }
+  bool operator!=(const Term& other) const { return !(*this == other); }
+
+ private:
+  Term(Kind kind, VarId var, Value constant)
+      : kind_(kind), var_(var), constant_(constant) {}
+
+  Kind kind_;
+  VarId var_;
+  Value constant_;
+};
+
+/// A positive literal: predicate name applied to terms.
+struct Atom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  std::size_t arity() const { return terms.size(); }
+
+  bool operator==(const Atom& other) const {
+    return predicate == other.predicate && terms == other.terms;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+};
+
+}  // namespace linrec

@@ -1,0 +1,153 @@
+#include "datalog/equality.h"
+
+#include <functional>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace linrec {
+
+bool HasEqualities(const Rule& rule) {
+  for (const Atom& atom : rule.body()) {
+    if (atom.predicate == kEqualityPredicate) return true;
+  }
+  return false;
+}
+
+Rule NormalizeHeadVariables(const Rule& rule) {
+  RuleBuilder builder;
+  // Copy all variables to keep names stable.
+  for (VarId v = 0; v < rule.var_count(); ++v) {
+    builder.Var(rule.var_name(v));
+  }
+  auto copy_term = [&](const Term& t) {
+    return t.is_var() ? Term::MakeVar(builder.Var(rule.var_name(t.var())))
+                      : t;
+  };
+
+  std::vector<Term> head_terms;
+  std::vector<std::pair<Term, Term>> equalities;
+  std::unordered_map<VarId, bool> seen;
+  for (const Term& t : rule.head().terms) {
+    if (t.is_var() && seen[t.var()]) {
+      VarId fresh = builder.FreshVar(rule.var_name(t.var()));
+      head_terms.push_back(Term::MakeVar(fresh));
+      equalities.emplace_back(copy_term(t), Term::MakeVar(fresh));
+    } else {
+      if (t.is_var()) seen[t.var()] = true;
+      head_terms.push_back(copy_term(t));
+    }
+  }
+  builder.SetHead(rule.head().predicate, std::move(head_terms));
+  for (const Atom& atom : rule.body()) {
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(copy_term(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  for (const auto& [a, b] : equalities) {
+    builder.AddBodyAtom(kEqualityPredicate, {a, b});
+  }
+  Result<Rule> built = builder.Build();
+  // Construction cannot fail: all inputs came from a valid rule.
+  return std::move(built).value();
+}
+
+Result<std::optional<Rule>> EliminateEqualities(const Rule& rule) {
+  // Union-find over variables, with an optional constant per class.
+  std::vector<VarId> parent(static_cast<std::size_t>(rule.var_count()));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<std::optional<Value>> constant(
+      static_cast<std::size_t>(rule.var_count()));
+  std::function<VarId(VarId)> find = [&](VarId x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  bool satisfiable = true;
+  auto unify = [&](const Term& a, const Term& b) {
+    if (a.is_const() && b.is_const()) {
+      if (a.constant() != b.constant()) satisfiable = false;
+      return;
+    }
+    if (a.is_var() && b.is_var()) {
+      VarId ra = find(a.var());
+      VarId rb = find(b.var());
+      if (ra == rb) return;
+      if (constant[static_cast<std::size_t>(ra)].has_value() &&
+          constant[static_cast<std::size_t>(rb)].has_value() &&
+          *constant[static_cast<std::size_t>(ra)] !=
+              *constant[static_cast<std::size_t>(rb)]) {
+        satisfiable = false;
+        return;
+      }
+      if (!constant[static_cast<std::size_t>(rb)].has_value()) {
+        constant[static_cast<std::size_t>(rb)] =
+            constant[static_cast<std::size_t>(ra)];
+      }
+      parent[static_cast<std::size_t>(ra)] = rb;
+      return;
+    }
+    const Term& var_term = a.is_var() ? a : b;
+    const Term& const_term = a.is_var() ? b : a;
+    VarId r = find(var_term.var());
+    if (constant[static_cast<std::size_t>(r)].has_value()) {
+      if (*constant[static_cast<std::size_t>(r)] != const_term.constant()) {
+        satisfiable = false;
+      }
+    } else {
+      constant[static_cast<std::size_t>(r)] = const_term.constant();
+    }
+  };
+
+  for (const Atom& atom : rule.body()) {
+    if (atom.predicate != kEqualityPredicate) continue;
+    if (atom.arity() != 2) {
+      return Status::InvalidArgument(
+          StrCat("equality atom must be binary, got arity ", atom.arity()));
+    }
+    unify(atom.terms[0], atom.terms[1]);
+  }
+  if (!satisfiable) return std::optional<Rule>(std::nullopt);
+  if (!HasEqualities(rule)) return std::optional<Rule>(rule);
+
+  RuleBuilder builder;
+  auto rewrite = [&](const Term& t) -> Term {
+    if (t.is_const()) return t;
+    VarId r = find(t.var());
+    if (constant[static_cast<std::size_t>(r)].has_value()) {
+      return Term::MakeConst(*constant[static_cast<std::size_t>(r)]);
+    }
+    return Term::MakeVar(builder.Var(rule.var_name(r)));
+  };
+  std::vector<Term> head_terms;
+  for (const Term& t : rule.head().terms) head_terms.push_back(rewrite(t));
+  builder.SetHead(rule.head().predicate, std::move(head_terms));
+  for (const Atom& atom : rule.body()) {
+    if (atom.predicate == kEqualityPredicate) continue;
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(rewrite(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  return std::optional<Rule>(std::move(built).value());
+}
+
+Result<std::optional<LinearRule>> EliminateEqualitiesLinear(
+    const LinearRule& rule) {
+  Result<std::optional<Rule>> eliminated = EliminateEqualities(rule.rule());
+  if (!eliminated.ok()) return eliminated.status();
+  if (!eliminated->has_value()) {
+    return std::optional<LinearRule>(std::nullopt);
+  }
+  Result<LinearRule> remade = LinearRule::Make(std::move(**eliminated));
+  if (!remade.ok()) return remade.status();
+  return std::optional<LinearRule>(std::move(remade).value());
+}
+
+}  // namespace linrec

@@ -1,0 +1,42 @@
+// Equality predicates and head-variable normalization (Section 5 preamble):
+// "repeated variables in the consequent are replaced by distinct ones,
+// while adding the appropriate equality predicates in the antecedent."
+//
+// Equality atoms use the reserved predicate name "eq" (the parser also
+// accepts the infix form `X = Y`). They are eliminated statically before
+// evaluation: eq(x,y) merges variables, eq(x,c) substitutes the constant,
+// eq(c,c') with c ≠ c' makes the body unsatisfiable.
+
+#pragma once
+
+#include <optional>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// The reserved equality predicate name.
+inline constexpr const char* kEqualityPredicate = "eq";
+
+/// True if any body atom is an equality atom.
+bool HasEqualities(const Rule& rule);
+
+/// Replaces the 2nd+ occurrence of each repeated head variable by a fresh
+/// variable and adds eq(original, fresh) to the body, yielding an
+/// equivalent rule with distinct head variables (the paper's normal form
+/// for the Section 5 analyses).
+Rule NormalizeHeadVariables(const Rule& rule);
+
+/// Statically eliminates all equality atoms by merging variables and
+/// substituting constants. Returns nullopt when the equalities are
+/// unsatisfiable (the rule derives nothing); InvalidArgument for malformed
+/// eq atoms (arity != 2).
+Result<std::optional<Rule>> EliminateEqualities(const Rule& rule);
+
+/// Convenience composition for linear rules: eliminate equalities and
+/// re-identify the recursive atom. nullopt when unsatisfiable.
+Result<std::optional<LinearRule>> EliminateEqualitiesLinear(
+    const LinearRule& rule);
+
+}  // namespace linrec

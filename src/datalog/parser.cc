@@ -1,0 +1,312 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "datalog/equality.h"
+
+namespace linrec {
+namespace {
+
+enum class TokKind { kIdent, kVariable, kInteger, kLParen, kRParen, kComma,
+                     kImplies, kPeriod, kEquals, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  Value number = 0;
+  int line = 1;
+  int col = 1;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipWhitespaceAndComments();
+      Token tok;
+      tok.line = line_;
+      tok.col = col_;
+      if (pos_ >= text_.size()) {
+        tok.kind = TokKind::kEnd;
+        out.push_back(tok);
+        return out;
+      }
+      char c = text_[pos_];
+      if (c == '(') {
+        tok.kind = TokKind::kLParen;
+        Advance();
+      } else if (c == ')') {
+        tok.kind = TokKind::kRParen;
+        Advance();
+      } else if (c == ',') {
+        tok.kind = TokKind::kComma;
+        Advance();
+      } else if (c == '.') {
+        tok.kind = TokKind::kPeriod;
+        Advance();
+      } else if (c == '=') {
+        tok.kind = TokKind::kEquals;
+        Advance();
+      } else if (c == ':') {
+        Advance();
+        if (pos_ >= text_.size() || text_[pos_] != '-') {
+          return Error("expected '-' after ':'");
+        }
+        Advance();
+        tok.kind = TokKind::kImplies;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
+        tok.kind = TokKind::kInteger;
+        std::string num;
+        if (c == '-') {
+          num += c;
+          Advance();
+          if (pos_ >= text_.size() ||
+              !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+            return Error("expected digit after '-'");
+          }
+        }
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          num += text_[pos_];
+          Advance();
+        }
+        tok.number = std::stoll(num);
+        tok.text = num;
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::string name;
+        // '#' appears in generated narrow-rule predicates ("p#0_2"); '\''
+        // appears in renamed variables. Both round-trip through the printer.
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '\'' ||
+                text_[pos_] == '#')) {
+          name += text_[pos_];
+          Advance();
+        }
+        tok.text = name;
+        tok.kind = (std::isupper(static_cast<unsigned char>(name[0])) ||
+                    name[0] == '_')
+                       ? TokKind::kVariable
+                       : TokKind::kIdent;
+      } else {
+        return Error(StrCat("unexpected character '", std::string(1, c), "'"));
+      }
+      out.push_back(tok);
+    }
+  }
+
+ private:
+  void Advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++pos_;
+  }
+
+  void SkipWhitespaceAndComments() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '%' ||
+                 (c == '/' && pos_ + 1 < text_.size() &&
+                  text_[pos_ + 1] == '/')) {
+        while (pos_ < text_.size() && text_[pos_] != '\n') Advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(StrCat(line_, ":", col_, ": ", msg));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseAll() {
+    Program program;
+    while (Peek().kind != TokKind::kEnd) {
+      LINREC_RETURN_IF_ERROR(ParseClause(&program));
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+
+  Status Error(const Token& tok, const std::string& msg) const {
+    return Status::ParseError(StrCat(tok.line, ":", tok.col, ": ", msg));
+  }
+
+  Status Expect(TokKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Error(Peek(), StrCat("expected ", what));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  // Parses one atom into `builder`-interned terms.
+  Status ParseAtom(RuleBuilder* builder, std::string* predicate,
+                   std::vector<Term>* terms) {
+    if (Peek().kind != TokKind::kIdent) {
+      return Error(Peek(), "expected predicate name (lowercase identifier)");
+    }
+    *predicate = Next().text;
+    LINREC_RETURN_IF_ERROR(Expect(TokKind::kLParen, "'('"));
+    while (true) {
+      const Token& tok = Peek();
+      if (tok.kind == TokKind::kVariable) {
+        terms->push_back(Term::MakeVar(builder->Var(tok.text)));
+        ++pos_;
+      } else if (tok.kind == TokKind::kInteger) {
+        terms->push_back(Term::MakeConst(tok.number));
+        ++pos_;
+      } else {
+        return Error(tok, "expected variable or integer constant");
+      }
+      if (Peek().kind == TokKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    return Expect(TokKind::kRParen, "')'");
+  }
+
+  Status ParseClause(Program* program) {
+    RuleBuilder builder;
+    std::string head_pred;
+    std::vector<Term> head_terms;
+    const Token& start = Peek();
+    LINREC_RETURN_IF_ERROR(ParseAtom(&builder, &head_pred, &head_terms));
+
+    if (Peek().kind == TokKind::kPeriod) {
+      ++pos_;
+      // Fact: must be ground.
+      for (const Term& t : head_terms) {
+        if (t.is_var()) {
+          return Error(start, StrCat("fact '", head_pred,
+                                     "' contains a variable; facts must be "
+                                     "ground"));
+        }
+      }
+      program->facts.push_back(Atom{head_pred, head_terms});
+      return Status::OK();
+    }
+
+    LINREC_RETURN_IF_ERROR(Expect(TokKind::kImplies, "':-' or '.'"));
+    builder.SetHead(head_pred, std::move(head_terms));
+    while (true) {
+      // Body element: either an atom or an infix equality `term = term`
+      // (sugar for eq(term, term)).
+      if (Peek().kind == TokKind::kVariable ||
+          Peek().kind == TokKind::kInteger) {
+        Term lhs = Peek().kind == TokKind::kVariable
+                       ? Term::MakeVar(builder.Var(Next().text))
+                       : Term::MakeConst(Next().number);
+        LINREC_RETURN_IF_ERROR(Expect(TokKind::kEquals, "'='"));
+        const Token& rhs_tok = Peek();
+        if (rhs_tok.kind != TokKind::kVariable &&
+            rhs_tok.kind != TokKind::kInteger) {
+          return Error(rhs_tok, "expected variable or constant after '='");
+        }
+        Term rhs = rhs_tok.kind == TokKind::kVariable
+                       ? Term::MakeVar(builder.Var(Next().text))
+                       : Term::MakeConst(Next().number);
+        builder.AddBodyAtom(kEqualityPredicate, {lhs, rhs});
+      } else {
+        std::string pred;
+        std::vector<Term> terms;
+        LINREC_RETURN_IF_ERROR(ParseAtom(&builder, &pred, &terms));
+        builder.AddBodyAtom(std::move(pred), std::move(terms));
+      }
+      if (Peek().kind == TokKind::kComma) {
+        ++pos_;
+        continue;
+      }
+      break;
+    }
+    LINREC_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
+    Result<Rule> rule = builder.Build();
+    if (!rule.ok()) return Error(start, rule.status().message());
+    program->rules.push_back(std::move(rule).value());
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Database> Program::FactsToDatabase() const {
+  Database db;
+  for (const Atom& fact : facts) {
+    const Relation* existing = db.Find(fact.predicate);
+    if (existing != nullptr && existing->arity() != fact.arity()) {
+      return Status::InvalidArgument(
+          StrCat("fact predicate '", fact.predicate,
+                 "' used with inconsistent arities"));
+    }
+    Relation& rel = db.GetOrCreate(fact.predicate, fact.arity());
+    std::vector<Value> values;
+    values.reserve(fact.arity());
+    for (const Term& t : fact.terms) values.push_back(t.constant());
+    rel.Insert(Tuple(std::move(values)));
+  }
+  return db;
+}
+
+std::vector<Rule> Program::RulesFor(const std::string& pred) const {
+  std::vector<Rule> out;
+  for (const Rule& r : rules) {
+    if (r.head().predicate == pred) out.push_back(r);
+  }
+  return out;
+}
+
+Result<Program> ParseProgram(const std::string& text) {
+  Lexer lexer(text);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.ParseAll();
+}
+
+Result<Rule> ParseRule(const std::string& text) {
+  Result<Program> program = ParseProgram(text);
+  if (!program.ok()) return program.status();
+  if (program->rules.size() != 1 || !program->facts.empty()) {
+    return Status::InvalidArgument(
+        StrCat("expected exactly one rule, got ", program->rules.size(),
+               " rule(s) and ", program->facts.size(), " fact(s)"));
+  }
+  return std::move(program->rules[0]);
+}
+
+Result<LinearRule> ParseLinearRule(const std::string& text) {
+  Result<Rule> rule = ParseRule(text);
+  if (!rule.ok()) return rule.status();
+  return LinearRule::Make(std::move(rule).value());
+}
+
+}  // namespace linrec

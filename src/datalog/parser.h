@@ -1,0 +1,48 @@
+// Text-format parser for Datalog programs.
+//
+// Grammar (comments run from '%' or "//" to end of line):
+//
+//   program  := clause*
+//   clause   := atom ( ":-" atom ("," atom)* )? "."
+//   atom     := predicate "(" term ("," term)* ")"
+//   term     := VARIABLE | INTEGER
+//
+// Predicates are identifiers starting with a lowercase letter. Variables
+// start with an uppercase letter or '_'. Constants are (signed) integers —
+// the value domain is typeless (Section 2), so workloads intern any symbolic
+// data to integers. A clause without a body and without variables is a fact.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+/// A parsed program: rules (clauses with a body) and ground facts.
+struct Program {
+  std::vector<Rule> rules;
+  std::vector<Atom> facts;
+
+  /// Loads all facts into a Database (arities inferred; conflicting arities
+  /// for one predicate yield InvalidArgument).
+  Result<Database> FactsToDatabase() const;
+
+  /// All rules whose head predicate is `pred`.
+  std::vector<Rule> RulesFor(const std::string& pred) const;
+};
+
+/// Parses a whole program. Errors carry 1-based line:column positions.
+Result<Program> ParseProgram(const std::string& text);
+
+/// Parses exactly one rule (clause with a body).
+Result<Rule> ParseRule(const std::string& text);
+
+/// Parses exactly one rule and wraps it as a LinearRule.
+Result<LinearRule> ParseLinearRule(const std::string& text);
+
+}  // namespace linrec

@@ -1,0 +1,38 @@
+#include "datalog/printer.h"
+
+#include "common/strings.h"
+
+namespace linrec {
+
+std::string ToString(const Atom& atom, const Rule& rule) {
+  std::string out = atom.predicate;
+  out += "(";
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    if (i > 0) out += ",";
+    const Term& t = atom.terms[i];
+    if (t.is_var()) {
+      out += rule.var_name(t.var());
+    } else {
+      out += StrCat(t.constant());
+    }
+  }
+  out += ")";
+  return out;
+}
+
+std::string ToString(const Rule& rule) {
+  std::string out = ToString(rule.head(), rule);
+  if (!rule.body().empty()) {
+    out += " :- ";
+    for (std::size_t i = 0; i < rule.body().size(); ++i) {
+      if (i > 0) out += ", ";
+      out += ToString(rule.body()[i], rule);
+    }
+  }
+  out += ".";
+  return out;
+}
+
+std::string ToString(const LinearRule& rule) { return ToString(rule.rule()); }
+
+}  // namespace linrec

@@ -1,0 +1,21 @@
+// Pretty-printing of atoms and rules back into the parser's text format.
+
+#pragma once
+
+#include <string>
+
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Renders one atom using the variable names of `rule`.
+std::string ToString(const Atom& atom, const Rule& rule);
+
+/// Renders `head :- body_1, ..., body_n.` (or `head.` for a bodyless rule).
+/// The output re-parses to a structurally identical rule.
+std::string ToString(const Rule& rule);
+
+/// Renders the rule carried by a LinearRule.
+std::string ToString(const LinearRule& rule);
+
+}  // namespace linrec

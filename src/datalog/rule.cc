@@ -1,0 +1,148 @@
+#include "datalog/rule.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace linrec {
+
+Rule::Rule(Atom head, std::vector<Atom> body,
+           std::vector<std::string> var_names)
+    : head_(std::move(head)),
+      body_(std::move(body)),
+      var_names_(std::move(var_names)) {
+  distinguished_.assign(var_names_.size(), false);
+  for (const Term& t : head_.terms) {
+    if (t.is_var()) {
+      assert(t.var() >= 0 && t.var() < var_count());
+      distinguished_[static_cast<std::size_t>(t.var())] = true;
+    }
+  }
+}
+
+std::vector<int> Rule::HeadPositionsOf(VarId v) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < head_.terms.size(); ++i) {
+    const Term& t = head_.terms[i];
+    if (t.is_var() && t.var() == v) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::size_t Rule::TotalArgumentPositions() const {
+  std::size_t a = head_.arity();
+  for (const Atom& atom : body_) a += atom.arity();
+  return a;
+}
+
+Status Rule::Validate() const {
+  std::unordered_map<std::string, std::size_t> arities;
+  auto check_atom = [&](const Atom& atom) -> Status {
+    if (atom.predicate.empty()) {
+      return Status::InvalidArgument("atom with empty predicate name");
+    }
+    auto [it, inserted] = arities.emplace(atom.predicate, atom.arity());
+    if (!inserted && it->second != atom.arity()) {
+      return Status::InvalidArgument(
+          StrCat("predicate '", atom.predicate, "' used with arities ",
+                 it->second, " and ", atom.arity()));
+    }
+    for (const Term& t : atom.terms) {
+      if (t.is_var() && (t.var() < 0 || t.var() >= var_count())) {
+        return Status::InvalidArgument(
+            StrCat("variable id ", t.var(), " out of range in '",
+                   atom.predicate, "'"));
+      }
+    }
+    return Status::OK();
+  };
+  LINREC_RETURN_IF_ERROR(check_atom(head_));
+  for (const Atom& atom : body_) LINREC_RETURN_IF_ERROR(check_atom(atom));
+  return Status::OK();
+}
+
+VarId RuleBuilder::Var(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  VarId id = static_cast<VarId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+VarId RuleBuilder::FreshVar(const std::string& hint) {
+  std::string name = hint;
+  int suffix = 0;
+  while (ids_.count(name) > 0) {
+    name = StrCat(hint, "_", suffix++);
+  }
+  return Var(name);
+}
+
+void RuleBuilder::SetHead(std::string predicate, std::vector<Term> terms) {
+  head_.predicate = std::move(predicate);
+  head_.terms = std::move(terms);
+}
+
+void RuleBuilder::AddBodyAtom(std::string predicate, std::vector<Term> terms) {
+  body_.push_back(Atom{std::move(predicate), std::move(terms)});
+}
+
+void RuleBuilder::SetHeadVars(const std::string& predicate,
+                              const std::vector<std::string>& vars) {
+  std::vector<Term> terms;
+  terms.reserve(vars.size());
+  for (const std::string& v : vars) terms.push_back(Term::MakeVar(Var(v)));
+  SetHead(predicate, std::move(terms));
+}
+
+void RuleBuilder::AddBodyVars(const std::string& predicate,
+                              const std::vector<std::string>& vars) {
+  std::vector<Term> terms;
+  terms.reserve(vars.size());
+  for (const std::string& v : vars) terms.push_back(Term::MakeVar(Var(v)));
+  AddBodyAtom(predicate, std::move(terms));
+}
+
+Result<Rule> RuleBuilder::Build() {
+  Rule rule(head_, body_, names_);
+  LINREC_RETURN_IF_ERROR(rule.Validate());
+  return rule;
+}
+
+Result<LinearRule> LinearRule::Make(Rule rule) {
+  LINREC_RETURN_IF_ERROR(rule.Validate());
+  const std::string& pred = rule.head().predicate;
+  int index = -1;
+  for (std::size_t i = 0; i < rule.body().size(); ++i) {
+    if (rule.body()[i].predicate == pred) {
+      if (index >= 0) {
+        return Status::InvalidArgument(
+            StrCat("rule is not linear: predicate '", pred,
+                   "' occurs more than once in the body"));
+      }
+      index = static_cast<int>(i);
+    }
+  }
+  if (index < 0) {
+    return Status::InvalidArgument(
+        StrCat("rule is not recursive: predicate '", pred,
+               "' does not occur in the body"));
+  }
+  if (rule.body()[static_cast<std::size_t>(index)].arity() !=
+      rule.head().arity()) {
+    return Status::InvalidArgument(
+        StrCat("recursive predicate '", pred, "' used with mismatched arity"));
+  }
+  return LinearRule(std::move(rule), index);
+}
+
+std::vector<int> LinearRule::NonRecursiveAtomIndices() const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < rule_.body().size(); ++i) {
+    if (static_cast<int>(i) != recursive_index_) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+}  // namespace linrec

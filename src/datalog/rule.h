@@ -1,0 +1,120 @@
+// Rule, RuleBuilder and the LinearRule view used by all analyses.
+
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/ast.h"
+
+namespace linrec {
+
+/// A Horn rule `head :- body_1, ..., body_n.` with a rule-local variable
+/// name table. Rules are immutable values after construction.
+class Rule {
+ public:
+  Rule() = default;
+  /// `var_names[v]` is the display name of variable v. Callers normally use
+  /// RuleBuilder; this constructor trusts its arguments (asserted in debug).
+  Rule(Atom head, std::vector<Atom> body, std::vector<std::string> var_names);
+
+  const Atom& head() const { return head_; }
+  const std::vector<Atom>& body() const { return body_; }
+  int var_count() const { return static_cast<int>(var_names_.size()); }
+  const std::string& var_name(VarId v) const {
+    return var_names_[static_cast<std::size_t>(v)];
+  }
+  const std::vector<std::string>& var_names() const { return var_names_; }
+
+  /// True iff variable v appears in the head (is "distinguished").
+  bool IsDistinguished(VarId v) const {
+    return distinguished_[static_cast<std::size_t>(v)];
+  }
+
+  /// Head positions (0-based) at which variable v appears.
+  std::vector<int> HeadPositionsOf(VarId v) const;
+
+  /// Total number of argument positions over head and body atoms — the size
+  /// measure `a` used in the paper's complexity statements.
+  std::size_t TotalArgumentPositions() const;
+
+  /// Structural well-formedness: var ids in range, nonempty predicate names,
+  /// consistent arity for repeated predicate symbols.
+  Status Validate() const;
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+  std::vector<std::string> var_names_;
+  std::vector<bool> distinguished_;
+};
+
+/// Incremental construction of a Rule with name interning.
+class RuleBuilder {
+ public:
+  RuleBuilder() = default;
+
+  /// Returns the id for `name`, interning it on first use.
+  VarId Var(const std::string& name);
+  /// Returns a new variable whose name starts with `hint` and is unique.
+  VarId FreshVar(const std::string& hint);
+  /// True if `name` has already been interned.
+  bool HasVar(const std::string& name) const { return ids_.count(name) > 0; }
+
+  void SetHead(std::string predicate, std::vector<Term> terms);
+  void AddBodyAtom(std::string predicate, std::vector<Term> terms);
+
+  /// Convenience: head/body atoms from variable names only.
+  void SetHeadVars(const std::string& predicate,
+                   const std::vector<std::string>& vars);
+  void AddBodyVars(const std::string& predicate,
+                   const std::vector<std::string>& vars);
+
+  int atom_count() const { return static_cast<int>(body_.size()); }
+
+  /// Builds and validates the rule.
+  Result<Rule> Build();
+
+ private:
+  Atom head_;
+  std::vector<Atom> body_;
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, VarId> ids_;
+};
+
+/// A validated view of a linear recursive rule: the head predicate occurs
+/// exactly once in the body (the "recursive atom", the paper's P_I), with
+/// the same arity as the head (P_O).
+class LinearRule {
+ public:
+  /// Validates linearity. The rule must also be function-free (guaranteed by
+  /// the IR). Constants are permitted here; analyses that need constant-free
+  /// rules check separately.
+  static Result<LinearRule> Make(Rule rule);
+
+  const Rule& rule() const { return rule_; }
+  const Atom& head() const { return rule_.head(); }
+  int recursive_atom_index() const { return recursive_index_; }
+  const Atom& recursive_atom() const {
+    return rule_.body()[static_cast<std::size_t>(recursive_index_)];
+  }
+  const std::string& recursive_predicate() const {
+    return rule_.head().predicate;
+  }
+  std::size_t arity() const { return rule_.head().arity(); }
+
+  /// Indices of the body atoms other than the recursive one.
+  std::vector<int> NonRecursiveAtomIndices() const;
+
+ private:
+  explicit LinearRule(Rule rule, int recursive_index)
+      : rule_(std::move(rule)), recursive_index_(recursive_index) {}
+
+  Rule rule_;
+  int recursive_index_ = -1;
+};
+
+}  // namespace linrec

@@ -1,0 +1,121 @@
+#include "datalog/traits.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace linrec {
+
+RuleTraits ComputeTraits(const Rule& rule) {
+  RuleTraits traits;
+  const std::string& pred = rule.head().predicate;
+
+  int recursive_count = 0;
+  bool recursive_arity_ok = true;
+  traits.constant_free = true;
+  std::unordered_map<std::string, int> nonrec_pred_count;
+  std::unordered_set<VarId> body_vars;
+
+  for (const Term& t : rule.head().terms) {
+    if (t.is_const()) traits.constant_free = false;
+  }
+  for (const Atom& atom : rule.body()) {
+    if (atom.predicate == pred) {
+      ++recursive_count;
+      if (atom.arity() != rule.head().arity()) recursive_arity_ok = false;
+    } else {
+      ++nonrec_pred_count[atom.predicate];
+    }
+    for (const Term& t : atom.terms) {
+      if (t.is_const()) traits.constant_free = false;
+      if (t.is_var()) body_vars.insert(t.var());
+    }
+  }
+  traits.linear = (recursive_count == 1) && recursive_arity_ok;
+
+  traits.range_restricted = true;
+  std::unordered_set<VarId> head_seen;
+  for (const Term& t : rule.head().terms) {
+    if (!t.is_var()) continue;
+    if (!head_seen.insert(t.var()).second) traits.repeated_head_vars = true;
+    if (body_vars.count(t.var()) == 0) traits.range_restricted = false;
+  }
+
+  for (const auto& [name, count] : nonrec_pred_count) {
+    if (count > 1) traits.repeated_nonrecursive_predicates = true;
+  }
+  return traits;
+}
+
+Status ValidateForAnalysis(const LinearRule& lr) {
+  const Rule& rule = lr.rule();
+  RuleTraits traits = ComputeTraits(rule);
+  if (!traits.constant_free) {
+    return Status::InvalidArgument(
+        "analysis requires constant-free rules (Section 5 class)");
+  }
+  if (traits.repeated_head_vars) {
+    return Status::InvalidArgument(
+        "analysis requires distinct head variables; normalize repeated head "
+        "variables first (the paper replaces them by equality predicates)");
+  }
+  return Status::OK();
+}
+
+Result<std::pair<LinearRule, LinearRule>> AlignRules(const LinearRule& r1,
+                                                     const LinearRule& r2) {
+  LINREC_RETURN_IF_ERROR(ValidateForAnalysis(r1));
+  LINREC_RETURN_IF_ERROR(ValidateForAnalysis(r2));
+  if (r1.head().predicate != r2.head().predicate) {
+    return Status::InvalidArgument(
+        StrCat("rules have different head predicates: '", r1.head().predicate,
+               "' vs '", r2.head().predicate, "'"));
+  }
+  if (r1.arity() != r2.arity()) {
+    return Status::InvalidArgument(
+        StrCat("rules have different head arities: ", r1.arity(), " vs ",
+               r2.arity()));
+  }
+
+  // Rename r2: head variables take r1's positional names; nondistinguished
+  // variables get fresh names disjoint from r1's and from the new head names.
+  RuleBuilder builder;
+  const Rule& rule1 = r1.rule();
+  const Rule& rule2 = r2.rule();
+
+  std::unordered_map<VarId, VarId> rename;  // r2 var -> new builder var
+  for (std::size_t i = 0; i < rule2.head().terms.size(); ++i) {
+    VarId v2 = rule2.head().terms[i].var();
+    VarId v1 = rule1.head().terms[i].var();
+    rename[v2] = builder.Var(rule1.var_name(v1));
+  }
+  std::unordered_set<std::string> taken(rule1.var_names().begin(),
+                                        rule1.var_names().end());
+  auto map_term = [&](const Term& t) -> Term {
+    VarId v = t.var();
+    auto it = rename.find(v);
+    if (it != rename.end()) return Term::MakeVar(it->second);
+    std::string name = rule2.var_name(v);
+    while (taken.count(name) > 0 || builder.HasVar(name)) name += "'";
+    VarId nv = builder.Var(name);
+    rename[v] = nv;
+    return Term::MakeVar(nv);
+  };
+
+  std::vector<Term> head_terms;
+  for (const Term& t : rule2.head().terms) head_terms.push_back(map_term(t));
+  builder.SetHead(rule2.head().predicate, std::move(head_terms));
+  for (const Atom& atom : rule2.body()) {
+    std::vector<Term> terms;
+    for (const Term& t : atom.terms) terms.push_back(map_term(t));
+    builder.AddBodyAtom(atom.predicate, std::move(terms));
+  }
+  Result<Rule> built = builder.Build();
+  if (!built.ok()) return built.status();
+  Result<LinearRule> lr2 = LinearRule::Make(std::move(built).value());
+  if (!lr2.ok()) return lr2.status();
+  return std::make_pair(r1, std::move(lr2).value());
+}
+
+}  // namespace linrec

@@ -1,0 +1,50 @@
+// Rule-class predicates from Sections 5 and 6 of the paper, plus the
+// alignment utility that puts two rules "over the same consequent".
+
+#pragma once
+
+#include <utility>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Syntactic properties of a single rule, per the paper's class definitions.
+struct RuleTraits {
+  /// Head predicate occurs exactly once in the body with matching arity.
+  bool linear = false;
+  /// No constants anywhere (functions are unrepresentable in the IR).
+  bool constant_free = false;
+  /// Every head variable also appears in the body.
+  bool range_restricted = false;
+  /// Some variable appears more than once in the head.
+  bool repeated_head_vars = false;
+  /// Some nonrecursive predicate symbol labels more than one body atom.
+  bool repeated_nonrecursive_predicates = false;
+
+  /// The class for which Theorem 5.2 makes the syntactic commutativity
+  /// condition necessary and sufficient.
+  bool InRestrictedClass() const {
+    return linear && constant_free && range_restricted &&
+           !repeated_head_vars && !repeated_nonrecursive_predicates;
+  }
+};
+
+/// Computes the traits of `rule` (head predicate taken as the recursive one).
+RuleTraits ComputeTraits(const Rule& rule);
+
+/// Preconditions shared by the α-graph analyses (Section 5):
+/// linear (already guaranteed by LinearRule), constant-free, and distinct
+/// head variables. Returns InvalidArgument naming the first violation.
+Status ValidateForAnalysis(const LinearRule& rule);
+
+/// Puts two rules over the same consequent, per the setup of Section 5:
+/// checks that both heads are distinct-variable atoms over the same
+/// predicate/arity, then renames r2 so that (a) its head variables carry the
+/// same names as r1's (positionally) and (b) its nondistinguished variables
+/// are disjoint from r1's. Returns {r1, renamed r2}.
+Result<std::pair<LinearRule, LinearRule>> AlignRules(const LinearRule& r1,
+                                                     const LinearRule& r2);
+
+}  // namespace linrec

@@ -1,0 +1,289 @@
+#include "eval/apply.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/strings.h"
+#include "datalog/equality.h"
+#include "datalog/printer.h"
+
+namespace linrec {
+namespace {
+
+/// Per-atom compiled join step. Positions are classified against the static
+/// set of variables bound by earlier steps, so the inner loop does no
+/// case analysis beyond a precomputed dispatch.
+struct JoinStep {
+  const Relation* relation = nullptr;
+  // Positions whose value is known before this step: constants and
+  // already-bound variables. Used as the index key.
+  std::vector<int> key_positions;
+  // For each key position, the constant value or the variable to read.
+  struct KeyPart {
+    bool is_const;
+    Value constant;
+    VarId var;
+  };
+  std::vector<KeyPart> key_parts;
+  // Positions that bind a new variable (first occurrence in this atom).
+  std::vector<std::pair<int, VarId>> bind_positions;
+  // Positions that must equal an earlier position of this same atom
+  // (repeated new variable within the atom): (position, variable).
+  std::vector<std::pair<int, VarId>> check_positions;
+};
+
+}  // namespace
+
+Status ApplyRule(const Rule& rule, const Database& db,
+                 const ApplyOptions& options, Relation* out,
+                 ClosureStats* stats, IndexCache* cache) {
+  const std::vector<Atom>& body = rule.body();
+  if (out->arity() != rule.head().arity()) {
+    return Status::InvalidArgument(
+        StrCat("output arity ", out->arity(), " != head arity ",
+               rule.head().arity()));
+  }
+  for (const Atom& atom : body) {
+    if (atom.predicate == kEqualityPredicate) {
+      return Status::InvalidArgument(
+          "rule contains equality atoms; run EliminateEqualities first "
+          "(closure routines do this automatically)");
+    }
+  }
+
+  // Resolve each body atom to a relation (override > database > empty).
+  std::vector<const Relation*> relations(body.size());
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    auto ov = options.overrides.find(static_cast<int>(i));
+    if (ov != options.overrides.end()) {
+      relations[i] = ov->second;
+    } else {
+      relations[i] = db.Find(body[i].predicate);
+    }
+    if (relations[i] != nullptr &&
+        relations[i]->arity() != body[i].arity()) {
+      return Status::InvalidArgument(
+          StrCat("relation for '", body[i].predicate, "' has arity ",
+                 relations[i]->arity(), ", atom expects ", body[i].arity()));
+    }
+    if (relations[i] == nullptr) {
+      // Empty input somewhere: no derivations possible.
+      return Status::OK();
+    }
+    if (relations[i]->empty()) return Status::OK();
+  }
+
+  // Greedy join order: start with the forced atom (or the smallest
+  // relation); then repeatedly take the atom with the most bound positions,
+  // tie-breaking on relation size.
+  const int n = static_cast<int>(body.size());
+  std::vector<bool> used(body.size(), false);
+  std::vector<bool> bound(static_cast<std::size_t>(rule.var_count()), false);
+  std::vector<int> order;
+  order.reserve(body.size());
+
+  auto bound_score = [&](int i) {
+    int score = 0;
+    for (const Term& t : body[static_cast<std::size_t>(i)].terms) {
+      if (t.is_const() || bound[static_cast<std::size_t>(t.var())]) ++score;
+    }
+    return score;
+  };
+
+  int first = options.first_atom;
+  if (first < 0) {
+    std::size_t best_size = SIZE_MAX;
+    for (int i = 0; i < n; ++i) {
+      if (relations[static_cast<std::size_t>(i)]->size() < best_size) {
+        best_size = relations[static_cast<std::size_t>(i)]->size();
+        first = i;
+      }
+    }
+  }
+  auto mark_used = [&](int i) {
+    used[static_cast<std::size_t>(i)] = true;
+    order.push_back(i);
+    for (const Term& t : body[static_cast<std::size_t>(i)].terms) {
+      if (t.is_var()) bound[static_cast<std::size_t>(t.var())] = true;
+    }
+  };
+  mark_used(first);
+  while (static_cast<int>(order.size()) < n) {
+    int best = -1;
+    int best_bound = -1;
+    std::size_t best_size = SIZE_MAX;
+    for (int i = 0; i < n; ++i) {
+      if (used[static_cast<std::size_t>(i)]) continue;
+      int b = bound_score(i);
+      std::size_t sz = relations[static_cast<std::size_t>(i)]->size();
+      if (b > best_bound || (b == best_bound && sz < best_size)) {
+        best = i;
+        best_bound = b;
+        best_size = sz;
+      }
+    }
+    mark_used(best);
+  }
+
+  // Compile join steps against the chosen order.
+  std::fill(bound.begin(), bound.end(), false);
+  std::vector<JoinStep> steps;
+  steps.reserve(body.size());
+  for (int atom_index : order) {
+    const Atom& atom = body[static_cast<std::size_t>(atom_index)];
+    JoinStep step;
+    step.relation = relations[static_cast<std::size_t>(atom_index)];
+    std::vector<bool> bound_here = bound;  // copy: track intra-atom bindings
+    for (std::size_t p = 0; p < atom.terms.size(); ++p) {
+      const Term& t = atom.terms[p];
+      if (t.is_const()) {
+        step.key_positions.push_back(static_cast<int>(p));
+        step.key_parts.push_back({true, t.constant(), -1});
+      } else if (bound[static_cast<std::size_t>(t.var())]) {
+        step.key_positions.push_back(static_cast<int>(p));
+        step.key_parts.push_back({false, 0, t.var()});
+      } else if (bound_here[static_cast<std::size_t>(t.var())]) {
+        step.check_positions.push_back({static_cast<int>(p), t.var()});
+      } else {
+        step.bind_positions.push_back({static_cast<int>(p), t.var()});
+        bound_here[static_cast<std::size_t>(t.var())] = true;
+      }
+    }
+    bound = bound_here;
+    steps.push_back(std::move(step));
+  }
+
+  // The head must be fully bound by the body.
+  for (const Term& t : rule.head().terms) {
+    if (t.is_var() && !bound[static_cast<std::size_t>(t.var())]) {
+      return Status::InvalidArgument(
+          StrCat("head variable '", rule.var_name(t.var()),
+                 "' is not bound by the body in rule: ", ToString(rule)));
+    }
+  }
+
+  // Pre-resolve indexes (stable during this application).
+  IndexCache local_cache;
+  IndexCache* idx = cache != nullptr ? cache : &local_cache;
+  std::vector<const HashIndex*> indexes(steps.size(), nullptr);
+  for (std::size_t d = 0; d < steps.size(); ++d) {
+    if (!steps[d].key_positions.empty()) {
+      indexes[d] = &idx->Get(*steps[d].relation, steps[d].key_positions);
+    }
+  }
+
+  std::vector<Value> binding(static_cast<std::size_t>(rule.var_count()), 0);
+  std::vector<Value> key_values;
+  std::vector<Value> head_values(rule.head().arity(), 0);
+  for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
+    if (rule.head().terms[i].is_const()) {
+      head_values[i] = rule.head().terms[i].constant();
+    }
+  }
+
+  // Recursive lambda over join depth.
+  std::size_t produced = 0;
+  std::vector<Tuple> scan_storage;  // for full-scan steps
+  std::function<void(std::size_t)> emit = [&](std::size_t depth) {
+    if (depth == steps.size()) {
+      for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
+        const Term& t = rule.head().terms[i];
+        if (t.is_var()) {
+          head_values[i] = binding[static_cast<std::size_t>(t.var())];
+        }
+      }
+      ++produced;
+      out->Insert(Tuple(head_values));
+      return;
+    }
+    const JoinStep& step = steps[depth];
+    const std::vector<Tuple>* candidates = nullptr;
+    if (indexes[depth] != nullptr) {
+      key_values.clear();
+      for (const auto& part : step.key_parts) {
+        key_values.push_back(part.is_const
+                                 ? part.constant
+                                 : binding[static_cast<std::size_t>(part.var)]);
+      }
+      candidates = indexes[depth]->Lookup(Tuple(key_values));
+      if (candidates == nullptr) return;
+      for (const Tuple& t : *candidates) {
+        // Bind new variables, then verify intra-atom repeats.
+        for (const auto& [pos, var] : step.bind_positions) {
+          binding[static_cast<std::size_t>(var)] =
+              t[static_cast<std::size_t>(pos)];
+        }
+        bool ok = true;
+        for (const auto& [pos, var] : step.check_positions) {
+          if (t[static_cast<std::size_t>(pos)] !=
+              binding[static_cast<std::size_t>(var)]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) emit(depth + 1);
+      }
+    } else {
+      // No bound position: scan the whole relation.
+      for (const Tuple& t : *step.relation) {
+        for (const auto& [pos, var] : step.bind_positions) {
+          binding[static_cast<std::size_t>(var)] =
+              t[static_cast<std::size_t>(pos)];
+        }
+        bool ok = true;
+        for (const auto& [pos, var] : step.check_positions) {
+          if (t[static_cast<std::size_t>(pos)] !=
+              binding[static_cast<std::size_t>(var)]) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) emit(depth + 1);
+      }
+    }
+  };
+  emit(0);
+
+  if (stats != nullptr) {
+    stats->rule_applications += 1;
+    stats->derivations += produced;
+  }
+  return Status::OK();
+}
+
+Result<Relation> ApplySum(const std::vector<LinearRule>& rules,
+                          const Database& db, const Relation& input,
+                          ClosureStats* stats, IndexCache* cache) {
+  if (rules.empty()) {
+    return Status::InvalidArgument("ApplySum requires at least one rule");
+  }
+  Relation out(rules[0].arity());
+  for (const LinearRule& lr : rules) {
+    if (lr.arity() != input.arity()) {
+      return Status::InvalidArgument(
+          StrCat("rule arity ", lr.arity(), " != input arity ",
+                 input.arity()));
+    }
+    const LinearRule* effective = &lr;
+    std::optional<LinearRule> eliminated;
+    if (HasEqualities(lr.rule())) {
+      Result<std::optional<LinearRule>> prepared =
+          EliminateEqualitiesLinear(lr);
+      if (!prepared.ok()) return prepared.status();
+      if (!prepared->has_value()) continue;  // unsatisfiable equalities
+      eliminated = std::move(**prepared);
+      effective = &*eliminated;
+    }
+    ApplyOptions options;
+    options.overrides[effective->recursive_atom_index()] = &input;
+    options.first_atom = effective->recursive_atom_index();
+    LINREC_RETURN_IF_ERROR(
+        ApplyRule(effective->rule(), db, options, &out, stats, cache));
+  }
+  return out;
+}
+
+}  // namespace linrec

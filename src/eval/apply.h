@@ -1,0 +1,45 @@
+// Single application of a rule: the linear relational operator f(P, {Q_i})
+// of Section 2, realized as conjunctive-query evaluation.
+
+#pragma once
+
+#include <unordered_map>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/index_cache.h"
+#include "eval/stats.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+/// Options controlling one rule application.
+struct ApplyOptions {
+  /// Body-atom index → relation that atom reads instead of the database
+  /// entry for its predicate (e.g. the recursive atom reads P or ΔP).
+  std::unordered_map<int, const Relation*> overrides;
+  /// If ≥ 0, this body atom is placed first in the join order (semi-naive
+  /// evaluation puts Δ first).
+  int first_atom = -1;
+};
+
+/// Evaluates `rule`'s body as a join over `db` (plus overrides) and inserts
+/// each derived head tuple into `out`.
+///
+/// Every produced head tuple counts as one derivation in `stats` (if given),
+/// whether or not it was already present in `out`. Body predicates absent
+/// from both `db` and the overrides are treated as empty relations. Head
+/// variables not bound by the body yield InvalidArgument (the rule is not
+/// range-restricted, so its output would be infinite).
+Status ApplyRule(const Rule& rule, const Database& db,
+                 const ApplyOptions& options, Relation* out,
+                 ClosureStats* stats = nullptr, IndexCache* cache = nullptr);
+
+/// Applies the operator sum Σ_i rules[i] once to `input`: every rule's
+/// recursive atom reads `input`, results accumulate in the returned relation.
+Result<Relation> ApplySum(const std::vector<LinearRule>& rules,
+                          const Database& db, const Relation& input,
+                          ClosureStats* stats = nullptr,
+                          IndexCache* cache = nullptr);
+
+}  // namespace linrec

@@ -1,0 +1,174 @@
+#include "eval/fixpoint.h"
+
+#include <chrono>
+
+#include "common/strings.h"
+#include "datalog/equality.h"
+
+namespace linrec {
+namespace {
+
+/// Eliminates equality atoms up front; rules with unsatisfiable equalities
+/// contribute nothing and are dropped.
+Result<std::vector<LinearRule>> PrepareRules(
+    const std::vector<LinearRule>& rules) {
+  std::vector<LinearRule> out;
+  out.reserve(rules.size());
+  for (const LinearRule& lr : rules) {
+    if (!HasEqualities(lr.rule())) {
+      out.push_back(lr);
+      continue;
+    }
+    Result<std::optional<LinearRule>> eliminated =
+        EliminateEqualitiesLinear(lr);
+    if (!eliminated.ok()) return eliminated.status();
+    if (eliminated->has_value()) out.push_back(std::move(**eliminated));
+  }
+  return out;
+}
+
+Status ValidateRules(const std::vector<LinearRule>& rules, const Relation& q) {
+  if (rules.empty()) {
+    return Status::InvalidArgument("closure requires at least one rule");
+  }
+  for (const LinearRule& lr : rules) {
+    if (lr.arity() != q.arity()) {
+      return Status::InvalidArgument(
+          StrCat("rule head arity ", lr.arity(),
+                 " does not match initial relation arity ", q.arity()));
+    }
+    if (lr.recursive_predicate() != rules[0].recursive_predicate()) {
+      return Status::InvalidArgument(
+          StrCat("rules mix recursive predicates '",
+                 rules[0].recursive_predicate(), "' and '",
+                 lr.recursive_predicate(), "'"));
+    }
+  }
+  return Status::OK();
+}
+
+class Timer {
+ public:
+  explicit Timer(ClosureStats* stats) : stats_(stats) {
+    start_ = std::chrono::steady_clock::now();
+  }
+  ~Timer() {
+    if (stats_ != nullptr) {
+      auto end = std::chrono::steady_clock::now();
+      stats_->millis +=
+          std::chrono::duration<double, std::milli>(end - start_).count();
+    }
+  }
+
+ private:
+  ClosureStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
+Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
+                                  const Database& db, const Relation& q,
+                                  ClosureStats* stats, IndexCache* cache) {
+  LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
+  Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
+  if (!prepared.ok()) return prepared.status();
+  Timer timer(stats);
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  Relation result = q;
+  Relation delta = q;
+  while (!delta.empty() && !prepared->empty()) {
+    if (stats != nullptr) ++stats->iterations;
+    Relation produced(q.arity());
+    for (const LinearRule& lr : *prepared) {
+      ApplyOptions options;
+      options.overrides[lr.recursive_atom_index()] = &delta;
+      options.first_atom = lr.recursive_atom_index();
+      LINREC_RETURN_IF_ERROR(
+          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
+    }
+    Relation next_delta(q.arity());
+    for (const Tuple& t : produced) {
+      if (result.Insert(t)) next_delta.Insert(t);
+    }
+    delta = std::move(next_delta);
+  }
+  if (stats != nullptr) {
+    stats->result_size = result.size();
+    stats->duplicates = stats->derivations - (result.size() - q.size());
+  }
+  return result;
+}
+
+Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
+                              const Database& db, const Relation& q,
+                              ClosureStats* stats, IndexCache* cache) {
+  LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
+  Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
+  if (!prepared.ok()) return prepared.status();
+  Timer timer(stats);
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  Relation result = q;
+  bool changed = !prepared->empty();
+  while (changed) {
+    if (stats != nullptr) ++stats->iterations;
+    Relation produced(q.arity());
+    for (const LinearRule& lr : *prepared) {
+      ApplyOptions options;
+      options.overrides[lr.recursive_atom_index()] = &result;
+      options.first_atom = lr.recursive_atom_index();
+      LINREC_RETURN_IF_ERROR(
+          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
+    }
+    changed = false;
+    for (const Tuple& t : produced) {
+      if (result.Insert(t)) changed = true;
+    }
+  }
+  if (stats != nullptr) {
+    stats->result_size = result.size();
+    stats->duplicates = stats->derivations - (result.size() - q.size());
+  }
+  return result;
+}
+
+Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
+                          const Database& db, const Relation& q,
+                          int max_power, ClosureStats* stats,
+                          IndexCache* cache) {
+  LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
+  if (max_power < 0) {
+    return Status::InvalidArgument("max_power must be >= 0");
+  }
+  Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
+  if (!prepared.ok()) return prepared.status();
+  Timer timer(stats);
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  Relation result = q;  // the m = 0 term
+  Relation current = q;
+  if (prepared->empty()) {
+    if (stats != nullptr) stats->result_size = result.size();
+    return result;
+  }
+  for (int m = 1; m <= max_power; ++m) {
+    if (stats != nullptr) ++stats->iterations;
+    Result<Relation> next = ApplySum(*prepared, db, current, stats, cache);
+    if (!next.ok()) return next.status();
+    current = std::move(next).value();
+    if (current.empty()) break;
+    result.UnionWith(current);
+  }
+  if (stats != nullptr) {
+    stats->result_size = result.size();
+    stats->duplicates = stats->derivations - (result.size() - q.size());
+  }
+  return result;
+}
+
+}  // namespace linrec

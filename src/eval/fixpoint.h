@@ -1,0 +1,45 @@
+// Fixpoint engines: the transitive closure A* = Σ_k A^k of Theorem 2.1,
+// computed naively or semi-naively over a sum of linear operators.
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/apply.h"
+#include "eval/stats.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+/// Computes (Σ_i rules[i])* q — the least relation P ⊇ q closed under every
+/// rule — by semi-naive evaluation [Bancilhon 85]: each round applies every
+/// operator to the newly derived Δ only, so the same derivation arc is never
+/// traversed twice (the computation model assumed by Theorem 3.1).
+///
+/// All rules must share the head predicate and arity of `q`. Parameter
+/// relations are read from `db`; the recursive predicate itself is never
+/// read from `db`.
+Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
+                                  const Database& db, const Relation& q,
+                                  ClosureStats* stats = nullptr,
+                                  IndexCache* cache = nullptr);
+
+/// Same fixpoint by naive evaluation: each round applies every operator to
+/// the full accumulated relation. Baseline for bench_engine (E7); produces
+/// identical results with many more duplicate derivations.
+Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
+                              const Database& db, const Relation& q,
+                              ClosureStats* stats = nullptr,
+                              IndexCache* cache = nullptr);
+
+/// Computes the single power sum Σ_{m=0}^{max_power} A^m q where A is the
+/// operator sum of `rules` (m = 0 contributes q itself). Used by the
+/// redundancy-aware closure of Theorem 4.2.
+Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
+                          const Database& db, const Relation& q,
+                          int max_power, ClosureStats* stats = nullptr,
+                          IndexCache* cache = nullptr);
+
+}  // namespace linrec

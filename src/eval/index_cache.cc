@@ -1,0 +1,19 @@
+#include "eval/index_cache.h"
+
+namespace linrec {
+
+const HashIndex& IndexCache::Get(const Relation& rel,
+                                 const std::vector<int>& positions) {
+  Key key{&rel, positions};
+  auto it = entries_.find(key);
+  if (it != entries_.end() &&
+      it->second->built_at_version() == rel.version()) {
+    return *it->second;
+  }
+  auto index = std::make_unique<HashIndex>(rel, positions);
+  ++rebuilds_;
+  auto [pos, inserted] = entries_.insert_or_assign(key, std::move(index));
+  return *pos->second;
+}
+
+}  // namespace linrec

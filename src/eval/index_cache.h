@@ -1,0 +1,33 @@
+// Version-keyed cache of hash indexes over relations.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "storage/relation.h"
+
+namespace linrec {
+
+/// Caches HashIndex instances keyed by (relation identity, key positions).
+/// An index is rebuilt when the relation's version has moved since the index
+/// was built. Closure loops share one cache so that indexes over the stable
+/// parameter relations are built once across all iterations.
+class IndexCache {
+ public:
+  /// Returns an index of `rel` on `positions`, building it if necessary.
+  /// The reference stays valid until the next Get call that rebuilds the
+  /// same entry (i.e., after `rel` was modified).
+  const HashIndex& Get(const Relation& rel, const std::vector<int>& positions);
+
+  std::size_t entry_count() const { return entries_.size(); }
+  std::size_t rebuilds() const { return rebuilds_; }
+
+ private:
+  using Key = std::pair<const Relation*, std::vector<int>>;
+  std::map<Key, std::unique_ptr<HashIndex>> entries_;
+  std::size_t rebuilds_ = 0;
+};
+
+}  // namespace linrec

@@ -1,0 +1,42 @@
+// Instrumentation for closure computations.
+//
+// Theorem 3.1 of the paper compares evaluation strategies by the number of
+// duplicate tuple derivations (arcs of the derivation graph), so every
+// closure routine in linrec reports derivations and duplicates, not just
+// wall time.
+
+#pragma once
+
+#include <cstddef>
+
+namespace linrec {
+
+/// Counters filled by ApplyRule / closure routines.
+struct ClosureStats {
+  /// Fixpoint rounds executed (semi-naive/naive loops).
+  std::size_t iterations = 0;
+  /// Individual rule applications (one ApplyRule call each).
+  std::size_t rule_applications = 0;
+  /// Head tuples produced by body matches, including duplicates. This is
+  /// |E| in the derivation graph of Theorem 3.1 (restricted to derived
+  /// tuples): each successful body match derives one tuple.
+  std::size_t derivations = 0;
+  /// Derivations that produced an already-known tuple.
+  std::size_t duplicates = 0;
+  /// Tuples in the final result (including the initial relation).
+  std::size_t result_size = 0;
+  /// Wall-clock milliseconds.
+  double millis = 0.0;
+
+  /// Accumulates another stats record (used by multi-phase strategies).
+  void Accumulate(const ClosureStats& other) {
+    iterations += other.iterations;
+    rule_applications += other.rule_applications;
+    derivations += other.derivations;
+    duplicates += other.duplicates;
+    result_size = other.result_size;
+    millis += other.millis;
+  }
+};
+
+}  // namespace linrec

@@ -1,0 +1,46 @@
+#include "redundancy/analyze.h"
+
+#include <algorithm>
+#include <set>
+
+#include "analysis/narrow_wide.h"
+#include "analysis/rule_analysis.h"
+
+namespace linrec {
+
+Result<RedundancyReport> AnalyzeRedundancy(const LinearRule& rule,
+                                           int max_power) {
+  Result<RuleAnalysis> analysis = RuleAnalysis::Compute(rule);
+  if (!analysis.ok()) return analysis.status();
+
+  RedundancyReport report;
+  std::set<std::string> redundant;
+  const std::vector<Bridge>& bridges = analysis->redundancy_bridges();
+  for (std::size_t i = 0; i < bridges.size(); ++i) {
+    const Bridge& bridge = bridges[i];
+    if (bridge.atom_indices.empty()) continue;  // no nonrecursive predicate
+
+    RedundancyEntry entry;
+    entry.bridge_index = static_cast<int>(i);
+    for (int ai : bridge.atom_indices) {
+      entry.predicates.push_back(
+          rule.rule().body()[static_cast<std::size_t>(ai)].predicate);
+    }
+    std::sort(entry.predicates.begin(), entry.predicates.end());
+
+    Result<LinearRule> wide = MakeWideRule(*analysis, bridge);
+    if (!wide.ok()) return wide.status();
+    Result<ExponentSearch> bound = FindUniformBound(*wide, max_power);
+    if (!bound.ok()) return bound.status();
+    entry.bound = *bound;
+    entry.uniformly_bounded = bound->found;
+    if (entry.uniformly_bounded) {
+      redundant.insert(entry.predicates.begin(), entry.predicates.end());
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  report.redundant_predicates.assign(redundant.begin(), redundant.end());
+  return report;
+}
+
+}  // namespace linrec

@@ -1,0 +1,38 @@
+// Detection of recursively redundant predicates (Theorem 6.3):
+// a nonrecursive predicate is recursively redundant iff it appears in a
+// uniformly bounded augmented bridge of the α-graph with respect to G_I.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "redundancy/boundedness.h"
+
+namespace linrec {
+
+/// Per-bridge redundancy verdict.
+struct RedundancyEntry {
+  int bridge_index = -1;
+  /// Nonrecursive predicates whose atoms lie in this bridge.
+  std::vector<std::string> predicates;
+  /// The bridge's wide rule was found uniformly bounded within budget.
+  bool uniformly_bounded = false;
+  ExponentSearch bound;
+};
+
+/// Whole-rule report.
+struct RedundancyReport {
+  std::vector<RedundancyEntry> entries;
+  /// Union of predicates of the uniformly bounded bridges.
+  std::vector<std::string> redundant_predicates;
+};
+
+/// Analyzes every redundancy bridge of `rule`, testing uniform boundedness
+/// of its wide rule with the given power budget.
+Result<RedundancyReport> AnalyzeRedundancy(const LinearRule& rule,
+                                           int max_power = 8);
+
+}  // namespace linrec

@@ -1,0 +1,22 @@
+#include "redundancy/bounded.h"
+
+namespace linrec {
+
+Result<BoundedRecursion> DetectBoundedRecursion(const LinearRule& rule,
+                                                int max_power) {
+  Result<ExponentSearch> search = FindUniformBound(rule, max_power);
+  if (!search.ok()) return search.status();
+  if (!search->found) {
+    return Status::NotFound(
+        "no uniform-boundedness witness within the power budget");
+  }
+  return BoundedRecursion{*search, rule};
+}
+
+Result<Relation> BoundedClosure(const BoundedRecursion& bounded,
+                                const Database& db, const Relation& q,
+                                ClosureStats* stats) {
+  return PowerSum({bounded.rule}, db, q, bounded.bound.n - 1, stats);
+}
+
+}  // namespace linrec

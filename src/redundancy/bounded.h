@@ -1,0 +1,33 @@
+// Bounded recursion (Section 1 lists it among the special cases the paper's
+// framework covers; Section 4.2 defines the underlying property).
+//
+// When the whole operator is uniformly bounded — Aᴺ ≤ Aᴷ for K < N — every
+// power Aᵐ with m ≥ N is contained in a smaller one, so
+//
+//   A* = Σ_{m=0}^{N-1} Aᵐ ,
+//
+// and the closure needs at most N−1 applications regardless of the data.
+
+#pragma once
+
+#include "common/status.h"
+#include "eval/fixpoint.h"
+#include "redundancy/boundedness.h"
+
+namespace linrec {
+
+/// Detects uniform boundedness within `max_power` and, if found, returns a
+/// closure evaluator bound N−1. NotFound when no witness exists in budget.
+struct BoundedRecursion {
+  ExponentSearch bound;
+  LinearRule rule;
+};
+Result<BoundedRecursion> DetectBoundedRecursion(const LinearRule& rule,
+                                                int max_power = 8);
+
+/// Evaluates A* q as the bounded power sum Σ_{m<N} Aᵐ q.
+Result<Relation> BoundedClosure(const BoundedRecursion& bounded,
+                                const Database& db, const Relation& q,
+                                ClosureStats* stats = nullptr);
+
+}  // namespace linrec

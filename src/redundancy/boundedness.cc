@@ -1,0 +1,54 @@
+#include "redundancy/boundedness.h"
+
+#include <vector>
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+
+namespace linrec {
+namespace {
+
+enum class Mode { kTorsion, kUniformBound };
+
+Result<ExponentSearch> Search(const LinearRule& rule, int max_power,
+                              Mode mode) {
+  if (max_power < 2) {
+    return Status::InvalidArgument("max_power must be >= 2");
+  }
+  ExponentSearch out;
+  std::vector<LinearRule> powers;  // powers[i] = r^(i+1)
+  powers.push_back(rule);
+  for (int n = 2; n <= max_power; ++n) {
+    Result<LinearRule> next = Compose(powers.back(), rule);
+    if (!next.ok()) return next.status();
+    powers.push_back(std::move(next).value());
+    ++out.powers_computed;
+    for (int k = 1; k < n; ++k) {
+      const Rule& rn = powers[static_cast<std::size_t>(n - 1)].rule();
+      const Rule& rk = powers[static_cast<std::size_t>(k - 1)].rule();
+      bool hit = mode == Mode::kTorsion
+                     ? AreEquivalent(rn, rk)
+                     : IsContainedIn(rn, rk);  // r^n ≤ r^k
+      if (hit) {
+        out.found = true;
+        out.k = k;
+        out.n = n;
+        return out;
+      }
+    }
+  }
+  return out;  // not found within budget
+}
+
+}  // namespace
+
+Result<ExponentSearch> FindTorsion(const LinearRule& rule, int max_power) {
+  return Search(rule, max_power, Mode::kTorsion);
+}
+
+Result<ExponentSearch> FindUniformBound(const LinearRule& rule,
+                                        int max_power) {
+  return Search(rule, max_power, Mode::kUniformBound);
+}
+
+}  // namespace linrec

@@ -1,0 +1,31 @@
+// Uniform boundedness and torsion of linear operators (Section 4.2).
+//
+// B is uniformly bounded when Bᴺ ≤ Bᴷ for some K < N; torsion when
+// Bᴺ = Bᴷ. Lemma 6.2: in the restricted class, uniformly bounded ⇒ torsion.
+// Deciding these properties in general is not tractable, so the searches
+// below are budgeted semi-decisions: they try all K < N ≤ max_power and
+// report BudgetExhausted-like "not found" results beyond that.
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Outcome of a budgeted exponent search.
+struct ExponentSearch {
+  bool found = false;
+  int k = 0;  ///< smaller exponent (K)
+  int n = 0;  ///< larger exponent (N), K < N
+  int powers_computed = 0;
+};
+
+/// Smallest (n, k) with rⁿ ≡ rᵏ, n ≤ max_power.
+Result<ExponentSearch> FindTorsion(const LinearRule& rule, int max_power);
+
+/// Smallest (n, k) with rⁿ ≤ rᵏ, n ≤ max_power.
+Result<ExponentSearch> FindUniformBound(const LinearRule& rule,
+                                        int max_power);
+
+}  // namespace linrec

@@ -1,0 +1,47 @@
+// Factorization Aᴸ = B·Cᴸ for a uniformly bounded augmented bridge
+// (Lemmas 6.3-6.5, Theorem 6.4).
+
+#pragma once
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "redundancy/boundedness.h"
+
+namespace linrec {
+
+/// The verified factorization used by RedundantClosure.
+struct RedundantFactorization {
+  /// Lemma 6.3 exponent: in Aᴸ every link-persistent variable is link
+  /// 1-persistent and every ray variable is 1-ray.
+  int L = 1;
+  /// Torsion exponents of C: Cᴺ ≡ Cᴷ, K < N.
+  int K = 0;
+  int N = 0;
+  LinearRule A;    ///< the original operator
+  LinearRule AL;   ///< Aᴸ
+  LinearRule C;    ///< wide rule of the bounded bridge in A
+  LinearRule CL;   ///< Cᴸ (wide rule of the generated bridges in Aᴸ)
+  LinearRule B;    ///< complement in Aᴸ: Aᴸ = B·Cᴸ
+  bool product_verified = false;  ///< Aᴸ ≡ B·Cᴸ (CQ equivalence)
+  bool swap_verified = false;     ///< Cᴸ(BCᴸ) ≡ Cᴸ(CᴸB) — eq. (4.1)
+  /// B and Cᴸ commute outright (stronger than the swap condition). When
+  /// true, RedundantClosure can push the C-applications to the small prefix
+  /// sets instead of the full tail closure (Example 6.2's regime; Example
+  /// 6.3 only satisfies the swap condition).
+  bool commuting = false;
+};
+
+/// Factors `rule` against redundancy bridge `bridge_index` (an index into
+/// RuleAnalysis::redundancy_bridges()). Requires the restricted class (the
+/// construction matches generated atoms by predicate name) and a torsion
+/// witness for C within `max_power`.
+Result<RedundantFactorization> FactorRedundant(const LinearRule& rule,
+                                               int bridge_index,
+                                               int max_power = 8);
+
+/// Convenience: analyzes the rule and factors its first uniformly bounded
+/// redundancy bridge; NotFound if none exists within budget.
+Result<RedundantFactorization> FactorFirstRedundant(const LinearRule& rule,
+                                                    int max_power = 8);
+
+}  // namespace linrec

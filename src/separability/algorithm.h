@@ -1,0 +1,48 @@
+// The separable algorithm (Algorithm 4.1) generalized to commuting
+// operators (Theorem 4.1). For commuting A and B with a selection σ that
+// commutes with A:
+//
+//   σ(A + B)* = σ A* B* = (A* σ) B* = A*(σ B*) ,
+//
+// i.e. the B-closure is computed once, filtered by σ, and only then closed
+// under A. The selection therefore never sees the (much larger) mixed
+// closure; the A-side work shrinks to the selected cone. (Algorithm 4.1's
+// first loop composes σ into the B-powers symbolically — the operator-level
+// counterpart of this formula.)
+
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+#include "eval/selection.h"
+
+namespace linrec {
+
+/// σ commutes with the operator of `rule` iff the selected position's head
+/// variable is 1-persistent (the column value passes through unchanged).
+Result<bool> SelectionCommutesWith(const LinearRule& rule,
+                                   const Selection& sigma);
+
+/// Computes σ(ΣA + ΣB)* q as A*(σ(B*(q))).
+///
+/// Preconditions (verified; InvalidArgument if violated):
+///  * every rule in `a_rules` commutes with every rule in `b_rules`
+///    (combined oracle), and
+///  * σ commutes with every rule in `a_rules` (the outer closure).
+Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
+                                  const std::vector<LinearRule>& b_rules,
+                                  const Selection& sigma, const Database& db,
+                                  const Relation& q,
+                                  ClosureStats* stats = nullptr);
+
+/// Baseline for comparison: (ΣA + ΣB)* q computed fully, then filtered.
+Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
+                                   const std::vector<LinearRule>& b_rules,
+                                   const Selection& sigma, const Database& db,
+                                   const Relation& q,
+                                   ClosureStats* stats = nullptr);
+
+}  // namespace linrec

@@ -1,0 +1,76 @@
+#include "separability/multi_selection.h"
+
+#include "commutativity/oracle.h"
+#include "common/strings.h"
+#include "datalog/printer.h"
+#include "separability/algorithm.h"
+
+namespace linrec {
+
+Result<Relation> MultiSelectionClosure(
+    const std::vector<SelectedOperator>& groups,
+    const std::optional<Selection>& sigma0, const Database& db,
+    const Relation& q, ClosureStats* stats) {
+  if (groups.empty()) {
+    return Status::InvalidArgument("at least one operator group is required");
+  }
+  // Cross-group commutativity.
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    for (std::size_t j = i + 1; j < groups.size(); ++j) {
+      for (const LinearRule& a : groups[i].rules) {
+        for (const LinearRule& b : groups[j].rules) {
+          Result<bool> commute = Commute(a, b);
+          if (!commute.ok()) return commute.status();
+          if (!*commute) {
+            return Status::InvalidArgument(
+                StrCat("operators do not commute: ", ToString(a), " vs ",
+                       ToString(b)));
+          }
+        }
+      }
+    }
+  }
+  // Selection/operator commutation: σ_i with every group j != i; σ0 with
+  // every group.
+  auto check_sigma = [&](const Selection& sigma,
+                         std::size_t exempt) -> Status {
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (j == exempt) continue;
+      for (const LinearRule& rule : groups[j].rules) {
+        Result<bool> ok = SelectionCommutesWith(rule, sigma);
+        if (!ok.ok()) return ok.status();
+        if (!*ok) {
+          return Status::InvalidArgument(
+              StrCat("selection on position ", sigma.position,
+                     " does not commute with ", ToString(rule)));
+        }
+      }
+    }
+    return Status::OK();
+  };
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    if (groups[i].sigma.has_value()) {
+      LINREC_RETURN_IF_ERROR(check_sigma(*groups[i].sigma, i));
+    }
+  }
+  if (sigma0.has_value()) {
+    LINREC_RETURN_IF_ERROR(check_sigma(*sigma0, groups.size()));
+  }
+
+  // Right-to-left evaluation: σ0 first, then each (σ_i A_i*).
+  Relation current = sigma0.has_value() ? ApplySelection(q, *sigma0) : q;
+  IndexCache cache;
+  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+    ClosureStats phase;
+    Result<Relation> closed =
+        SemiNaiveClosure(it->rules, db, current, &phase, &cache);
+    if (!closed.ok()) return closed.status();
+    if (stats != nullptr) stats->Accumulate(phase);
+    current = it->sigma.has_value() ? ApplySelection(*closed, *it->sigma)
+                                    : std::move(*closed);
+  }
+  if (stats != nullptr) stats->result_size = current.size();
+  return current;
+}
+
+}  // namespace linrec

@@ -1,0 +1,42 @@
+// The n-operator, multi-selection generalization of Theorem 4.1
+// (Section 4.1):
+//
+//   σ0 σ1 ... σn (A1 + A2 + ... + An)* = (σ1 A1*)(σ2 A2*)...(σn An*) σ0 ,
+//
+// for mutually commutative operators {A_i} and selections {σ_i} such that
+// σ_i commutes with every operator except (possibly) A_i. Evaluation
+// proceeds right to left: filter by σ0, then for i = n..1 close under A_i
+// and filter by σ_i.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/fixpoint.h"
+#include "eval/selection.h"
+
+namespace linrec {
+
+/// One summand A_i together with its (optional) selection σ_i.
+struct SelectedOperator {
+  std::vector<LinearRule> rules;
+  std::optional<Selection> sigma;
+};
+
+/// Computes σ0 σ1...σn (ΣA_i)* q per the formula above.
+///
+/// Verified preconditions:
+///  * all rules across different groups commute pairwise;
+///  * each σ_i commutes with every rule of every group j ≠ i;
+///  * σ0 (if present) commutes with every rule of every group.
+/// The order of `groups` determines the evaluation order (groups.back()
+/// innermost); any order is valid under the preconditions.
+Result<Relation> MultiSelectionClosure(
+    const std::vector<SelectedOperator>& groups,
+    const std::optional<Selection>& sigma0, const Database& db,
+    const Relation& q, ClosureStats* stats = nullptr);
+
+}  // namespace linrec

@@ -1,0 +1,125 @@
+#include "separability/separable.h"
+
+#include <algorithm>
+#include <functional>
+#include <iterator>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "analysis/rule_analysis.h"
+#include "common/strings.h"
+
+namespace linrec {
+namespace {
+
+/// Head positions whose variable appears under a nonrecursive predicate.
+std::set<int> NonRecPositions(const RuleAnalysis& a) {
+  const Rule& r = a.rule().rule();
+  std::set<VarId> under;
+  for (int ai : a.rule().NonRecursiveAtomIndices()) {
+    for (const Term& t : r.body()[static_cast<std::size_t>(ai)].terms) {
+      under.insert(t.var());
+    }
+  }
+  std::set<int> positions;
+  for (int p = 0; p < static_cast<int>(a.rule().arity()); ++p) {
+    if (under.count(a.classes().HeadVarAt(p)) > 0) positions.insert(p);
+  }
+  return positions;
+}
+
+/// Condition (1): h(x) = x or nondistinguished, for all distinguished x.
+bool Condition1(const RuleAnalysis& a) {
+  for (int p = 0; p < static_cast<int>(a.rule().arity()); ++p) {
+    VarId x = a.classes().HeadVarAt(p);
+    VarId hx = *a.classes().H(x);
+    if (hx != x && a.classes().Of(hx).distinguished) return false;
+  }
+  return true;
+}
+
+/// Condition (2): x under nonrecursive predicates iff h(x) is.
+bool Condition2(const RuleAnalysis& a) {
+  const Rule& r = a.rule().rule();
+  std::set<VarId> under;
+  for (int ai : a.rule().NonRecursiveAtomIndices()) {
+    for (const Term& t : r.body()[static_cast<std::size_t>(ai)].terms) {
+      under.insert(t.var());
+    }
+  }
+  for (int p = 0; p < static_cast<int>(a.rule().arity()); ++p) {
+    VarId x = a.classes().HeadVarAt(p);
+    VarId hx = *a.classes().H(x);
+    if ((under.count(x) > 0) != (under.count(hx) > 0)) return false;
+  }
+  return true;
+}
+
+/// Condition (4): the static-arc subgraph is connected.
+bool Condition4(const RuleAnalysis& a) {
+  const AlphaGraph& g = a.graph();
+  std::vector<int> parent(static_cast<std::size_t>(g.node_count()));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+  std::set<VarId> touched;
+  for (const AlphaArc& arc : g.arcs()) {
+    if (arc.is_dynamic()) continue;
+    touched.insert(arc.u);
+    touched.insert(arc.v);
+    parent[static_cast<std::size_t>(find(arc.u))] = find(arc.v);
+  }
+  if (touched.empty()) return true;  // vacuously connected
+  int root = find(*touched.begin());
+  for (VarId v : touched) {
+    if (find(v) != root) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<SeparabilityReport> CheckSeparable(const LinearRule& r1,
+                                          const LinearRule& r2) {
+  if (r1.head().predicate != r2.head().predicate ||
+      r1.arity() != r2.arity()) {
+    return Status::InvalidArgument(
+        "separability requires the same head predicate and arity");
+  }
+  Result<RuleAnalysis> a1 = RuleAnalysis::Compute(r1);
+  if (!a1.ok()) return a1.status();
+  Result<RuleAnalysis> a2 = RuleAnalysis::Compute(r2);
+  if (!a2.ok()) return a2.status();
+
+  SeparabilityReport report;
+  report.cond_persistence = Condition1(*a1) && Condition1(*a2);
+  report.cond_nonrec_pairing = Condition2(*a1) && Condition2(*a2);
+
+  std::set<int> s1 = NonRecPositions(*a1);
+  std::set<int> s2 = NonRecPositions(*a2);
+  std::vector<int> intersection;
+  std::set_intersection(s1.begin(), s1.end(), s2.begin(), s2.end(),
+                        std::back_inserter(intersection));
+  report.cond_var_sets_disjoint = intersection.empty();
+  report.cond_var_sets = report.cond_var_sets_disjoint || s1 == s2;
+
+  report.cond_static_connected = Condition4(*a1) && Condition4(*a2);
+
+  report.separable = report.cond_persistence && report.cond_nonrec_pairing &&
+                     report.cond_var_sets && report.cond_static_connected;
+  report.detail = StrCat(
+      "persistence=", report.cond_persistence,
+      " pairing=", report.cond_nonrec_pairing,
+      " var_sets=", report.cond_var_sets,
+      " (disjoint=", report.cond_var_sets_disjoint, ")",
+      " static_connected=", report.cond_static_connected);
+  return report;
+}
+
+}  // namespace linrec

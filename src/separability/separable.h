@@ -1,0 +1,39 @@
+// Naughton's separable recursions (Sections 4.1 and 6.1).
+//
+// Two rules r1, r2 with the same consequent are separable when
+//  (1) for every distinguished x, h_i(x) = x or h_i(x) is nondistinguished;
+//  (2) for every distinguished x, x and h_i(x) both appear under
+//      nonrecursive predicates in r_i, or neither does;
+//  (3) the sets of distinguished variables appearing under nonrecursive
+//      predicates in r1 and r2 are equal or disjoint;
+//  (4) the subgraph of each rule's α-graph induced by its static arcs is
+//      connected.
+//
+// Theorem 6.2: separable rules commute (the converse fails — Example 5.3).
+
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+
+namespace linrec {
+
+/// Outcome of the four-condition separability check.
+struct SeparabilityReport {
+  bool cond_persistence = false;       // (1) in both rules
+  bool cond_nonrec_pairing = false;    // (2) in both rules
+  bool cond_var_sets = false;          // (3) equal or disjoint
+  bool cond_var_sets_disjoint = false; // the stronger, algorithm-enabling form
+  bool cond_static_connected = false;  // (4) in both rules
+  bool separable = false;              // all four
+  std::string detail;
+};
+
+/// Checks Naughton's conditions. Requires both rules valid for analysis and
+/// sharing head predicate/arity.
+Result<SeparabilityReport> CheckSeparable(const LinearRule& r1,
+                                          const LinearRule& r2);
+
+}  // namespace linrec

@@ -1,0 +1,64 @@
+#include "storage/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+#include "common/strings.h"
+#include "storage/tuple.h"
+
+namespace linrec {
+
+Relation& Database::GetOrCreate(const std::string& name, std::size_t arity) {
+  auto it = relations_.find(name);
+  if (it != relations_.end()) {
+    assert(it->second.arity() == arity && "arity mismatch for relation");
+    return it->second;
+  }
+  return relations_.emplace(name, Relation(arity)).first->second;
+}
+
+const Relation* Database::Find(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Relation* Database::FindMutable(const std::string& name) {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+Result<const Relation*> Database::GetChecked(const std::string& name,
+                                             std::size_t arity) const {
+  const Relation* rel = Find(name);
+  if (rel == nullptr) {
+    return Status::NotFound(StrCat("relation '", name, "' not in database"));
+  }
+  if (rel->arity() != arity) {
+    return Status::InvalidArgument(
+        StrCat("relation '", name, "' has arity ", rel->arity(),
+               ", expected ", arity));
+  }
+  return rel;
+}
+
+std::vector<std::string> Database::Names() const {
+  std::vector<std::string> names;
+  names.reserve(relations_.size());
+  for (const auto& [name, rel] : relations_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::ostream& operator<<(std::ostream& os, const Database& db) {
+  for (const std::string& name : db.Names()) {
+    const Relation* rel = db.Find(name);
+    os << name << "/" << rel->arity() << " (" << rel->size() << " tuples)\n";
+    for (const Tuple& t : rel->Sorted()) {
+      os << "  " << name << t << "\n";
+    }
+  }
+  return os;
+}
+
+}  // namespace linrec

@@ -1,0 +1,44 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+
+namespace linrec {
+namespace {
+std::atomic<std::uint64_t> g_version_counter{0};
+}  // namespace
+
+bool Relation::Insert(const Tuple& t) {
+  assert(t.arity() == arity_ && "tuple arity must match relation arity");
+  bool added = tuples_.insert(t).second;
+  if (added) {
+    version_ = g_version_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return added;
+}
+
+std::size_t Relation::UnionWith(const Relation& other) {
+  assert(other.arity() == arity_ && "relation arities must match");
+  std::size_t added = 0;
+  for (const Tuple& t : other) {
+    if (Insert(t)) ++added;
+  }
+  return added;
+}
+
+std::vector<Tuple> Relation::Sorted() const {
+  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+HashIndex::HashIndex(const Relation& rel, std::vector<int> key_positions)
+    : key_positions_(std::move(key_positions)),
+      built_at_version_(rel.version()) {
+  for (const Tuple& t : rel) {
+    buckets_[t.Project(key_positions_)].push_back(t);
+  }
+}
+
+}  // namespace linrec

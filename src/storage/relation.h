@@ -1,0 +1,88 @@
+// Relation: a set of same-arity tuples, plus hash indexes built on demand.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace linrec {
+
+/// A set of tuples sharing one arity.
+///
+/// Mutation is insert-only (the algebra of the paper is monotone); each
+/// successful insert bumps a version counter that index caches key on.
+class Relation {
+ public:
+  Relation() : arity_(0) {}
+  explicit Relation(std::size_t arity) : arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  /// Content stamp for index caching: 0 for an empty relation, otherwise a
+  /// process-globally unique value taken at the last successful insert.
+  /// Global uniqueness matters: distinct Relation objects can reuse one
+  /// address (e.g. the Δ of successive semi-naive rounds), and (address,
+  /// version) must never alias two different contents. Two relations may
+  /// share version 0 only when both are empty — identical contents.
+  std::uint64_t version() const { return version_; }
+
+  /// Inserts `t`; returns true iff the tuple was new.
+  /// The tuple's arity must match the relation's (asserted).
+  bool Insert(const Tuple& t);
+  bool Insert(std::initializer_list<Value> values) {
+    return Insert(Tuple(values));
+  }
+
+  /// Inserts every tuple of `other` (same arity); returns number added.
+  std::size_t UnionWith(const Relation& other);
+
+  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+
+  using const_iterator = std::unordered_set<Tuple, TupleHash>::const_iterator;
+  const_iterator begin() const { return tuples_.begin(); }
+  const_iterator end() const { return tuples_.end(); }
+
+  /// Tuples in lexicographic order (deterministic output for tests/printing).
+  std::vector<Tuple> Sorted() const;
+
+  bool operator==(const Relation& other) const {
+    return arity_ == other.arity_ && tuples_ == other.tuples_;
+  }
+  bool operator!=(const Relation& other) const { return !(*this == other); }
+
+ private:
+  std::size_t arity_;
+  std::uint64_t version_ = 0;
+  std::unordered_set<Tuple, TupleHash> tuples_;
+};
+
+/// A hash index over one relation keyed by a subset of positions.
+///
+/// Maps the projection of each tuple onto `key_positions` to the list of
+/// matching tuples. Built in one pass; lookups return an empty span when the
+/// key is absent.
+class HashIndex {
+ public:
+  HashIndex(const Relation& rel, std::vector<int> key_positions);
+
+  /// All tuples whose `key_positions` projection equals `key`.
+  const std::vector<Tuple>* Lookup(const Tuple& key) const {
+    auto it = buckets_.find(key);
+    return it == buckets_.end() ? nullptr : &it->second;
+  }
+
+  const std::vector<int>& key_positions() const { return key_positions_; }
+  std::uint64_t built_at_version() const { return built_at_version_; }
+
+ private:
+  std::vector<int> key_positions_;
+  std::uint64_t built_at_version_;
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> buckets_;
+};
+
+}  // namespace linrec

@@ -1,0 +1,14 @@
+#include "storage/tuple.h"
+
+namespace linrec {
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  os << "(";
+  for (std::size_t i = 0; i < t.arity(); ++i) {
+    if (i > 0) os << ",";
+    os << t[i];
+  }
+  return os << ")";
+}
+
+}  // namespace linrec

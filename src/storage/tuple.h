@@ -1,0 +1,58 @@
+// Tuple: a fixed-arity row of Values with a cached hash.
+
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <vector>
+
+#include "common/hash.h"
+#include "storage/value.h"
+
+namespace linrec {
+
+/// An immutable-after-construction row of Values.
+///
+/// Hash is computed eagerly so repeated set probes are cheap; equality
+/// short-circuits on the hash.
+class Tuple {
+ public:
+  Tuple() : hash_(HashRange(values_.begin(), values_.end())) {}
+  explicit Tuple(std::vector<Value> values)
+      : values_(std::move(values)),
+        hash_(HashRange(values_.begin(), values_.end())) {}
+  Tuple(std::initializer_list<Value> values)
+      : values_(values), hash_(HashRange(values_.begin(), values_.end())) {}
+
+  std::size_t arity() const { return values_.size(); }
+  Value operator[](std::size_t i) const { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+  std::size_t hash() const { return hash_; }
+
+  bool operator==(const Tuple& other) const {
+    return hash_ == other.hash_ && values_ == other.values_;
+  }
+  bool operator!=(const Tuple& other) const { return !(*this == other); }
+  /// Lexicographic order; used for deterministic iteration in tests/output.
+  bool operator<(const Tuple& other) const { return values_ < other.values_; }
+
+  /// Returns the projection of this tuple onto `positions` (0-based).
+  Tuple Project(const std::vector<int>& positions) const {
+    std::vector<Value> out;
+    out.reserve(positions.size());
+    for (int p : positions) out.push_back(values_[static_cast<std::size_t>(p)]);
+    return Tuple(std::move(out));
+  }
+
+ private:
+  std::vector<Value> values_;
+  std::size_t hash_;
+};
+
+struct TupleHash {
+  std::size_t operator()(const Tuple& t) const { return t.hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t);
+
+}  // namespace linrec

@@ -1,0 +1,16 @@
+// The typeless value domain.
+//
+// Per Section 2 of the paper the system is typeless: a relation's schema is
+// just its number of argument positions. Domain elements are 64-bit integers;
+// workloads that conceptually use strings intern them to Values.
+
+#pragma once
+
+#include <cstdint>
+
+namespace linrec {
+
+/// A single domain element.
+using Value = std::int64_t;
+
+}  // namespace linrec

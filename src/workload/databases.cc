@@ -1,0 +1,84 @@
+#include "workload/databases.h"
+
+#include <random>
+
+#include "workload/graphs.h"
+
+namespace linrec {
+
+SameGenerationWorkload MakeSameGeneration(int layers, int width, int fanout,
+                                          std::uint32_t seed) {
+  SameGenerationWorkload w;
+  Relation down = LayeredDag(layers, width, fanout, seed);
+  Relation up(2);
+  for (const Tuple& t : down) {
+    up.Insert({t[1], t[0]});
+  }
+  w.db.GetOrCreate("down", 2) = down;
+  w.db.GetOrCreate("up", 2) = up;
+  // Flat pairs: identity on every node. Applying the down-side operator
+  // descends the second column and the up-side operator the first, so the
+  // closure relates all pairs with a common ancestor — the relation the
+  // same-generation program computes, with heavy rederivation on DAGs.
+  for (int layer = 0; layer < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      Value v = static_cast<Value>(layer) * width + i;
+      w.q.Insert({v, v});
+    }
+  }
+  return w;
+}
+
+KnowsBuysWorkload MakeKnowsBuys(int people, int know_edges, int items,
+                                double cheap_fraction, int initial_buys,
+                                std::uint32_t seed) {
+  KnowsBuysWorkload w;
+  std::mt19937 rng(seed);
+  Relation knows = RandomGraph(people, know_edges, seed);
+  Relation cheap(1);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  // Items occupy ids above the people range to keep the domains disjoint.
+  const Value item_base = people;
+  for (int i = 0; i < items; ++i) {
+    if (coin(rng) < cheap_fraction) cheap.Insert({item_base + i});
+  }
+  std::uniform_int_distribution<int> pick_person(0, people - 1);
+  std::uniform_int_distribution<int> pick_item(0, items - 1);
+  for (int i = 0; i < initial_buys; ++i) {
+    w.q.Insert({pick_person(rng), item_base + pick_item(rng)});
+  }
+  w.db.GetOrCreate("knows", 2) = std::move(knows);
+  w.db.GetOrCreate("cheap", 1) = std::move(cheap);
+  return w;
+}
+
+EndorsedBuysWorkload MakeEndorsedBuys(int people, int items, int fanout,
+                                      int initial_buys, std::uint32_t seed) {
+  EndorsedBuysWorkload w;
+  std::mt19937 rng(seed);
+  // Deep recursion: knows is a chain with a few random shortcuts.
+  Relation knows = ChainGraph(people);
+  std::uniform_int_distribution<int> pick_person(0, people - 1);
+  for (int i = 0; i < people / 10; ++i) {
+    int u = pick_person(rng);
+    int v = pick_person(rng);
+    if (u != v) knows.Insert({u, v});
+  }
+  const Value item_base = people;
+  const Value endorser_base = people + items;
+  Relation endorses(2);
+  for (int i = 0; i < items; ++i) {
+    for (int f = 0; f < fanout; ++f) {
+      endorses.Insert({endorser_base + f, item_base + i});
+    }
+  }
+  std::uniform_int_distribution<int> pick_item(0, items - 1);
+  for (int i = 0; i < initial_buys; ++i) {
+    w.q.Insert({pick_person(rng), item_base + pick_item(rng)});
+  }
+  w.db.GetOrCreate("knows", 2) = std::move(knows);
+  w.db.GetOrCreate("endorses", 2) = std::move(endorses);
+  return w;
+}
+
+}  // namespace linrec

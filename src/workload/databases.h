@@ -1,0 +1,53 @@
+// Prebuilt databases for the paper's canonical programs.
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+
+namespace linrec {
+
+/// Workload for the same-generation pair of Example 5.2:
+///   r1: p(X,Y) :- p(X,V), down(V,Y).
+///   r2: p(X,Y) :- p(U,Y), up(X,U).
+/// `up` is the reverse of a layered DAG's edges, `down` its edges, and the
+/// initial relation q pairs each node with itself on the deepest layer (the
+/// "flat" relation).
+struct SameGenerationWorkload {
+  Database db;        ///< relations "up" and "down"
+  Relation q{2};      ///< initial relation (flat pairs)
+};
+
+SameGenerationWorkload MakeSameGeneration(int layers, int width, int fanout,
+                                          std::uint32_t seed);
+
+/// Workload for Example 6.1 (knows/buys/cheap):
+///   buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).
+/// `knows` is a random graph over `people`; `cheap` holds a fraction of the
+/// `items` universe; q holds initial buys pairs.
+struct KnowsBuysWorkload {
+  Database db;    ///< relations "knows" and "cheap"
+  Relation q{2};  ///< initial buys(person, item) pairs
+};
+
+KnowsBuysWorkload MakeKnowsBuys(int people, int know_edges, int items,
+                                double cheap_fraction, int initial_buys,
+                                std::uint32_t seed);
+
+/// Workload for the fan-out variant of Example 6.1:
+///   buys(X,Y) :- knows(X,Z), buys(Z,Y), endorses(W,Y).
+/// `endorses` maps every item to `fanout` endorsers, so the direct closure
+/// pays fanout-many duplicate derivations per step, while the
+/// redundancy-aware closure applies `endorses` a bounded number of times.
+/// `knows` is a long chain plus shortcuts: deep recursion.
+struct EndorsedBuysWorkload {
+  Database db;    ///< relations "knows" and "endorses"
+  Relation q{2};  ///< initial buys(person, item) pairs
+};
+
+EndorsedBuysWorkload MakeEndorsedBuys(int people, int items, int fanout,
+                                      int initial_buys, std::uint32_t seed);
+
+}  // namespace linrec

@@ -1,0 +1,84 @@
+#include "workload/graphs.h"
+
+#include <random>
+#include <set>
+
+namespace linrec {
+
+Relation ChainGraph(int n) {
+  Relation edges(2);
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.Insert({i, i + 1});
+  }
+  return edges;
+}
+
+Relation CycleGraph(int n) {
+  Relation edges = ChainGraph(n);
+  if (n > 1) edges.Insert({n - 1, 0});
+  return edges;
+}
+
+Relation TreeGraph(int branching, int depth) {
+  Relation edges(2);
+  // Heap layout: children of v are v*branching + 1 ... v*branching + b.
+  std::int64_t frontier_begin = 0;
+  std::int64_t frontier_end = 1;  // root
+  for (int d = 0; d < depth; ++d) {
+    for (std::int64_t v = frontier_begin; v < frontier_end; ++v) {
+      for (int b = 1; b <= branching; ++b) {
+        edges.Insert({v, v * branching + b});
+      }
+    }
+    frontier_begin = frontier_begin * branching + 1;
+    frontier_end = frontier_end * branching + 1;
+  }
+  return edges;
+}
+
+Relation GridGraph(int rows, int cols) {
+  Relation edges(2);
+  auto id = [cols](int r, int c) -> Value {
+    return static_cast<Value>(r) * cols + c;
+  };
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      if (r + 1 < rows) edges.Insert({id(r, c), id(r + 1, c)});
+      if (c + 1 < cols) edges.Insert({id(r, c), id(r, c + 1)});
+    }
+  }
+  return edges;
+}
+
+Relation RandomGraph(int nodes, int edges, std::uint32_t seed) {
+  Relation out(2);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, nodes - 1);
+  int attempts = 0;
+  while (static_cast<int>(out.size()) < edges && attempts < edges * 50) {
+    ++attempts;
+    int u = pick(rng);
+    int v = pick(rng);
+    if (u == v) continue;
+    out.Insert({u, v});
+  }
+  return out;
+}
+
+Relation LayeredDag(int layers, int width, int fanout, std::uint32_t seed) {
+  Relation edges(2);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, width - 1);
+  for (int layer = 0; layer + 1 < layers; ++layer) {
+    for (int i = 0; i < width; ++i) {
+      Value from = static_cast<Value>(layer) * width + i;
+      for (int f = 0; f < fanout; ++f) {
+        Value to = static_cast<Value>(layer + 1) * width + pick(rng);
+        edges.Insert({from, to});
+      }
+    }
+  }
+  return edges;
+}
+
+}  // namespace linrec

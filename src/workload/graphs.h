@@ -1,0 +1,35 @@
+// Graph generators producing edge relations for tests and benchmarks.
+// Nodes are integers; edges are binary tuples (source, target).
+
+#pragma once
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace linrec {
+
+/// 0 → 1 → ... → n-1 (n-1 edges).
+Relation ChainGraph(int n);
+
+/// Chain plus the closing edge n-1 → 0.
+Relation CycleGraph(int n);
+
+/// Complete `branching`-ary tree of the given depth; edges parent → child.
+/// Node ids are heap-order (root 0).
+Relation TreeGraph(int branching, int depth);
+
+/// Directed grid: node (r, c) → (r+1, c) and (r, c) → (r, c+1).
+Relation GridGraph(int rows, int cols);
+
+/// `edges` distinct random edges over `nodes` vertices (no self-loops),
+/// deterministic in `seed`.
+Relation RandomGraph(int nodes, int edges, std::uint32_t seed);
+
+/// Layered DAG: `layers` layers of `width` nodes; every node gets `fanout`
+/// random out-edges into the next layer. Node id = layer * width + index.
+/// DAGs with many parallel paths maximize duplicate derivations, the
+/// workload where Theorem 3.1's effect is largest.
+Relation LayeredDag(int layers, int width, int fanout, std::uint32_t seed);
+
+}  // namespace linrec

@@ -1,0 +1,300 @@
+#include "workload/rulegen.h"
+
+#include <random>
+
+#include "common/strings.h"
+
+namespace linrec {
+namespace {
+
+Result<std::pair<LinearRule, LinearRule>> BuildMirroredPair(int half_arity,
+                                                            bool spoil_last) {
+  if (half_arity < 1) {
+    return Status::InvalidArgument("half_arity must be >= 1");
+  }
+  const int arity = 2 * half_arity;
+
+  // r1: first half free 1-persistent, second half general guarded by q_i.
+  RuleBuilder b1;
+  std::vector<Term> head1;
+  std::vector<Term> rec1;
+  for (int i = 0; i < arity; ++i) {
+    head1.push_back(Term::MakeVar(b1.Var(StrCat("X", i))));
+  }
+  for (int i = 0; i < half_arity; ++i) rec1.push_back(head1[static_cast<std::size_t>(i)]);
+  for (int i = half_arity; i < arity; ++i) {
+    rec1.push_back(Term::MakeVar(b1.Var(StrCat("U", i))));
+  }
+  b1.SetHead("p", head1);
+  b1.AddBodyAtom("p", rec1);
+  for (int i = half_arity; i < arity; ++i) {
+    b1.AddBodyAtom(StrCat("q", i),
+                   {head1[static_cast<std::size_t>(i)],
+                    Term::MakeVar(b1.Var(StrCat("U", i)))});
+  }
+
+  // r2: mirror — first half general guarded by s_i, second half free
+  // 1-persistent. With spoil_last, the last position of r2 is general with a
+  // predicate that differs from r1's guard, so clause (d) fails there.
+  RuleBuilder b2;
+  std::vector<Term> head2;
+  std::vector<Term> rec2;
+  for (int i = 0; i < arity; ++i) {
+    head2.push_back(Term::MakeVar(b2.Var(StrCat("X", i))));
+  }
+  for (int i = 0; i < half_arity; ++i) {
+    rec2.push_back(Term::MakeVar(b2.Var(StrCat("V", i))));
+  }
+  for (int i = half_arity; i < arity; ++i) {
+    bool spoiled = spoil_last && i == arity - 1;
+    rec2.push_back(spoiled ? Term::MakeVar(b2.Var("W"))
+                           : head2[static_cast<std::size_t>(i)]);
+  }
+  b2.SetHead("p", head2);
+  b2.AddBodyAtom("p", rec2);
+  for (int i = 0; i < half_arity; ++i) {
+    b2.AddBodyAtom(StrCat("s", i),
+                   {head2[static_cast<std::size_t>(i)],
+                    Term::MakeVar(b2.Var(StrCat("V", i)))});
+  }
+  if (spoil_last) {
+    b2.AddBodyAtom("t_spoiler", {head2[static_cast<std::size_t>(arity - 1)],
+                                 Term::MakeVar(b2.Var("W"))});
+  }
+
+  Result<Rule> rule1 = b1.Build();
+  if (!rule1.ok()) return rule1.status();
+  Result<Rule> rule2 = b2.Build();
+  if (!rule2.ok()) return rule2.status();
+  Result<LinearRule> lr1 = LinearRule::Make(std::move(rule1).value());
+  if (!lr1.ok()) return lr1.status();
+  Result<LinearRule> lr2 = LinearRule::Make(std::move(rule2).value());
+  if (!lr2.ok()) return lr2.status();
+  return std::make_pair(std::move(lr1).value(), std::move(lr2).value());
+}
+
+}  // namespace
+
+Result<std::pair<LinearRule, LinearRule>> MakeRestrictedCommutingPair(
+    int half_arity) {
+  return BuildMirroredPair(half_arity, /*spoil_last=*/false);
+}
+
+Result<std::pair<LinearRule, LinearRule>> MakeRestrictedNonCommutingPair(
+    int half_arity) {
+  return BuildMirroredPair(half_arity, /*spoil_last=*/true);
+}
+
+Result<std::pair<LinearRule, LinearRule>> MakeRepeatedPredicatePair(
+    int bridges, int chain_len) {
+  if (bridges < 1 || chain_len < 1) {
+    return Status::InvalidArgument("bridges and chain_len must be >= 1");
+  }
+  auto build = [&](const char* fresh_prefix) -> Result<LinearRule> {
+    // One shared link 1-persistent hub V; bridge j is a q-chain of length
+    // chain_len + j from the general variable X_j down to V. All chains use
+    // the same predicate and end at the same variable, so the homomorphism
+    // search on the composites must discover the (unique) length-respecting
+    // chain matching — lots of backtracking — while the syntactic test only
+    // compares each small bridge against its twin.
+    RuleBuilder b;
+    std::vector<Term> head;
+    std::vector<Term> rec;
+    Term hub = Term::MakeVar(b.Var("V"));
+    head.push_back(hub);
+    rec.push_back(hub);
+    for (int j = 0; j < bridges; ++j) {
+      Term general = Term::MakeVar(b.Var(StrCat("X", j)));
+      head.push_back(general);
+      rec.push_back(hub);  // h(X_j) = V: X_j is 1-ray general
+    }
+    b.SetHead("p", head);
+    b.AddBodyAtom("p", rec);
+    for (int j = 0; j < bridges; ++j) {
+      Term prev = head[static_cast<std::size_t>(j + 1)];  // X_j
+      int length = chain_len + j;
+      for (int s = 0; s + 1 < length; ++s) {
+        Term next = Term::MakeVar(b.Var(StrCat(fresh_prefix, j, "_", s)));
+        b.AddBodyAtom("q", {prev, next});
+        prev = next;
+      }
+      b.AddBodyAtom("q", {prev, hub});
+    }
+    Result<Rule> rule = b.Build();
+    if (!rule.ok()) return rule.status();
+    return LinearRule::Make(std::move(rule).value());
+  };
+  Result<LinearRule> r1 = build("W");
+  if (!r1.ok()) return r1.status();
+  Result<LinearRule> r2 = build("Z");
+  if (!r2.ok()) return r2.status();
+  return std::make_pair(std::move(r1).value(), std::move(r2).value());
+}
+
+Result<LinearRule> RandomLinearRule(int arity, int extra_atoms,
+                                    std::uint32_t seed,
+                                    bool distinct_predicates) {
+  if (arity < 1) return Status::InvalidArgument("arity must be >= 1");
+  std::mt19937 rng(seed);
+  RuleBuilder b;
+  std::vector<Term> head;
+  for (int i = 0; i < arity; ++i) {
+    head.push_back(Term::MakeVar(b.Var(StrCat("X", i))));
+  }
+  // Recursive atom: per position choose identity, another head variable, or
+  // a fresh variable.
+  std::uniform_int_distribution<int> mode(0, 2);
+  std::uniform_int_distribution<int> pick_pos(0, arity - 1);
+  std::vector<Term> rec;
+  int fresh_count = 0;
+  std::vector<Term> fresh_vars;
+  for (int i = 0; i < arity; ++i) {
+    switch (mode(rng)) {
+      case 0:
+        rec.push_back(head[static_cast<std::size_t>(i)]);
+        break;
+      case 1:
+        rec.push_back(head[static_cast<std::size_t>(pick_pos(rng))]);
+        break;
+      default: {
+        Term fresh = Term::MakeVar(b.Var(StrCat("F", fresh_count++)));
+        fresh_vars.push_back(fresh);
+        rec.push_back(fresh);
+        break;
+      }
+    }
+  }
+  b.SetHead("p", head);
+  b.AddBodyAtom("p", rec);
+
+  // Extra nonrecursive atoms over head + fresh variables.
+  auto pick_term = [&]() -> Term {
+    std::uniform_int_distribution<std::size_t> pick(
+        0, head.size() + fresh_vars.size() - 1);
+    std::size_t i = pick(rng);
+    return i < head.size() ? head[i] : fresh_vars[i - head.size()];
+  };
+  std::uniform_int_distribution<int> pick_arity(1, 3);
+  for (int e = 0; e < extra_atoms; ++e) {
+    int n = pick_arity(rng);
+    // The arity is part of the name so that rules generated with different
+    // seeds stay composable (consistent predicate arities).
+    std::string pred = distinct_predicates ? StrCat("g", e, "a", n)
+                                           : StrCat("g", e % 2, "a", n);
+    std::vector<Term> terms;
+    for (int i = 0; i < n; ++i) terms.push_back(pick_term());
+    b.AddBodyAtom(pred, std::move(terms));
+  }
+
+  // Enforce range restriction: every head variable must appear in the body.
+  std::vector<bool> covered(static_cast<std::size_t>(arity), false);
+  auto mark = [&](const Term& t) {
+    if (!t.is_var()) return;
+    for (int i = 0; i < arity; ++i) {
+      if (head[static_cast<std::size_t>(i)].var() == t.var()) {
+        covered[static_cast<std::size_t>(i)] = true;
+      }
+    }
+  };
+  for (const Term& t : rec) mark(t);
+  // Head variables that only the extra atoms might mention still get a
+  // guard; an extra unary atom never hurts validity or determinism.
+  for (int i = 0; i < arity; ++i) {
+    if (!covered[static_cast<std::size_t>(i)]) {
+      b.AddBodyAtom(StrCat("cov", i, "a1"),
+                    {head[static_cast<std::size_t>(i)]});
+    }
+  }
+
+  Result<Rule> rule = b.Build();
+  if (!rule.ok()) return rule.status();
+  return LinearRule::Make(std::move(rule).value());
+}
+
+Result<std::pair<LinearRule, LinearRule>> MakeProfiledPair(
+    const ClauseProfile& profile) {
+  if (profile.arity() < 1) {
+    return Status::InvalidArgument("profile must cover at least one position");
+  }
+  if (profile.a_positions < 0 || profile.b_positions < 0 ||
+      profile.c_pairs < 0 || profile.d_positions < 0 ||
+      profile.broken_positions < 0) {
+    return Status::InvalidArgument("profile counts must be nonnegative");
+  }
+
+  // `which` selects r1 (0) or r2 (1); only clause (a) positions and broken
+  // positions differ between the two rules.
+  auto build = [&](int which) -> Result<LinearRule> {
+    RuleBuilder b;
+    std::vector<Term> head;
+    std::vector<Term> rec;
+    std::vector<Atom> atoms;
+    int position = 0;
+
+    // (a): free 1-persistent in r1; general guarded by qa_i in r2.
+    for (int i = 0; i < profile.a_positions; ++i, ++position) {
+      Term x = Term::MakeVar(b.Var(StrCat("A", i)));
+      head.push_back(x);
+      if (which == 0) {
+        rec.push_back(x);
+      } else {
+        Term u = Term::MakeVar(b.Var(StrCat("AU", i)));
+        rec.push_back(u);
+        atoms.push_back(Atom{StrCat("qa", i), {x, u}});
+      }
+    }
+    // (b): link 1-persistent in both (distinct guard predicates per rule to
+    // show clause (b) needs no bridge equivalence).
+    for (int i = 0; i < profile.b_positions; ++i, ++position) {
+      Term x = Term::MakeVar(b.Var(StrCat("B", i)));
+      head.push_back(x);
+      rec.push_back(x);
+      atoms.push_back(Atom{StrCat("gb", which, "_", i), {x}});
+    }
+    // (c): free 2-persistent swap pairs in both rules (the same disjoint
+    // transposition, which commutes with itself).
+    for (int i = 0; i < profile.c_pairs; ++i, position += 2) {
+      Term x = Term::MakeVar(b.Var(StrCat("C", i, "x")));
+      Term y = Term::MakeVar(b.Var(StrCat("C", i, "y")));
+      head.push_back(x);
+      head.push_back(y);
+      rec.push_back(y);
+      rec.push_back(x);
+    }
+    // (d): general in both with identical bridges (same predicate).
+    for (int i = 0; i < profile.d_positions; ++i, ++position) {
+      Term x = Term::MakeVar(b.Var(StrCat("D", i)));
+      Term v = Term::MakeVar(b.Var(StrCat("DV", i)));
+      head.push_back(x);
+      rec.push_back(v);
+      atoms.push_back(Atom{StrCat("qd", i), {x, v}});
+    }
+    // broken: general in both, but the bridge predicates differ per rule —
+    // clause (d) fails and the pair does not commute.
+    for (int i = 0; i < profile.broken_positions; ++i, ++position) {
+      Term x = Term::MakeVar(b.Var(StrCat("E", i)));
+      Term v = Term::MakeVar(b.Var(StrCat("EV", i)));
+      head.push_back(x);
+      rec.push_back(v);
+      atoms.push_back(Atom{StrCat("qe", which, "_", i), {x, v}});
+    }
+
+    b.SetHead("p", head);
+    b.AddBodyAtom("p", rec);
+    for (Atom& atom : atoms) {
+      b.AddBodyAtom(atom.predicate, atom.terms);
+    }
+    Result<Rule> rule = b.Build();
+    if (!rule.ok()) return rule.status();
+    return LinearRule::Make(std::move(rule).value());
+  };
+
+  Result<LinearRule> r1 = build(0);
+  if (!r1.ok()) return r1.status();
+  Result<LinearRule> r2 = build(1);
+  if (!r2.ok()) return r2.status();
+  return std::make_pair(std::move(r1).value(), std::move(r2).value());
+}
+
+}  // namespace linrec
+

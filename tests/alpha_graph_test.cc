@@ -1,0 +1,116 @@
+#include "analysis/alpha_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "analysis/dot.h"
+#include "analysis/rule_analysis.h"
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+int CountArcs(const AlphaGraph& g, AlphaArc::Kind kind) {
+  int n = 0;
+  for (const AlphaArc& arc : g.arcs()) {
+    if (arc.kind == kind) ++n;
+  }
+  return n;
+}
+
+TEST(AlphaGraphTest, TransitiveClosureShape) {
+  auto g = AlphaGraph::Build(LR("p(X,Y) :- p(X,Z), e(Z,Y)."));
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->node_count(), 3);
+  // Static: e gives one arc Z—Y. Dynamic: X->X and Z->Y.
+  EXPECT_EQ(CountArcs(*g, AlphaArc::Kind::kStatic), 1);
+  EXPECT_EQ(CountArcs(*g, AlphaArc::Kind::kDynamic), 2);
+}
+
+TEST(AlphaGraphTest, UnaryPredicateGivesSelfArc) {
+  auto g = AlphaGraph::Build(LR("p(X) :- p(X), g(X)."));
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->arcs().size(), 2u);
+  const AlphaArc& st = g->arcs()[0];
+  EXPECT_EQ(st.kind, AlphaArc::Kind::kStatic);
+  EXPECT_EQ(st.u, st.v);
+}
+
+TEST(AlphaGraphTest, TernaryPredicateGivesConsecutiveArcs) {
+  auto g = AlphaGraph::Build(LR("p(X,Y) :- p(X,Y), q(X,W,Y)."));
+  ASSERT_TRUE(g.ok());
+  // q(X,W,Y): arcs X—W, W—Y.
+  EXPECT_EQ(CountArcs(*g, AlphaArc::Kind::kStatic), 2);
+}
+
+TEST(AlphaGraphTest, DynamicArcsFollowPositions) {
+  LinearRule rule = LR("p(X,Y) :- p(Y,Z), e(Z,X).");
+  auto g = AlphaGraph::Build(rule);
+  ASSERT_TRUE(g.ok());
+  const Rule& r = rule.rule();
+  int dynamic_found = 0;
+  for (const AlphaArc& arc : g->arcs()) {
+    if (!arc.is_dynamic()) continue;
+    ++dynamic_found;
+    // position 0: Y -> X; position 1: Z -> Y.
+    if (arc.position == 0) {
+      EXPECT_EQ(r.var_name(arc.u), "Y");
+      EXPECT_EQ(r.var_name(arc.v), "X");
+    } else {
+      EXPECT_EQ(r.var_name(arc.u), "Z");
+      EXPECT_EQ(r.var_name(arc.v), "Y");
+    }
+  }
+  EXPECT_EQ(dynamic_found, 2);
+}
+
+TEST(AlphaGraphTest, RejectsConstants) {
+  auto lr = ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y), f(3).");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_FALSE(AlphaGraph::Build(*lr).ok());
+}
+
+TEST(AlphaGraphTest, RejectsRepeatedHeadVars) {
+  auto lr = ParseLinearRule("p(X,X) :- p(X,Y), e(Y,X).");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_FALSE(AlphaGraph::Build(*lr).ok());
+}
+
+TEST(AlphaGraphTest, IncidenceLists) {
+  auto rule = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto g = AlphaGraph::Build(rule);
+  ASSERT_TRUE(g.ok());
+  // Z participates in the static arc and one dynamic arc.
+  VarId z = -1;
+  for (VarId v = 0; v < rule.rule().var_count(); ++v) {
+    if (rule.rule().var_name(v) == "Z") z = v;
+  }
+  ASSERT_GE(z, 0);
+  EXPECT_EQ(g->IncidentArcs(z).size(), 2u);
+}
+
+TEST(DotExportTest, ContainsNodesAndStyles) {
+  auto analysis = RuleAnalysis::Compute(LR("p(X,Y) :- p(X,Z), e(Z,Y)."));
+  ASSERT_TRUE(analysis.ok());
+  std::string dot = ToDot(*analysis);
+  EXPECT_NE(dot.find("digraph alpha"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);    // dynamic arc
+  EXPECT_NE(dot.find("label=\"e\""), std::string::npos);   // static arc label
+  EXPECT_NE(dot.find("\"X\""), std::string::npos);
+}
+
+TEST(AsciiReportTest, MentionsClassesAndBridges) {
+  auto analysis = RuleAnalysis::Compute(LR("p(X,Y) :- p(X,Z), e(Z,Y)."));
+  ASSERT_TRUE(analysis.ok());
+  std::string report = AsciiReport(*analysis);
+  EXPECT_NE(report.find("free 1-persistent"), std::string::npos);
+  EXPECT_NE(report.find("bridge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace linrec

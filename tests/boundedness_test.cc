@@ -1,0 +1,96 @@
+#include "redundancy/boundedness.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+TEST(TorsionTest, IdempotentGuard) {
+  // p(X) :- p(X), g(X): r^2 ≡ r, so torsion with K=1, N=2.
+  LinearRule r = LR("p(X) :- p(X), g(X).");
+  auto t = FindTorsion(r, 6);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->found);
+  EXPECT_EQ(t->k, 1);
+  EXPECT_EQ(t->n, 2);
+}
+
+TEST(TorsionTest, PurePermutationHasPeriod) {
+  // A 3-cycle of positions: r^4 = r (since r^3 = identity-on-positions).
+  LinearRule r = LR("p(X,Y,Z) :- p(Y,Z,X).");
+  auto t = FindTorsion(r, 8);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->found);
+  EXPECT_EQ(t->n - t->k, 3);
+}
+
+TEST(TorsionTest, TransitiveClosureIsNotTorsion) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto t = FindTorsion(r, 6);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->found);
+}
+
+TEST(UniformBoundTest, TorsionImpliesBounded) {
+  LinearRule r = LR("p(X) :- p(X), g(X).");
+  auto b = FindUniformBound(r, 6);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->found);
+}
+
+TEST(UniformBoundTest, Example62WideRuleBounded) {
+  // C of Example 6.2: P(w,x,y,z) :- P(x,w,x,z), R(x,y). No nondistinguished
+  // variables, so powers cycle.
+  LinearRule c = LR("p(W,X,Y,Z) :- p(X,W,X,Z), rr(X,Y).");
+  auto b = FindUniformBound(c, 8);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->found);
+  auto t = FindTorsion(c, 8);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->found) << "Lemma 6.2: bounded restricted rules are torsion";
+}
+
+TEST(UniformBoundTest, CheapPredicateRuleBounded) {
+  // Example 6.1's bridge rule: buys(x,y) :- buys(x,y), cheap(y).
+  LinearRule c = LR("buys(X,Y) :- buys(X,Y), cheap(Y).");
+  auto b = FindUniformBound(c, 4);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->found);
+  EXPECT_EQ(b->k, 1);
+  EXPECT_EQ(b->n, 2);
+}
+
+TEST(UniformBoundTest, BudgetTooSmallReportsNotFound) {
+  // Period-3 permutation: needs n = 4 to see r^4 ≡ r; budget 3 misses it.
+  LinearRule r = LR("p(X,Y,Z) :- p(Y,Z,X).");
+  auto t = FindTorsion(r, 3);
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(t->found);
+}
+
+TEST(BoundednessTest, InvalidBudgetRejected) {
+  LinearRule r = LR("p(X) :- p(X), g(X).");
+  EXPECT_FALSE(FindTorsion(r, 1).ok());
+}
+
+TEST(UniformBoundTest, BoundedButNotTorsionOutsideRestrictedClass) {
+  // p(X) :- p(Y), g(Y), g(X): r^2 ≤ r (every round output ⊆ g ⋈ ...), and
+  // with repeated predicate g the rule is outside the restricted class.
+  // r^2 body: p(Z), g(Z), g(Y'), g(X) — contained in r; and r ≤ r^2 fails?
+  // Actually r^2 ≡ r here (g(Y') folds). The point: the search still works.
+  LinearRule r = LR("p(X) :- p(Y), g(Y), g(X).");
+  auto b = FindUniformBound(r, 6);
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(b->found);
+}
+
+}  // namespace
+}  // namespace linrec

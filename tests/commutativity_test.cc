@@ -1,0 +1,248 @@
+#include "commutativity/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "commutativity/definitional.h"
+#include "commutativity/syntactic.h"
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+#include "datalog/parser.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+TEST(SyntacticTest, Example52TransitiveClosureForms) {
+  // The canonical commuting pair: the two linear forms of transitive
+  // closure (Example 5.2, Figure 3). Clause (a) everywhere.
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->condition_holds);
+  EXPECT_EQ(result->clause_per_position[0], 'a');
+  EXPECT_EQ(result->clause_per_position[1], 'a');
+}
+
+TEST(SyntacticTest, Example52CompositeIsSameGeneration) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  auto c12 = Compose(r1, r2);
+  auto c21 = Compose(r2, r1);
+  ASSERT_TRUE(c12.ok());
+  ASSERT_TRUE(c21.ok());
+  auto sg = ParseLinearRule("p(X,Y) :- p(U,V), up(X,U), down(V,Y).");
+  ASSERT_TRUE(sg.ok());
+  EXPECT_TRUE(AreEquivalent(c12->rule(), sg->rule()));
+  EXPECT_TRUE(AreEquivalent(c21->rule(), sg->rule()));
+}
+
+TEST(SyntacticTest, Example53ThreeAryRules) {
+  // Example 5.3 / Figure 4:
+  //   r1: P(x,y,z) :- P(u,y,z), Q(x,y).
+  //   r2: P(x,y,z) :- P(x,y,u), R(z,y).
+  LinearRule r1 = LR("p(X,Y,Z) :- p(U,Y,Z), q(X,Y).");
+  LinearRule r2 = LR("p(X,Y,Z) :- p(X,Y,U), rr(Z,Y).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->condition_holds);
+  // x: general in r1, free 1-persistent in r2 → (a);
+  // y: link 1-persistent in both → (b);
+  // z: free 1-persistent in r1 → (a).
+  EXPECT_EQ(result->clause_per_position[0], 'a');
+  EXPECT_EQ(result->clause_per_position[1], 'b');
+  EXPECT_EQ(result->clause_per_position[2], 'a');
+
+  auto both = Compose(r1, r2);
+  ASSERT_TRUE(both.ok());
+  auto expected = ParseLinearRule("p(X,Y,Z) :- p(U,Y,V), q(X,Y), rr(Z,Y).");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(AreEquivalent(both->rule(), expected->rule()));
+}
+
+TEST(SyntacticTest, Example54SufficiencyOnly) {
+  // Example 5.4 / Figure 5: the rules commute but violate the condition
+  // (they are outside the restricted class: repeated predicate Q in r2).
+  LinearRule r1 = LR("p(X,Y) :- p(Y,W), q(X).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,V), q(X), q(Y).");
+  auto syntactic = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(syntactic.ok());
+  EXPECT_FALSE(syntactic->condition_holds);
+
+  auto exact = DefinitionalCommute(r1, r2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(*exact);
+
+  // The oracle must fall back to the definitional test and say yes.
+  auto report = CheckCommutativity(r1, r2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->commute);
+  EXPECT_FALSE(report->syntactic_holds);
+  EXPECT_FALSE(report->restricted_class);
+  EXPECT_TRUE(report->definitional_used);
+}
+
+TEST(SyntacticTest, ClauseBLinkOneInBoth) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), e(Z,Y), g(X).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), f(Z,Y), g(X).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  // X is link 1-persistent in both (appears in g): clause (b).
+  EXPECT_EQ(result->clause_per_position[0], 'b');
+}
+
+TEST(SyntacticTest, ClauseCFreePersistentCommutingPermutations) {
+  // r1 swaps (X,Y) and fixes (V,W); r2 swaps (V,W) and fixes (X,Y): the
+  // permutations commute (disjoint transpositions).
+  LinearRule r1 = LR("p(X,Y,V,W) :- p(Y,X,V,W), q(A), e(A,B).");
+  LinearRule r2 = LR("p(X,Y,V,W) :- p(X,Y,W,V), s(C), f(C,D).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  // Positions of X,Y: free 2-persistent in r1, free 1-persistent in r2 →
+  // clause (a) via r2; positions V,W: (a) via r1.
+  EXPECT_TRUE(result->condition_holds);
+}
+
+TEST(SyntacticTest, ClauseCRequiresCommutingH) {
+  // Both rules 3-cycle the same variables but differently: h1 = (XYZ),
+  // h2 = (XZY); h1h2 fixes X... full check via the exact test: these do
+  // commute iff the permutations commute. (XYZ)(XZY) = id = (XZY)(XYZ), so
+  // they DO commute here.
+  LinearRule r1 = LR("p(X,Y,Z) :- p(Y,Z,X).");
+  LinearRule r2 = LR("p(X,Y,Z) :- p(Z,X,Y).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->condition_holds);
+  for (char c : result->clause_per_position) EXPECT_EQ(c, 'c');
+
+  auto exact = DefinitionalCommute(r1, r2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(*exact);
+}
+
+TEST(SyntacticTest, NonCommutingPermutationsFail) {
+  // h1 swaps positions 0,1; h2 swaps positions 1,2. The permutations do not
+  // commute, so neither do the operators.
+  LinearRule r1 = LR("p(X,Y,Z) :- p(Y,X,Z).");
+  LinearRule r2 = LR("p(X,Y,Z) :- p(X,Z,Y).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->condition_holds);
+  auto exact = DefinitionalCommute(r1, r2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(*exact);
+  // Restricted class → oracle decides without the definitional test.
+  auto report = CheckCommutativity(r1, r2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->commute);
+  EXPECT_TRUE(report->restricted_class);
+  EXPECT_FALSE(report->definitional_used);
+}
+
+TEST(SyntacticTest, ClauseDEquivalentBridges) {
+  // Y is general in both rules with identical q-bridges.
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->condition_holds);
+  EXPECT_EQ(result->clause_per_position[1], 'd');
+}
+
+TEST(SyntacticTest, ClauseDInequivalentBridgesFail) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), rr(Z,Y).");
+  auto result = CheckSyntacticCondition(r1, r2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->condition_holds);
+  auto exact = DefinitionalCommute(r1, r2);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_FALSE(*exact);
+}
+
+TEST(OracleTest, RestrictedClassAgreesWithDefinition) {
+  const char* rules[] = {
+      "p(X,Y) :- p(X,Z), e(Z,Y).",
+      "p(X,Y) :- p(Z,Y), f(X,Z).",
+      "p(X,Y) :- p(X,Y), g(X).",
+      "p(X,Y) :- p(Y,X).",
+      "p(X,Y) :- p(X,Z), e(Z,Y), g(X).",
+  };
+  for (const char* ta : rules) {
+    for (const char* tb : rules) {
+      LinearRule a = LR(ta);
+      LinearRule b = LR(tb);
+      auto report = CheckCommutativity(a, b);
+      ASSERT_TRUE(report.ok()) << ta << " vs " << tb;
+      auto exact = DefinitionalCommute(a, b);
+      ASSERT_TRUE(exact.ok());
+      EXPECT_EQ(report->commute, *exact) << ta << " vs " << tb;
+    }
+  }
+}
+
+TEST(OracleTest, MismatchedAritiesRejected) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule r2 = LR("p(X) :- p(X), g(X).");
+  EXPECT_FALSE(CheckCommutativity(r1, r2).ok());
+}
+
+TEST(OracleTest, GeneratedCommutingPairs) {
+  for (int half : {1, 2, 4, 8}) {
+    auto pair = MakeRestrictedCommutingPair(half);
+    ASSERT_TRUE(pair.ok());
+    auto report = CheckCommutativity(pair->first, pair->second);
+    ASSERT_TRUE(report.ok());
+    EXPECT_TRUE(report->commute) << "half_arity=" << half;
+    EXPECT_TRUE(report->syntactic_holds);
+    EXPECT_TRUE(report->restricted_class);
+  }
+}
+
+TEST(OracleTest, GeneratedNonCommutingPairs) {
+  for (int half : {1, 2, 4}) {
+    auto pair = MakeRestrictedNonCommutingPair(half);
+    ASSERT_TRUE(pair.ok());
+    auto report = CheckCommutativity(pair->first, pair->second);
+    ASSERT_TRUE(report.ok());
+    EXPECT_FALSE(report->commute) << "half_arity=" << half;
+    auto exact = DefinitionalCommute(pair->first, pair->second);
+    ASSERT_TRUE(exact.ok());
+    EXPECT_FALSE(*exact);
+  }
+}
+
+TEST(OracleTest, RepeatedPredicatePairsCommute) {
+  auto pair = MakeRepeatedPredicatePair(2, 3);
+  ASSERT_TRUE(pair.ok());
+  auto report = CheckCommutativity(pair->first, pair->second);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->commute);
+  EXPECT_TRUE(report->syntactic_holds);   // decided without composites
+  EXPECT_FALSE(report->restricted_class);
+  EXPECT_FALSE(report->definitional_used);
+}
+
+TEST(SyntacticTest, SelfCommutativityAlwaysHolds) {
+  // Any rule commutes with itself; the syntactic condition must accept.
+  const char* rules[] = {
+      "p(X,Y) :- p(X,Z), e(Z,Y).",
+      "p(X,Y) :- p(Y,X), q(X,Y).",
+      "p(X,Y,Z) :- p(Y,Z,X), g(X).",
+  };
+  for (const char* text : rules) {
+    LinearRule r = LR(text);
+    auto result = CheckSyntacticCondition(r, r);
+    ASSERT_TRUE(result.ok()) << text;
+    EXPECT_TRUE(result->condition_holds) << text;
+  }
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,138 @@
+#include "cq/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/homomorphism.h"
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+#include "eval/apply.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+TEST(ComposeTest, TransitiveClosureComposites) {
+  // Example 5.2: composing the two forms of transitive closure yields the
+  // same-generation rule.
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  auto c12 = Compose(r1, r2);
+  ASSERT_TRUE(c12.ok()) << c12.status();
+  auto expected =
+      ParseLinearRule("p(X,Y) :- p(U,V), up(X,U), down(V,Y).");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(AreEquivalent(c12->rule(), expected->rule()));
+}
+
+TEST(ComposeTest, OperatorProductSemantics) {
+  // (r1 · r2) q == r1(r2(q)) on a concrete database.
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  Database db;
+  db.GetOrCreate("down", 2) = RandomGraph(20, 40, 3);
+  db.GetOrCreate("up", 2) = RandomGraph(20, 40, 4);
+  Relation q(2);
+  for (int i = 0; i < 20; i += 3) q.Insert({i, (i * 7) % 20});
+
+  auto composite = Compose(r1, r2);
+  ASSERT_TRUE(composite.ok());
+  auto direct = ApplySum({*composite}, db, q);
+  ASSERT_TRUE(direct.ok());
+  auto inner = ApplySum({r2}, db, q);
+  ASSERT_TRUE(inner.ok());
+  auto nested = ApplySum({r1}, db, *inner);
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(*direct, *nested);
+}
+
+TEST(ComposeTest, FreshVariablesDoNotCollide) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), f(Z,Y).");
+  auto c = Compose(r1, r2);
+  ASSERT_TRUE(c.ok());
+  // Composite: p(X,Y) :- p(X,Z'), f(Z',Z), e(Z,Y) — three distinct body vars.
+  auto expected = ParseLinearRule("p(X,Y) :- p(X,A), f(A,B), e(B,Y).");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(AreEquivalent(c->rule(), expected->rule()));
+}
+
+TEST(ComposeTest, MismatchedPredicatesRejected) {
+  LinearRule r1 = LR("p(X) :- p(X), a(X).");
+  LinearRule r2 = LR("r(X) :- r(X), a(X).");
+  EXPECT_FALSE(Compose(r1, r2).ok());
+}
+
+TEST(ComposeTest, RepeatedHeadVarsInInnerRejected) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto repeated = ParseLinearRule("p(X,X) :- p(X,Y), e(Y,X).");
+  ASSERT_TRUE(repeated.ok());
+  EXPECT_FALSE(Compose(r1, *repeated).ok());
+}
+
+TEST(PowerTest, PowerOneIsIdentity) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto p1 = Power(r, 1);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_TRUE(AreEquivalent(p1->rule(), r.rule()));
+}
+
+TEST(PowerTest, PowerZeroRejected) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  EXPECT_FALSE(Power(r, 0).ok());
+}
+
+TEST(PowerTest, SquareOfTransitiveClosure) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto p2 = Power(r, 2);
+  ASSERT_TRUE(p2.ok());
+  auto expected = ParseLinearRule("p(X,Y) :- p(X,A), e(A,B), e(B,Y).");
+  ASSERT_TRUE(expected.ok());
+  EXPECT_TRUE(AreEquivalent(p2->rule(), expected->rule()));
+}
+
+TEST(PowerTest, PowerSemanticsMatchIteratedApplication) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Database db;
+  db.GetOrCreate("e", 2) = ChainGraph(8);
+  Relation q(2);
+  q.Insert({0, 0});
+  auto p3 = Power(r, 3);
+  ASSERT_TRUE(p3.ok());
+  auto once = ApplySum({*p3}, db, q);
+  ASSERT_TRUE(once.ok());
+
+  Relation iterated = q;
+  for (int i = 0; i < 3; ++i) {
+    auto next = ApplySum({r}, db, iterated);
+    ASSERT_TRUE(next.ok());
+    iterated = std::move(next).value();
+  }
+  EXPECT_EQ(*once, iterated);
+}
+
+TEST(PowerTest, MinimizingPowerKeepsEquivalence) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y), g(Y).");
+  auto plain = Power(r, 3, /*minimize=*/false);
+  auto reduced = Power(r, 3, /*minimize=*/true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(reduced.ok());
+  EXPECT_TRUE(AreEquivalent(plain->rule(), reduced->rule()));
+  EXPECT_LE(reduced->rule().body().size(), plain->rule().body().size());
+}
+
+TEST(PowerTest, IdempotentRuleStabilizes) {
+  // p(X) :- p(X), g(X) is idempotent: r^n ≡ r.
+  LinearRule r = LR("p(X) :- p(X), g(X).");
+  auto p4 = Power(r, 4);
+  ASSERT_TRUE(p4.ok());
+  EXPECT_TRUE(AreEquivalent(p4->rule(), r.rule()));
+}
+
+}  // namespace
+}  // namespace linrec

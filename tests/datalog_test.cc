@@ -1,0 +1,136 @@
+// Unit tests for the core IR: Term, Atom, Rule, RuleBuilder, LinearRule.
+
+#include "datalog/rule.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+
+namespace linrec {
+namespace {
+
+TEST(TermTest, VariableAndConstant) {
+  Term v = Term::MakeVar(3);
+  Term c = Term::MakeConst(42);
+  EXPECT_TRUE(v.is_var());
+  EXPECT_FALSE(v.is_const());
+  EXPECT_EQ(v.var(), 3);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.constant(), 42);
+  EXPECT_NE(v, c);
+  EXPECT_EQ(v, Term::MakeVar(3));
+  EXPECT_NE(Term::MakeVar(3), Term::MakeVar(4));
+  EXPECT_NE(Term::MakeConst(1), Term::MakeConst(2));
+}
+
+TEST(AtomTest, Equality) {
+  Atom a{"e", {Term::MakeVar(0), Term::MakeVar(1)}};
+  Atom b{"e", {Term::MakeVar(0), Term::MakeVar(1)}};
+  Atom c{"f", {Term::MakeVar(0), Term::MakeVar(1)}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.arity(), 2u);
+}
+
+TEST(RuleBuilderTest, InternsVariables) {
+  RuleBuilder b;
+  VarId x1 = b.Var("X");
+  VarId x2 = b.Var("X");
+  VarId y = b.Var("Y");
+  EXPECT_EQ(x1, x2);
+  EXPECT_NE(x1, y);
+  EXPECT_TRUE(b.HasVar("X"));
+  EXPECT_FALSE(b.HasVar("Z"));
+}
+
+TEST(RuleBuilderTest, FreshVarAvoidsCollisions) {
+  RuleBuilder b;
+  b.Var("W");
+  VarId f1 = b.FreshVar("W");
+  VarId f2 = b.FreshVar("W");
+  EXPECT_NE(f1, f2);
+  EXPECT_NE(b.Var("W"), f1);
+}
+
+TEST(RuleBuilderTest, BuildsValidRule) {
+  RuleBuilder b;
+  b.SetHeadVars("p", {"X", "Y"});
+  b.AddBodyVars("p", {"X", "Z"});
+  b.AddBodyVars("e", {"Z", "Y"});
+  auto rule = b.Build();
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(*rule), "p(X,Y) :- p(X,Z), e(Z,Y).");
+}
+
+TEST(RuleTest, DistinguishedFlags) {
+  auto rule = ParseRule("p(X,Y) :- p(X,Z), e(Z,Y).");
+  ASSERT_TRUE(rule.ok());
+  int distinguished = 0;
+  for (VarId v = 0; v < rule->var_count(); ++v) {
+    if (rule->IsDistinguished(v)) ++distinguished;
+  }
+  EXPECT_EQ(distinguished, 2);
+}
+
+TEST(RuleTest, HeadPositionsOf) {
+  auto rule = ParseRule("p(X,Y,X) :- q(X,Y).");
+  ASSERT_TRUE(rule.ok());
+  VarId x = rule->head().terms[0].var();
+  EXPECT_EQ(rule->HeadPositionsOf(x), (std::vector<int>{0, 2}));
+  VarId y = rule->head().terms[1].var();
+  EXPECT_EQ(rule->HeadPositionsOf(y), (std::vector<int>{1}));
+}
+
+TEST(RuleTest, TotalArgumentPositions) {
+  auto rule = ParseRule("p(X,Y) :- p(X,Z), e(Z,Y), g(X).");
+  ASSERT_TRUE(rule.ok());
+  // head 2 + p 2 + e 2 + g 1 = 7.
+  EXPECT_EQ(rule->TotalArgumentPositions(), 7u);
+}
+
+TEST(RuleTest, ValidateCatchesArityConflicts) {
+  RuleBuilder b;
+  b.SetHeadVars("p", {"X"});
+  b.AddBodyVars("e", {"X"});
+  b.AddBodyVars("e", {"X", "X"});
+  auto rule = b.Build();
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(LinearRuleTest, IdentifiesRecursiveAtom) {
+  auto lr = ParseLinearRule("p(X,Y) :- e(X,Z), p(Z,W), f(W,Y).");
+  ASSERT_TRUE(lr.ok());
+  EXPECT_EQ(lr->recursive_atom_index(), 1);
+  EXPECT_EQ(lr->recursive_atom().predicate, "p");
+  EXPECT_EQ(lr->NonRecursiveAtomIndices(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(lr->arity(), 2u);
+}
+
+TEST(LinearRuleTest, ArityMismatchRejectedAtValidation) {
+  // The recursive predicate with two arities is already rejected by
+  // Rule::Validate (predicate arity consistency), so the parse fails.
+  auto rule = ParseRule("p(X,Y) :- p(X), e(X,Y).");
+  EXPECT_FALSE(rule.ok());
+}
+
+TEST(PrinterTest, BodylessRule) {
+  RuleBuilder b;
+  b.SetHeadVars("p", {"X"});
+  b.AddBodyVars("g", {"X"});
+  auto rule = b.Build();
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(*rule), "p(X) :- g(X).");
+}
+
+TEST(PrinterTest, PrimedVariablesRoundTrip) {
+  // AlignRules generates primed names; they must survive a round trip.
+  const std::string text = "p(X,Y) :- p(X,Z'), e(Z',Y).";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(ToString(*rule), text);
+}
+
+}  // namespace
+}  // namespace linrec

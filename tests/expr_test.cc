@@ -1,0 +1,175 @@
+#include "algebra/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/closure.h"
+#include "cq/compose.h"
+#include "datalog/parser.h"
+#include "eval/apply.h"
+#include "workload/databases.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+struct SgFixture {
+  OpExpr down = OpExpr::Leaf(LR("p(X,Y) :- p(X,V), down(V,Y)."), "down");
+  OpExpr up = OpExpr::Leaf(LR("p(X,Y) :- p(U,Y), up(X,U)."), "up");
+  SameGenerationWorkload w = MakeSameGeneration(4, 6, 2, 5);
+};
+
+TEST(ExprTest, LeafEvaluatesLikeApplySum) {
+  SgFixture f;
+  auto via_expr = f.down.Evaluate(f.w.db, f.w.q);
+  auto direct = ApplySum({f.down.rule()}, f.w.db, f.w.q);
+  ASSERT_TRUE(via_expr.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*via_expr, *direct);
+}
+
+TEST(ExprTest, SumIsUnion) {
+  SgFixture f;
+  OpExpr sum = OpExpr::Sum({f.down, f.up});
+  auto via_expr = sum.Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(via_expr.ok());
+  auto direct = ApplySum({f.down.rule(), f.up.rule()}, f.w.db, f.w.q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*via_expr, *direct);
+}
+
+TEST(ExprTest, ProductAppliesRightmostFirst) {
+  SgFixture f;
+  OpExpr product = OpExpr::Product({f.down, f.up});
+  auto via_expr = product.Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(via_expr.ok());
+  auto up_first = ApplySum({f.up.rule()}, f.w.db, f.w.q);
+  ASSERT_TRUE(up_first.ok());
+  auto then_down = ApplySum({f.down.rule()}, f.w.db, *up_first);
+  ASSERT_TRUE(then_down.ok());
+  EXPECT_EQ(*via_expr, *then_down);
+}
+
+TEST(ExprTest, ClosureMatchesSemiNaive) {
+  SgFixture f;
+  OpExpr closure = OpExpr::Closure(OpExpr::Sum({f.down, f.up}));
+  auto via_expr = closure.Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(via_expr.ok());
+  auto direct = DirectClosure({f.down.rule(), f.up.rule()}, f.w.db, f.w.q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*via_expr, *direct);
+}
+
+TEST(ExprTest, ClosureOfProductEvaluates) {
+  // (down·up)* — the same-generation operator as a product closure.
+  SgFixture f;
+  OpExpr closure = OpExpr::Closure(OpExpr::Product({f.up, f.down}));
+  auto out = closure.Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Equivalent to closing the composed rule.
+  auto composed = Compose(f.up.rule(), f.down.rule());
+  ASSERT_TRUE(composed.ok());
+  auto direct = DirectClosure({*composed}, f.w.db, f.w.q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(*out, *direct);
+}
+
+TEST(ExprTest, AsSingleRuleComposesProducts) {
+  SgFixture f;
+  OpExpr product = OpExpr::Product({f.up, f.down});
+  auto single = product.AsSingleRule();
+  ASSERT_TRUE(single.ok());
+  ASSERT_TRUE(single->has_value());
+  auto expected = Compose(f.up.rule(), f.down.rule());
+  ASSERT_TRUE(expected.ok());
+  // Same operator: evaluate both on the workload.
+  SgFixture g;
+  auto a = ApplySum({**single}, g.w.db, g.w.q);
+  auto b = ApplySum({*expected}, g.w.db, g.w.q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ExprTest, AsSingleRuleRejectsSumsAndClosures) {
+  SgFixture f;
+  auto sum = OpExpr::Sum({f.down, f.up}).AsSingleRule();
+  ASSERT_TRUE(sum.ok());
+  EXPECT_FALSE(sum->has_value());
+  auto closure = OpExpr::Closure(f.down).AsSingleRule();
+  ASSERT_TRUE(closure.ok());
+  EXPECT_FALSE(closure->has_value());
+}
+
+TEST(ExprTest, DecomposeClosuresRewritesCommutingSum) {
+  SgFixture f;
+  OpExpr closure = OpExpr::Closure(OpExpr::Sum({f.down, f.up}));
+  auto rewritten = closure.DecomposeClosures();
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  EXPECT_EQ(rewritten->kind(), OpExpr::Kind::kProduct);
+  EXPECT_EQ(rewritten->children().size(), 2u);
+
+  // The rewritten plan computes the same closure.
+  auto a = closure.Evaluate(f.w.db, f.w.q);
+  auto b = rewritten->Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ExprTest, DecomposeClosuresKeepsNonCommutingSum) {
+  OpExpr q_side = OpExpr::Leaf(LR("p(X,Y) :- p(X,Z), q(Z,Y)."), "Aq");
+  OpExpr r_side = OpExpr::Leaf(LR("p(X,Y) :- p(X,Z), rr(Z,Y)."), "Ar");
+  OpExpr closure = OpExpr::Closure(OpExpr::Sum({q_side, r_side}));
+  auto rewritten = closure.DecomposeClosures();
+  ASSERT_TRUE(rewritten.ok());
+  EXPECT_EQ(rewritten->kind(), OpExpr::Kind::kClosure);
+}
+
+TEST(ExprTest, DecomposeClosuresHandlesProductSummands) {
+  // ((up·down) + down)*: the summand up·down is composed into one rule
+  // before planning.
+  SgFixture f;
+  OpExpr sum = OpExpr::Sum({OpExpr::Product({f.up, f.down}), f.down});
+  OpExpr closure = OpExpr::Closure(sum);
+  auto rewritten = closure.DecomposeClosures();
+  ASSERT_TRUE(rewritten.ok()) << rewritten.status();
+  auto a = closure.Evaluate(f.w.db, f.w.q);
+  auto b = rewritten->Evaluate(f.w.db, f.w.q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(ExprTest, ToStringRendering) {
+  SgFixture f;
+  OpExpr expr = OpExpr::Closure(OpExpr::Sum({f.down, f.up}));
+  EXPECT_EQ(expr.ToString(), "(down + up)*");
+  OpExpr product =
+      OpExpr::Product({OpExpr::Closure(f.down), OpExpr::Closure(f.up)});
+  EXPECT_EQ(product.ToString(), "down*·up*");
+}
+
+TEST(ExprTest, SingletonSumAndProductCollapse) {
+  SgFixture f;
+  EXPECT_EQ(OpExpr::Sum({f.down}).kind(), OpExpr::Kind::kOperator);
+  EXPECT_EQ(OpExpr::Product({f.up}).kind(), OpExpr::Kind::kOperator);
+}
+
+TEST(ExprTest, MixedArityRejected) {
+  OpExpr binary = OpExpr::Leaf(LR("p(X,Y) :- p(X,Z), e(Z,Y)."));
+  Database db;
+  db.GetOrCreate("e", 2) = ChainGraph(4);
+  Relation q(3);
+  q.Insert({0, 0, 0});
+  auto out = binary.Evaluate(db, q);
+  EXPECT_FALSE(out.ok());
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,88 @@
+#include "cq/fast_equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "cq/homomorphism.h"
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+Rule R(const std::string& text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+TEST(FastEquivalenceTest, IsomorphicRulesAccepted) {
+  Rule a = R("p(X,Y) :- p(X,Z), e(Z,W), f(W,Y).");
+  Rule b = R("p(X,Y) :- p(X,A), e(A,B), f(B,Y).");
+  auto verdict = FastEquivalenceDistinctPredicates(a, b);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+TEST(FastEquivalenceTest, DifferentStructureRejected) {
+  Rule a = R("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Rule b = R("p(X,Y) :- p(Z,Y), e(X,Z).");
+  auto verdict = FastEquivalenceDistinctPredicates(a, b);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(FastEquivalenceTest, PredicateSetMismatch) {
+  Rule a = R("p(X) :- e(X,Y).");
+  Rule b = R("p(X) :- f(X,Y).");
+  auto verdict = FastEquivalenceDistinctPredicates(a, b);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+}
+
+TEST(FastEquivalenceTest, RepeatedPredicatesPuntToSlowPath) {
+  Rule a = R("p(X) :- e(X,Y), e(Y,Z).");
+  Rule b = R("p(X) :- e(X,Y), e(Y,Z).");
+  EXPECT_FALSE(FastEquivalenceDistinctPredicates(a, b).has_value());
+}
+
+TEST(FastEquivalenceTest, NonInjectiveAlignmentRejected) {
+  // Forced map sends Y,Z of `a` onto the single W of `b` — not injective,
+  // and indeed the queries differ.
+  Rule a = R("p(X) :- e(X,Y), f(X,Z).");
+  Rule b = R("p(X) :- e(X,W), f(X,W).");
+  auto verdict = FastEquivalenceDistinctPredicates(a, b);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_FALSE(*verdict);
+  EXPECT_FALSE(AreEquivalent(a, b));
+}
+
+TEST(FastEquivalenceTest, AgreesWithHomomorphismTest) {
+  const char* rules[] = {
+      "p(X,Y) :- p(X,Z), e(Z,Y).",
+      "p(X,Y) :- p(Z,Y), e(X,Z).",
+      "p(X,Y) :- p(X,Z), e(Z,W), f(W,Y).",
+      "p(X,Y) :- p(X,X), e(X,Y).",
+      "p(X,Y) :- p(Y,X), e(X,Y).",
+  };
+  for (const char* ta : rules) {
+    for (const char* tb : rules) {
+      Rule a = R(ta);
+      Rule b = R(tb);
+      auto fast = FastEquivalenceDistinctPredicates(a, b);
+      if (fast.has_value()) {
+        EXPECT_EQ(*fast, AreEquivalent(a, b))
+            << "disagreement on " << ta << " vs " << tb;
+      }
+    }
+  }
+}
+
+TEST(FastEquivalenceTest, HeadRenamingHandled) {
+  Rule a = R("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Rule b = R("p(A,B) :- p(A,C), e(C,B).");
+  auto verdict = FastEquivalenceDistinctPredicates(a, b);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_TRUE(*verdict);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,123 @@
+#include "cq/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+Rule R(const std::string& text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  return *rule;
+}
+
+TEST(HomomorphismTest, IdentityExists) {
+  Rule r = R("p(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_TRUE(FindHomomorphism(r, r).has_value());
+}
+
+TEST(HomomorphismTest, FoldsIntoSmallerRule) {
+  Rule from = R("p(X) :- e(X,Y), e(X,Z).");
+  Rule to = R("p(X) :- e(X,Y).");
+  // Y, Z can both map to Y.
+  EXPECT_TRUE(FindHomomorphism(from, to).has_value());
+  // The other direction also holds here (subset body).
+  EXPECT_TRUE(FindHomomorphism(to, from).has_value());
+}
+
+TEST(HomomorphismTest, DistinguishedVariablesArePinned) {
+  Rule from = R("p(X) :- e(X,Y).");
+  Rule to = R("p(X) :- e(Y,X).");
+  // X must stay at head position; e(X,·) cannot map onto e(·,X).
+  EXPECT_FALSE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(HomomorphismTest, PredicateMismatch) {
+  Rule from = R("p(X) :- e(X,X).");
+  Rule to = R("p(X) :- f(X,X).");
+  EXPECT_FALSE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatch) {
+  Rule from = R("p(X) :- e(X,1).");
+  Rule to1 = R("p(X) :- e(X,1).");
+  Rule to2 = R("p(X) :- e(X,2).");
+  EXPECT_TRUE(FindHomomorphism(from, to1).has_value());
+  EXPECT_FALSE(FindHomomorphism(from, to2).has_value());
+}
+
+TEST(HomomorphismTest, VariableCanMapToConstant) {
+  Rule from = R("p(X) :- e(X,Y).");
+  Rule to = R("p(X) :- e(X,3).");
+  EXPECT_TRUE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(ContainmentTest, PathContainsLongerPath) {
+  // s: paths of length 2; r: edges reachable in one hop... classic:
+  // r = p(X,Y) :- e(X,Y) ("some edge"), s = p(X,Y) :- e(X,Z), e(Z,Y).
+  // s is NOT contained in r and r is NOT contained in s (different heads'
+  // bindings), but s' = p(X,Y) :- e(X,Z), e(Z,Y), e(X,Y) IS contained in r.
+  Rule r = R("p(X,Y) :- e(X,Y).");
+  Rule s = R("p(X,Y) :- e(X,Z), e(Z,Y), e(X,Y).");
+  EXPECT_TRUE(IsContainedIn(s, r));
+  EXPECT_FALSE(IsContainedIn(r, s));
+}
+
+TEST(ContainmentTest, MoreConstrainedIsContained) {
+  Rule loose = R("p(X) :- e(X,Y).");
+  Rule tight = R("p(X) :- e(X,Y), g(Y).");
+  EXPECT_TRUE(IsContainedIn(tight, loose));
+  EXPECT_FALSE(IsContainedIn(loose, tight));
+}
+
+TEST(EquivalenceTest, RenamedRulesAreEquivalent) {
+  Rule a = R("p(X,Y) :- e(X,Z), f(Z,Y).");
+  Rule b = R("p(X,Y) :- f(W,Y), e(X,W).");
+  EXPECT_TRUE(AreEquivalent(a, b));
+}
+
+TEST(EquivalenceTest, RedundantAtomDoesNotChangeQuery) {
+  Rule a = R("p(X) :- e(X,Y).");
+  Rule b = R("p(X) :- e(X,Y), e(X,Z).");
+  EXPECT_TRUE(AreEquivalent(a, b));
+}
+
+TEST(EquivalenceTest, DifferentQueriesNotEquivalent) {
+  Rule a = R("p(X) :- e(X,Y).");
+  Rule b = R("p(X) :- e(Y,X).");
+  EXPECT_FALSE(AreEquivalent(a, b));
+}
+
+TEST(UnionContainmentTest, MemberwiseContainment) {
+  Rule r = R("p(X) :- e(X,Y), g(Y).");
+  std::vector<Rule> sum{R("p(X) :- e(X,Y)."), R("p(X) :- g(X).")};
+  EXPECT_TRUE(ContainedInUnion(r, sum));
+  Rule not_contained = R("p(X) :- h(X).");
+  EXPECT_FALSE(ContainedInUnion(not_contained, sum));
+}
+
+TEST(UnionEquivalenceTest, PermutedUnionsEquivalent) {
+  std::vector<Rule> a{R("p(X) :- e(X,Y)."), R("p(X) :- f(X).")};
+  std::vector<Rule> b{R("p(X) :- f(X)."), R("p(X) :- e(X,W).")};
+  EXPECT_TRUE(UnionsEquivalent(a, b));
+  std::vector<Rule> c{R("p(X) :- f(X).")};
+  EXPECT_FALSE(UnionsEquivalent(a, c));
+}
+
+TEST(HomomorphismTest, HeadArityMismatchIsNoHom) {
+  Rule a = R("p(X) :- e(X,X).");
+  Rule b = R("p(X,Y) :- e(X,Y).");
+  EXPECT_FALSE(FindHomomorphism(a, b).has_value());
+}
+
+TEST(HomomorphismTest, RecursivePredicateTreatedAsOwnSymbol) {
+  // Body occurrences of the head predicate (P_I) only map to each other.
+  Rule a = R("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Rule b = R("p(X,Y) :- e(X,Z), e(Z,Y).");
+  EXPECT_FALSE(FindHomomorphism(a, b).has_value());
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,100 @@
+#include "algebra/identities.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+Database TwoGraphDb(std::uint32_t seed) {
+  Database db;
+  db.GetOrCreate("e", 2) = RandomGraph(12, 20, seed);
+  db.GetOrCreate("f", 2) = RandomGraph(12, 20, seed + 1);
+  return db;
+}
+
+Relation Seed() {
+  Relation q(2);
+  for (int i = 0; i < 12; i += 3) q.Insert({i, i});
+  return q;
+}
+
+TEST(IdentitiesTest, LassezMaher1HoldsOnCommutingForms) {
+  // Same-generation style pair where B*C* = C*B* but B*+C* is generally
+  // smaller — the premise usually fails, and the implication must hold
+  // either way.
+  LinearRule b = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule c = LR("p(X,Y) :- p(Z,Y), f(X,Z).");
+  auto check = CheckLassezMaher1(b, c, TwoGraphDb(5), Seed());
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->holds);
+}
+
+TEST(IdentitiesTest, LassezMaher1PremiseCase) {
+  // Identical operators: B = C, so B*C* = C*B* = B* = B* + C* and
+  // (B+C)* = B*: premise and conclusion both hold.
+  LinearRule b = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule c = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto check = CheckLassezMaher1(b, c, TwoGraphDb(6), Seed());
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->premise);
+  EXPECT_TRUE(check->conclusion);
+  EXPECT_TRUE(check->holds);
+}
+
+TEST(IdentitiesTest, LassezMaher2IdempotentOperators) {
+  // B = C with BB = B (idempotent guard rule): BC = CB = B + C as operators.
+  LinearRule b = LR("p(X) :- p(X), g(X).");
+  LinearRule c = LR("p(X) :- p(X), g(X).");
+  Database db;
+  Relation& g = db.GetOrCreate("g", 1);
+  for (int i = 0; i < 5; ++i) g.Insert({i});
+  Relation q(1);
+  q.Insert({0});
+  q.Insert({7});  // outside g
+  auto check = CheckLassezMaher2(b, c, db, q);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->premise);
+  EXPECT_TRUE(check->conclusion);
+}
+
+TEST(IdentitiesTest, LassezMaher2PremiseFailsGracefully) {
+  LinearRule b = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule c = LR("p(X,Y) :- p(Z,Y), f(X,Z).");
+  auto check = CheckLassezMaher2(b, c, TwoGraphDb(7), Seed());
+  ASSERT_TRUE(check.ok());
+  EXPECT_FALSE(check->premise);
+  EXPECT_TRUE(check->holds);
+}
+
+TEST(IdentitiesTest, DongBiconditionalOnCommutingPair) {
+  LinearRule b = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule c = LR("p(X,Y) :- p(Z,Y), f(X,Z).");
+  auto check = CheckDong(b, c, TwoGraphDb(8), Seed());
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->holds) << "premise=" << check->premise
+                            << " conclusion=" << check->conclusion;
+}
+
+TEST(IdentitiesTest, DongPremiseHoldsForCommutingPair) {
+  // For genuinely commuting operators both sides of the biconditional hold.
+  LinearRule b = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  LinearRule c = LR("p(X,Y) :- p(Z,Y), f(X,Z).");
+  Database db = TwoGraphDb(9);
+  Relation q = Seed();
+  auto check = CheckDong(b, c, db, q);
+  ASSERT_TRUE(check.ok());
+  EXPECT_TRUE(check->premise);
+  EXPECT_TRUE(check->conclusion);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,101 @@
+// Exhaustive sweep of Theorem 5.1's clauses via the profiled pair
+// generator: every combination of clause counts must produce the expected
+// per-position clause letters, and the syntactic verdict must agree with
+// the definitional test (the pairs are in the restricted class, where
+// Theorem 5.2 makes the condition exact).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "commutativity/definitional.h"
+#include "commutativity/syntactic.h"
+#include "datalog/printer.h"
+#include "datalog/traits.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+using ProfileTuple = std::tuple<int, int, int, int, int>;  // a,b,c,d,broken
+
+class ProfiledPairProperty : public ::testing::TestWithParam<ProfileTuple> {};
+
+TEST_P(ProfiledPairProperty, ClausesAndVerdictMatchProfile) {
+  auto [a, bpos, c, d, broken] = GetParam();
+  ClauseProfile profile{a, bpos, c, d, broken};
+  auto pair = MakeProfiledPair(profile);
+  ASSERT_TRUE(pair.ok()) << pair.status();
+
+  // Restricted class throughout.
+  ASSERT_TRUE(ComputeTraits(pair->first.rule()).InRestrictedClass())
+      << ToString(pair->first);
+  ASSERT_TRUE(ComputeTraits(pair->second.rule()).InRestrictedClass())
+      << ToString(pair->second);
+
+  auto syntactic = CheckSyntacticCondition(pair->first, pair->second);
+  ASSERT_TRUE(syntactic.ok()) << syntactic.status();
+
+  const bool expect_commute = broken == 0;
+  EXPECT_EQ(syntactic->condition_holds, expect_commute)
+      << ToString(pair->first) << "\n"
+      << ToString(pair->second);
+
+  // Expected clause letters, in generator position order.
+  std::size_t pos = 0;
+  for (int i = 0; i < a; ++i) {
+    EXPECT_EQ(syntactic->clause_per_position[pos++], 'a');
+  }
+  for (int i = 0; i < bpos; ++i) {
+    EXPECT_EQ(syntactic->clause_per_position[pos++], 'b');
+  }
+  for (int i = 0; i < 2 * c; ++i) {
+    EXPECT_EQ(syntactic->clause_per_position[pos++], 'c');
+  }
+  for (int i = 0; i < d; ++i) {
+    EXPECT_EQ(syntactic->clause_per_position[pos++], 'd');
+  }
+  for (int i = 0; i < broken; ++i) {
+    EXPECT_EQ(syntactic->clause_per_position[pos++], '-');
+  }
+
+  // Exactness: the definitional test must agree (Theorem 5.2).
+  auto exact = DefinitionalCommute(pair->first, pair->second);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(*exact, expect_commute)
+      << ToString(pair->first) << "\n"
+      << ToString(pair->second);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClauseCombinations, ProfiledPairProperty,
+    ::testing::Values(
+        // Single-clause profiles.
+        ProfileTuple{3, 0, 0, 0, 0}, ProfileTuple{0, 3, 0, 0, 0},
+        ProfileTuple{0, 0, 2, 0, 0}, ProfileTuple{0, 0, 0, 3, 0},
+        // Pairwise combinations.
+        ProfileTuple{1, 1, 0, 0, 0}, ProfileTuple{1, 0, 1, 0, 0},
+        ProfileTuple{1, 0, 0, 1, 0}, ProfileTuple{0, 1, 1, 0, 0},
+        ProfileTuple{0, 1, 0, 1, 0}, ProfileTuple{0, 0, 1, 1, 0},
+        // Everything at once.
+        ProfileTuple{2, 2, 2, 2, 0}, ProfileTuple{1, 1, 1, 1, 0},
+        ProfileTuple{4, 3, 2, 5, 0},
+        // Broken positions force a non-commuting verdict.
+        ProfileTuple{0, 0, 0, 0, 1}, ProfileTuple{1, 1, 1, 1, 1},
+        ProfileTuple{2, 0, 1, 2, 2}, ProfileTuple{3, 3, 0, 0, 3}));
+
+TEST(ProfiledPairTest, EmptyProfileRejected) {
+  EXPECT_FALSE(MakeProfiledPair(ClauseProfile{}).ok());
+  EXPECT_FALSE(MakeProfiledPair(ClauseProfile{-1, 2, 0, 0, 0}).ok());
+}
+
+TEST(ProfiledPairTest, ArityAccountsForCPairs) {
+  ClauseProfile profile{1, 1, 2, 1, 0};
+  EXPECT_EQ(profile.arity(), 7);
+  auto pair = MakeProfiledPair(profile);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_EQ(pair->first.arity(), 7u);
+}
+
+}  // namespace
+}  // namespace linrec

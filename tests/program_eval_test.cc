@@ -1,0 +1,155 @@
+#include "algebra/program_eval.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+Program P(const std::string& text) {
+  auto program = ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return *program;
+}
+
+TEST(ProgramEvalTest, TransitiveClosureWithBaseRule) {
+  Program program = P(
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+      "edge(1,2). edge(2,3). edge(3,4).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Relation* path = result->db.Find("path");
+  ASSERT_NE(path, nullptr);
+  EXPECT_EQ(path->size(), 6u);
+  EXPECT_TRUE(path->Contains({1, 4}));
+  EXPECT_FALSE(path->Contains({4, 1}));
+}
+
+TEST(ProgramEvalTest, FactsSeedRecursivePredicate) {
+  // Facts for the recursive predicate itself join the seed.
+  Program program = P(
+      "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+      "path(10,11).\n"
+      "edge(11,12).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->db.Find("path")->Contains({10, 12}));
+}
+
+TEST(ProgramEvalTest, DependentPredicatesInOrder) {
+  // tc depends on edge; reach depends on tc.
+  Program program = P(
+      "tc(X,Y) :- edge(X,Y).\n"
+      "tc(X,Y) :- tc(X,Z), edge(Z,Y).\n"
+      "reach(X) :- tc(0,X).\n"
+      "edge(0,1). edge(1,2).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Relation* reach = result->db.Find("reach");
+  ASSERT_NE(reach, nullptr);
+  EXPECT_EQ(reach->size(), 2u);
+  EXPECT_TRUE(reach->Contains({1}));
+  EXPECT_TRUE(reach->Contains({2}));
+}
+
+TEST(ProgramEvalTest, SameGenerationTwoRecursiveRules) {
+  Program program = P(
+      "sg(X,Y) :- flat(X,Y).\n"
+      "sg(X,Y) :- sg(X,V), down(V,Y).\n"
+      "sg(X,Y) :- sg(U,Y), up(X,U).\n"
+      "flat(1,1). flat(2,2).\n"
+      "down(1,3). down(2,4).\n"
+      "up(3,1). up(4,2).\n");
+  auto plain = EvaluateProgram(program);
+  ASSERT_TRUE(plain.ok()) << plain.status();
+
+  ProgramEvalOptions options;
+  options.use_decomposition = true;
+  auto decomposed = EvaluateProgram(program, options);
+  ASSERT_TRUE(decomposed.ok()) << decomposed.status();
+
+  const Relation* a = plain->db.Find("sg");
+  const Relation* b = decomposed->db.Find("sg");
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(*a, *b);
+  EXPECT_TRUE(a->Contains({3, 3}));  // down from (1,1) then up: (3,3)
+}
+
+TEST(ProgramEvalTest, EqualityInBaseRule) {
+  Program program = P(
+      "loop(X,Y) :- edge(X,Y), X = Y.\n"
+      "edge(1,1). edge(1,2). edge(3,3).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const Relation* loop = result->db.Find("loop");
+  ASSERT_NE(loop, nullptr);
+  EXPECT_EQ(loop->size(), 2u);
+}
+
+TEST(ProgramEvalTest, MutualRecursionRejected) {
+  Program program = P(
+      "a(X) :- b(X).\n"
+      "b(X) :- a(X), g(X).\n"
+      "g(1).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ProgramEvalTest, NonLinearRecursionRejected) {
+  Program program = P(
+      "p(X,Y) :- p(X,Z), p(Z,Y).\n"
+      "p(1,2).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ProgramEvalTest, InconsistentArityRejected) {
+  Program program = P(
+      "p(X) :- g(X).\n"
+      "p(X,Y) :- g(X), g(Y).\n"
+      "g(1).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_FALSE(result.ok());
+}
+
+TEST(ProgramEvalTest, EmptyProgram) {
+  Program program = P("");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->db.relation_count(), 0u);
+}
+
+TEST(ProgramEvalTest, FactsOnly) {
+  Program program = P("e(1,2). e(2,3).");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->db.Find("e")->size(), 2u);
+}
+
+TEST(ProgramEvalTest, UnsatisfiableBaseRuleContributesNothing) {
+  Program program = P(
+      "p(X) :- g(X), 1 = 2.\n"
+      "g(5).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->db.Find("p")->empty());
+}
+
+TEST(ProgramEvalTest, StatsAccumulate) {
+  Program program = P(
+      "path(X,Y) :- edge(X,Y).\n"
+      "path(X,Y) :- path(X,Z), edge(Z,Y).\n"
+      "edge(0,1). edge(1,2). edge(2,3). edge(3,4). edge(4,5).\n");
+  auto result = EvaluateProgram(program);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->stats.derivations, 0u);
+  EXPECT_GT(result->stats.iterations, 0u);
+  EXPECT_GT(result->stats.result_size, 0u);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,134 @@
+// The closed semi-ring laws of Section 2, verified semantically on random
+// operators and databases: associativity of + and *, distributivity,
+// identity behaviour, and Theorem 2.1's fixpoint characterization of A*.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+#include "datalog/printer.h"
+#include "eval/apply.h"
+#include "eval/fixpoint.h"
+#include "workload/graphs.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+struct Fixture {
+  LinearRule a, b, c;
+  Database db;
+  Relation q{2};
+};
+
+Fixture MakeFixture(std::uint32_t seed) {
+  auto a = RandomLinearRule(2, 1, seed * 11 + 1);
+  auto b = RandomLinearRule(2, 1, seed * 11 + 2);
+  auto c = RandomLinearRule(2, 1, seed * 11 + 3);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_TRUE(c.ok());
+  Fixture f{*a, *b, *c, {}, Relation(2)};
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, 7);
+  for (const LinearRule* r : {&f.a, &f.b, &f.c}) {
+    for (const Atom& atom : r->rule().body()) {
+      if (atom.predicate == "p") continue;
+      Relation& rel = f.db.GetOrCreate(atom.predicate, atom.arity());
+      for (int i = 0; i < 20; ++i) {
+        std::vector<Value> values;
+        for (std::size_t j = 0; j < atom.arity(); ++j) {
+          values.push_back(pick(rng));
+        }
+        rel.Insert(Tuple(std::move(values)));
+      }
+    }
+  }
+  for (int i = 0; i < 5; ++i) f.q.Insert({pick(rng), pick(rng)});
+  return f;
+}
+
+class SemiringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SemiringProperty, MultiplicationAssociates) {
+  Fixture f = MakeFixture(static_cast<std::uint32_t>(GetParam()));
+  // (AB)C ≡ A(BC) as conjunctive queries.
+  auto ab = Compose(f.a, f.b);
+  ASSERT_TRUE(ab.ok());
+  auto ab_c = Compose(*ab, f.c);
+  ASSERT_TRUE(ab_c.ok());
+  auto bc = Compose(f.b, f.c);
+  ASSERT_TRUE(bc.ok());
+  auto a_bc = Compose(f.a, *bc);
+  ASSERT_TRUE(a_bc.ok());
+  EXPECT_TRUE(AreEquivalent(ab_c->rule(), a_bc->rule()));
+}
+
+TEST_P(SemiringProperty, AdditionCommutesAndAssociates) {
+  Fixture f = MakeFixture(static_cast<std::uint32_t>(GetParam()));
+  // (A + B)q is a set union — order cannot matter.
+  auto ab = ApplySum({f.a, f.b}, f.db, f.q);
+  auto ba = ApplySum({f.b, f.a}, f.db, f.q);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_EQ(*ab, *ba);
+  auto abc = ApplySum({f.a, f.b, f.c}, f.db, f.q);
+  ASSERT_TRUE(abc.ok());
+  Relation manual = *ab;
+  auto cq = ApplySum({f.c}, f.db, f.q);
+  ASSERT_TRUE(cq.ok());
+  manual.UnionWith(*cq);
+  EXPECT_EQ(*abc, manual);
+}
+
+TEST_P(SemiringProperty, ProductDistributesOverSum) {
+  Fixture f = MakeFixture(static_cast<std::uint32_t>(GetParam()));
+  // A(B + C)q == (AB + AC)q.
+  auto b_plus_c = ApplySum({f.b, f.c}, f.db, f.q);
+  ASSERT_TRUE(b_plus_c.ok());
+  auto lhs = ApplySum({f.a}, f.db, *b_plus_c);
+  ASSERT_TRUE(lhs.ok());
+
+  auto ab = Compose(f.a, f.b);
+  auto ac = Compose(f.a, f.c);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ac.ok());
+  auto rhs = ApplySum({*ab, *ac}, f.db, f.q);
+  ASSERT_TRUE(rhs.ok());
+  EXPECT_EQ(*lhs, *rhs);
+}
+
+TEST_P(SemiringProperty, ClosureIsFixpoint) {
+  Fixture f = MakeFixture(static_cast<std::uint32_t>(GetParam()));
+  // Theorem 2.1: P = A*q satisfies P = AP ∪ q and is minimal.
+  auto closure = SemiNaiveClosure({f.a}, f.db, f.q);
+  ASSERT_TRUE(closure.ok());
+  auto ap = ApplySum({f.a}, f.db, *closure);
+  ASSERT_TRUE(ap.ok());
+  Relation rhs = *ap;
+  rhs.UnionWith(f.q);
+  EXPECT_EQ(*closure, rhs) << "1 + A·A* = A*";
+}
+
+TEST_P(SemiringProperty, ClosureAbsorbsPowers) {
+  Fixture f = MakeFixture(static_cast<std::uint32_t>(GetParam()));
+  // A^k q ⊆ A* q for all k (checked for k ≤ 3).
+  auto closure = SemiNaiveClosure({f.a}, f.db, f.q);
+  ASSERT_TRUE(closure.ok());
+  Relation power = f.q;
+  for (int k = 1; k <= 3; ++k) {
+    auto next = ApplySum({f.a}, f.db, power);
+    ASSERT_TRUE(next.ok());
+    power = std::move(next).value();
+    for (const Tuple& t : power) {
+      EXPECT_TRUE(closure->Contains(t)) << "A^" << k << " escapes A*";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SemiringProperty, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,199 @@
+#include "redundancy/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cq/compose.h"
+#include "cq/homomorphism.h"
+#include "datalog/parser.h"
+#include "datalog/printer.h"
+#include "eval/fixpoint.h"
+#include "redundancy/closure.h"
+#include "redundancy/factorize.h"
+#include "workload/databases.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+bool IsRedundant(const RedundancyReport& report, const std::string& pred) {
+  return std::find(report.redundant_predicates.begin(),
+                   report.redundant_predicates.end(),
+                   pred) != report.redundant_predicates.end();
+}
+
+TEST(AnalyzeTest, Example61CheapIsRedundant) {
+  // Figure 6: buys(x,y) :- knows(x,z), buys(z,y), cheap(y).
+  LinearRule r = LR("buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).");
+  auto report = AnalyzeRedundancy(r);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(IsRedundant(*report, "cheap"));
+  EXPECT_FALSE(IsRedundant(*report, "knows"));
+}
+
+TEST(AnalyzeTest, Example62RIsRedundant) {
+  // Figure 7: P(w,x,y,z) :- P(x,w,x,u), Q(x,u), R(x,y), S(u,z).
+  LinearRule r = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), rr(X,Y), s(U,Z).");
+  auto report = AnalyzeRedundancy(r);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(IsRedundant(*report, "rr"));
+  EXPECT_FALSE(IsRedundant(*report, "q"));
+  EXPECT_FALSE(IsRedundant(*report, "s"));
+}
+
+TEST(AnalyzeTest, TransitiveClosureHasNoRedundancy) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto report = AnalyzeRedundancy(r);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->redundant_predicates.empty());
+}
+
+TEST(FactorizeTest, Example62Factorization) {
+  LinearRule a = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), rr(X,Y), s(U,Z).");
+  auto f = FactorFirstRedundant(a);
+  ASSERT_TRUE(f.ok()) << f.status();
+  // The paper works this example with L = 2.
+  EXPECT_EQ(f->L, 2);
+  EXPECT_TRUE(f->product_verified) << "A^L = B C^L";
+  EXPECT_TRUE(f->swap_verified) << "C^L(BC^L) = C^L(C^L B)";
+
+  // Paper's C: P(w,x,y,z) :- P(x,w,x,z), R(x,y).
+  auto expected_c = ParseLinearRule("p(W,X,Y,Z) :- p(X,W,X,Z), rr(X,Y).");
+  ASSERT_TRUE(expected_c.ok());
+  EXPECT_TRUE(AreEquivalent(f->C.rule(), expected_c->rule()))
+      << ToString(f->C);
+
+  // Paper's C^2: P(w,x,y,z) :- P(w,x,w,z), R(w,x), R(x,y).
+  auto expected_c2 =
+      ParseLinearRule("p(W,X,Y,Z) :- p(W,X,W,Z), rr(W,X), rr(X,Y).");
+  ASSERT_TRUE(expected_c2.ok());
+  EXPECT_TRUE(AreEquivalent(f->CL.rule(), expected_c2->rule()))
+      << ToString(f->CL);
+
+  // C^L from A^L's bridges must equal Power(C, L).
+  auto powered = Power(f->C, f->L);
+  ASSERT_TRUE(powered.ok());
+  EXPECT_TRUE(AreEquivalent(powered->rule(), f->CL.rule()));
+}
+
+TEST(FactorizeTest, Example62BAndC2Commute) {
+  // Figure 8 caption: B and C² commute.
+  LinearRule a = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), rr(X,Y), s(U,Z).");
+  auto f = FactorFirstRedundant(a);
+  ASSERT_TRUE(f.ok());
+  auto bc = Compose(f->B, f->CL);
+  auto cb = Compose(f->CL, f->B);
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_TRUE(AreEquivalent(bc->rule(), cb->rule()));
+}
+
+TEST(FactorizeTest, Example63SwapWithoutCommutativity) {
+  // Example 6.3 / Figure 9: Q(y,u) instead of Q(x,u). BC² ≠ C²B, yet
+  // C²(BC²) = C²(C²B) — the weaker condition of Theorem 4.2 holds.
+  LinearRule a = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(Y,U), rr(X,Y), s(U,Z).");
+  auto analysis_report = AnalyzeRedundancy(a);
+  ASSERT_TRUE(analysis_report.ok());
+  EXPECT_TRUE(IsRedundant(*analysis_report, "rr"));
+
+  auto f = FactorFirstRedundant(a);
+  ASSERT_TRUE(f.ok()) << f.status();
+  EXPECT_TRUE(f->product_verified);
+  EXPECT_TRUE(f->swap_verified);
+
+  auto bc = Compose(f->B, f->CL);
+  auto cb = Compose(f->CL, f->B);
+  ASSERT_TRUE(bc.ok());
+  ASSERT_TRUE(cb.ok());
+  EXPECT_FALSE(AreEquivalent(bc->rule(), cb->rule()))
+      << "Example 6.3: BC^2 and C^2B must NOT be equivalent";
+}
+
+TEST(RedundantClosureTest, MatchesDirectClosureExample61) {
+  LinearRule r = LR("buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).");
+  auto f = FactorFirstRedundant(r);
+  ASSERT_TRUE(f.ok()) << f.status();
+  KnowsBuysWorkload w = MakeKnowsBuys(25, 60, 10, 0.5, 12, 21);
+
+  auto direct = SemiNaiveClosure({r}, w.db, w.q);
+  ASSERT_TRUE(direct.ok());
+  auto fast = RedundantClosure(*f, w.db, w.q);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_EQ(*direct, *fast);
+}
+
+TEST(RedundantClosureTest, MatchesDirectClosureExample62) {
+  LinearRule a = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(X,U), rr(X,Y), s(U,Z).");
+  auto f = FactorFirstRedundant(a);
+  ASSERT_TRUE(f.ok());
+
+  Database db;
+  db.GetOrCreate("q", 2) = RandomGraph(10, 25, 31);
+  db.GetOrCreate("rr", 2) = RandomGraph(10, 25, 32);
+  db.GetOrCreate("s", 2) = RandomGraph(10, 25, 33);
+  Relation q(4);
+  q.Insert({1, 2, 3, 4});
+  q.Insert({2, 3, 4, 5});
+  q.Insert({5, 1, 2, 3});
+  q.Insert({4, 4, 1, 9});
+
+  auto direct = SemiNaiveClosure({a}, db, q);
+  ASSERT_TRUE(direct.ok());
+  auto fast = RedundantClosure(*f, db, q);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  EXPECT_EQ(*direct, *fast);
+}
+
+TEST(RedundantClosureTest, MatchesDirectClosureExample63) {
+  LinearRule a = LR("p(W,X,Y,Z) :- p(X,W,X,U), q(Y,U), rr(X,Y), s(U,Z).");
+  auto f = FactorFirstRedundant(a);
+  ASSERT_TRUE(f.ok());
+
+  Database db;
+  db.GetOrCreate("q", 2) = RandomGraph(8, 20, 41);
+  db.GetOrCreate("rr", 2) = RandomGraph(8, 20, 42);
+  db.GetOrCreate("s", 2) = RandomGraph(8, 20, 43);
+  Relation q(4);
+  q.Insert({1, 2, 3, 4});
+  q.Insert({2, 1, 0, 3});
+  q.Insert({3, 3, 3, 3});
+
+  auto direct = SemiNaiveClosure({a}, db, q);
+  ASSERT_TRUE(direct.ok());
+  auto fast = RedundantClosure(*f, db, q);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(*direct, *fast);
+}
+
+TEST(RedundantClosureTest, UnverifiedFactorizationRejected) {
+  LinearRule r = LR("buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).");
+  auto f = FactorFirstRedundant(r);
+  ASSERT_TRUE(f.ok());
+  RedundantFactorization broken = *f;
+  broken.swap_verified = false;
+  Database db;
+  Relation q(2);
+  EXPECT_FALSE(RedundantClosure(broken, db, q).ok());
+}
+
+TEST(FactorizeTest, NonRestrictedClassRejected) {
+  LinearRule r = LR("p(X,Y) :- p(U,V), q(X), q(Y).");
+  EXPECT_FALSE(FactorRedundant(r, 0).ok());
+}
+
+TEST(FactorizeTest, NoBoundedBridgeIsNotFound) {
+  LinearRule r = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto f = FactorFirstRedundant(r);
+  EXPECT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,157 @@
+#include "separability/separable.h"
+
+#include <gtest/gtest.h>
+
+#include "commutativity/oracle.h"
+#include "datalog/parser.h"
+#include "separability/algorithm.h"
+#include "workload/databases.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+TEST(SeparableTest, SameGenerationPairIsSeparable) {
+  // The canonical separable pair: up-side and down-side of same-generation.
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  auto report = CheckSeparable(r1, r2);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->separable) << report->detail;
+  EXPECT_TRUE(report->cond_var_sets_disjoint);
+}
+
+TEST(SeparableTest, Example53CommutativeButNotSeparable) {
+  // Theorem 6.2's strictness witness: Example 5.3 commutes but violates
+  // conditions (2) and (3).
+  LinearRule r1 = LR("p(X,Y,Z) :- p(U,Y,Z), q(X,Y).");
+  LinearRule r2 = LR("p(X,Y,Z) :- p(X,Y,U), rr(Z,Y).");
+  auto report = CheckSeparable(r1, r2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->separable) << report->detail;
+  auto commute = Commute(r1, r2);
+  ASSERT_TRUE(commute.ok());
+  EXPECT_TRUE(*commute);
+}
+
+TEST(SeparableTest, SeparableImpliesCommutative) {
+  // Theorem 6.2 on several separable pairs.
+  const std::pair<const char*, const char*> pairs[] = {
+      {"p(X,Y) :- p(X,V), down(V,Y).", "p(X,Y) :- p(U,Y), up(X,U)."},
+      {"p(X,Y) :- p(X,V), a(V,Y).", "p(X,Y) :- p(U,Y), b(X,U)."},
+  };
+  for (const auto& [t1, t2] : pairs) {
+    LinearRule r1 = LR(t1);
+    LinearRule r2 = LR(t2);
+    auto report = CheckSeparable(r1, r2);
+    ASSERT_TRUE(report.ok());
+    if (report->separable) {
+      auto commute = Commute(r1, r2);
+      ASSERT_TRUE(commute.ok());
+      EXPECT_TRUE(*commute) << t1 << " | " << t2;
+    }
+  }
+}
+
+TEST(SeparableTest, PersistenceConditionViolated) {
+  // h(X) = Y distinguished and != X: condition (1) fails.
+  LinearRule r1 = LR("p(X,Y) :- p(Y,X), q(X,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), rr(Z,Y).");
+  auto report = CheckSeparable(r1, r2);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->cond_persistence);
+  EXPECT_FALSE(report->separable);
+}
+
+TEST(SelectionCommutesTest, PersistentPositionCommutes) {
+  LinearRule r = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  auto on_x = SelectionCommutesWith(r, Selection{0, 5});
+  auto on_y = SelectionCommutesWith(r, Selection{1, 5});
+  ASSERT_TRUE(on_x.ok());
+  ASSERT_TRUE(on_y.ok());
+  EXPECT_TRUE(*on_x);   // X is 1-persistent
+  EXPECT_FALSE(*on_y);  // Y changes per application
+}
+
+TEST(SelectionCommutesTest, OutOfRangeRejected) {
+  LinearRule r = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  EXPECT_FALSE(SelectionCommutesWith(r, Selection{2, 5}).ok());
+  EXPECT_FALSE(SelectionCommutesWith(r, Selection{-1, 5}).ok());
+}
+
+TEST(SeparableClosureTest, MatchesClosureThenSelect) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  SameGenerationWorkload w = MakeSameGeneration(5, 8, 2, 11);
+  // Select on X = some seed node; σ commutes with r1 (X 1-persistent).
+  Value target = w.q.Sorted().front()[0];
+  Selection sigma{0, target};
+
+  // σ on X commutes with r1 (X is 1-persistent there), so r1 is the outer
+  // closure: σ(r1+r2)* = r1*(σ(r2*)).
+  ClosureStats fast_stats;
+  auto fast = SeparableClosure({r1}, {r2}, sigma, w.db, w.q, &fast_stats);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+
+  ClosureStats slow_stats;
+  auto slow = ClosureThenSelect({r1}, {r2}, sigma, w.db, w.q, &slow_stats);
+  ASSERT_TRUE(slow.ok());
+
+  EXPECT_EQ(*fast, *slow);
+  EXPECT_FALSE(fast->empty());
+  // The pushed-down evaluation derives no more tuples than the full one.
+  EXPECT_LE(fast_stats.derivations, slow_stats.derivations);
+}
+
+TEST(SeparableClosureTest, EmptySelectionGivesEmptyResult) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  SameGenerationWorkload w = MakeSameGeneration(4, 4, 2, 12);
+  Selection sigma{0, 999999};  // matches nothing
+  auto out = SeparableClosure({r1}, {r2}, sigma, w.db, w.q);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(SeparableClosureTest, NonCommutingSelectionRejected) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  SameGenerationWorkload w = MakeSameGeneration(4, 4, 2, 13);
+  // σ on position 1 does not commute with r1 (Y is general in r1), so r1
+  // cannot be the outer closure.
+  auto out = SeparableClosure({r1}, {r2}, Selection{1, 0}, w.db, w.q);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SeparableClosureTest, NonCommutingOperatorsRejected) {
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), rr(Z,Y).");
+  Database db;
+  Relation q(2);
+  q.Insert({0, 0});
+  auto out = SeparableClosure({r1}, {r2}, Selection{0, 0}, db, q);
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(SeparableClosureTest, SelectionOnOtherSide) {
+  // σ on Y commutes with r2 (Y 1-persistent there): r2 is the outer closure.
+  LinearRule r1 = LR("p(X,Y) :- p(X,V), down(V,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(U,Y), up(X,U).");
+  SameGenerationWorkload w = MakeSameGeneration(5, 8, 2, 14);
+  Value target = w.q.Sorted().front()[1];
+  Selection sigma{1, target};
+  auto fast = SeparableClosure({r2}, {r1}, sigma, w.db, w.q);
+  ASSERT_TRUE(fast.ok()) << fast.status();
+  auto slow = ClosureThenSelect({r2}, {r1}, sigma, w.db, w.q);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(*fast, *slow);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/relation.h"
+#include "storage/tuple.h"
+
+namespace linrec {
+namespace {
+
+TEST(TupleTest, BasicAccess) {
+  Tuple t{1, 2, 3};
+  EXPECT_EQ(t.arity(), 3u);
+  EXPECT_EQ(t[0], 1);
+  EXPECT_EQ(t[2], 3);
+}
+
+TEST(TupleTest, EqualityAndHash) {
+  Tuple a{1, 2};
+  Tuple b{1, 2};
+  Tuple c{2, 1};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.hash(), b.hash());
+}
+
+TEST(TupleTest, Ordering) {
+  EXPECT_LT(Tuple({1, 2}), Tuple({1, 3}));
+  EXPECT_LT(Tuple({1, 9}), Tuple({2, 0}));
+}
+
+TEST(TupleTest, Project) {
+  Tuple t{10, 20, 30};
+  EXPECT_EQ(t.Project({2, 0}), Tuple({30, 10}));
+  EXPECT_EQ(t.Project({}), Tuple({}));
+}
+
+TEST(RelationTest, InsertDeduplicates) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+  EXPECT_TRUE(r.Insert({2, 1}));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, VersionBumpsOnNewTuplesOnly) {
+  Relation r(1);
+  auto v0 = r.version();
+  r.Insert({7});
+  auto v1 = r.version();
+  EXPECT_GT(v1, v0);
+  r.Insert({7});
+  EXPECT_EQ(r.version(), v1);
+}
+
+TEST(RelationTest, UnionWith) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  b.Insert({1});
+  b.Insert({2});
+  EXPECT_EQ(a.UnionWith(b), 1u);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(RelationTest, SortedIsDeterministic) {
+  Relation r(2);
+  r.Insert({3, 1});
+  r.Insert({1, 2});
+  r.Insert({1, 1});
+  auto sorted = r.Sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0], Tuple({1, 1}));
+  EXPECT_EQ(sorted[2], Tuple({3, 1}));
+}
+
+TEST(RelationTest, EqualityIsSetEquality) {
+  Relation a(1), b(1);
+  a.Insert({1});
+  a.Insert({2});
+  b.Insert({2});
+  b.Insert({1});
+  EXPECT_EQ(a, b);
+  b.Insert({3});
+  EXPECT_NE(a, b);
+}
+
+TEST(HashIndexTest, LookupByKey) {
+  Relation r(2);
+  r.Insert({1, 10});
+  r.Insert({1, 20});
+  r.Insert({2, 30});
+  HashIndex index(r, {0});
+  const auto* bucket = index.Lookup(Tuple({1}));
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u);
+  EXPECT_EQ(index.Lookup(Tuple({9})), nullptr);
+}
+
+TEST(HashIndexTest, CompositeKey) {
+  Relation r(3);
+  r.Insert({1, 2, 3});
+  r.Insert({1, 2, 4});
+  r.Insert({1, 3, 5});
+  HashIndex index(r, {0, 1});
+  const auto* bucket = index.Lookup(Tuple({1, 2}));
+  ASSERT_NE(bucket, nullptr);
+  EXPECT_EQ(bucket->size(), 2u);
+}
+
+TEST(DatabaseTest, GetOrCreateAndFind) {
+  Database db;
+  Relation& e = db.GetOrCreate("edge", 2);
+  e.Insert({1, 2});
+  ASSERT_NE(db.Find("edge"), nullptr);
+  EXPECT_EQ(db.Find("edge")->size(), 1u);
+  EXPECT_EQ(db.Find("missing"), nullptr);
+}
+
+TEST(DatabaseTest, GetCheckedArityMismatch) {
+  Database db;
+  db.GetOrCreate("e", 2);
+  auto ok = db.GetChecked("e", 2);
+  EXPECT_TRUE(ok.ok());
+  auto bad = db.GetChecked("e", 3);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto missing = db.GetChecked("x", 1);
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, NamesSorted) {
+  Database db;
+  db.GetOrCreate("zeta", 1);
+  db.GetOrCreate("alpha", 1);
+  auto names = db.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,113 @@
+// Guard rails: the near-linear analyses must stay near-linear. These tests
+// run the large-input paths under generous wall-clock budgets so accidental
+// quadratic regressions fail loudly, and exercise deep/wide evaluation
+// shapes end to end.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "analysis/rule_analysis.h"
+#include "commutativity/syntactic.h"
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "workload/graphs.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+TEST(StressTest, SyntacticTestAtArity512) {
+  auto pair = MakeRestrictedCommutingPair(256);  // arity 512, a ≈ 3K
+  ASSERT_TRUE(pair.ok());
+  auto start = std::chrono::steady_clock::now();
+  auto result = CheckSyntacticCondition(pair->first, pair->second);
+  double ms = MillisSince(start);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->condition_holds);
+  // Measured ≈3 ms in Release; 2000 ms catches quadratic regressions even
+  // on slow debug builds.
+  EXPECT_LT(ms, 2000.0) << "syntactic test is no longer near-linear";
+}
+
+TEST(StressTest, RuleAnalysisAtArity1024) {
+  auto pair = MakeRestrictedCommutingPair(512);
+  ASSERT_TRUE(pair.ok());
+  auto start = std::chrono::steady_clock::now();
+  auto analysis = RuleAnalysis::Compute(pair->first);
+  double ms = MillisSince(start);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->commutativity_bridges().size(), 1024u);
+  EXPECT_LT(ms, 3000.0) << "RuleAnalysis is no longer near-linear";
+}
+
+TEST(StressTest, DeepChainClosure) {
+  auto lr = ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y).");
+  ASSERT_TRUE(lr.ok());
+  Database db;
+  db.GetOrCreate("e", 2) = ChainGraph(3000);
+  Relation q(2);
+  q.Insert({0, 0});
+  ClosureStats stats;
+  auto out = SemiNaiveClosure({*lr}, db, q, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3000u);
+  EXPECT_EQ(stats.iterations, 3000u);
+  EXPECT_EQ(stats.duplicates, 0u);  // chains derive each tuple once
+}
+
+TEST(StressTest, WideFanoutSingleStep) {
+  // One application over a high-fanout relation: exercises index buckets.
+  auto lr = ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y).");
+  ASSERT_TRUE(lr.ok());
+  Database db;
+  Relation& e = db.GetOrCreate("e", 2);
+  for (int i = 0; i < 2000; ++i) e.Insert({0, i + 1});
+  Relation q(2);
+  q.Insert({7, 0});
+  ClosureStats stats;
+  auto out = ApplySum({*lr}, db, q, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2000u);
+  EXPECT_EQ(stats.derivations, 2000u);
+}
+
+TEST(StressTest, ManyRulesOnePredicate) {
+  // 16 mutually commuting operators: planner + decomposed evaluation.
+  std::vector<LinearRule> rules;
+  Database db;
+  RuleBuilder unused;
+  for (int i = 0; i < 16; ++i) {
+    // Rules touch disjoint positions of an 16-ary predicate... keep it
+    // simpler: all free-1-persistent except position i.
+    std::string head = "p(";
+    std::string body = "p(";
+    for (int j = 0; j < 4; ++j) {
+      head += (j ? "," : "");
+      head += "X" + std::to_string(j);
+      body += (j ? "," : "");
+      body += (j == i % 4) ? "U" : "X" + std::to_string(j);
+    }
+    std::string text = head + ") :- " + body + "), e" +
+                       std::to_string(i) + "(U,X" + std::to_string(i % 4) +
+                       ").";
+    auto lr = ParseLinearRule(text);
+    ASSERT_TRUE(lr.ok()) << text << ": " << lr.status();
+    rules.push_back(*lr);
+    db.GetOrCreate("e" + std::to_string(i), 2) = ChainGraph(6);
+  }
+  Relation q(4);
+  q.Insert({0, 0, 0, 0});
+  auto out = SemiNaiveClosure(rules, db, q);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_GT(out->size(), 1u);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -1,0 +1,114 @@
+#include "workload/graphs.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/traits.h"
+#include "workload/databases.h"
+#include "workload/rulegen.h"
+
+namespace linrec {
+namespace {
+
+TEST(GraphsTest, Chain) {
+  Relation g = ChainGraph(5);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(g.Contains({0, 1}));
+  EXPECT_TRUE(g.Contains({3, 4}));
+  EXPECT_TRUE(ChainGraph(1).empty());
+  EXPECT_TRUE(ChainGraph(0).empty());
+}
+
+TEST(GraphsTest, Cycle) {
+  Relation g = CycleGraph(4);
+  EXPECT_EQ(g.size(), 4u);
+  EXPECT_TRUE(g.Contains({3, 0}));
+}
+
+TEST(GraphsTest, Tree) {
+  Relation g = TreeGraph(2, 3);  // complete binary of depth 3
+  EXPECT_EQ(g.size(), 2u + 4u + 8u);
+  EXPECT_TRUE(g.Contains({0, 1}));
+  EXPECT_TRUE(g.Contains({0, 2}));
+  EXPECT_TRUE(g.Contains({1, 3}));
+}
+
+TEST(GraphsTest, Grid) {
+  Relation g = GridGraph(2, 3);
+  // Horizontal: 2*2; vertical: 3*1.
+  EXPECT_EQ(g.size(), 7u);
+}
+
+TEST(GraphsTest, RandomDeterministicInSeed) {
+  Relation a = RandomGraph(20, 30, 5);
+  Relation b = RandomGraph(20, 30, 5);
+  Relation c = RandomGraph(20, 30, 6);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 30u);
+  for (const Tuple& t : a) EXPECT_NE(t[0], t[1]);  // no self loops
+}
+
+TEST(GraphsTest, LayeredDagStructure) {
+  Relation g = LayeredDag(3, 4, 2, 9);
+  for (const Tuple& t : g) {
+    EXPECT_EQ(t[1] / 4, t[0] / 4 + 1) << "edges go to the next layer";
+  }
+}
+
+TEST(DatabasesTest, SameGenerationShape) {
+  SameGenerationWorkload w = MakeSameGeneration(4, 5, 2, 1);
+  ASSERT_NE(w.db.Find("up"), nullptr);
+  ASSERT_NE(w.db.Find("down"), nullptr);
+  EXPECT_EQ(w.db.Find("up")->size(), w.db.Find("down")->size());
+  EXPECT_EQ(w.q.size(), 20u);  // identity over all 4x5 nodes
+  // up is the reverse of down.
+  for (const Tuple& t : *w.db.Find("down")) {
+    EXPECT_TRUE(w.db.Find("up")->Contains({t[1], t[0]}));
+  }
+}
+
+TEST(DatabasesTest, KnowsBuysShape) {
+  KnowsBuysWorkload w = MakeKnowsBuys(10, 20, 5, 1.0, 8, 2);
+  EXPECT_EQ(w.db.Find("knows")->size(), 20u);
+  EXPECT_EQ(w.db.Find("cheap")->size(), 5u);  // fraction 1.0
+  EXPECT_EQ(w.db.Find("cheap")->arity(), 1u);
+  EXPECT_LE(w.q.size(), 8u);
+  // Items are disjoint from people ids.
+  for (const Tuple& t : *w.db.Find("cheap")) EXPECT_GE(t[0], 10);
+}
+
+TEST(RulegenTest, CommutingPairInRestrictedClass) {
+  auto pair = MakeRestrictedCommutingPair(3);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_TRUE(ComputeTraits(pair->first.rule()).InRestrictedClass());
+  EXPECT_TRUE(ComputeTraits(pair->second.rule()).InRestrictedClass());
+  EXPECT_EQ(pair->first.arity(), 6u);
+}
+
+TEST(RulegenTest, RepeatedPredicatePairLeavesRestrictedClass) {
+  auto pair = MakeRepeatedPredicatePair(2, 2);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_TRUE(
+      ComputeTraits(pair->first.rule()).repeated_nonrecursive_predicates);
+}
+
+TEST(RulegenTest, RandomRuleIsValidAndDeterministic) {
+  auto a = RandomLinearRule(3, 4, 77);
+  auto b = RandomLinearRule(3, 4, 77);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->rule().head().arity(), 3u);
+  EXPECT_TRUE(ComputeTraits(a->rule()).linear);
+  EXPECT_TRUE(ComputeTraits(a->rule()).constant_free);
+  // Determinism: same seed, same structure.
+  EXPECT_EQ(a->rule().body().size(), b->rule().body().size());
+}
+
+TEST(RulegenTest, InvalidParametersRejected) {
+  EXPECT_FALSE(MakeRestrictedCommutingPair(0).ok());
+  EXPECT_FALSE(MakeRepeatedPredicatePair(0, 1).ok());
+  EXPECT_FALSE(RandomLinearRule(0, 1, 1).ok());
+}
+
+}  // namespace
+}  // namespace linrec
