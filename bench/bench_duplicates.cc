@@ -1,7 +1,8 @@
 // E1 — Theorem 3.1: evaluating (B+C)* as B*C* produces no more duplicate
 // derivations, and strictly fewer whenever the mixed CB-terms rederive
 // tuples. Workload: same-generation (Example 5.2) over layered DAGs, where
-// parallel paths maximize rederivation.
+// parallel paths maximize rederivation. Driven through linrec::Engine:
+// the decomposed rows use the plan the engine compiles by itself.
 //
 // Reported counters per configuration:
 //   duplicates      — duplicate derivations of the measured strategy
@@ -12,68 +13,74 @@
 
 #include <benchmark/benchmark.h>
 
-#include "algebra/closure.h"
 #include "datalog/parser.h"
+#include "engine/engine.h"
 #include "workload/databases.h"
 
 namespace linrec {
 namespace {
 
-struct Fixture {
-  LinearRule r1;
-  LinearRule r2;
-  SameGenerationWorkload w;
-};
+SameGenerationWorkload MakeWorkload(int layers, int width, int fanout) {
+  return MakeSameGeneration(layers, width, fanout, /*seed=*/1234);
+}
 
-Fixture MakeFixture(int layers, int width, int fanout) {
-  return Fixture{*ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y)."),
-                 *ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U)."),
-                 MakeSameGeneration(layers, width, fanout, /*seed=*/1234)};
+void ReportStats(benchmark::State& state, const ClosureStats& stats) {
+  state.counters["duplicates"] = static_cast<double>(stats.duplicates);
+  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["result"] = static_cast<double>(stats.result_size);
 }
 
 void BM_Direct_SumClosure(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<int>(state.range(0)),
-                          static_cast<int>(state.range(1)),
-                          static_cast<int>(state.range(2)));
-  ClosureStats stats;
+  SameGenerationWorkload w = MakeWorkload(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)),
+                                          static_cast<int>(state.range(2)));
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(
+      Query::Closure(SameGenerationRules()).From(w.q).Force(Strategy::kSemiNaive));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = DirectClosure({f.r1, f.r2}, f.w.db, f.w.q, &stats);
+    engine.ResetStats();
+    auto out = engine.Execute(*plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
-  state.counters["duplicates"] = static_cast<double>(stats.duplicates);
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["result"] = static_cast<double>(stats.result_size);
+  ReportStats(state, engine.stats());
 }
 
 void BM_Decomposed_BstarCstar(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<int>(state.range(0)),
-                          static_cast<int>(state.range(1)),
-                          static_cast<int>(state.range(2)));
+  SameGenerationWorkload w = MakeWorkload(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(1)),
+                                          static_cast<int>(state.range(2)));
+  Engine engine(std::move(w.db));
   // Baseline duplicates for the ratio counter.
-  ClosureStats direct_stats;
-  auto direct = DirectClosure({f.r1, f.r2}, f.w.db, f.w.q, &direct_stats);
-  if (!direct.ok()) {
-    state.SkipWithError(direct.status().ToString().c_str());
+  auto direct = engine.Plan(
+      Query::Closure(SameGenerationRules()).From(w.q).Force(Strategy::kSemiNaive));
+  if (!direct.ok() || !engine.Execute(*direct).ok()) {
+    state.SkipWithError("direct baseline failed");
     return;
   }
+  const std::size_t direct_duplicates = engine.stats().duplicates;
 
-  ClosureStats stats;
+  auto plan = engine.Plan(Query::Closure(SameGenerationRules()).From(w.q));
+  if (!plan.ok() || plan->strategy != Strategy::kDecomposed) {
+    state.SkipWithError("planner did not choose kDecomposed");
+    return;
+  }
   for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = DecomposedClosure({{f.r1}, {f.r2}}, f.w.db, f.w.q, &stats);
+    engine.ResetStats();
+    auto out = engine.Execute(*plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
-  state.counters["duplicates"] = static_cast<double>(stats.duplicates);
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["result"] = static_cast<double>(stats.result_size);
+  ReportStats(state, engine.stats());
+  const std::size_t duplicates = engine.stats().duplicates;
   state.counters["dup_ratio"] =
-      stats.duplicates == 0
-          ? static_cast<double>(direct_stats.duplicates)
-          : static_cast<double>(direct_stats.duplicates) /
-                static_cast<double>(stats.duplicates);
+      duplicates == 0 ? static_cast<double>(direct_duplicates)
+                      : static_cast<double>(direct_duplicates) /
+                            static_cast<double>(duplicates);
 }
 
 void DagArgs(benchmark::internal::Benchmark* b) {

@@ -1,89 +1,102 @@
 // E7 — engine baseline (Section 2 substrate): semi-naive vs naive fixpoint
 // on transitive closure. Both must produce identical relations; naive
-// rederives the whole relation each round.
+// rederives the whole relation each round. Driven through linrec::Engine
+// with forced strategies (kNaive is never chosen automatically).
 
 #include <benchmark/benchmark.h>
 
 #include "datalog/parser.h"
-#include "eval/fixpoint.h"
+#include "engine/engine.h"
 #include "workload/graphs.h"
 
 namespace linrec {
 namespace {
 
-struct Fixture {
-  LinearRule rule;
-  Database db;
-  Relation q{2};
-};
+LinearRule TC() { return *ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."); }
 
-Fixture ChainFixture(int n) {
-  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
-  f.db.GetOrCreate("e", 2) = ChainGraph(n);
-  f.q.Insert({0, 0});
-  return f;
+Engine ChainEngine(int n) {
+  Database db;
+  db.GetOrCreate("e", 2) = ChainGraph(n);
+  return Engine(std::move(db));
 }
 
-Fixture RandomFixture(int n) {
-  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
-  f.db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, 17);
-  for (int i = 0; i < n; i += 8) f.q.Insert({i, i});
-  return f;
+/// Executes `plan` once per benchmark iteration with fresh stats.
+void RunLoop(benchmark::State& state, Engine& engine,
+             const ExecutionPlan& plan) {
+  for (auto _ : state) {
+    engine.ResetStats();
+    auto out = engine.Execute(plan);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().ToString().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(out);
+  }
+}
+
+void RunForced(benchmark::State& state, Engine& engine, const Relation& q,
+               Strategy strategy) {
+  auto plan =
+      engine.Plan(Query::Closure({TC()}).From(q).Force(strategy));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  RunLoop(state, engine, *plan);
+  state.counters["derivations"] =
+      static_cast<double>(engine.stats().derivations);
+  state.counters["iterations"] =
+      static_cast<double>(engine.stats().iterations);
 }
 
 void BM_SemiNaive_Chain(benchmark::State& state) {
-  Fixture f = ChainFixture(static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
-  }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["iterations"] = static_cast<double>(stats.iterations);
+  Engine engine = ChainEngine(static_cast<int>(state.range(0)));
+  Relation q(2);
+  q.Insert({0, 0});
+  RunForced(state, engine, q, Strategy::kSemiNaive);
 }
 
 void BM_Naive_Chain(benchmark::State& state) {
-  Fixture f = ChainFixture(static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = NaiveClosure({f.rule}, f.db, f.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
-  }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["iterations"] = static_cast<double>(stats.iterations);
+  Engine engine = ChainEngine(static_cast<int>(state.range(0)));
+  Relation q(2);
+  q.Insert({0, 0});
+  RunForced(state, engine, q, Strategy::kNaive);
 }
 
 void BM_SemiNaive_Random(benchmark::State& state) {
-  Fixture f = RandomFixture(static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
+  int n = static_cast<int>(state.range(0));
+  Database db;
+  db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, 17);
+  Engine engine(std::move(db));
+  Relation q(2);
+  for (int i = 0; i < n; i += 8) q.Insert({i, i});
+  auto plan = engine.Plan(
+      Query::Closure({TC()}).From(q).Force(Strategy::kSemiNaive));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
   }
-  state.counters["result"] = static_cast<double>(stats.result_size);
+  RunLoop(state, engine, *plan);
+  state.counters["result"] = static_cast<double>(engine.stats().result_size);
 }
 
 void BM_GridClosure(benchmark::State& state) {
   int side = static_cast<int>(state.range(0));
-  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."), {}, Relation(2)};
-  f.db.GetOrCreate("e", 2) = GridGraph(side, side);
-  f.q.Insert({0, 0});
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = SemiNaiveClosure({f.rule}, f.db, f.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
+  Database db;
+  db.GetOrCreate("e", 2) = GridGraph(side, side);
+  Engine engine(std::move(db));
+  Relation q(2);
+  q.Insert({0, 0});
+  auto plan = engine.Plan(Query::Closure({TC()}).From(q));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
   }
+  RunLoop(state, engine, *plan);
   // Grids have many parallel paths: duplicates dominate (cf. [1] in the
   // paper: duplicate elimination often dominates recursive computations).
-  state.counters["duplicates"] = static_cast<double>(stats.duplicates);
+  state.counters["duplicates"] =
+      static_cast<double>(engine.stats().duplicates);
 }
 
 BENCHMARK(BM_SemiNaive_Chain)->Arg(64)->Arg(256)->Arg(1024)

@@ -7,15 +7,14 @@
 //
 // `endorses` (the redundant predicate) has `fanout` matches per item, so
 // the direct closure pays fanout-many duplicate derivations per iteration;
-// the redundancy-aware closure pays them once. The win should scale with
-// the fan-out and with the recursion depth.
+// the redundancy-aware closure pays them once. Driven through
+// linrec::Engine: automatic planning finds the bounded bridge and elides
+// the predicate (plan->factorization); the baseline forces semi-naive.
 
 #include <benchmark/benchmark.h>
 
 #include "datalog/parser.h"
-#include "eval/fixpoint.h"
-#include "redundancy/closure.h"
-#include "redundancy/factorize.h"
+#include "engine/engine.h"
 #include "workload/databases.h"
 
 namespace linrec {
@@ -24,80 +23,102 @@ namespace {
 constexpr const char* kRule =
     "buys(X,Y) :- knows(X,Z), buys(Z,Y), endorses(W,Y).";
 
-const RedundantFactorization& Factorization() {
-  static const RedundantFactorization* f = [] {
-    auto rule = ParseLinearRule(kRule);
-    auto factorization = FactorFirstRedundant(*rule);
-    return new RedundantFactorization(*factorization);
-  }();
-  return *f;
-}
-
 EndorsedBuysWorkload MakeWorkload(int people, int fanout) {
   return MakeEndorsedBuys(people, /*items=*/people / 4, fanout,
                           /*initial_buys=*/people / 4, /*seed=*/3);
+}
+
+void RunPlanned(benchmark::State& state, const ExecutionPlan& plan,
+                Engine& engine) {
+  for (auto _ : state) {
+    engine.ResetStats();
+    auto out = engine.Execute(plan);
+    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["derivations"] =
+      static_cast<double>(engine.stats().derivations);
+  state.counters["result"] = static_cast<double>(engine.stats().result_size);
 }
 
 void BM_Direct_FanoutSweep(benchmark::State& state) {
   auto rule = ParseLinearRule(kRule);
   EndorsedBuysWorkload w =
       MakeWorkload(200, static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = SemiNaiveClosure({*rule}, w.db, w.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(
+      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
   }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["result"] = static_cast<double>(stats.result_size);
+  RunPlanned(state, *plan, engine);
 }
 
 void BM_RedundancyAware_FanoutSweep(benchmark::State& state) {
-  const RedundantFactorization& f = Factorization();
+  auto rule = ParseLinearRule(kRule);
   EndorsedBuysWorkload w =
       MakeWorkload(200, static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = RedundantClosure(f, w.db, w.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
   }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
-  state.counters["result"] = static_cast<double>(stats.result_size);
-  state.counters["commuting_path"] = f.commuting ? 1 : 0;
+  if (!plan->factorization.has_value()) {
+    state.SkipWithError("planner did not elide the redundant predicate");
+    return;
+  }
+  RunPlanned(state, *plan, engine);
+  state.counters["commuting_path"] = plan->factorization->commuting ? 1 : 0;
 }
 
 void BM_Direct_DepthSweep(benchmark::State& state) {
   auto rule = ParseLinearRule(kRule);
   EndorsedBuysWorkload w =
       MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(
+      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    auto out = SemiNaiveClosure({*rule}, w.db, w.q);
+    auto out = engine.Execute(*plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
 }
 
 void BM_RedundancyAware_DepthSweep(benchmark::State& state) {
-  const RedundantFactorization& f = Factorization();
+  auto rule = ParseLinearRule(kRule);
   EndorsedBuysWorkload w =
       MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    auto out = RedundantClosure(f, w.db, w.q);
+    auto out = engine.Execute(*plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
 }
 
-void BM_FactorizationCost(benchmark::State& state) {
-  // One-off analysis cost (Theorem 6.3 + Lemmas 6.3-6.5 + torsion search).
+void BM_ColdRedundancyPlan(benchmark::State& state) {
+  // One-off planning cost from a cold cache: Theorem 6.3 bridge analysis,
+  // the torsion search, and the Lemma 6.3-6.5 factorization.
   auto rule = ParseLinearRule(kRule);
+  Relation q(2);
+  q.Insert({0, 0});
   for (auto _ : state) {
-    auto f = FactorFirstRedundant(*rule);
-    if (!f.ok()) state.SkipWithError(f.status().ToString().c_str());
-    benchmark::DoNotOptimize(f);
+    Engine engine;
+    auto plan = engine.Plan(Query::Closure({*rule}).From(q));
+    if (!plan.ok()) state.SkipWithError(plan.status().ToString().c_str());
+    benchmark::DoNotOptimize(plan);
   }
 }
 
@@ -109,7 +130,7 @@ BENCHMARK(BM_Direct_DepthSweep)->Arg(100)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RedundancyAware_DepthSweep)->Arg(100)->Arg(200)->Arg(400)
     ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_FactorizationCost)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ColdRedundancyPlan)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace linrec

@@ -2,67 +2,81 @@
 // commuting selection, σ(A1+A2)* can be computed as A1*(A2*(σq)) with the
 // selection pushed to the initial relation. The win grows with the domain
 // size (the full closure touches everything; the pushed-down one only the
-// selected cone) and shrinks as selectivity approaches 1.
+// selected cone) and shrinks as selectivity approaches 1. Driven through
+// linrec::Engine: the planner detects the 1-persistent selected column and
+// compiles kSeparable by itself; the baseline forces semi-naive, which
+// filters the final closure.
 
 #include <benchmark/benchmark.h>
 
 #include "datalog/parser.h"
-#include "separability/algorithm.h"
+#include "engine/engine.h"
 #include "workload/databases.h"
 
 namespace linrec {
 namespace {
 
 struct Fixture {
-  LinearRule r1;
-  LinearRule r2;
   SameGenerationWorkload w;
   Selection sigma;
 };
 
 Fixture MakeFixture(int width) {
-  Fixture f{*ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y)."),
-            *ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U)."),
-            MakeSameGeneration(/*layers=*/6, width, /*fanout=*/2, /*seed=*/5),
+  Fixture f{MakeSameGeneration(/*layers=*/6, width, /*fanout=*/2,
+                               /*seed=*/5),
             {}};
-  // Select one seed node on position 0 (1-persistent in r1).
+  // Select one seed node on position 0 (1-persistent in the down rule).
   f.sigma = Selection{0, f.w.q.Sorted().front()[0]};
   return f;
 }
 
-void BM_ClosureThenSelect(benchmark::State& state) {
-  Fixture f = MakeFixture(static_cast<int>(state.range(0)));
-  ClosureStats stats;
+void RunPlanned(benchmark::State& state, const ExecutionPlan& plan,
+                Engine& engine) {
   for (auto _ : state) {
-    stats = ClosureStats();
-    auto out = ClosureThenSelect({f.r1}, {f.r2}, f.sigma, f.w.db, f.w.q,
-                                 &stats);
+    engine.ResetStats();
+    auto out = engine.Execute(plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  state.counters["derivations"] =
+      static_cast<double>(engine.stats().derivations);
+}
+
+void BM_ClosureThenSelect(benchmark::State& state) {
+  Fixture f = MakeFixture(static_cast<int>(state.range(0)));
+  Engine engine(std::move(f.w.db));
+  auto plan = engine.Plan(Query::Closure(SameGenerationRules())
+                              .Select(f.sigma)
+                              .From(f.w.q)
+                              .Force(Strategy::kSemiNaive));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
+  RunPlanned(state, *plan, engine);
 }
 
 void BM_SeparableAlgorithm(benchmark::State& state) {
   Fixture f = MakeFixture(static_cast<int>(state.range(0)));
-  ClosureStats stats;
-  for (auto _ : state) {
-    stats = ClosureStats();
-    auto out =
-        SeparableClosure({f.r1}, {f.r2}, f.sigma, f.w.db, f.w.q, &stats);
-    if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
-    benchmark::DoNotOptimize(out);
+  Engine engine(std::move(f.w.db));
+  auto plan = engine.Plan(
+      Query::Closure(SameGenerationRules()).Select(f.sigma).From(f.w.q));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
   }
-  state.counters["derivations"] = static_cast<double>(stats.derivations);
+  if (plan->strategy != Strategy::kSeparable) {
+    state.SkipWithError("planner did not choose kSeparable");
+    return;
+  }
+  RunPlanned(state, *plan, engine);
 }
 
 // Selectivity sweep: fraction of seed nodes matching σ, emulated by seeding
-// q with `range(1)` copies of the selected head value.
+// q with `range(0)` copies of the selected head value.
 void BM_SeparableSelectivity(benchmark::State& state) {
   int width = 32;
   int matching = static_cast<int>(state.range(0));
-  LinearRule r1 = *ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y).");
-  LinearRule r2 = *ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
   SameGenerationWorkload w = MakeSameGeneration(6, width, 2, 7);
   // Rewrite q so `matching` of the seeds share the selected key.
   Relation q(2);
@@ -73,8 +87,15 @@ void BM_SeparableSelectivity(benchmark::State& state) {
     ++i;
   }
   Selection sigma{0, key};
+  Engine engine(std::move(w.db));
+  auto plan =
+      engine.Plan(Query::Closure(SameGenerationRules()).Select(sigma).From(q));
+  if (!plan.ok()) {
+    state.SkipWithError(plan.status().ToString().c_str());
+    return;
+  }
   for (auto _ : state) {
-    auto out = SeparableClosure({r1}, {r2}, sigma, w.db, q);
+    auto out = engine.Execute(*plan);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }

@@ -3,8 +3,9 @@
 // Reads a Datalog program from a file (or stdin with "-"), and for every
 // recursive predicate reports: per-rule variable classification, pairwise
 // commutativity (with the clause that justified each position), the
-// decomposition plan for the rule sum, separability, and recursively
-// redundant predicates.
+// decomposition plan for the rule sum, separability, recursively
+// redundant predicates, and the execution plan the linrec::Engine would
+// compile for the rule sum (with its theorem-level justification).
 //
 // Usage:
 //   analyze program.dl
@@ -23,6 +24,7 @@
 #include "commutativity/oracle.h"
 #include "datalog/parser.h"
 #include "datalog/printer.h"
+#include "engine/engine.h"
 #include "redundancy/analyze.h"
 #include "separability/separable.h"
 
@@ -127,6 +129,17 @@ int main(int argc, char** argv) {
         std::cout << (plan->fully_decomposed ? "  (fully commutative)" : "")
                   << "\n";
       }
+    }
+
+    // What would the engine do with this rule sum? Plan over an empty seed
+    // — strategy selection is purely symbolic.
+    Engine engine;
+    auto plan = engine.Plan(
+        Query::Closure(rules).From(Relation(rules[0].arity())));
+    if (plan.ok()) {
+      std::cout << "\nengine plan:\n" << plan->Explain();
+    } else {
+      std::cout << "\nengine plan unavailable: " << plan.status() << "\n";
     }
     std::cout << "\n";
   }

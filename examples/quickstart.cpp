@@ -1,5 +1,8 @@
-// Quickstart: parse two linear recursive rules, test whether they commute,
-// and use the decomposition (A1+A2)* = A1*A2* to answer a query.
+// Quickstart: parse two linear recursive rules, hand them to the
+// linrec::Engine, and let analysis choose the strategy — the planner
+// discovers that the operators commute and compiles the decomposition
+// (A1+A2)* = A1*A2* by itself. Plan().Explain() shows the theorem-level
+// justification; a forced semi-naive plan provides the comparison.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,11 +10,9 @@
 
 #include <iostream>
 
-#include "algebra/closure.h"
-#include "algebra/plan.h"
-#include "commutativity/oracle.h"
 #include "datalog/parser.h"
 #include "datalog/printer.h"
+#include "engine/engine.h"
 #include "workload/graphs.h"
 
 using namespace linrec;
@@ -29,50 +30,45 @@ int main() {
   std::cout << "r1: " << ToString(*r1) << "\n";
   std::cout << "r2: " << ToString(*r2) << "\n\n";
 
-  // 1. Do the operators commute? (Theorem 5.1/5.2 syntactic test.)
-  auto report = CheckCommutativity(*r1, *r2);
-  if (!report.ok()) {
-    std::cerr << "commutativity check failed: " << report.status() << "\n";
-    return 1;
-  }
-  std::cout << "commute: " << (report->commute ? "yes" : "no")
-            << "  (syntactic condition "
-            << (report->syntactic_holds ? "holds" : "fails")
-            << ", restricted class: "
-            << (report->restricted_class ? "yes" : "no") << ")\n";
-  for (const std::string& note : report->notes) {
-    std::cout << "  " << note << "\n";
-  }
-
-  // 2. Build a small database: a binary tree, with `down` its edges and
+  // 1. Build a small database: a binary tree, with `down` its edges and
   // `up` their reversals; seed q with the identity over all nodes.
   Database db;
   Relation down = TreeGraph(/*branching=*/2, /*depth=*/6);
   Relation up(2);
   for (const Tuple& t : down) up.Insert({t[1], t[0]});
-  std::size_t nodes = 0;
   Relation q(2);
   for (const Tuple& t : down) {
     q.Insert({t[0], t[0]});
     q.Insert({t[1], t[1]});
-    ++nodes;
   }
   db.GetOrCreate("down", 2) = std::move(down);
   db.GetOrCreate("up", 2) = std::move(up);
 
-  // 3. Evaluate (r1 + r2)* q two ways and compare the work.
-  ClosureStats direct_stats;
-  auto direct = DirectClosure({*r1, *r2}, db, q, &direct_stats);
-  ClosureStats decomposed_stats;
-  auto plan = PlanDecomposition({*r1, *r2});
-  auto decomposed = EvaluateWithPlan({*r1, *r2}, *plan, db, q,
-                                     &decomposed_stats);
+  // 2. Ask the engine for a plan. The planner runs the Theorem 5.1/5.2
+  // commutativity oracle over the pair and picks the decomposed strategy.
+  Engine engine(std::move(db));
+  auto plan = engine.Plan(Query::Closure({*r1, *r2}).From(q));
+  if (!plan.ok()) {
+    std::cerr << "planning failed: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << plan->Explain() << "\n";
+
+  // 3. Execute the chosen plan and the forced semi-naive baseline, and
+  // compare the work (Theorem 3.1: the decomposition never produces more
+  // duplicate derivations).
+  auto decomposed = engine.Execute(*plan);
+  ClosureStats decomposed_stats = engine.stats();
+  engine.ResetStats();
+  auto direct = engine.Execute(
+      Query::Closure({*r1, *r2}).From(q).Force(Strategy::kSemiNaive));
+  ClosureStats direct_stats = engine.stats();
   if (!direct.ok() || !decomposed.ok()) {
     std::cerr << "evaluation failed\n";
     return 1;
   }
 
-  std::cout << "\nsame-generation pairs over a binary tree:\n";
+  std::cout << "same-generation pairs over a binary tree:\n";
   std::cout << "  result size        : " << direct->size() << " tuples\n";
   std::cout << "  results identical  : "
             << (*direct == *decomposed ? "yes" : "NO (bug!)") << "\n";
@@ -83,6 +79,7 @@ int main() {
             << " derivations, " << decomposed_stats.duplicates
             << " duplicates\n";
   std::cout << "\nTheorem 3.1 in action: the decomposed evaluation never "
-               "produces more duplicates.\n";
+               "produces more duplicates — and the engine chose it from "
+               "the analysis alone.\n";
   return 0;
 }

@@ -1,6 +1,7 @@
-// Recursively redundant predicates (Section 6.2): detect them with the
-// Theorem 6.3 analyzer, factor A^L = B C^L (Lemmas 6.3-6.5), and evaluate
-// the closure with the bounded-C strategy of Theorem 4.2.
+// Recursively redundant predicates (Section 6.2): the engine detects them
+// with the Theorem 6.3 analyzer, factors A^L = B C^L (Lemmas 6.3-6.5), and
+// elides the redundant predicate from the unbounded tail (Theorem 4.2) —
+// all during Plan(); the caller only states the query.
 //
 // Scenario: Example 6.1's market program with an expensive endorsement
 // check:
@@ -10,10 +11,7 @@
 
 #include "datalog/parser.h"
 #include "datalog/printer.h"
-#include "eval/fixpoint.h"
-#include "redundancy/analyze.h"
-#include "redundancy/closure.h"
-#include "redundancy/factorize.h"
+#include "engine/engine.h"
 #include "workload/databases.h"
 
 using namespace linrec;
@@ -24,56 +22,55 @@ int main() {
   if (!rule.ok()) return 1;
   std::cout << "rule: " << ToString(*rule) << "\n\n";
 
-  // 1. Which nonrecursive predicates are recursively redundant?
-  auto report = AnalyzeRedundancy(*rule);
-  if (!report.ok()) {
-    std::cerr << "analysis failed: " << report.status() << "\n";
-    return 1;
-  }
-  std::cout << "redundant predicates:";
-  for (const std::string& pred : report->redundant_predicates) {
-    std::cout << " " << pred;
-  }
-  std::cout << "\n";
-  for (const RedundancyEntry& entry : report->entries) {
-    std::cout << "  bridge " << entry.bridge_index << ": {";
-    for (std::size_t i = 0; i < entry.predicates.size(); ++i) {
-      std::cout << (i ? "," : "") << entry.predicates[i];
-    }
-    std::cout << "} uniformly bounded: "
-              << (entry.uniformly_bounded ? "yes" : "no");
-    if (entry.uniformly_bounded) {
-      std::cout << " (C^" << entry.bound.n << " <= C^" << entry.bound.k
-                << ")";
-    }
-    std::cout << "\n";
-  }
-
-  // 2. Factor A^L = B C^L.
-  auto f = FactorFirstRedundant(*rule);
-  if (!f.ok()) {
-    std::cerr << "factorization failed: " << f.status() << "\n";
-    return 1;
-  }
-  std::cout << "\nfactorization (L=" << f->L << ", C^" << f->N << " = C^"
-            << f->K << "):\n";
-  std::cout << "  C : " << ToString(f->C) << "\n";
-  std::cout << "  B : " << ToString(f->B) << "\n";
-  std::cout << "  A^L = B.C^L verified: "
-            << (f->product_verified ? "yes" : "no") << "\n";
-  std::cout << "  C^L(BC^L) = C^L(C^LB) verified: "
-            << (f->swap_verified ? "yes" : "no") << "\n";
-  std::cout << "  B and C^L commute outright: "
-            << (f->commuting ? "yes" : "no") << "\n";
-
-  // 3. Evaluate both ways on a deep workload with heavy endorsement fanout.
+  // 1. The engine's cached analysis: which nonrecursive predicates are
+  // recursively redundant?
   EndorsedBuysWorkload w = MakeEndorsedBuys(/*people=*/300, /*items=*/75,
                                             /*fanout=*/32,
                                             /*initial_buys=*/75, /*seed=*/7);
-  ClosureStats direct_stats;
-  auto direct = SemiNaiveClosure({*rule}, w.db, w.q, &direct_stats);
-  ClosureStats aware_stats;
-  auto aware = RedundantClosure(*f, w.db, w.q, &aware_stats);
+  Engine engine(std::move(w.db));
+  auto info = engine.Analyze(*rule);
+  if (!info.ok()) {
+    std::cerr << "analysis failed: " << info.status() << "\n";
+    return 1;
+  }
+  if ((*info)->redundancy.has_value()) {
+    const RedundancyReport& report = *(*info)->redundancy;
+    std::cout << "redundant predicates:";
+    for (const std::string& pred : report.redundant_predicates) {
+      std::cout << " " << pred;
+    }
+    std::cout << "\n";
+    for (const RedundancyEntry& entry : report.entries) {
+      std::cout << "  bridge " << entry.bridge_index << ": {";
+      for (std::size_t i = 0; i < entry.predicates.size(); ++i) {
+        std::cout << (i ? "," : "") << entry.predicates[i];
+      }
+      std::cout << "} uniformly bounded: "
+                << (entry.uniformly_bounded ? "yes" : "no");
+      if (entry.uniformly_bounded) {
+        std::cout << " (C^" << entry.bound.n << " <= C^" << entry.bound.k
+                  << ")";
+      }
+      std::cout << "\n";
+    }
+  }
+
+  // 2. Plan: the factorization happens inside the engine; Explain() names
+  // the elided predicate and the theorems that license the elision.
+  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
+  if (!plan.ok()) {
+    std::cerr << "planning failed: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n" << plan->Explain() << "\n";
+
+  // 3. Evaluate both ways on a deep workload with heavy endorsement fanout.
+  auto aware = engine.Execute(*plan);
+  ClosureStats aware_stats = engine.stats();
+  engine.ResetStats();
+  auto direct = engine.Execute(
+      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
+  ClosureStats direct_stats = engine.stats();
   if (!direct.ok() || !aware.ok()) {
     std::cerr << "evaluation failed\n";
     return 1;

@@ -3,16 +3,16 @@
 // closure.
 //
 // Scenario: "which nodes are in the same generation as node N?" over a
-// layered organization chart. The naive plan computes every same-generation
-// pair and then filters; the separable plan closes the up-side once,
-// filters, and only then runs the down-side closure.
+// layered organization chart. The engine plans both sides: forced
+// semi-naive computes every same-generation pair and then filters, while
+// the automatic plan detects that σ's column is 1-persistent in the down
+// rule, splits the operators, and closes only the selected cone.
 
 #include <iostream>
 
 #include "datalog/parser.h"
 #include "datalog/printer.h"
-#include "separability/algorithm.h"
-#include "separability/separable.h"
+#include "engine/engine.h"
 #include "workload/databases.h"
 
 using namespace linrec;
@@ -22,12 +22,6 @@ int main() {
   auto r2 = ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
   if (!r1.ok() || !r2.ok()) return 1;
 
-  // Naughton's separability conditions hold for this pair.
-  auto separable = CheckSeparable(*r1, *r2);
-  if (!separable.ok()) return 1;
-  std::cout << "separable: " << (separable->separable ? "yes" : "no") << " ("
-            << separable->detail << ")\n";
-
   SameGenerationWorkload w =
       MakeSameGeneration(/*layers=*/7, /*width=*/24, /*fanout=*/2,
                          /*seed=*/2024);
@@ -35,16 +29,23 @@ int main() {
   Selection sigma{0, node};
   std::cout << "query: sigma_{X=" << node << "} (r1+r2)* q\n\n";
 
-  // σ on X commutes with r1 (X is 1-persistent there): r1 is the outer
-  // closure in the pushed-down plan.
-  auto commutes = SelectionCommutesWith(*r1, sigma);
-  std::cout << "sigma commutes with r1: "
-            << (commutes.ok() && *commutes ? "yes" : "no") << "\n";
+  Engine engine(std::move(w.db));
+  auto plan =
+      engine.Plan(Query::Closure({*r1, *r2}).Select(sigma).From(w.q));
+  if (!plan.ok()) {
+    std::cerr << "planning failed: " << plan.status() << "\n";
+    return 1;
+  }
+  std::cout << plan->Explain() << "\n";
 
-  ClosureStats slow_stats;
-  auto slow = ClosureThenSelect({*r1}, {*r2}, sigma, w.db, w.q, &slow_stats);
-  ClosureStats fast_stats;
-  auto fast = SeparableClosure({*r1}, {*r2}, sigma, w.db, w.q, &fast_stats);
+  auto fast = engine.Execute(*plan);
+  ClosureStats fast_stats = engine.stats();
+  engine.ResetStats();
+  auto slow = engine.Execute(Query::Closure({*r1, *r2})
+                                 .Select(sigma)
+                                 .From(w.q)
+                                 .Force(Strategy::kSemiNaive));
+  ClosureStats slow_stats = engine.stats();
   if (!slow.ok() || !fast.ok()) {
     std::cerr << "evaluation failed: " << slow.status() << " / "
               << fast.status() << "\n";

@@ -4,22 +4,23 @@ namespace linrec {
 
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
-                               ClosureStats* stats) {
-  return SemiNaiveClosure(rules, db, q, stats);
+                               ClosureStats* stats, IndexCache* cache) {
+  return SemiNaiveClosure(rules, db, q, stats, cache);
 }
 
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
-    const Relation& q, ClosureStats* stats) {
+    const Relation& q, ClosureStats* stats, IndexCache* cache) {
   if (groups.empty()) {
     return Status::InvalidArgument("DecomposedClosure requires >= 1 group");
   }
   Relation current = q;
-  IndexCache cache;
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
     ClosureStats group_stats;
     Result<Relation> next =
-        SemiNaiveClosure(*it, db, current, &group_stats, &cache);
+        SemiNaiveClosure(*it, db, current, &group_stats, cache);
     if (!next.ok()) return next.status();
     current = std::move(next).value();
     if (stats != nullptr) stats->Accumulate(group_stats);

@@ -17,16 +17,21 @@
 namespace linrec {
 
 /// (Σ rules)* q by semi-naive evaluation.
+/// Prefer Engine::Execute (engine/engine.h), which picks the strategy from
+/// the rules' analysis; this entry point remains for direct use.
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
-                               ClosureStats* stats = nullptr);
+                               ClosureStats* stats = nullptr,
+                               IndexCache* cache = nullptr);
 
 /// groups[0]* groups[1]* ... groups[k-1]* q — the rightmost group closure is
 /// applied first, matching operator-product order. Callers are responsible
 /// for the cross-group commutativity that makes this equal the direct
-/// closure (PlanDecomposition produces such groups).
+/// closure (PlanDecomposition produces such groups). All group closures
+/// share `cache` (or a local one when null).
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
-    const Relation& q, ClosureStats* stats = nullptr);
+    const Relation& q, ClosureStats* stats = nullptr,
+    IndexCache* cache = nullptr);
 
 }  // namespace linrec

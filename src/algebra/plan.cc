@@ -48,14 +48,14 @@ Result<DecompositionPlan> PlanDecomposition(
 Result<Relation> EvaluateWithPlan(const std::vector<LinearRule>& rules,
                                   const DecompositionPlan& plan,
                                   const Database& db, const Relation& q,
-                                  ClosureStats* stats) {
+                                  ClosureStats* stats, IndexCache* cache) {
   std::vector<std::vector<LinearRule>> groups;
   for (const std::vector<int>& indices : plan.groups) {
     std::vector<LinearRule> group;
     for (int i : indices) group.push_back(rules[static_cast<std::size_t>(i)]);
     groups.push_back(std::move(group));
   }
-  return DecomposedClosure(groups, db, q, stats);
+  return DecomposedClosure(groups, db, q, stats, cache);
 }
 
 }  // namespace linrec

@@ -34,6 +34,7 @@ Result<DecompositionPlan> PlanDecomposition(
 Result<Relation> EvaluateWithPlan(const std::vector<LinearRule>& rules,
                                   const DecompositionPlan& plan,
                                   const Database& db, const Relation& q,
-                                  ClosureStats* stats = nullptr);
+                                  ClosureStats* stats = nullptr,
+                                  IndexCache* cache = nullptr);
 
 }  // namespace linrec

@@ -5,12 +5,11 @@
 #include <set>
 #include <vector>
 
-#include "algebra/plan.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
 #include "datalog/printer.h"
+#include "engine/engine.h"
 #include "eval/apply.h"
-#include "eval/fixpoint.h"
 
 namespace linrec {
 namespace {
@@ -71,7 +70,7 @@ Result<ProgramResult> EvaluateProgram(const Program& program,
   ProgramResult result;
   Result<Database> edb = program.FactsToDatabase();
   if (!edb.ok()) return edb.status();
-  result.db = std::move(edb).value();
+  Engine engine(std::move(edb).value());
 
   // Group rules by head predicate; classify base vs linear recursive.
   std::map<std::string, PredicateRules> rules;
@@ -105,12 +104,11 @@ Result<ProgramResult> EvaluateProgram(const Program& program,
   Result<std::vector<std::string>> order = OrderPredicates(rules);
   if (!order.ok()) return order.status();
 
-  IndexCache cache;
   for (const std::string& pred : *order) {
     const PredicateRules& group = rules[pred];
     // Seed Q from the base rules.
     Relation seed(group.arity);
-    if (const Relation* facts = result.db.Find(pred)) {
+    if (const Relation* facts = engine.db().Find(pred)) {
       if (facts->arity() != group.arity) {
         return Status::InvalidArgument(
             StrCat("facts for '", pred, "' have arity ", facts->arity(),
@@ -126,30 +124,29 @@ Result<ProgramResult> EvaluateProgram(const Program& program,
         if (!eliminated->has_value()) continue;
         effective = std::move(**eliminated);
       }
-      LINREC_RETURN_IF_ERROR(ApplyRule(effective, result.db, {}, &seed,
-                                       &result.stats, &cache));
+      LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine.db(), {}, &seed,
+                                       &result.stats,
+                                       &engine.index_cache()));
     }
-    // Close under the linear rules, decomposing into commuting groups when
-    // requested (Section 3).
+    // Close under the linear rules through the engine: with
+    // use_decomposition the planner picks the strategy from the analysis
+    // (Section 3); otherwise force plain semi-naive on the sum.
     Relation value = std::move(seed);
     if (!group.linear.empty()) {
-      ClosureStats closure_stats;
-      Result<Relation> closed = Status::Internal("unset");
-      if (options.use_decomposition && group.linear.size() > 1) {
-        Result<DecompositionPlan> plan = PlanDecomposition(group.linear);
-        if (!plan.ok()) return plan.status();
-        closed = EvaluateWithPlan(group.linear, *plan, result.db, value,
-                                  &closure_stats);
-      } else {
-        closed = SemiNaiveClosure(group.linear, result.db, value,
-                                  &closure_stats, &cache);
-      }
+      Query query = Query::Closure(group.linear).From(std::move(value));
+      if (!options.use_decomposition) query.Force(Strategy::kSemiNaive);
+      Result<ExecutionPlan> plan = engine.Plan(query);
+      if (!plan.ok()) return plan.status();
+      result.plan_explanations.push_back(
+          StrCat(pred, ":\n", plan->Explain()));
+      Result<Relation> closed = engine.Execute(*plan);
       if (!closed.ok()) return closed.status();
       value = std::move(closed).value();
-      result.stats.Accumulate(closure_stats);
     }
-    result.db.GetOrCreate(pred, group.arity) = std::move(value);
+    engine.db().GetOrCreate(pred, group.arity) = std::move(value);
   }
+  result.stats.Accumulate(engine.stats());
+  result.db = std::move(engine.db());
   result.stats.result_size = 0;
   for (const std::string& name : result.db.Names()) {
     result.stats.result_size += result.db.Find(name)->size();

@@ -1,10 +1,11 @@
-// Whole-program evaluation.
+// Whole-program evaluation, built on linrec::Engine.
 //
 // Evaluates a parsed Program: facts load the EDB; for every rule-defined
 // predicate, nonrecursive rules seed the initial relation (the paper's Q in
-// P = AP ∪ Q, eq. 2.3) and the linear recursive rules are closed with the
-// semi-naive engine — optionally decomposed into commuting groups first
-// (Section 3). Predicates are evaluated in dependency order.
+// P = AP ∪ Q, eq. 2.3) and the linear recursive rules are closed through
+// the engine — with use_decomposition the planner chooses the strategy
+// from the rules' analysis (Section 3); otherwise plain semi-naive.
+// Predicates are evaluated in dependency order.
 //
 // Scope: recursion must be linear and confined to one predicate per rule
 // (the paper's class). Mutual recursion between predicates and non-linear
@@ -21,16 +22,19 @@ namespace linrec {
 
 /// Evaluation options.
 struct ProgramEvalOptions {
-  /// Use PlanDecomposition + DecomposedClosure for each recursive predicate
-  /// with more than one rule (otherwise plain semi-naive on the sum).
+  /// Let the engine planner choose the strategy per recursive predicate
+  /// (decomposition, power sum, redundancy elision, ...). When false, the
+  /// closure is forced to plain semi-naive on the rule sum.
   bool use_decomposition = false;
 };
 
 /// Result of evaluating a program: the final database (EDB facts plus one
-/// relation per derived predicate) and aggregate statistics.
+/// relation per derived predicate), aggregate statistics, and one
+/// ExecutionPlan::Explain() rendering per recursive predicate.
 struct ProgramResult {
   Database db;
   ClosureStats stats;
+  std::vector<std::string> plan_explanations;
 };
 
 /// Evaluates `program` bottom-up. Every predicate is materialized into the

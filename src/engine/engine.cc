@@ -1,0 +1,396 @@
+#include "engine/engine.h"
+
+#include <map>
+#include <numeric>
+
+#include <unordered_set>
+
+#include "algebra/closure.h"
+#include "common/strings.h"
+#include "eval/fixpoint.h"
+#include "redundancy/closure.h"
+#include "redundancy/factorize.h"
+#include "separability/algorithm.h"
+
+namespace linrec {
+namespace {
+
+/// Short provenance tag for a positive commutativity verdict.
+std::string CommuteProvenance(const CommutativityReport& report) {
+  if (report.syntactic_holds) return "syntactic condition, Theorem 5.1";
+  if (report.definitional_used) return "definition-based test";
+  return "combined oracle";
+}
+
+/// Short provenance tag for a negative verdict.
+std::string NonCommuteProvenance(const CommutativityReport& report) {
+  if (report.restricted_class) {
+    return "syntactic condition fails in the restricted class, Theorem 5.2";
+  }
+  if (report.definitional_used) return "definition-based test";
+  return "combined oracle";
+}
+
+}  // namespace
+
+Result<const RuleInfo*> Engine::Analyze(const LinearRule& rule) {
+  return analysis_.Info(rule, /*budgeted_searches=*/true);
+}
+
+Result<CommutativityReport> Engine::Commutes(const LinearRule& r1,
+                                             const LinearRule& r2) {
+  return analysis_.Commutes(r1, r2);
+}
+
+Status Engine::ComputeGroups(ExecutionPlan* plan) {
+  const int n = static_cast<int>(plan->rules.size());
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&parent](int x) {
+    while (parent[static_cast<std::size_t>(x)] != x) {
+      x = parent[static_cast<std::size_t>(x)] =
+          parent[static_cast<std::size_t>(
+              parent[static_cast<std::size_t>(x)])];
+    }
+    return x;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      Result<CommutativityReport> report =
+          analysis_.Commutes(plan->rules[static_cast<std::size_t>(i)],
+                             plan->rules[static_cast<std::size_t>(j)]);
+      bool commute = report.ok() && report->commute;
+      if (!report.ok()) {
+        plan->justification.push_back(
+            StrCat("rules ", i, " and ", j, ": commutativity test failed (",
+                   report.status().message(), ") — conservatively grouped"));
+      } else if (commute) {
+        plan->justification.push_back(StrCat("rules ", i, " and ", j,
+                                             " commute (",
+                                             CommuteProvenance(*report), ")"));
+      } else {
+        plan->justification.push_back(
+            StrCat("rules ", i, " and ", j, " do not commute (",
+                   NonCommuteProvenance(*report), ")"));
+      }
+      if (!commute) {
+        parent[static_cast<std::size_t>(find(i))] = find(j);
+      }
+    }
+  }
+  std::map<int, std::vector<int>> by_root;
+  for (int i = 0; i < n; ++i) by_root[find(i)].push_back(i);
+  plan->groups.clear();
+  for (auto& [root, group] : by_root) plan->groups.push_back(group);
+  return Status::OK();
+}
+
+Result<bool> Engine::TrySeparable(ExecutionPlan* plan) {
+  const Selection& sigma = *plan->selection;
+  std::vector<int> outer;
+  std::vector<int> inner;
+  std::vector<std::string> notes;
+  for (std::size_t i = 0; i < plan->rules.size(); ++i) {
+    Result<const RuleInfo*> info = analysis_.Info(plan->rules[i]);
+    if (!info.ok()) return info.status();
+    bool commutes = false;
+    if ((*info)->classes.has_value()) {
+      const Classification& classes = *(*info)->classes;
+      VarId x = classes.HeadVarAt(sigma.position);
+      const VarClass& vc = classes.Of(x);
+      // σ commutes with the operator iff the selected column's head
+      // variable is 1-persistent: its value passes through unchanged.
+      commutes = vc.persistent && vc.period == 1;
+      notes.push_back(StrCat("σ on position ", sigma.position,
+                             (commutes ? " commutes with rule "
+                                       : " does not commute with rule "),
+                             i, ": head variable is ", vc.Describe()));
+    } else {
+      notes.push_back(StrCat("rule ", i, " not analyzable (",
+                             (*info)->analysis_blocked,
+                             "): σ-commutation unknown"));
+    }
+    (commutes ? outer : inner).push_back(static_cast<int>(i));
+  }
+  if (outer.empty()) {
+    plan->justification.push_back(
+        StrCat("separable rejected: σ on position ", sigma.position,
+               " commutes with no rule (needs a 1-persistent column, "
+               "Theorem 4.1)"));
+    return false;
+  }
+  for (int a : outer) {
+    for (int b : inner) {
+      Result<CommutativityReport> report =
+          analysis_.Commutes(plan->rules[static_cast<std::size_t>(a)],
+                             plan->rules[static_cast<std::size_t>(b)]);
+      if (!report.ok() || !report->commute) {
+        plan->justification.push_back(StrCat(
+            "separable rejected: rules ", a, " and ", b,
+            report.ok() ? StrCat(" do not commute (",
+                                 NonCommuteProvenance(*report), ")")
+                        : StrCat(" — commutativity test failed (",
+                                 report.status().message(), ")")));
+        return false;
+      }
+      notes.push_back(StrCat("rules ", a, " and ", b, " commute (",
+                             CommuteProvenance(*report), ")"));
+    }
+  }
+  plan->strategy = Strategy::kSeparable;
+  plan->outer = std::move(outer);
+  plan->inner = std::move(inner);
+  plan->selection_pushed = true;
+  for (std::string& note : notes) {
+    plan->justification.push_back(std::move(note));
+  }
+  if (plan->inner.empty()) {
+    plan->justification.push_back(
+        "σ commutes with every rule: full pushdown σ(ΣA)* = (ΣA)*(σ q)");
+  }
+  return true;
+}
+
+Status Engine::PlanSingleRule(ExecutionPlan* plan) {
+  const LinearRule& rule = plan->rules.front();
+  Result<const RuleInfo*> info_result =
+      analysis_.Info(rule, /*budgeted_searches=*/true);
+  if (!info_result.ok()) return info_result.status();
+  const RuleInfo* info = *info_result;
+
+  if (options_.enable_power_sum && info->uniform_bound.found) {
+    plan->strategy = Strategy::kPowerSum;
+    plan->power_bound = info->uniform_bound.n - 1;
+    plan->justification.push_back(StrCat(
+        "operator uniformly bounded: A^", info->uniform_bound.n, " ≤ A^",
+        info->uniform_bound.k, " — closure is the power sum Σ_{m<",
+        info->uniform_bound.n, "} A^m (Section 4.2)"));
+    return Status::OK();
+  }
+
+  if (options_.enable_redundancy_elision && info->HasRedundantPredicates()) {
+    Result<RedundantFactorization> factorization =
+        FactorFirstRedundant(rule, analysis_.max_power());
+    if (factorization.ok() && factorization->product_verified &&
+        factorization->swap_verified) {
+      plan->strategy = Strategy::kSemiNaive;
+      // FactorFirstRedundant factors only the FIRST uniformly bounded
+      // bridge; the plan must claim exactly that elision, no more.
+      bool factored = false;
+      for (const RedundancyEntry& entry : info->redundancy->entries) {
+        if (!entry.uniformly_bounded) continue;
+        std::string preds;
+        for (const std::string& pred : entry.predicates) {
+          preds += (preds.empty() ? "" : ",") + pred;
+        }
+        if (!factored) {
+          factored = true;
+          plan->elided_predicates = entry.predicates;
+          plan->justification.push_back(StrCat(
+              "bridge ", entry.bridge_index, " {", preds,
+              "} uniformly bounded: C^", entry.bound.n, " ≤ C^",
+              entry.bound.k,
+              " — its predicates are recursively redundant (Theorem 6.3)"));
+        } else {
+          plan->justification.push_back(StrCat(
+              "bridge ", entry.bridge_index, " {", preds,
+              "} also uniformly bounded but NOT elided (single-bridge "
+              "factorization)"));
+        }
+      }
+      plan->justification.push_back(StrCat(
+          "factorization A^", factorization->L,
+          " = B·C^", factorization->L,
+          " verified — the elided predicates are applied a bounded number "
+          "of times (Theorems 6.4/4.2)"));
+      plan->factorization = std::move(factorization).value();
+      return Status::OK();
+    }
+    plan->justification.push_back(StrCat(
+        "redundant predicates found but the factorization is unavailable (",
+        factorization.ok() ? "verification failed"
+                           : factorization.status().message(),
+        "); falling back to semi-naive"));
+  }
+
+  plan->strategy = Strategy::kSemiNaive;
+  plan->justification.push_back("single operator; semi-naive Δ fixpoint");
+  return Status::OK();
+}
+
+Status Engine::ChooseClosureStrategy(ExecutionPlan* plan) {
+  if (plan->rules.size() == 1) return PlanSingleRule(plan);
+  if (!options_.enable_decomposition) {
+    plan->strategy = Strategy::kSemiNaive;
+    plan->justification.push_back(
+        "decomposition disabled by options; semi-naive over the sum");
+    return Status::OK();
+  }
+  LINREC_RETURN_IF_ERROR(ComputeGroups(plan));
+  if (plan->groups.size() > 1) {
+    plan->strategy = Strategy::kDecomposed;
+    plan->justification.push_back(StrCat(
+        plan->groups.size(),
+        " commuting groups: (ΣA)* = G_1*·...·G_k* with no more duplicate "
+        "derivations (Theorem 3.1)"));
+  } else {
+    plan->strategy = Strategy::kSemiNaive;
+    plan->groups.clear();
+    plan->justification.push_back(
+        "all rules linked by non-commuting chains — one group, no "
+        "decomposition; semi-naive over the sum");
+  }
+  return Status::OK();
+}
+
+Status Engine::PlanForced(Strategy forced, ExecutionPlan* plan) {
+  plan->justification.push_back(
+      StrCat("strategy forced by caller: ", StrategyName(forced)));
+  switch (forced) {
+    case Strategy::kNaive:
+    case Strategy::kSemiNaive:
+      plan->strategy = forced;
+      return Status::OK();
+    case Strategy::kDecomposed:
+      LINREC_RETURN_IF_ERROR(ComputeGroups(plan));
+      plan->strategy = Strategy::kDecomposed;
+      return Status::OK();
+    case Strategy::kSeparable: {
+      if (!plan->selection.has_value()) {
+        return Status::InvalidArgument(
+            "forced separable strategy requires a selection");
+      }
+      Result<bool> separable = TrySeparable(plan);
+      if (!separable.ok()) return separable.status();
+      if (!*separable) {
+        return Status::InvalidArgument(
+            "forced separable strategy: preconditions of Theorem 4.1 do "
+            "not hold for this query");
+      }
+      return Status::OK();
+    }
+    case Strategy::kPowerSum: {
+      if (plan->rules.size() != 1) {
+        return Status::InvalidArgument(
+            "forced power-sum strategy requires a single rule");
+      }
+      Result<const RuleInfo*> info =
+          analysis_.Info(plan->rules.front(), /*budgeted_searches=*/true);
+      if (!info.ok()) return info.status();
+      if (!(*info)->uniform_bound.found) {
+        return Status::InvalidArgument(
+            "forced power-sum strategy: no uniform bound found within the "
+            "analysis budget");
+      }
+      plan->strategy = Strategy::kPowerSum;
+      plan->power_bound = (*info)->uniform_bound.n - 1;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled forced strategy");
+}
+
+Result<ExecutionPlan> Engine::Plan(const Query& query) {
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+
+  ExecutionPlan plan;
+  plan.rules = query.rules();
+  plan.selection = query.selection();
+  plan.seed = query.shared_seed();
+
+  if (query.forced_strategy().has_value()) {
+    LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
+    return plan;
+  }
+
+  if (plan.selection.has_value() && options_.enable_separable) {
+    Result<bool> separable = TrySeparable(&plan);
+    if (!separable.ok()) return separable.status();
+    if (*separable) return plan;
+  }
+
+  LINREC_RETURN_IF_ERROR(ChooseClosureStrategy(&plan));
+  if (plan.selection.has_value() && !plan.selection_pushed) {
+    plan.justification.push_back(
+        "selection does not push through the closure; filtering the final "
+        "result");
+  }
+  return plan;
+}
+
+Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
+  if (plan.rules.empty()) {
+    return Status::InvalidArgument("plan has no rules");
+  }
+  if (plan.seed == nullptr) {
+    return Status::InvalidArgument("plan has no seed relation");
+  }
+  const Relation& seed = *plan.seed;
+  ClosureStats s;
+  Result<Relation> out = Status::Internal("strategy not executed");
+  switch (plan.strategy) {
+    case Strategy::kNaive:
+      out = NaiveClosure(plan.rules, db_, seed, &s, &cache_);
+      break;
+    case Strategy::kSemiNaive:
+      out = plan.factorization.has_value()
+                ? RedundantClosure(*plan.factorization, db_, seed, &s,
+                                   &cache_)
+                : SemiNaiveClosure(plan.rules, db_, seed, &s, &cache_);
+      break;
+    case Strategy::kDecomposed: {
+      if (plan.groups.empty()) {
+        return Status::InvalidArgument("decomposed plan has no groups");
+      }
+      std::vector<std::vector<LinearRule>> groups;
+      groups.reserve(plan.groups.size());
+      for (const std::vector<int>& group : plan.groups) {
+        groups.push_back(plan.RulesOf(group));
+      }
+      out = DecomposedClosure(groups, db_, seed, &s, &cache_);
+      break;
+    }
+    case Strategy::kSeparable: {
+      if (!plan.selection.has_value() || plan.outer.empty()) {
+        return Status::InvalidArgument(
+            "separable plan requires a selection and a nonempty outer "
+            "group");
+      }
+      // A*( σ( B* q ) ) — Theorem 4.1. Preconditions were verified by
+      // TrySeparable during planning.
+      out = SeparableClosureUnchecked(plan.RulesOf(plan.outer),
+                                      plan.RulesOf(plan.inner),
+                                      *plan.selection, db_, seed, &s,
+                                      &cache_);
+      break;
+    }
+    case Strategy::kPowerSum:
+      out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, &cache_);
+      break;
+  }
+  if (!out.ok()) return out.status();
+  Relation result = std::move(out).value();
+  if (plan.selection.has_value() && !plan.selection_pushed) {
+    result = ApplySelection(result, *plan.selection);
+    s.result_size = result.size();
+  }
+  stats_.Accumulate(s);
+  // Evict indexes built over this execution's temporaries (Δs, the seed):
+  // only the engine's own parameter relations are worth keeping across
+  // queries, and dead addresses would otherwise accumulate for the
+  // engine's lifetime.
+  std::unordered_set<const Relation*> keep;
+  for (const std::string& name : db_.Names()) keep.insert(db_.Find(name));
+  cache_.RetainOnly(keep);
+  return result;
+}
+
+Result<Relation> Engine::Execute(const Query& query) {
+  Result<ExecutionPlan> plan = Plan(query);
+  if (!plan.ok()) return plan.status();
+  return Execute(*plan);
+}
+
+}  // namespace linrec

@@ -1,0 +1,102 @@
+// linrec::Engine — the unified entry point for closure evaluation.
+//
+// The engine owns a Database, memoizes per-rule analysis (variable
+// classes, pairwise commutativity, redundancy bridges, boundedness) in an
+// AnalysisCache, and compiles Query descriptions into explainable
+// ExecutionPlans. *Analysis chooses the strategy*: commutativity licenses
+// the decomposed product (Theorem 3.1), selection-commutativity licenses
+// the separable algorithm (Theorem 4.1), uniform boundedness licenses the
+// power-sum short-circuit (Section 4.2), and a bounded redundancy bridge
+// licenses eliding the redundant predicate (Theorems 6.3/6.4). Callers
+// state the query; the planner applies the theorems.
+//
+//   Engine engine(std::move(db));
+//   auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
+//   std::cout << plan->Explain();          // strategy + theorem citations
+//   auto result = engine.Execute(*plan);   // shared IndexCache + stats
+//
+// The pre-engine free functions (SemiNaiveClosure, DecomposedClosure,
+// SeparableClosure, ...) remain available as direct entry points; the
+// engine is the recommended API.
+
+#pragma once
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "engine/query.h"
+#include "engine/rule_info.h"
+#include "eval/index_cache.h"
+#include "eval/stats.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+struct EngineOptions {
+  /// Budget for the torsion / uniform-boundedness searches behind
+  /// kPowerSum and redundancy elision (0 disables both analyses).
+  int analysis_max_power = 6;
+  /// Individual strategy gates (all on by default). Disabling one makes
+  /// the planner fall back to the next applicable strategy.
+  bool enable_decomposition = true;
+  bool enable_separable = true;
+  bool enable_power_sum = true;
+  bool enable_redundancy_elision = true;
+};
+
+class Engine {
+ public:
+  Engine() : Engine(Database{}, EngineOptions{}) {}
+  explicit Engine(Database db, EngineOptions options = {})
+      : db_(std::move(db)),
+        options_(options),
+        analysis_(options.analysis_max_power) {}
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Memoized structural analysis of one rule (pointer valid while the
+  /// engine lives).
+  Result<const RuleInfo*> Analyze(const LinearRule& rule);
+  /// Memoized combined-oracle commutativity verdict.
+  Result<CommutativityReport> Commutes(const LinearRule& r1,
+                                       const LinearRule& r2);
+
+  /// Compiles `query` into an ExecutionPlan, choosing the strategy from
+  /// the cached analysis (or honoring Query::Force after checking its
+  /// preconditions).
+  Result<ExecutionPlan> Plan(const Query& query);
+
+  /// Runs `plan` against the engine's database. Stats accumulate into
+  /// stats(); indexes over parameter relations are shared across calls.
+  Result<Relation> Execute(const ExecutionPlan& plan);
+
+  /// Plan + Execute in one step.
+  Result<Relation> Execute(const Query& query);
+
+  /// Aggregated ClosureStats over every Execute call since ResetStats.
+  const ClosureStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClosureStats{}; }
+
+  IndexCache& index_cache() { return cache_; }
+  const AnalysisCache& analysis_cache() const { return analysis_; }
+
+ private:
+  /// Fills groups via union-find over the memoized non-commuting pairs,
+  /// appending per-pair verdicts to the plan's justification.
+  Status ComputeGroups(ExecutionPlan* plan);
+  /// Attempts the Theorem 4.1 split; true iff the plan was made separable.
+  Result<bool> TrySeparable(ExecutionPlan* plan);
+  /// Picks kPowerSum / redundancy elision / kSemiNaive for the rule sum.
+  Status ChooseClosureStrategy(ExecutionPlan* plan);
+  Status PlanSingleRule(ExecutionPlan* plan);
+  Status PlanForced(Strategy forced, ExecutionPlan* plan);
+
+  Database db_;
+  EngineOptions options_;
+  AnalysisCache analysis_;
+  IndexCache cache_;
+  ClosureStats stats_;
+};
+
+}  // namespace linrec

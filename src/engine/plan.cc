@@ -1,0 +1,99 @@
+#include "engine/plan.h"
+
+#include <sstream>
+
+#include "datalog/printer.h"
+
+namespace linrec {
+
+std::vector<LinearRule> ExecutionPlan::RulesOf(
+    const std::vector<int>& indices) const {
+  std::vector<LinearRule> selected;
+  selected.reserve(indices.size());
+  for (int i : indices) selected.push_back(rules[static_cast<std::size_t>(i)]);
+  return selected;
+}
+
+std::string ExecutionPlan::Explain() const {
+  std::ostringstream os;
+  os << "strategy: " << StrategyName(strategy);
+  switch (strategy) {
+    case Strategy::kNaive:
+      os << " — full re-application each round (baseline)";
+      break;
+    case Strategy::kSemiNaive:
+      os << (factorization.has_value()
+                 ? " — redundancy-aware closure: bounded C-prefix, "
+                   "Δ-driven fixpoint on the B-tail (Theorem 4.2)"
+                 : " — Δ-driven fixpoint over the operator sum");
+      break;
+    case Strategy::kDecomposed:
+      os << " — commuting-group product of " << groups.size()
+         << " closures (Theorem 3.1)";
+      break;
+    case Strategy::kSeparable:
+      os << " — σ pushed through the commuting split (Theorem 4.1)";
+      break;
+    case Strategy::kPowerSum:
+      os << " — bounded power sum Σ_{m<=" << power_bound
+         << "} A^m (Section 4.2)";
+      break;
+  }
+  os << "\n";
+
+  os << "rules:\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "  [" << i << "] " << ToString(rules[i]) << "\n";
+  }
+
+  if (strategy == Strategy::kDecomposed) {
+    os << "groups (rightmost closure applied first):";
+    for (const std::vector<int>& group : groups) {
+      os << " {";
+      for (std::size_t i = 0; i < group.size(); ++i) {
+        os << (i ? "," : "") << group[i];
+      }
+      os << "}";
+    }
+    os << "\n";
+  }
+  if (strategy == Strategy::kSeparable) {
+    auto render = [&os](const char* name, const std::vector<int>& indices) {
+      os << name << " {";
+      for (std::size_t i = 0; i < indices.size(); ++i) {
+        os << (i ? "," : "") << indices[i];
+      }
+      os << "}";
+    };
+    render("split: outer A =", outer);
+    render(", inner B =", inner);
+    os << "  (plan A*(σ(B* q)))\n";
+  }
+
+  if (selection.has_value()) {
+    os << "selection: σ_{pos " << selection->position << " = "
+       << selection->value << "} — "
+       << (selection_pushed ? "pushed into the strategy"
+                            : "applied to the final result")
+       << "\n";
+  }
+  if (!elided_predicates.empty()) {
+    os << "elided predicates (bounded bridge, Theorems 6.3/6.4):";
+    for (const std::string& pred : elided_predicates) os << " " << pred;
+    os << "\n";
+  }
+
+  if (!justification.empty()) {
+    os << "why:\n";
+    for (const std::string& reason : justification) {
+      os << "  - " << reason << "\n";
+    }
+  }
+  if (seed != nullptr) {
+    os << "seed: " << seed->size() << " tuple(s), arity " << seed->arity()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace linrec

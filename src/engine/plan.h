@@ -1,0 +1,61 @@
+// ExecutionPlan: the compiled, explainable strategy choice for one Query.
+//
+// A plan is self-contained — it carries the rules, the seed, the strategy
+// and every parameter the executor needs — so it can be inspected
+// (Explain()), cached, or executed repeatedly against the engine's
+// (possibly updated) database.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/rule.h"
+#include "engine/strategy.h"
+#include "eval/selection.h"
+#include "redundancy/factorize.h"
+#include "storage/relation.h"
+
+namespace linrec {
+
+struct ExecutionPlan {
+  Strategy strategy = Strategy::kSemiNaive;
+  /// The planned rule vector, in query order.
+  std::vector<LinearRule> rules;
+  /// kDecomposed: groups of indices into `rules`. The product
+  /// G_1* G_2* ... G_k* applies the last group first (operator order).
+  std::vector<std::vector<int>> groups;
+  /// kSeparable: indices of the σ-commuting rules (the outer closure A)
+  /// and of the rest (the inner closure B; may be empty for full pushdown).
+  std::vector<int> outer;
+  std::vector<int> inner;
+  /// The query's selection, if any.
+  std::optional<Selection> selection;
+  /// True when the strategy evaluates the selection internally
+  /// (kSeparable); false ⇒ σ filters the final result.
+  bool selection_pushed = false;
+  /// kPowerSum: A* = Σ_{m=0}^{power_bound} A^m (Section 4.2).
+  int power_bound = -1;
+  /// Redundancy elision (Theorems 6.3/6.4): when set, execution routes
+  /// through RedundantClosure so the elided predicates are applied a
+  /// bounded number of times instead of once per iteration.
+  std::optional<RedundantFactorization> factorization;
+  /// Predicates elided by the factorization (from the bounded bridges).
+  std::vector<std::string> elided_predicates;
+  /// Theorem-level reasons for the choice, in planning order.
+  std::vector<std::string> justification;
+  /// The initial relation q, shared immutably with the originating Query
+  /// (planning never copies the relation).
+  std::shared_ptr<const Relation> seed;
+
+  /// Rules at `indices`, in order.
+  std::vector<LinearRule> RulesOf(const std::vector<int>& indices) const;
+
+  /// Multi-line human-readable rendering: the strategy, the rules, the
+  /// grouping/split, the selection placement, and the justification.
+  std::string Explain() const;
+};
+
+}  // namespace linrec

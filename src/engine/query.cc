@@ -1,0 +1,59 @@
+#include "engine/query.h"
+
+#include "common/strings.h"
+
+namespace linrec {
+
+Query Query::Closure(std::vector<LinearRule> rules) {
+  Query query;
+  query.rules_ = std::move(rules);
+  return query;
+}
+
+Query& Query::Select(Selection sigma) {
+  selection_ = sigma;
+  return *this;
+}
+
+Query& Query::From(Relation seed) {
+  seed_ = std::make_shared<const Relation>(std::move(seed));
+  return *this;
+}
+
+Query& Query::Force(Strategy strategy) {
+  forced_ = strategy;
+  return *this;
+}
+
+Status Query::Validate() const {
+  if (rules_.empty()) {
+    return Status::InvalidArgument("query has no rules");
+  }
+  const std::string& pred = rules_.front().recursive_predicate();
+  const std::size_t arity = rules_.front().arity();
+  for (const LinearRule& rule : rules_) {
+    if (rule.recursive_predicate() != pred || rule.arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("rules mix head predicates: ", pred, "/", arity, " vs ",
+                 rule.recursive_predicate(), "/", rule.arity()));
+    }
+  }
+  if (seed_ == nullptr) {
+    return Status::InvalidArgument("query has no initial relation (From)");
+  }
+  if (seed_->arity() != arity) {
+    return Status::InvalidArgument(StrCat("seed arity ", seed_->arity(),
+                                          " does not match rule arity ",
+                                          arity));
+  }
+  if (selection_.has_value() &&
+      (selection_->position < 0 ||
+       selection_->position >= static_cast<int>(arity))) {
+    return Status::InvalidArgument(
+        StrCat("selection position ", selection_->position,
+               " out of range for arity ", arity));
+  }
+  return Status::OK();
+}
+
+}  // namespace linrec

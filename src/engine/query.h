@@ -1,0 +1,65 @@
+// Fluent query description: σ (Σ_i rules_i)* q.
+//
+// A Query says *what* to compute; Engine::Plan decides *how* from the
+// rules' cached analysis. Typical use:
+//
+//   Engine engine(std::move(db));
+//   auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
+//   std::cout << plan->Explain();
+//   auto result = engine.Execute(*plan);
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "engine/strategy.h"
+#include "eval/selection.h"
+#include "storage/relation.h"
+
+namespace linrec {
+
+class Query {
+ public:
+  /// Starts a query for the closure (Σ_i rules_i)* — the least relation
+  /// containing the initial relation and closed under every rule.
+  static Query Closure(std::vector<LinearRule> rules);
+
+  /// Applies σ_{position=value} to the closure. The planner pushes the
+  /// selection through the closure when Theorem 4.1 licenses it, and
+  /// filters the final result otherwise.
+  Query& Select(Selection sigma);
+
+  /// Sets the initial relation q (the paper's P ⊇ q seed). Required.
+  Query& From(Relation seed);
+
+  /// Overrides automatic strategy selection (e.g. Strategy::kNaive as an
+  /// experiment baseline). Plan() fails if the forced strategy's
+  /// preconditions do not hold.
+  Query& Force(Strategy strategy);
+
+  const std::vector<LinearRule>& rules() const { return rules_; }
+  const std::optional<Selection>& selection() const { return selection_; }
+  /// Requires has_seed().
+  const Relation& seed() const { return *seed_; }
+  bool has_seed() const { return seed_ != nullptr; }
+  /// The seed is shared (immutable) between the query and its plans, so
+  /// planning never copies the relation.
+  const std::shared_ptr<const Relation>& shared_seed() const { return seed_; }
+  const std::optional<Strategy>& forced_strategy() const { return forced_; }
+
+  /// Structural checks: at least one rule, all rules over one head
+  /// predicate/arity, a seed of that arity, selection position in range.
+  Status Validate() const;
+
+ private:
+  std::vector<LinearRule> rules_;
+  std::optional<Selection> selection_;
+  std::shared_ptr<const Relation> seed_;
+  std::optional<Strategy> forced_;
+};
+
+}  // namespace linrec

@@ -4,6 +4,7 @@
 
 #include <map>
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
 #include "storage/relation.h"
@@ -20,6 +21,11 @@ class IndexCache {
   /// The reference stays valid until the next Get call that rebuilds the
   /// same entry (i.e., after `rel` was modified).
   const HashIndex& Get(const Relation& rel, const std::vector<int>& positions);
+
+  /// Drops every entry whose keyed relation is not in `keep`. Long-lived
+  /// owners (the engine) call this after a closure so indexes built over
+  /// dead temporary relations (per-iteration Δs, seeds) do not accumulate.
+  void RetainOnly(const std::unordered_set<const Relation*>& keep);
 
   std::size_t entry_count() const { return entries_.size(); }
   std::size_t rebuilds() const { return rebuilds_; }

@@ -104,15 +104,16 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
 
 Result<Relation> RedundantClosure(const RedundantFactorization& f,
                                   const Database& db, const Relation& q,
-                                  ClosureStats* stats) {
+                                  ClosureStats* stats, IndexCache* cache) {
   if (!f.product_verified || !f.swap_verified) {
     return Status::InvalidArgument(
         "factorization not verified (product/swap); refusing to use it");
   }
-  IndexCache cache;
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
   Result<Relation> result =
-      f.commuting ? CommutingPath(f, db, q, stats, &cache)
-                  : GeneralPath(f, db, q, stats, &cache);
+      f.commuting ? CommutingPath(f, db, q, stats, cache)
+                  : GeneralPath(f, db, q, stats, cache);
   if (result.ok() && stats != nullptr) stats->result_size = result->size();
   return result;
 }

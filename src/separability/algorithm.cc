@@ -25,7 +25,8 @@ Result<bool> SelectionCommutesWith(const LinearRule& rule,
 Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
                                   const std::vector<LinearRule>& b_rules,
                                   const Selection& sigma, const Database& db,
-                                  const Relation& q, ClosureStats* stats) {
+                                  const Relation& q, ClosureStats* stats,
+                                  IndexCache* cache) {
   for (const LinearRule& a : a_rules) {
     for (const LinearRule& b : b_rules) {
       Result<bool> commute = Commute(a, b);
@@ -47,18 +48,35 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
     }
   }
 
-  // A*( σ( B* q ) ) — see the header derivation.
-  IndexCache cache;
-  ClosureStats phase;
-  Result<Relation> after_b = SemiNaiveClosure(b_rules, db, q, &phase, &cache);
-  if (!after_b.ok()) return after_b.status();
-  if (stats != nullptr) stats->Accumulate(phase);
+  return SeparableClosureUnchecked(a_rules, b_rules, sigma, db, q, stats,
+                                   cache);
+}
 
-  Relation filtered = ApplySelection(*after_b, sigma);
+Result<Relation> SeparableClosureUnchecked(
+    const std::vector<LinearRule>& a_rules,
+    const std::vector<LinearRule>& b_rules, const Selection& sigma,
+    const Database& db, const Relation& q, ClosureStats* stats,
+    IndexCache* cache) {
+  // A*( σ( B* q ) ) — see the header derivation. Both phases share one
+  // index cache so the parameter-relation indexes are built once.
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  Relation filtered;
+  if (b_rules.empty()) {
+    filtered = ApplySelection(q, sigma);
+  } else {
+    ClosureStats phase;
+    Result<Relation> after_b =
+        SemiNaiveClosure(b_rules, db, q, &phase, cache);
+    if (!after_b.ok()) return after_b.status();
+    if (stats != nullptr) stats->Accumulate(phase);
+    filtered = ApplySelection(*after_b, sigma);
+  }
 
   ClosureStats phase2;
   Result<Relation> after_a =
-      SemiNaiveClosure(a_rules, db, filtered, &phase2, &cache);
+      SemiNaiveClosure(a_rules, db, filtered, &phase2, cache);
   if (!after_a.ok()) return after_a.status();
   if (stats != nullptr) stats->Accumulate(phase2);
   return after_a;
@@ -67,10 +85,11 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
 Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
                                    const std::vector<LinearRule>& b_rules,
                                    const Selection& sigma, const Database& db,
-                                   const Relation& q, ClosureStats* stats) {
+                                   const Relation& q, ClosureStats* stats,
+                                   IndexCache* cache) {
   std::vector<LinearRule> all = a_rules;
   all.insert(all.end(), b_rules.begin(), b_rules.end());
-  Result<Relation> closure = SemiNaiveClosure(all, db, q, stats);
+  Result<Relation> closure = SemiNaiveClosure(all, db, q, stats, cache);
   if (!closure.ok()) return closure.status();
   return ApplySelection(*closure, sigma);
 }

@@ -32,17 +32,35 @@ Result<bool> SelectionCommutesWith(const LinearRule& rule,
 ///  * every rule in `a_rules` commutes with every rule in `b_rules`
 ///    (combined oracle), and
 ///  * σ commutes with every rule in `a_rules` (the outer closure).
+///
+/// When `cache` is null a local IndexCache spans both phases; passing the
+/// caller's cache shares parameter-relation indexes with other closures.
+/// Prefer Engine::Execute (engine/engine.h), which plans this strategy
+/// automatically; this entry point remains for direct use.
 Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
                                   const std::vector<LinearRule>& b_rules,
                                   const Selection& sigma, const Database& db,
                                   const Relation& q,
-                                  ClosureStats* stats = nullptr);
+                                  ClosureStats* stats = nullptr,
+                                  IndexCache* cache = nullptr);
+
+/// The A*(σ(B* q)) pipeline WITHOUT the precondition checks — the shared
+/// executor behind SeparableClosure (which verifies first) and the engine
+/// (which verified during planning). `b_rules` may be empty: full
+/// pushdown, the seed itself is filtered. Callers are responsible for the
+/// Theorem 4.1 preconditions; violating them silently changes the result.
+Result<Relation> SeparableClosureUnchecked(
+    const std::vector<LinearRule>& a_rules,
+    const std::vector<LinearRule>& b_rules, const Selection& sigma,
+    const Database& db, const Relation& q, ClosureStats* stats = nullptr,
+    IndexCache* cache = nullptr);
 
 /// Baseline for comparison: (ΣA + ΣB)* q computed fully, then filtered.
 Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
                                    const std::vector<LinearRule>& b_rules,
                                    const Selection& sigma, const Database& db,
                                    const Relation& q,
-                                   ClosureStats* stats = nullptr);
+                                   ClosureStats* stats = nullptr,
+                                   IndexCache* cache = nullptr);
 
 }  // namespace linrec

@@ -1,10 +1,19 @@
 #include "workload/databases.h"
 
+#include <cassert>
 #include <random>
 
+#include "datalog/parser.h"
 #include "workload/graphs.h"
 
 namespace linrec {
+
+std::vector<LinearRule> SameGenerationRules() {
+  Result<LinearRule> r1 = ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y).");
+  Result<LinearRule> r2 = ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
+  assert(r1.ok() && r2.ok());
+  return {*r1, *r2};
+}
 
 SameGenerationWorkload MakeSameGeneration(int layers, int width, int fanout,
                                           std::uint32_t seed) {

@@ -3,7 +3,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "datalog/rule.h"
 #include "storage/database.h"
 #include "storage/relation.h"
 
@@ -22,6 +24,10 @@ struct SameGenerationWorkload {
 
 SameGenerationWorkload MakeSameGeneration(int layers, int width, int fanout,
                                           std::uint32_t seed);
+
+/// The commuting same-generation rule pair itself (r1, r2 above) — the
+/// canonical input alongside MakeSameGeneration for tests and benches.
+std::vector<LinearRule> SameGenerationRules();
 
 /// Workload for Example 6.1 (knows/buys/cheap):
 ///   buys(X,Y) :- knows(X,Z), buys(Z,Y), cheap(Y).

@@ -1,0 +1,307 @@
+// Golden tests for Engine plan selection and plan/legacy execution
+// equivalence: the planner must pick each of the paper's strategies
+// exactly when its theorem licenses it.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/fixpoint.h"
+#include "separability/algorithm.h"
+#include "workload/databases.h"
+#include "workload/graphs.h"
+
+namespace linrec {
+namespace {
+
+LinearRule LR(const std::string& text) {
+  auto lr = ParseLinearRule(text);
+  EXPECT_TRUE(lr.ok()) << lr.status();
+  return *lr;
+}
+
+/// Same-generation pair (Example 5.2): the two operators commute.
+LinearRule Down() { return LR("p(X,Y) :- p(X,V), down(V,Y)."); }
+LinearRule Up() { return LR("p(X,Y) :- p(U,Y), up(X,U)."); }
+
+Database SameGenDb() {
+  Database db;
+  Relation down = TreeGraph(/*branching=*/2, /*depth=*/5);
+  Relation up(2);
+  for (const Tuple& t : down) up.Insert({t[1], t[0]});
+  db.GetOrCreate("down", 2) = std::move(down);
+  db.GetOrCreate("up", 2) = std::move(up);
+  return db;
+}
+
+Relation IdentitySeed(const Database& db) {
+  Relation q(2);
+  for (const Tuple& t : *db.Find("down")) {
+    q.Insert({t[0], t[0]});
+    q.Insert({t[1], t[1]});
+  }
+  return q;
+}
+
+TEST(EnginePlanTest, CommutingPairYieldsDecomposed) {
+  Engine engine(SameGenDb());
+  Relation q = IdentitySeed(engine.db());
+  auto plan = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kDecomposed);
+  EXPECT_EQ(plan->groups.size(), 2u);
+
+  // Engine result equals the legacy semi-naive closure of the sum.
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok()) << via_engine.status();
+  auto legacy = SemiNaiveClosure({Down(), Up()}, engine.db(), q);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*via_engine, *legacy);
+}
+
+TEST(EnginePlanTest, NonCommutingPairFallsBackToSemiNaive) {
+  // Inequivalent q-/rr-bridges: the pair does not commute
+  // (tests/commutativity_test.cc, ClauseDInequivalentBridgesFail).
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), rr(Z,Y).");
+  Engine engine;
+  engine.db().GetOrCreate("q", 2) = ChainGraph(6);
+  engine.db().GetOrCreate("rr", 2).Insert({2, 0});
+  Relation seed(2);
+  seed.Insert({0, 0});
+
+  auto plan = engine.Plan(Query::Closure({r1, r2}).From(seed));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kSemiNaive);
+  EXPECT_TRUE(plan->groups.empty());
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok());
+  auto legacy = SemiNaiveClosure({r1, r2}, engine.db(), seed);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*via_engine, *legacy);
+}
+
+TEST(EnginePlanTest, PersistentSelectedColumnYieldsSeparable) {
+  Engine engine(SameGenDb());
+  Relation q = IdentitySeed(engine.db());
+  // Position 0 is 1-persistent in Down() and not in Up(): A = {down rule},
+  // B = {up rule}, and the pair commutes (Theorem 4.1).
+  Selection sigma{0, q.Sorted().front()[0]};
+  auto plan =
+      engine.Plan(Query::Closure({Down(), Up()}).Select(sigma).From(q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kSeparable);
+  EXPECT_TRUE(plan->selection_pushed);
+  ASSERT_EQ(plan->outer.size(), 1u);
+  ASSERT_EQ(plan->inner.size(), 1u);
+  EXPECT_EQ(plan->outer[0], 0);
+  EXPECT_EQ(plan->inner[0], 1);
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok());
+  auto legacy =
+      SeparableClosure({Down()}, {Up()}, sigma, engine.db(), q);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*via_engine, *legacy);
+  auto filtered = ClosureThenSelect({Down()}, {Up()}, sigma, engine.db(), q);
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(*via_engine, *filtered);
+}
+
+TEST(EnginePlanTest, SelectionOnGeneralColumnIsPostFiltered) {
+  // Position 1 is general in both forward-chaining rules: σ commutes with
+  // neither, so there is no pushdown; the plan filters the final closure.
+  LinearRule r1 = LR("p(X,Y) :- p(X,Z), q(Z,Y).");
+  LinearRule r2 = LR("p(X,Y) :- p(X,Z), rr(Z,Y).");
+  Engine engine;
+  engine.db().GetOrCreate("q", 2) = ChainGraph(6);
+  engine.db().GetOrCreate("rr", 2).Insert({2, 0});
+  Relation q(2);
+  q.Insert({0, 0});
+  Selection sigma{1, 3};
+  auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_NE(plan->strategy, Strategy::kSeparable);
+  EXPECT_FALSE(plan->selection_pushed);
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok());
+  auto closure = SemiNaiveClosure({r1, r2}, engine.db(), q);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(*via_engine, ApplySelection(*closure, sigma));
+}
+
+TEST(EnginePlanTest, FullPushdownWhenSelectionCommutesWithEveryRule) {
+  // Single TC rule, σ on the 1-persistent source column: inner group is
+  // empty and the seed itself is filtered.
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(6);
+  Relation q(2);
+  for (int i = 0; i < 6; ++i) q.Insert({i, i});
+  Selection sigma{0, 2};
+  auto plan = engine.Plan(Query::Closure({tc}).Select(sigma).From(q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kSeparable);
+  EXPECT_TRUE(plan->inner.empty());
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok());
+  auto closure = SemiNaiveClosure({tc}, engine.db(), q);
+  ASSERT_TRUE(closure.ok());
+  EXPECT_EQ(*via_engine, ApplySelection(*closure, sigma));
+}
+
+TEST(EnginePlanTest, UniformlyBoundedRuleYieldsPowerSum) {
+  // r^2 ≡ r (idempotent guard): A* = Σ_{m<2} A^m.
+  LinearRule r = LR("p(X) :- p(X), g(X).");
+  Engine engine;
+  engine.db().GetOrCreate("g", 1).Insert({1});
+  engine.db().GetOrCreate("g", 1).Insert({2});
+  Relation q(1);
+  q.Insert({1});
+  q.Insert({7});
+  auto plan = engine.Plan(Query::Closure({r}).From(q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kPowerSum);
+  EXPECT_EQ(plan->power_bound, 1);
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok());
+  auto legacy = SemiNaiveClosure({r}, engine.db(), q);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*via_engine, *legacy);
+}
+
+TEST(EnginePlanTest, BoundedBridgeElidesRedundantPredicate) {
+  // Example 6.1: endorses sits in a uniformly bounded bridge, so it is
+  // recursively redundant and the plan elides it via the factorization.
+  LinearRule rule =
+      LR("buys(X,Y) :- knows(X,Z), buys(Z,Y), endorses(W,Y).");
+  EndorsedBuysWorkload w = MakeEndorsedBuys(/*people=*/60, /*items=*/15,
+                                            /*fanout=*/4,
+                                            /*initial_buys=*/15, /*seed=*/3);
+  Engine engine(std::move(w.db));
+  auto plan = engine.Plan(Query::Closure({rule}).From(w.q));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kSemiNaive);
+  ASSERT_TRUE(plan->factorization.has_value());
+  ASSERT_EQ(plan->elided_predicates.size(), 1u);
+  EXPECT_EQ(plan->elided_predicates[0], "endorses");
+
+  auto via_engine = engine.Execute(*plan);
+  ASSERT_TRUE(via_engine.ok()) << via_engine.status();
+  auto legacy = SemiNaiveClosure({rule}, engine.db(), w.q);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*via_engine, *legacy);
+}
+
+TEST(EnginePlanTest, ExplainNamesStrategyAndTheorem) {
+  Engine engine(SameGenDb());
+  Relation q = IdentitySeed(engine.db());
+  auto plan = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(plan.ok());
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("decomposed"), std::string::npos) << text;
+  EXPECT_NE(text.find("Theorem 3.1"), std::string::npos) << text;
+  EXPECT_NE(text.find("commute"), std::string::npos) << text;
+}
+
+TEST(EngineForceTest, ForcedNaiveMatchesSemiNaive) {
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(5);
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  for (int i = 0; i < 5; ++i) q.Insert({i, i});
+  auto naive =
+      engine.Execute(Query::Closure({tc}).From(q).Force(Strategy::kNaive));
+  ASSERT_TRUE(naive.ok());
+  auto semi = engine.Execute(Query::Closure({tc}).From(q));
+  ASSERT_TRUE(semi.ok());
+  EXPECT_EQ(*naive, *semi);
+}
+
+TEST(EngineForceTest, ForcedPowerSumRequiresBound) {
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(5);
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+  auto plan =
+      engine.Plan(Query::Closure({tc}).From(q).Force(Strategy::kPowerSum));
+  EXPECT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineCacheTest, AnalysisIsMemoized) {
+  Engine engine;
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  auto first = engine.Analyze(tc);
+  auto second = engine.Analyze(tc);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // same cached pointer
+  EXPECT_EQ(engine.analysis_cache().rule_entries(), 1u);
+
+  auto c1 = engine.Commutes(Down(), Up());
+  auto c2 = engine.Commutes(Up(), Down());  // symmetric: one cache entry
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_EQ(c1->commute, c2->commute);
+  EXPECT_EQ(engine.analysis_cache().pair_entries(), 1u);
+}
+
+TEST(EngineCacheTest, StatsAccumulateAcrossQueries) {
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(5);
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  std::size_t after_one = engine.stats().derivations;
+  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  EXPECT_GT(engine.stats().derivations, after_one);
+  engine.ResetStats();
+  EXPECT_EQ(engine.stats().derivations, 0u);
+}
+
+TEST(EngineCacheTest, IndexCacheDoesNotAccumulateTemporaries) {
+  // Every Execute builds indexes over per-call temporaries (Δs, the seed);
+  // the engine must evict them so a long-lived engine stays bounded.
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(8);
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  std::size_t after_one = engine.index_cache().entry_count();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  }
+  EXPECT_EQ(engine.index_cache().entry_count(), after_one);
+}
+
+TEST(EngineQueryTest, ValidationErrors) {
+  Engine engine;
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  // No seed.
+  EXPECT_FALSE(engine.Plan(Query::Closure({tc})).ok());
+  // Arity mismatch.
+  Relation bad(3);
+  bad.Insert({1, 2, 3});
+  EXPECT_FALSE(engine.Plan(Query::Closure({tc}).From(bad)).ok());
+  // Mixed head predicates.
+  LinearRule other = LR("r(X,Y) :- r(X,Z), e(Z,Y).");
+  Relation q(2);
+  EXPECT_FALSE(engine.Plan(Query::Closure({tc, other}).From(q)).ok());
+  // Selection position out of range.
+  EXPECT_FALSE(
+      engine.Plan(Query::Closure({tc}).Select(Selection{5, 0}).From(q)).ok());
+  // No rules.
+  EXPECT_FALSE(engine.Plan(Query::Closure({}).From(q)).ok());
+}
+
+}  // namespace
+}  // namespace linrec
