@@ -1,114 +1,201 @@
-// E7 — engine baseline (Section 2 substrate): semi-naive vs naive fixpoint
-// on transitive closure. Both must produce identical relations; naive
-// rederives the whole relation each round. Driven through linrec::Engine
-// with forced strategies (kNaive is never chosen automatically).
+// bench_engine — the repo's perf trajectory harness.
+//
+// Self-contained driver (no google-benchmark dependency): runs a fixed
+// strategy × workload matrix through linrec::Engine, times each cell, and
+// writes machine-readable results to BENCH_engine.json (path overridable
+// via argv[1]). CI runs this in Release mode and uploads the JSON as an
+// artifact, so every commit leaves a comparable perf record.
+//
+// The figure of merit is derivations/sec: Theorem 3.1 counts work in tuple
+// derivations, so throughput in derivations normalizes across strategies
+// that do different amounts of total work.
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "datalog/parser.h"
 #include "engine/engine.h"
+#include "workload/databases.h"
 #include "workload/graphs.h"
 
 namespace linrec {
 namespace {
 
-LinearRule TC() { return *ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y)."); }
+struct BenchResult {
+  std::string workload;
+  std::string strategy;
+  int n = 0;
+  int reps = 0;
+  double wall_ms_mean = 0.0;
+  double wall_ms_min = 0.0;
+  std::size_t derivations = 0;  // per repetition
+  double derivations_per_sec = 0.0;
+  std::size_t result_size = 0;
+};
 
-Engine ChainEngine(int n) {
-  Database db;
-  db.GetOrCreate("e", 2) = ChainGraph(n);
-  return Engine(std::move(db));
+LinearRule TC(const char* edge) {
+  std::string text = std::string("p(X,Y) :- p(X,Z), ") + edge + "(Z,Y).";
+  return *ParseLinearRule(text);
 }
 
-/// Executes `plan` once per benchmark iteration with fresh stats.
-void RunLoop(benchmark::State& state, Engine& engine,
-             const ExecutionPlan& plan) {
-  for (auto _ : state) {
+/// Times `reps` executions of `plan` (after one untimed warmup) and fills a
+/// BenchResult row. Each repetition resets the engine stats so `derivations`
+/// is per-execution.
+BenchResult Run(const std::string& workload, const std::string& strategy,
+                int n, Engine& engine, const ExecutionPlan& plan, int reps) {
+  BenchResult r;
+  r.workload = workload;
+  r.strategy = strategy;
+  r.n = n;
+  r.reps = reps;
+
+  auto once = [&]() -> double {
     engine.ResetStats();
-    auto out = engine.Execute(plan);
+    auto start = std::chrono::steady_clock::now();
+    Result<Relation> out = engine.Execute(plan);
+    auto end = std::chrono::steady_clock::now();
     if (!out.ok()) {
-      state.SkipWithError(out.status().ToString().c_str());
-      break;
+      std::fprintf(stderr, "FATAL %s/%s: %s\n", workload.c_str(),
+                   strategy.c_str(), out.status().ToString().c_str());
+      std::exit(1);
     }
-    benchmark::DoNotOptimize(out);
+    r.derivations = engine.stats().derivations;
+    r.result_size = out->size();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+  };
+
+  once();  // warmup: builds parameter-relation indexes, touches the pages
+  double total = 0.0;
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    double ms = once();
+    total += ms;
+    best = std::min(best, ms);
   }
+  r.wall_ms_mean = total / reps;
+  r.wall_ms_min = best;
+  r.derivations_per_sec =
+      r.wall_ms_mean > 0.0
+          ? static_cast<double>(r.derivations) / (r.wall_ms_mean / 1000.0)
+          : 0.0;
+  return r;
 }
 
-void RunForced(benchmark::State& state, Engine& engine, const Relation& q,
-               Strategy strategy) {
-  auto plan =
-      engine.Plan(Query::Closure({TC()}).From(q).Force(strategy));
+BenchResult RunQuery(const std::string& workload, int n, Engine& engine,
+                     const Query& query, int reps) {
+  Result<ExecutionPlan> plan = engine.Plan(query);
   if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
-    return;
+    std::fprintf(stderr, "FATAL planning %s: %s\n", workload.c_str(),
+                 plan.status().ToString().c_str());
+    std::exit(1);
   }
-  RunLoop(state, engine, *plan);
-  state.counters["derivations"] =
-      static_cast<double>(engine.stats().derivations);
-  state.counters["iterations"] =
-      static_cast<double>(engine.stats().iterations);
+  return Run(workload, StrategyName(plan->strategy), n, engine, *plan, reps);
 }
 
-void BM_SemiNaive_Chain(benchmark::State& state) {
-  Engine engine = ChainEngine(static_cast<int>(state.range(0)));
+/// Seed relation {(i,i) : i ∈ 0..n-1 step `stride`}.
+Relation SelfLoops(int n, int stride) {
   Relation q(2);
-  q.Insert({0, 0});
-  RunForced(state, engine, q, Strategy::kSemiNaive);
+  for (int i = 0; i < n; i += stride) q.Insert({i, i});
+  return q;
 }
 
-void BM_Naive_Chain(benchmark::State& state) {
-  Engine engine = ChainEngine(static_cast<int>(state.range(0)));
-  Relation q(2);
-  q.Insert({0, 0});
-  RunForced(state, engine, q, Strategy::kNaive);
-}
-
-void BM_SemiNaive_Random(benchmark::State& state) {
-  int n = static_cast<int>(state.range(0));
-  Database db;
-  db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, 17);
-  Engine engine(std::move(db));
-  Relation q(2);
-  for (int i = 0; i < n; i += 8) q.Insert({i, i});
-  auto plan = engine.Plan(
-      Query::Closure({TC()}).From(q).Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
-    return;
+void WriteJson(const std::vector<BenchResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "FATAL: cannot open %s for writing\n", path);
+    std::exit(1);
   }
-  RunLoop(state, engine, *plan);
-  state.counters["result"] = static_cast<double>(engine.stats().result_size);
-}
-
-void BM_GridClosure(benchmark::State& state) {
-  int side = static_cast<int>(state.range(0));
-  Database db;
-  db.GetOrCreate("e", 2) = GridGraph(side, side);
-  Engine engine(std::move(db));
-  Relation q(2);
-  q.Insert({0, 0});
-  auto plan = engine.Plan(Query::Closure({TC()}).From(q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
-    return;
+  std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v1\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"strategy\": \"%s\", \"n\": %d, "
+        "\"reps\": %d, \"wall_ms_mean\": %.3f, \"wall_ms_min\": %.3f, "
+        "\"derivations\": %zu, \"derivations_per_sec\": %.1f, "
+        "\"result_size\": %zu}%s\n",
+        r.workload.c_str(), r.strategy.c_str(), r.n, r.reps, r.wall_ms_mean,
+        r.wall_ms_min, r.derivations, r.derivations_per_sec, r.result_size,
+        i + 1 < results.size() ? "," : "");
   }
-  RunLoop(state, engine, *plan);
-  // Grids have many parallel paths: duplicates dominate (cf. [1] in the
-  // paper: duplicate elimination often dominates recursive computations).
-  state.counters["duplicates"] =
-      static_cast<double>(engine.stats().duplicates);
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
 }
 
-BENCHMARK(BM_SemiNaive_Chain)->Arg(64)->Arg(256)->Arg(1024)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_Naive_Chain)->Arg(64)->Arg(256)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_SemiNaive_Random)->Arg(128)->Arg(512)->Arg(2048)
-    ->Unit(benchmark::kMillisecond);
-BENCHMARK(BM_GridClosure)->Arg(8)->Arg(16)->Arg(24)
-    ->Unit(benchmark::kMillisecond);
+int Main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_engine.json";
+  std::vector<BenchResult> results;
+
+  // --- Transitive closure over a chain: deep recursion, no duplicates. ---
+  {
+    const int n = 512;
+    Database db;
+    db.GetOrCreate("e", 2) = ChainGraph(n);
+    Engine engine(std::move(db));
+    Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 1));
+    results.push_back(RunQuery("tc_chain", n, engine, q, 3));
+    // Naive is O(rounds × full relation): keep it small.
+    Database db2;
+    db2.GetOrCreate("e", 2) = ChainGraph(96);
+    Engine engine2(std::move(db2));
+    Query naive_small =
+        Query::Closure({TC("e")}).From(SelfLoops(96, 1)).Force(
+            Strategy::kNaive);
+    results.push_back(RunQuery("tc_chain", 96, engine2, naive_small, 3));
+  }
+
+  // --- Transitive closure over a random sparse graph. ---
+  {
+    const int n = 1024;
+    Database db;
+    db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, /*seed=*/17);
+    Engine engine(std::move(db));
+    Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 8));
+    results.push_back(RunQuery("tc_random", n, engine, q, 3));
+  }
+
+  // --- Transitive closure over a grid: duplicate derivations dominate. ---
+  {
+    const int side = 14;
+    Database db;
+    db.GetOrCreate("e", 2) = GridGraph(side, side);
+    Engine engine(std::move(db));
+    Query q = Query::Closure({TC("e")}).From(SelfLoops(side * side, 1));
+    results.push_back(RunQuery("tc_grid", side, engine, q, 3));
+  }
+
+  // --- Same-generation pair: the planner decomposes into B*C* (Thm 3.1). ---
+  {
+    const int width = 48;
+    SameGenerationWorkload w =
+        MakeSameGeneration(/*layers=*/6, width, /*fanout=*/2, /*seed=*/99);
+    Engine engine(std::move(w.db));
+    Relation seed = w.q;
+    Query auto_q = Query::Closure(SameGenerationRules()).From(seed);
+    results.push_back(RunQuery("same_gen_decomposed", width, engine, auto_q, 3));
+    Query direct = Query::Closure(SameGenerationRules())
+                       .From(seed)
+                       .Force(Strategy::kSemiNaive);
+    results.push_back(RunQuery("same_gen_direct", width, engine, direct, 3));
+  }
+
+  WriteJson(results, out_path);
+  std::printf("%-22s %-12s %6s %12s %12s %16s %12s\n", "workload", "strategy",
+              "n", "wall_ms", "wall_ms_min", "derivs/sec", "result");
+  for (const BenchResult& r : results) {
+    std::printf("%-22s %-12s %6d %12.3f %12.3f %16.1f %12zu\n",
+                r.workload.c_str(), r.strategy.c_str(), r.n, r.wall_ms_mean,
+                r.wall_ms_min, r.derivations_per_sec, r.result_size);
+  }
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}
 
 }  // namespace
 }  // namespace linrec
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return linrec::Main(argc, argv); }

@@ -35,9 +35,9 @@ int main() {
   Database db;
   Relation down = TreeGraph(/*branching=*/2, /*depth=*/6);
   Relation up(2);
-  for (const Tuple& t : down) up.Insert({t[1], t[0]});
+  for (TupleView t : down) up.Insert({t[1], t[0]});
   Relation q(2);
-  for (const Tuple& t : down) {
+  for (TupleView t : down) {
     q.Insert({t[0], t[0]});
     q.Insert({t[1], t[1]});
   }

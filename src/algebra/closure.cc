@@ -1,6 +1,53 @@
 #include "algebra/closure.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
 namespace linrec {
+namespace {
+
+/// Computes every P_i = groups[i]* q concurrently, each worker with its own
+/// IndexCache (HashIndex building mutates the cache, and the shared
+/// parameter relations are only ever read). Results and stats land in
+/// per-group slots, so no synchronization beyond the work-stealing counter
+/// and the joins is needed.
+std::vector<Result<Relation>> CloseGroupsInParallel(
+    const std::vector<std::vector<LinearRule>>& groups, const Database& db,
+    const Relation& q, std::vector<ClosureStats>* group_stats,
+    std::size_t workers) {
+  std::vector<Result<Relation>> parts;
+  parts.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    parts.push_back(Status::Internal("group closure not executed"));
+  }
+  std::atomic<std::size_t> next{0};
+  auto work = [&]() {
+    IndexCache local_cache;
+    for (std::size_t i = next.fetch_add(1); i < groups.size();
+         i = next.fetch_add(1)) {
+      // An exception escaping a spawned thread would std::terminate the
+      // process; convert it to the Status contract every other path uses.
+      try {
+        parts[i] = SemiNaiveClosure(groups[i], db, q, &(*group_stats)[i],
+                                    &local_cache);
+      } catch (const std::exception& e) {
+        parts[i] = Status::Internal(
+            std::string("group closure threw: ") + e.what());
+      } catch (...) {
+        parts[i] = Status::Internal("group closure threw");
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(work);
+  work();
+  for (std::thread& t : threads) t.join();
+  return parts;
+}
+
+}  // namespace
 
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
@@ -10,20 +57,54 @@ Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
 
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
-    const Relation& q, ClosureStats* stats, IndexCache* cache) {
+    const Relation& q, ClosureStats* stats, IndexCache* cache, int workers) {
   if (groups.empty()) {
     return Status::InvalidArgument("DecomposedClosure requires >= 1 group");
   }
-  Relation current = q;
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
-  for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
-    ClosureStats group_stats;
-    Result<Relation> next =
-        SemiNaiveClosure(*it, db, current, &group_stats, cache);
-    if (!next.ok()) return next.status();
-    current = std::move(next).value();
-    if (stats != nullptr) stats->Accumulate(group_stats);
+
+  std::size_t pool = workers > 0 ? static_cast<std::size_t>(workers)
+                                 : std::thread::hardware_concurrency();
+  if (pool == 0) pool = 1;
+  pool = std::min(pool, groups.size());
+
+  if (pool < 2 || groups.size() < 2) {
+    // Sequential product: thread the accumulating relation through each
+    // group closure, rightmost first.
+    Relation current = q;
+    for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
+      ClosureStats group_stats;
+      Result<Relation> next =
+          SemiNaiveClosure(*it, db, current, &group_stats, cache);
+      if (!next.ok()) return next.status();
+      current = std::move(next).value();
+      if (stats != nullptr) stats->Accumulate(group_stats);
+    }
+    return current;
+  }
+
+  // Parallel phase: P_i = G_i* q for every group at once.
+  std::vector<ClosureStats> group_stats(groups.size());
+  std::vector<Result<Relation>> parts =
+      CloseGroupsInParallel(groups, db, q, &group_stats, pool);
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (!parts[i].ok()) return parts[i].status();
+    if (stats != nullptr) stats->Accumulate(group_stats[i]);
+  }
+
+  // Merge right-to-left in product order. Step i computes G_i*(current)
+  // as SemiNaiveResume(G_i, closed = P_i, extra = current): P_i ⊆
+  // G_i*(current) because current ⊇ q, so seeding from P_i is sound and
+  // only cross-group compositions are newly derived.
+  Relation current = std::move(parts.back()).value();
+  for (std::size_t i = groups.size() - 1; i-- > 0;) {
+    ClosureStats merge_stats;
+    Result<Relation> merged = SemiNaiveResume(groups[i], db, *parts[i],
+                                              current, &merge_stats, cache);
+    if (!merged.ok()) return merged.status();
+    current = std::move(merged).value();
+    if (stats != nullptr) stats->Accumulate(merge_stats);
   }
   return current;
 }

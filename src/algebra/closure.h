@@ -29,9 +29,18 @@ Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
 /// for the cross-group commutativity that makes this equal the direct
 /// closure (PlanDecomposition produces such groups). All group closures
 /// share `cache` (or a local one when null).
+///
+/// `workers` sizes the thread pool for the parallel phase: the per-group
+/// closures P_i = G_i* q are independent of one another (only the *merge*
+/// must respect the product order), so with workers ≥ 2 they run
+/// concurrently, each on its own thread with its own IndexCache, and are
+/// then folded right-to-left with SemiNaiveResume — each merge step seeds
+/// its Δ with the other groups' tuples only, so no group's own work is
+/// re-derived. workers == 0 auto-detects hardware concurrency; workers == 1
+/// forces the sequential product.
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
     const Relation& q, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr);
+    IndexCache* cache = nullptr, int workers = 0);
 
 }  // namespace linrec

@@ -79,7 +79,7 @@ Result<Relation> OpExpr::Evaluate(const Database& db, const Relation& input,
         Result<Relation> produced = body.Evaluate(db, delta, stats);
         if (!produced.ok()) return produced.status();
         Relation next_delta(input.arity());
-        for (const Tuple& t : *produced) {
+        for (TupleView t : *produced) {
           if (result.Insert(t)) next_delta.Insert(t);
         }
         delta = std::move(next_delta);

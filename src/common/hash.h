@@ -8,19 +8,39 @@
 
 namespace linrec {
 
+/// Seed every incremental hash starts from (FNV offset basis). Code that
+/// reproduces HashRange piecewise (e.g. hashing a projection of a row) must
+/// start here and finish with HashFinalize so the two hashes agree.
+inline constexpr std::size_t kHashSeed = 0xcbf29ce484222325ULL;
+
 /// Mixes `value` into `seed` (boost::hash_combine recipe, 64-bit variant).
 inline void HashCombine(std::size_t* seed, std::size_t value) {
   *seed ^= value + 0x9e3779b97f4a7c15ULL + (*seed << 6) + (*seed >> 2);
 }
 
+/// Finalizer (splitmix64): diffuses every input bit across the whole word.
+/// Required wherever a hash feeds a power-of-two-masked open-addressing
+/// table: std::hash of an integer is the identity on libstdc++, and the
+/// combine step above is close to linear in its last input, so without this
+/// step sequential keys form huge primary clusters and probes degrade from
+/// O(1) to O(table).
+inline std::size_t HashFinalize(std::size_t h) {
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
 /// Hashes a contiguous range of integral values.
 template <typename It>
 std::size_t HashRange(It first, It last) {
-  std::size_t seed = 0xcbf29ce484222325ULL;
+  std::size_t seed = kHashSeed;
   for (It it = first; it != last; ++it) {
     HashCombine(&seed, std::hash<std::int64_t>{}(static_cast<std::int64_t>(*it)));
   }
-  return seed;
+  return HashFinalize(seed);
 }
 
 }  // namespace linrec

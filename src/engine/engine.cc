@@ -7,6 +7,7 @@
 
 #include "algebra/closure.h"
 #include "common/strings.h"
+#include "datalog/printer.h"
 #include "eval/fixpoint.h"
 #include "redundancy/closure.h"
 #include "redundancy/factorize.h"
@@ -14,6 +15,26 @@
 
 namespace linrec {
 namespace {
+
+/// Plan-cache key: the printed rules (text determines semantics), the
+/// selection, and any forced strategy. The seed is deliberately excluded —
+/// planning never reads it beyond validation, so one cached plan serves
+/// every seed.
+std::string QueryDigest(const Query& query) {
+  std::string digest;
+  for (const LinearRule& rule : query.rules()) {
+    digest += ToString(rule);
+    digest += '\n';
+  }
+  if (query.selection().has_value()) {
+    digest += StrCat("|sigma:", query.selection()->position, "=",
+                     query.selection()->value);
+  }
+  if (query.forced_strategy().has_value()) {
+    digest += StrCat("|force:", StrategyName(*query.forced_strategy()));
+  }
+  return digest;
+}
 
 /// Short provenance tag for a positive commutativity verdict.
 std::string CommuteProvenance(const CommutativityReport& report) {
@@ -295,6 +316,20 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
   Status valid = query.Validate();
   if (!valid.ok()) return valid;
 
+  std::string digest;
+  if (options_.enable_plan_cache) {
+    digest = QueryDigest(query);
+    auto it = plan_cache_.find(digest);
+    if (it != plan_cache_.end()) {
+      ++plan_cache_hits_;
+      ExecutionPlan plan = it->second;  // cached seedless; copy and re-seed
+      plan.seed = query.shared_seed();
+      plan.from_plan_cache = true;
+      return plan;
+    }
+    ++plan_cache_misses_;
+  }
+
   ExecutionPlan plan;
   plan.rules = query.rules();
   plan.selection = query.selection();
@@ -302,20 +337,30 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
 
   if (query.forced_strategy().has_value()) {
     LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
-    return plan;
+  } else {
+    bool planned_separable = false;
+    if (plan.selection.has_value() && options_.enable_separable) {
+      Result<bool> separable = TrySeparable(&plan);
+      if (!separable.ok()) return separable.status();
+      planned_separable = *separable;
+    }
+    if (!planned_separable) {
+      LINREC_RETURN_IF_ERROR(ChooseClosureStrategy(&plan));
+      if (plan.selection.has_value() && !plan.selection_pushed) {
+        plan.justification.push_back(
+            "selection does not push through the closure; filtering the "
+            "final result");
+      }
+    }
   }
 
-  if (plan.selection.has_value() && options_.enable_separable) {
-    Result<bool> separable = TrySeparable(&plan);
-    if (!separable.ok()) return separable.status();
-    if (*separable) return plan;
-  }
-
-  LINREC_RETURN_IF_ERROR(ChooseClosureStrategy(&plan));
-  if (plan.selection.has_value() && !plan.selection_pushed) {
-    plan.justification.push_back(
-        "selection does not push through the closure; filtering the final "
-        "result");
+  if (options_.enable_plan_cache) {
+    if (plan_cache_.size() >= options_.plan_cache_capacity) {
+      plan_cache_.clear();  // bound memory under unboundedly diverse queries
+    }
+    ExecutionPlan cached = plan;
+    cached.seed = nullptr;  // never pin a caller's seed in the cache
+    plan_cache_.emplace(std::move(digest), std::move(cached));
   }
   return plan;
 }
@@ -349,7 +394,8 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
       for (const std::vector<int>& group : plan.groups) {
         groups.push_back(plan.RulesOf(group));
       }
-      out = DecomposedClosure(groups, db_, seed, &s, &cache_);
+      out = DecomposedClosure(groups, db_, seed, &s, &cache_,
+                              options_.parallel_workers);
       break;
     }
     case Strategy::kSeparable: {

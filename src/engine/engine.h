@@ -21,6 +21,9 @@
 
 #pragma once
 
+#include <string>
+#include <unordered_map>
+
 #include "common/status.h"
 #include "engine/plan.h"
 #include "engine/query.h"
@@ -41,6 +44,17 @@ struct EngineOptions {
   bool enable_separable = true;
   bool enable_power_sum = true;
   bool enable_redundancy_elision = true;
+  /// Thread-pool size for kDecomposed's parallel group closures:
+  /// 0 = auto-detect hardware concurrency, 1 = sequential product.
+  int parallel_workers = 0;
+  /// Memoize compiled plans keyed on (rule-set digest, σ, forced strategy)
+  /// so repeated queries skip analysis and planning entirely.
+  bool enable_plan_cache = true;
+  /// Entry bound for the plan cache: when full, the cache is cleared before
+  /// the next insert (repeated-query workloads never get near the bound; a
+  /// long-lived engine serving unboundedly diverse queries must not grow
+  /// without limit).
+  std::size_t plan_cache_capacity = 1024;
 };
 
 class Engine {
@@ -81,6 +95,12 @@ class Engine {
   IndexCache& index_cache() { return cache_; }
   const AnalysisCache& analysis_cache() const { return analysis_; }
 
+  /// Plan-cache observability: queries answered from the cache vs planned
+  /// from scratch (hits + misses == Plan() calls while the cache is on).
+  std::size_t plan_cache_hits() const { return plan_cache_hits_; }
+  std::size_t plan_cache_misses() const { return plan_cache_misses_; }
+  std::size_t plan_cache_size() const { return plan_cache_.size(); }
+
  private:
   /// Fills groups via union-find over the memoized non-commuting pairs,
   /// appending per-pair verdicts to the plan's justification.
@@ -97,6 +117,11 @@ class Engine {
   AnalysisCache analysis_;
   IndexCache cache_;
   ClosureStats stats_;
+  /// Compiled plans keyed on the query digest, stored seedless (the seed is
+  /// re-attached per query, so caching never pins a caller's relation).
+  std::unordered_map<std::string, ExecutionPlan> plan_cache_;
+  std::size_t plan_cache_hits_ = 0;
+  std::size_t plan_cache_misses_ = 0;
 };
 
 }  // namespace linrec

@@ -83,6 +83,9 @@ std::string ExecutionPlan::Explain() const {
     os << "\n";
   }
 
+  if (from_plan_cache) {
+    os << "plan cache: hit (analysis and planning skipped)\n";
+  }
   if (!justification.empty()) {
     os << "why:\n";
     for (const std::string& reason : justification) {

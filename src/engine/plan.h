@@ -46,6 +46,9 @@ struct ExecutionPlan {
   std::vector<std::string> elided_predicates;
   /// Theorem-level reasons for the choice, in planning order.
   std::vector<std::string> justification;
+  /// True when this plan was served from the engine's plan cache (same
+  /// rule-set digest, selection and forced strategy as a prior query).
+  bool from_plan_cache = false;
   /// The initial relation q, shared immutably with the originating Query
   /// (planning never copies the relation).
   std::shared_ptr<const Relation> seed;

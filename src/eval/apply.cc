@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
-#include <functional>
 #include <optional>
 
 #include "common/strings.h"
@@ -33,6 +32,14 @@ struct JoinStep {
   // Positions that must equal an earlier position of this same atom
   // (repeated new variable within the atom): (position, variable).
   std::vector<std::pair<int, VarId>> check_positions;
+};
+
+/// Per-depth cursor of the iterative join loop: the candidate row-id list
+/// (nullptr ⇒ full scan of the step's relation) and the next candidate.
+struct JoinFrame {
+  const std::vector<RowId>* rows = nullptr;
+  std::size_t next = 0;
+  std::size_t limit = 0;
 };
 
 }  // namespace
@@ -132,6 +139,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
   std::fill(bound.begin(), bound.end(), false);
   std::vector<JoinStep> steps;
   steps.reserve(body.size());
+  std::size_t max_key_len = 0;
   for (int atom_index : order) {
     const Atom& atom = body[static_cast<std::size_t>(atom_index)];
     JoinStep step;
@@ -153,6 +161,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
       }
     }
     bound = bound_here;
+    max_key_len = std::max(max_key_len, step.key_positions.size());
     steps.push_back(std::move(step));
   }
 
@@ -176,7 +185,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
   }
 
   std::vector<Value> binding(static_cast<std::size_t>(rule.var_count()), 0);
-  std::vector<Value> key_values;
+  std::vector<Value> key_buf(max_key_len, 0);
   std::vector<Value> head_values(rule.head().arity(), 0);
   for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
     if (rule.head().terms[i].is_const()) {
@@ -184,33 +193,61 @@ Status ApplyRule(const Rule& rule, const Database& db,
     }
   }
 
-  // Recursive lambda over join depth.
   std::size_t produced = 0;
-  std::vector<Tuple> scan_storage;  // for full-scan steps
-  std::function<void(std::size_t)> emit = [&](std::size_t depth) {
-    if (depth == steps.size()) {
-      for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
-        const Term& t = rule.head().terms[i];
-        if (t.is_var()) {
-          head_values[i] = binding[static_cast<std::size_t>(t.var())];
-        }
+  auto emit_head = [&]() {
+    for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
+      const Term& t = rule.head().terms[i];
+      if (t.is_var()) {
+        head_values[i] = binding[static_cast<std::size_t>(t.var())];
       }
-      ++produced;
-      out->Insert(Tuple(head_values));
-      return;
     }
-    const JoinStep& step = steps[depth];
-    const std::vector<Tuple>* candidates = nullptr;
-    if (indexes[depth] != nullptr) {
-      key_values.clear();
-      for (const auto& part : step.key_parts) {
-        key_values.push_back(part.is_const
-                                 ? part.constant
-                                 : binding[static_cast<std::size_t>(part.var)]);
+    ++produced;
+    out->InsertRow(head_values.data());
+  };
+
+  if (steps.empty()) {
+    // Bodyless rule: the (all-constant) head holds unconditionally.
+    emit_head();
+  } else {
+    // Iterative depth-first join. Everything the loop touches was allocated
+    // above: the per-candidate path does index probes, binding writes, and
+    // InsertRow — zero heap allocations per candidate tuple.
+    std::vector<JoinFrame> frames(steps.size());
+    const std::size_t last = steps.size() - 1;
+
+    // Positions the candidate cursor at `depth`, resolving the step's
+    // index bucket from the current binding (no candidates ⇒ limit 0).
+    auto enter = [&](std::size_t depth) {
+      const JoinStep& step = steps[depth];
+      JoinFrame& f = frames[depth];
+      f.next = 0;
+      if (indexes[depth] != nullptr) {
+        const auto& parts = step.key_parts;
+        for (std::size_t k = 0; k < parts.size(); ++k) {
+          key_buf[k] = parts[k].is_const
+                           ? parts[k].constant
+                           : binding[static_cast<std::size_t>(parts[k].var)];
+        }
+        f.rows = indexes[depth]->Lookup(key_buf.data());
+        f.limit = f.rows != nullptr ? f.rows->size() : 0;
+      } else {
+        f.rows = nullptr;  // no bound position: scan the whole relation
+        f.limit = step.relation->size();
       }
-      candidates = indexes[depth]->Lookup(Tuple(key_values));
-      if (candidates == nullptr) return;
-      for (const Tuple& t : *candidates) {
+    };
+
+    std::size_t depth = 0;
+    bool descending = true;
+    while (true) {
+      if (descending) enter(depth);
+      const JoinStep& step = steps[depth];
+      JoinFrame& f = frames[depth];
+      bool matched = false;
+      while (f.next < f.limit) {
+        RowId row = f.rows != nullptr ? (*f.rows)[f.next]
+                                      : static_cast<RowId>(f.next);
+        ++f.next;
+        const Value* t = step.relation->RowData(row);
         // Bind new variables, then verify intra-atom repeats.
         for (const auto& [pos, var] : step.bind_positions) {
           binding[static_cast<std::size_t>(var)] =
@@ -224,28 +261,24 @@ Status ApplyRule(const Rule& rule, const Database& db,
             break;
           }
         }
-        if (ok) emit(depth + 1);
-      }
-    } else {
-      // No bound position: scan the whole relation.
-      for (const Tuple& t : *step.relation) {
-        for (const auto& [pos, var] : step.bind_positions) {
-          binding[static_cast<std::size_t>(var)] =
-              t[static_cast<std::size_t>(pos)];
+        if (!ok) continue;
+        if (depth == last) {
+          emit_head();  // stay at this depth: keep scanning candidates
+          continue;
         }
-        bool ok = true;
-        for (const auto& [pos, var] : step.check_positions) {
-          if (t[static_cast<std::size_t>(pos)] !=
-              binding[static_cast<std::size_t>(var)]) {
-            ok = false;
-            break;
-          }
-        }
-        if (ok) emit(depth + 1);
+        matched = true;
+        break;
       }
+      if (matched) {
+        ++depth;
+        descending = true;
+        continue;
+      }
+      if (depth == 0) break;
+      --depth;
+      descending = false;
     }
-  };
-  emit(0);
+  }
 
   if (stats != nullptr) {
     stats->rule_applications += 1;

@@ -65,6 +65,33 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
+/// The Δ-driven loop shared by SemiNaiveClosure and SemiNaiveResume:
+/// iterates rules over `delta` until no new tuple lands in `result`.
+/// `result` must already contain `delta`.
+Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
+                    Relation* result, Relation delta, ClosureStats* stats,
+                    IndexCache* cache) {
+  while (!delta.empty() && !rules.empty()) {
+    if (stats != nullptr) ++stats->iterations;
+    Relation produced(result->arity());
+    produced.Reserve(delta.size());  // each Δ tuple derives ≈ O(1) heads
+    for (const LinearRule& lr : rules) {
+      ApplyOptions options;
+      options.overrides[lr.recursive_atom_index()] = &delta;
+      options.first_atom = lr.recursive_atom_index();
+      LINREC_RETURN_IF_ERROR(
+          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
+    }
+    Relation next_delta(result->arity());
+    next_delta.Reserve(produced.size());
+    for (TupleView t : produced) {
+      if (result->Insert(t)) next_delta.Insert(t);
+    }
+    delta = std::move(next_delta);
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
@@ -78,26 +105,48 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
   if (cache == nullptr) cache = &local_cache;
 
   Relation result = q;
-  Relation delta = q;
-  while (!delta.empty() && !prepared->empty()) {
-    if (stats != nullptr) ++stats->iterations;
-    Relation produced(q.arity());
-    for (const LinearRule& lr : *prepared) {
-      ApplyOptions options;
-      options.overrides[lr.recursive_atom_index()] = &delta;
-      options.first_atom = lr.recursive_atom_index();
-      LINREC_RETURN_IF_ERROR(
-          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
-    }
-    Relation next_delta(q.arity());
-    for (const Tuple& t : produced) {
-      if (result.Insert(t)) next_delta.Insert(t);
-    }
-    delta = std::move(next_delta);
-  }
+  LINREC_RETURN_IF_ERROR(
+      RunSemiNaive(*prepared, db, &result, q, stats, cache));
   if (stats != nullptr) {
     stats->result_size = result.size();
     stats->duplicates = stats->derivations - (result.size() - q.size());
+  }
+  return result;
+}
+
+Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
+                                 const Database& db, const Relation& closed,
+                                 const Relation& extra, ClosureStats* stats,
+                                 IndexCache* cache) {
+  LINREC_RETURN_IF_ERROR(ValidateRules(rules, closed));
+  if (extra.arity() != closed.arity()) {
+    return Status::InvalidArgument(
+        StrCat("extra arity ", extra.arity(), " != closed arity ",
+               closed.arity()));
+  }
+  Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
+  if (!prepared.ok()) return prepared.status();
+  Timer timer(stats);
+  IndexCache local_cache;
+  if (cache == nullptr) cache = &local_cache;
+
+  // Seed the Δ with the genuinely new tuples only. Because every rule is
+  // linear — each derivation consumes exactly one recursive tuple — and
+  // `closed` is a fixpoint of the rules, derivations whose recursive input
+  // lies in `closed` can only reproduce `closed`; they need not be re-run.
+  Relation result = closed;
+  Relation delta(closed.arity());
+  delta.Reserve(extra.size());
+  for (TupleView t : extra) {
+    if (result.Insert(t)) delta.Insert(t);
+  }
+  std::size_t seeded = result.size();
+
+  LINREC_RETURN_IF_ERROR(
+      RunSemiNaive(*prepared, db, &result, std::move(delta), stats, cache));
+  if (stats != nullptr) {
+    stats->result_size = result.size();
+    stats->duplicates += stats->derivations - (result.size() - seeded);
   }
   return result;
 }
@@ -117,6 +166,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
   while (changed) {
     if (stats != nullptr) ++stats->iterations;
     Relation produced(q.arity());
+    produced.Reserve(result.size());
     for (const LinearRule& lr : *prepared) {
       ApplyOptions options;
       options.overrides[lr.recursive_atom_index()] = &result;
@@ -125,7 +175,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
           ApplyRule(lr.rule(), db, options, &produced, stats, cache));
     }
     changed = false;
-    for (const Tuple& t : produced) {
+    for (TupleView t : produced) {
       if (result.Insert(t)) changed = true;
     }
   }

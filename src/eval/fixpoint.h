@@ -26,6 +26,20 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   ClosureStats* stats = nullptr,
                                   IndexCache* cache = nullptr);
 
+/// Semi-naive continuation: computes (Σ rules)* (closed ∪ extra) given that
+/// `closed` is already a fixpoint of the rules. Only the tuples of `extra`
+/// missing from `closed` seed the Δ, so the closed part is never re-derived.
+/// Sound because the operators are linear: each derivation consumes exactly
+/// one recursive tuple, and derivations from `closed` tuples land in
+/// `closed`. The parallel decomposed closure uses this to merge
+/// independently computed group closures (storage cost: one copy of
+/// `closed`).
+Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
+                                 const Database& db, const Relation& closed,
+                                 const Relation& extra,
+                                 ClosureStats* stats = nullptr,
+                                 IndexCache* cache = nullptr);
+
 /// Same fixpoint by naive evaluation: each round applies every operator to
 /// the full accumulated relation. Baseline for bench_engine (E7); produces
 /// identical results with many more duplicate derivations.

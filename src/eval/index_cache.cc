@@ -4,7 +4,7 @@ namespace linrec {
 
 const HashIndex& IndexCache::Get(const Relation& rel,
                                  const std::vector<int>& positions) {
-  Key key{&rel, positions};
+  Key key(&rel, positions);
   auto it = entries_.find(key);
   if (it != entries_.end() &&
       it->second->built_at_version() == rel.version()) {
@@ -12,13 +12,17 @@ const HashIndex& IndexCache::Get(const Relation& rel,
   }
   auto index = std::make_unique<HashIndex>(rel, positions);
   ++rebuilds_;
-  auto [pos, inserted] = entries_.insert_or_assign(key, std::move(index));
+  if (it != entries_.end()) {
+    it->second = std::move(index);
+    return *it->second;
+  }
+  auto [pos, inserted] = entries_.emplace(std::move(key), std::move(index));
   return *pos->second;
 }
 
 void IndexCache::RetainOnly(const std::unordered_set<const Relation*>& keep) {
   for (auto it = entries_.begin(); it != entries_.end();) {
-    if (keep.count(it->first.first) == 0) {
+    if (keep.count(it->first.rel) == 0) {
       it = entries_.erase(it);
     } else {
       ++it;

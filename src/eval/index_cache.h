@@ -2,11 +2,12 @@
 
 #pragma once
 
-#include <map>
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "common/hash.h"
 #include "storage/relation.h"
 
 namespace linrec {
@@ -15,6 +16,10 @@ namespace linrec {
 /// An index is rebuilt when the relation's version has moved since the index
 /// was built. Closure loops share one cache so that indexes over the stable
 /// parameter relations are built once across all iterations.
+///
+/// The table is an unordered_map whose key carries its own precomputed hash,
+/// so a Get is one O(1) probe (plus one small vector copy to build the probe
+/// key) instead of a red-black-tree walk with per-node vector comparisons.
 class IndexCache {
  public:
   /// Returns an index of `rel` on `positions`, building it if necessary.
@@ -31,8 +36,26 @@ class IndexCache {
   std::size_t rebuilds() const { return rebuilds_; }
 
  private:
-  using Key = std::pair<const Relation*, std::vector<int>>;
-  std::map<Key, std::unique_ptr<HashIndex>> entries_;
+  struct Key {
+    const Relation* rel;
+    std::vector<int> positions;
+    std::size_t hash;
+
+    Key(const Relation* r, std::vector<int> p)
+        : rel(r), positions(std::move(p)) {
+      std::size_t h = std::hash<const void*>{}(rel);
+      for (int x : positions) HashCombine(&h, std::hash<int>{}(x));
+      hash = h;
+    }
+    bool operator==(const Key& o) const {
+      return rel == o.rel && positions == o.positions;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const { return k.hash; }
+  };
+
+  std::unordered_map<Key, std::unique_ptr<HashIndex>, KeyHash> entries_;
   std::size_t rebuilds_ = 0;
 };
 

@@ -8,7 +8,7 @@ Relation ApplySelection(const Relation& input, const Selection& selection) {
   assert(selection.position >= 0 &&
          static_cast<std::size_t>(selection.position) < input.arity());
   Relation out(input.arity());
-  for (const Tuple& t : input) {
+  for (TupleView t : input) {
     if (t[static_cast<std::size_t>(selection.position)] == selection.value) {
       out.Insert(t);
     }

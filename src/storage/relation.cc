@@ -2,42 +2,178 @@
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 
 namespace linrec {
 namespace {
+
 std::atomic<std::uint64_t> g_version_counter{0};
+
+/// Smallest power of two ≥ n (and ≥ 8).
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 8;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
-bool Relation::Insert(const Tuple& t) {
-  assert(t.arity() == arity_ && "tuple arity must match relation arity");
-  bool added = tuples_.insert(t).second;
-  if (added) {
-    version_ = g_version_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+// Grow the dedup table when occupancy crosses 7/8: linear probing stays
+// short and the growth factor (2x) keeps inserts amortized O(1).
+bool Relation::InsertHashed(const Value* row, std::size_t hash) {
+  if (slots_.empty()) Rehash(8);
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash & mask;
+  while (true) {
+    RowId slot = slots_[i];
+    if (slot == 0) break;  // empty: the row is new
+    RowId id = slot - 1;
+    if (hashes_[id] == hash && RowEquals(id, row)) return false;
+    i = (i + 1) & mask;
   }
-  return added;
+  assert(row_count_ < static_cast<std::size_t>(kNoRow) &&
+         "relation exceeds RowId capacity");
+  RowId id = static_cast<RowId>(row_count_++);
+  pool_.insert(pool_.end(), row, row + arity_);
+  hashes_.push_back(hash);
+  slots_[i] = id + 1;
+  version_ = g_version_counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (row_count_ * 8 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  return true;
+}
+
+RowId Relation::FindRow(const Value* row, std::size_t hash) const {
+  if (slots_.empty()) return kNoRow;
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash & mask;
+  while (true) {
+    RowId slot = slots_[i];
+    if (slot == 0) return kNoRow;
+    RowId id = slot - 1;
+    if (hashes_[id] == hash && RowEquals(id, row)) return id;
+    i = (i + 1) & mask;
+  }
+}
+
+void Relation::Rehash(std::size_t slot_count) {
+  slots_.assign(slot_count, 0);
+  std::size_t mask = slot_count - 1;
+  for (RowId id = 0; id < row_count_; ++id) {
+    std::size_t i = hashes_[id] & mask;
+    while (slots_[i] != 0) i = (i + 1) & mask;
+    slots_[i] = id + 1;
+  }
+}
+
+void Relation::Reserve(std::size_t rows) {
+  pool_.reserve(rows * arity_);
+  hashes_.reserve(rows);
+  // Size the table so `rows` insertions stay under the 7/8 growth trigger.
+  std::size_t needed = NextPow2(rows * 8 / 7 + 1);
+  if (needed > slots_.size()) Rehash(needed);
 }
 
 std::size_t Relation::UnionWith(const Relation& other) {
   assert(other.arity() == arity_ && "relation arities must match");
+  if (other.row_count_ > 0) Reserve(row_count_ + other.row_count_);
   std::size_t added = 0;
-  for (const Tuple& t : other) {
-    if (Insert(t)) ++added;
+  for (RowId id = 0; id < other.row_count_; ++id) {
+    if (InsertHashed(other.RowData(id), other.hashes_[id])) ++added;
   }
   return added;
 }
 
 std::vector<Tuple> Relation::Sorted() const {
-  std::vector<Tuple> out(tuples_.begin(), tuples_.end());
+  std::vector<Tuple> out;
+  out.reserve(row_count_);
+  for (RowId id = 0; id < row_count_; ++id) out.push_back(Row(id).ToTuple());
   std::sort(out.begin(), out.end());
   return out;
 }
 
+bool Relation::operator==(const Relation& other) const {
+  if (arity_ != other.arity_ || row_count_ != other.row_count_) return false;
+  for (RowId id = 0; id < other.row_count_; ++id) {
+    if (FindRow(other.RowData(id), other.hashes_[id]) == kNoRow) return false;
+  }
+  return true;
+}
+
 HashIndex::HashIndex(const Relation& rel, std::vector<int> key_positions)
-    : key_positions_(std::move(key_positions)),
+    : rel_(&rel),
+      key_positions_(std::move(key_positions)),
       built_at_version_(rel.version()) {
-  for (const Tuple& t : rel) {
-    buckets_[t.Project(key_positions_)].push_back(t);
+  std::size_t slot_count = NextPow2(rel.size() * 8 / 7 + 1);
+  slots_.assign(slot_count, 0);
+  std::size_t mask = slot_count - 1;
+  const RowId rows = static_cast<RowId>(rel.size());
+  for (RowId row = 0; row < rows; ++row) {
+    std::size_t hash = RowKeyHash(row);
+    std::size_t i = hash & mask;
+    while (true) {
+      std::uint32_t slot = slots_[i];
+      if (slot == 0) {
+        // New key: open a group. Groups never exceed row count, which the
+        // table was sized for, so no grow step is needed here.
+        slots_[i] = static_cast<std::uint32_t>(groups_.size()) + 1;
+        groups_.emplace_back().push_back(row);
+        group_hashes_.push_back(hash);
+        break;
+      }
+      std::size_t g = slot - 1;
+      if (group_hashes_[g] == hash &&
+          RowMatchesKey(groups_[g].front(), rel.RowData(row))) {
+        groups_[g].push_back(row);
+        break;
+      }
+      i = (i + 1) & mask;
+    }
+  }
+}
+
+// Must produce the same value as KeyHash (= HashRange) over the projected
+// key, including the seed and finalizer, so build-time and probe-time
+// hashes agree.
+std::size_t HashIndex::RowKeyHash(RowId row) const {
+  const Value* data = rel_->RowData(row);
+  std::size_t seed = kHashSeed;
+  for (int p : key_positions_) {
+    HashCombine(&seed, std::hash<std::int64_t>{}(
+                           data[static_cast<std::size_t>(p)]));
+  }
+  return HashFinalize(seed);
+}
+
+/// Does `row`'s projection equal the projection of the full row `other`?
+/// (Build-time comparison: both sides are full rows of the relation.)
+bool HashIndex::RowMatchesKey(RowId row, const Value* other) const {
+  const Value* mine = rel_->RowData(row);
+  for (int p : key_positions_) {
+    std::size_t i = static_cast<std::size_t>(p);
+    if (mine[i] != other[i]) return false;
+  }
+  return true;
+}
+
+const std::vector<RowId>* HashIndex::Lookup(const Value* key) const {
+  std::size_t hash = KeyHash(key);
+  std::size_t mask = slots_.size() - 1;
+  std::size_t i = hash & mask;
+  while (true) {
+    std::uint32_t slot = slots_[i];
+    if (slot == 0) return nullptr;
+    std::size_t g = slot - 1;
+    if (group_hashes_[g] == hash) {
+      const Value* repr = rel_->RowData(groups_[g].front());
+      bool match = true;
+      for (std::size_t k = 0; k < key_positions_.size(); ++k) {
+        if (repr[static_cast<std::size_t>(key_positions_[k])] != key[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) return &groups_[g];
+    }
+    i = (i + 1) & mask;
   }
 }
 

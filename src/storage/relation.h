@@ -1,28 +1,38 @@
-// Relation: a set of same-arity tuples, plus hash indexes built on demand.
+// Relation: a set of same-arity tuples in one flat value pool, plus hash
+// indexes (row-id based) built on demand.
 
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
+#include <iterator>
 #include <vector>
 
 #include "storage/tuple.h"
 
 namespace linrec {
 
-/// A set of tuples sharing one arity.
+/// Index of a row inside a Relation's pool (insertion order, 0-based).
+using RowId = std::uint32_t;
+
+/// A set of tuples sharing one arity, stored columnar-free but flat: all
+/// values live contiguously in one arity-strided pool, so a row is a
+/// (pointer, arity) view and iteration is a linear sweep with no per-tuple
+/// indirection. Deduplication is an open-addressing table of row ids over
+/// the pool — no tuple is ever stored twice, and inserting from a raw value
+/// span allocates nothing beyond amortized pool growth.
 ///
 /// Mutation is insert-only (the algebra of the paper is monotone); each
 /// successful insert bumps a version counter that index caches key on.
+/// Iteration yields TupleViews in insertion order (deterministic).
 class Relation {
  public:
   Relation() : arity_(0) {}
   explicit Relation(std::size_t arity) : arity_(arity) {}
 
   std::size_t arity() const { return arity_; }
-  std::size_t size() const { return tuples_.size(); }
-  bool empty() const { return tuples_.empty(); }
+  std::size_t size() const { return row_count_; }
+  bool empty() const { return row_count_ == 0; }
   /// Content stamp for index caching: 0 for an empty relation, otherwise a
   /// process-globally unique value taken at the last successful insert.
   /// Global uniqueness matters: distinct Relation objects can reuse one
@@ -33,56 +43,162 @@ class Relation {
 
   /// Inserts `t`; returns true iff the tuple was new.
   /// The tuple's arity must match the relation's (asserted).
-  bool Insert(const Tuple& t);
-  bool Insert(std::initializer_list<Value> values) {
-    return Insert(Tuple(values));
+  bool Insert(const Tuple& t) {
+    assert(t.arity() == arity_ && "tuple arity must match relation arity");
+    return InsertHashed(t.data(), t.hash());
   }
+  bool Insert(std::initializer_list<Value> values) {
+    assert(values.size() == arity_ && "arity must match relation arity");
+    return InsertRow(values.begin());
+  }
+  bool Insert(TupleView t) {
+    assert(t.arity() == arity_ && "view arity must match relation arity");
+    return InsertRow(t.data());
+  }
+  /// Inserts the row at `row[0..arity)`. The allocation-free hot path: no
+  /// Tuple is constructed, and nothing is heap-allocated unless the pool or
+  /// the dedup table must grow (amortized by Reserve).
+  bool InsertRow(const Value* row) { return InsertHashed(row, Hash(row)); }
 
   /// Inserts every tuple of `other` (same arity); returns number added.
   std::size_t UnionWith(const Relation& other);
 
-  bool Contains(const Tuple& t) const { return tuples_.count(t) > 0; }
+  /// Pre-sizes the pool and the dedup table for `rows` total tuples, so a
+  /// closure loop that knows its Δ size inserts without reallocation.
+  void Reserve(std::size_t rows);
 
-  using const_iterator = std::unordered_set<Tuple, TupleHash>::const_iterator;
-  const_iterator begin() const { return tuples_.begin(); }
-  const_iterator end() const { return tuples_.end(); }
+  bool Contains(const Tuple& t) const {
+    assert(t.arity() == arity_);
+    return FindRow(t.data(), t.hash()) != kNoRow;
+  }
+  bool Contains(TupleView t) const {
+    assert(t.arity() == arity_);
+    return ContainsRow(t.data());
+  }
+  bool Contains(std::initializer_list<Value> values) const {
+    assert(values.size() == arity_);
+    return ContainsRow(values.begin());
+  }
+  bool ContainsRow(const Value* row) const {
+    return FindRow(row, Hash(row)) != kNoRow;
+  }
+
+  /// The `id`-th inserted row. Views are invalidated by the next insert.
+  TupleView Row(RowId id) const {
+    assert(id < row_count_);
+    return TupleView(pool_.data() + static_cast<std::size_t>(id) * arity_,
+                     arity_);
+  }
+  /// Raw pointer to the `id`-th row (arity_ consecutive values).
+  const Value* RowData(RowId id) const {
+    assert(id < row_count_);
+    return pool_.data() + static_cast<std::size_t>(id) * arity_;
+  }
+  /// Cached hash of the `id`-th row.
+  std::size_t RowHash(RowId id) const { return hashes_[id]; }
+
+  /// Forward iterator over rows in insertion order, yielding TupleView.
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = TupleView;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const TupleView*;
+    using reference = TupleView;
+
+    const_iterator() = default;
+    const_iterator(const Relation* rel, RowId row) : rel_(rel), row_(row) {}
+    TupleView operator*() const { return rel_->Row(row_); }
+    const_iterator& operator++() {
+      ++row_;
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator copy = *this;
+      ++row_;
+      return copy;
+    }
+    bool operator==(const const_iterator& o) const { return row_ == o.row_; }
+    bool operator!=(const const_iterator& o) const { return row_ != o.row_; }
+
+   private:
+    const Relation* rel_ = nullptr;
+    RowId row_ = 0;
+  };
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const {
+    return const_iterator(this, static_cast<RowId>(row_count_));
+  }
 
   /// Tuples in lexicographic order (deterministic output for tests/printing).
   std::vector<Tuple> Sorted() const;
 
-  bool operator==(const Relation& other) const {
-    return arity_ == other.arity_ && tuples_ == other.tuples_;
-  }
+  /// Set equality (arity + contents, any insertion order).
+  bool operator==(const Relation& other) const;
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
  private:
+  static constexpr RowId kNoRow = static_cast<RowId>(-1);
+
+  std::size_t Hash(const Value* row) const { return HashRow(row, arity_); }
+  bool InsertHashed(const Value* row, std::size_t hash);
+  RowId FindRow(const Value* row, std::size_t hash) const;
+  bool RowEquals(RowId id, const Value* row) const {
+    const Value* mine = pool_.data() + static_cast<std::size_t>(id) * arity_;
+    for (std::size_t i = 0; i < arity_; ++i) {
+      if (mine[i] != row[i]) return false;
+    }
+    return true;
+  }
+  void Rehash(std::size_t slot_count);
+
   std::size_t arity_;
   std::uint64_t version_ = 0;
-  std::unordered_set<Tuple, TupleHash> tuples_;
+  std::size_t row_count_ = 0;     // == pool_.size() / arity_ unless arity 0
+  std::vector<Value> pool_;       // arity-strided row storage
+  std::vector<std::size_t> hashes_;  // per-row hash (dedup probes, rehash)
+  std::vector<RowId> slots_;      // open addressing: row id + 1; 0 = empty
 };
 
 /// A hash index over one relation keyed by a subset of positions.
 ///
-/// Maps the projection of each tuple onto `key_positions` to the list of
-/// matching tuples. Built in one pass; lookups return an empty span when the
-/// key is absent.
+/// Maps the projection of each row onto `key_positions` to the list of
+/// matching row ids — no tuple is copied. Built in one pass; Lookup takes a
+/// raw key span (values in key_positions order) and allocates nothing, so
+/// join loops probe without constructing a Tuple.
 class HashIndex {
  public:
   HashIndex(const Relation& rel, std::vector<int> key_positions);
 
-  /// All tuples whose `key_positions` projection equals `key`.
-  const std::vector<Tuple>* Lookup(const Tuple& key) const {
-    auto it = buckets_.find(key);
-    return it == buckets_.end() ? nullptr : &it->second;
+  /// Row ids whose `key_positions` projection equals `key[0..k)`, in
+  /// insertion order; nullptr when the key is absent. Allocation-free.
+  const std::vector<RowId>* Lookup(const Value* key) const;
+  /// Convenience probe from an owning key tuple (arity must equal the
+  /// number of key positions).
+  const std::vector<RowId>* Lookup(const Tuple& key) const {
+    assert(key.arity() == key_positions_.size());
+    return Lookup(key.data());
   }
 
+  const Relation& relation() const { return *rel_; }
   const std::vector<int>& key_positions() const { return key_positions_; }
   std::uint64_t built_at_version() const { return built_at_version_; }
+  std::size_t distinct_keys() const { return groups_.size(); }
 
  private:
+  std::size_t KeyHash(const Value* key) const {
+    return HashRange(key, key + key_positions_.size());
+  }
+  std::size_t RowKeyHash(RowId row) const;
+  bool RowMatchesKey(RowId row, const Value* key) const;
+
+  const Relation* rel_;
   std::vector<int> key_positions_;
   std::uint64_t built_at_version_;
-  std::unordered_map<Tuple, std::vector<Tuple>, TupleHash> buckets_;
+  std::vector<std::uint32_t> slots_;       // group index + 1; 0 = empty
+  std::vector<std::vector<RowId>> groups_; // group's key = projection of
+                                           // its first row
+  std::vector<std::size_t> group_hashes_;
 };
 
 }  // namespace linrec

@@ -1,14 +1,26 @@
 #include "storage/tuple.h"
 
 namespace linrec {
+namespace {
 
-std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+template <typename Row>
+std::ostream& Print(std::ostream& os, const Row& t) {
   os << "(";
   for (std::size_t i = 0; i < t.arity(); ++i) {
     if (i > 0) os << ",";
     os << t[i];
   }
   return os << ")";
+}
+
+}  // namespace
+
+std::ostream& operator<<(std::ostream& os, const Tuple& t) {
+  return Print(os, t);
+}
+
+std::ostream& operator<<(std::ostream& os, TupleView t) {
+  return Print(os, t);
 }
 
 }  // namespace linrec

@@ -1,7 +1,10 @@
-// Tuple: a fixed-arity row of Values with a cached hash.
+// Tuple: an owning fixed-arity row of Values, plus TupleView, the
+// non-owning view that iteration and the join kernel traffic in.
 
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <initializer_list>
 #include <ostream>
 #include <vector>
@@ -11,8 +14,16 @@
 
 namespace linrec {
 
+/// Hash of one contiguous row of `n` Values.
+inline std::size_t HashRow(const Value* row, std::size_t n) {
+  return HashRange(row, row + n);
+}
+
 /// An immutable-after-construction row of Values.
 ///
+/// The owning boundary type of the storage layer: relations store their rows
+/// in a flat pool (storage/relation.h) and hand out TupleViews; a Tuple is
+/// what callers build to insert or probe, and what Sorted() materializes.
 /// Hash is computed eagerly so repeated set probes are cheap; equality
 /// short-circuits on the hash.
 class Tuple {
@@ -27,6 +38,7 @@ class Tuple {
   std::size_t arity() const { return values_.size(); }
   Value operator[](std::size_t i) const { return values_[i]; }
   const std::vector<Value>& values() const { return values_; }
+  const Value* data() const { return values_.data(); }
   std::size_t hash() const { return hash_; }
 
   bool operator==(const Tuple& other) const {
@@ -49,10 +61,52 @@ class Tuple {
   std::size_t hash_;
 };
 
+/// A non-owning view of one row inside a Relation's value pool.
+///
+/// Valid only while the underlying relation is alive and not mutated
+/// (inserts may reallocate the pool). Cheap to copy; pass by value.
+class TupleView {
+ public:
+  TupleView() = default;
+  TupleView(const Value* data, std::size_t arity)
+      : data_(data), arity_(arity) {}
+
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return arity_; }
+  Value operator[](std::size_t i) const { return data_[i]; }
+  const Value* data() const { return data_; }
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + arity_; }
+
+  /// Materializes an owning copy.
+  Tuple ToTuple() const {
+    return Tuple(std::vector<Value>(data_, data_ + arity_));
+  }
+
+  bool operator==(TupleView other) const {
+    if (arity_ != other.arity_) return false;
+    for (std::size_t i = 0; i < arity_; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(TupleView other) const { return !(*this == other); }
+  /// Lexicographic order, matching Tuple::operator<.
+  bool operator<(TupleView other) const {
+    return std::lexicographical_compare(begin(), end(), other.begin(),
+                                        other.end());
+  }
+
+ private:
+  const Value* data_ = nullptr;
+  std::size_t arity_ = 0;
+};
+
 struct TupleHash {
   std::size_t operator()(const Tuple& t) const { return t.hash(); }
 };
 
 std::ostream& operator<<(std::ostream& os, const Tuple& t);
+std::ostream& operator<<(std::ostream& os, TupleView t);
 
 }  // namespace linrec

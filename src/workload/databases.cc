@@ -20,7 +20,7 @@ SameGenerationWorkload MakeSameGeneration(int layers, int width, int fanout,
   SameGenerationWorkload w;
   Relation down = LayeredDag(layers, width, fanout, seed);
   Relation up(2);
-  for (const Tuple& t : down) {
+  for (TupleView t : down) {
     up.Insert({t[1], t[0]});
   }
   w.db.GetOrCreate("down", 2) = down;

@@ -29,7 +29,7 @@ Database SameGenDb() {
   Database db;
   Relation down = TreeGraph(/*branching=*/2, /*depth=*/5);
   Relation up(2);
-  for (const Tuple& t : down) up.Insert({t[1], t[0]});
+  for (TupleView t : down) up.Insert({t[1], t[0]});
   db.GetOrCreate("down", 2) = std::move(down);
   db.GetOrCreate("up", 2) = std::move(up);
   return db;
@@ -37,7 +37,7 @@ Database SameGenDb() {
 
 Relation IdentitySeed(const Database& db) {
   Relation q(2);
-  for (const Tuple& t : *db.Find("down")) {
+  for (TupleView t : *db.Find("down")) {
     q.Insert({t[0], t[0]});
     q.Insert({t[1], t[1]});
   }
@@ -281,6 +281,86 @@ TEST(EngineCacheTest, IndexCacheDoesNotAccumulateTemporaries) {
     ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
   }
   EXPECT_EQ(engine.index_cache().entry_count(), after_one);
+}
+
+TEST(EnginePlanCacheTest, RepeatQueriesSkipPlanning) {
+  Engine engine(SameGenDb());
+  Relation q = IdentitySeed(engine.db());
+  auto first = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_misses(), 1u);
+  EXPECT_EQ(engine.plan_cache_hits(), 0u);
+
+  auto second = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->from_plan_cache);
+  EXPECT_EQ(second->strategy, first->strategy);
+  EXPECT_EQ(second->groups, first->groups);
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+
+  // The cached plan executes identically.
+  auto out1 = engine.Execute(*first);
+  auto out2 = engine.Execute(*second);
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(*out1, *out2);
+
+  // A different σ is a different digest: planned from scratch.
+  auto with_sigma = engine.Plan(
+      Query::Closure({Down(), Up()}).Select(Selection{0, 3}).From(q));
+  ASSERT_TRUE(with_sigma.ok()) << with_sigma.status();
+  EXPECT_FALSE(with_sigma->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+}
+
+TEST(EnginePlanCacheTest, CachedPlanServesFreshSeeds) {
+  // The digest excludes the seed, so one cached plan answers every From().
+  Engine engine(SameGenDb());
+  Relation q1 = IdentitySeed(engine.db());
+  ASSERT_TRUE(engine.Execute(Query::Closure({Down(), Up()}).From(q1)).ok());
+  Relation q2(2);
+  q2.Insert({3, 3});
+  auto plan = engine.Plan(Query::Closure({Down(), Up()}).From(q2));
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->from_plan_cache);
+  ASSERT_NE(plan->seed, nullptr);
+  EXPECT_EQ(plan->seed->size(), 1u);  // the new seed, not the cached query's
+  auto out = engine.Execute(*plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto legacy = SemiNaiveClosure({Down(), Up()}, engine.db(), q2);
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_EQ(*out, *legacy);
+}
+
+TEST(EnginePlanCacheTest, DisabledByOption) {
+  EngineOptions options;
+  options.enable_plan_cache = false;
+  Engine engine(SameGenDb(), options);
+  Relation q = IdentitySeed(engine.db());
+  ASSERT_TRUE(engine.Plan(Query::Closure({Down(), Up()}).From(q)).ok());
+  auto again = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+}
+
+TEST(EngineParallelTest, ParallelWorkersMatchSequentialResult) {
+  EngineOptions parallel_options;
+  parallel_options.parallel_workers = 4;
+  Engine parallel_engine(SameGenDb(), parallel_options);
+  Relation q = IdentitySeed(parallel_engine.db());
+  auto parallel_out =
+      parallel_engine.Execute(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(parallel_out.ok()) << parallel_out.status();
+
+  EngineOptions sequential_options;
+  sequential_options.parallel_workers = 1;
+  Engine sequential_engine(SameGenDb(), sequential_options);
+  auto sequential_out =
+      sequential_engine.Execute(Query::Closure({Down(), Up()}).From(q));
+  ASSERT_TRUE(sequential_out.ok()) << sequential_out.status();
+  EXPECT_EQ(*parallel_out, *sequential_out);
 }
 
 TEST(EngineQueryTest, ValidationErrors) {

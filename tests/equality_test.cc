@@ -136,7 +136,7 @@ TEST(EqualityClosureTest, SelectionViaEquality) {
   ASSERT_TRUE(out.ok()) << out.status();
   // Only X = 0 tuples extend; (1,1) stays put.
   EXPECT_TRUE(out->Contains({0, 5}));
-  for (const Tuple& t : *out) {
+  for (TupleView t : *out) {
     if (t[0] == 1) {
       EXPECT_EQ(t[1], 1);
     }

@@ -27,7 +27,7 @@ Relation BruteForce(const LinearRule& lr, const Database& db,
       rels.push_back(r);
     }
   }
-  std::vector<const Tuple*> chosen(rule.body().size(), nullptr);
+  std::vector<TupleView> chosen(rule.body().size());
   std::function<void(std::size_t)> rec = [&](std::size_t depth) {
     if (depth == rule.body().size()) {
       std::vector<std::optional<Value>> binding(
@@ -36,7 +36,7 @@ Relation BruteForce(const LinearRule& lr, const Database& db,
         const Atom& atom = rule.body()[i];
         for (std::size_t p = 0; p < atom.terms.size(); ++p) {
           const Term& t = atom.terms[p];
-          Value v = (*chosen[i])[p];
+          Value v = chosen[i][p];
           if (t.is_const()) {
             if (t.constant() != v) return;
           } else {
@@ -58,8 +58,8 @@ Relation BruteForce(const LinearRule& lr, const Database& db,
       out.Insert(Tuple(std::move(head)));
       return;
     }
-    for (const Tuple& t : *rels[depth]) {
-      chosen[depth] = &t;
+    for (TupleView t : *rels[depth]) {
+      chosen[depth] = t;
       rec(depth + 1);
     }
   };

@@ -122,7 +122,7 @@ TEST_P(SemiringProperty, ClosureAbsorbsPowers) {
     auto next = ApplySum({f.a}, f.db, power);
     ASSERT_TRUE(next.ok());
     power = std::move(next).value();
-    for (const Tuple& t : power) {
+    for (TupleView t : power) {
       EXPECT_TRUE(closure->Contains(t)) << "A^" << k << " escapes A*";
     }
   }

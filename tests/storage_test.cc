@@ -83,27 +83,135 @@ TEST(RelationTest, EqualityIsSetEquality) {
   EXPECT_NE(a, b);
 }
 
-TEST(HashIndexTest, LookupByKey) {
+TEST(RelationTest, FlatLayoutRowAccess) {
+  // Rows live contiguously in insertion order; Row/RowData expose them.
+  Relation r(3);
+  r.Insert({1, 2, 3});
+  r.Insert({4, 5, 6});
+  const Value first[] = {1, 2, 3};
+  EXPECT_EQ(r.Row(0), TupleView(first, 3));
+  EXPECT_EQ(r.Row(1)[2], 6);
+  EXPECT_EQ(r.RowData(1)[0], 4);
+  // Adjacent rows are arity-strided within one pool.
+  EXPECT_EQ(r.RowData(0) + 3, r.RowData(1));
+}
+
+TEST(RelationTest, InsertRowIsDeduplicatingHotPath) {
+  Relation r(2);
+  const Value a[] = {7, 8};
+  const Value b[] = {7, 9};
+  EXPECT_TRUE(r.InsertRow(a));
+  EXPECT_FALSE(r.InsertRow(a));
+  EXPECT_TRUE(r.InsertRow(b));
+  EXPECT_TRUE(r.ContainsRow(a));
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(RelationTest, IterationYieldsViewsInInsertionOrder) {
+  Relation r(1);
+  for (Value v : {5, 3, 9, 3, 5, 1}) r.Insert({v});
+  std::vector<Value> seen;
+  for (TupleView t : r) seen.push_back(t[0]);
+  EXPECT_EQ(seen, (std::vector<Value>{5, 3, 9, 1}));
+}
+
+TEST(RelationTest, DedupSurvivesTableGrowth) {
+  // Push far past the initial table size so several rehashes happen, then
+  // verify dedup and membership still hold for every row.
+  Relation r(2);
+  for (Value i = 0; i < 5000; ++i) r.Insert({i, i * 31});
+  EXPECT_EQ(r.size(), 5000u);
+  for (Value i = 0; i < 5000; ++i) {
+    EXPECT_FALSE(r.Insert({i, i * 31}));
+  }
+  EXPECT_EQ(r.size(), 5000u);
+  EXPECT_FALSE(r.Contains({1, 1}));
+}
+
+TEST(RelationTest, ReserveDoesNotChangeContents) {
+  Relation r(2);
+  r.Insert({1, 2});
+  auto v = r.version();
+  r.Reserve(1000);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_EQ(r.version(), v);
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_FALSE(r.Insert({1, 2}));
+}
+
+TEST(RelationTest, VersionIsGloballyUniqueAcrossObjects) {
+  // Two distinct relations never share a nonzero version even when their
+  // contents coincide: versions come from a process-global counter.
+  Relation a(1), b(1);
+  a.Insert({1});
+  b.Insert({1});
+  EXPECT_NE(a.version(), 0u);
+  EXPECT_NE(a.version(), b.version());
+  // A copy shares content, so sharing the stamp is sound.
+  Relation c = a;
+  EXPECT_EQ(c.version(), a.version());
+}
+
+TEST(RelationTest, ZeroArityRelation) {
+  Relation r(0);
+  EXPECT_TRUE(r.Insert(Tuple{}));
+  EXPECT_FALSE(r.Insert(Tuple{}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains(Tuple{}));
+}
+
+TEST(TupleViewTest, ComparesByContents) {
+  const Value a[] = {1, 2};
+  const Value b[] = {1, 2};
+  const Value c[] = {1, 3};
+  EXPECT_EQ(TupleView(a, 2), TupleView(b, 2));
+  EXPECT_NE(TupleView(a, 2), TupleView(c, 2));
+  EXPECT_LT(TupleView(a, 2), TupleView(c, 2));
+  EXPECT_EQ(TupleView(a, 2).ToTuple(), Tuple({1, 2}));
+}
+
+TEST(HashIndexTest, LookupReturnsRowIds) {
   Relation r(2);
   r.Insert({1, 10});
   r.Insert({1, 20});
   r.Insert({2, 30});
   HashIndex index(r, {0});
-  const auto* bucket = index.Lookup(Tuple({1}));
+  const std::vector<RowId>* bucket = index.Lookup(Tuple({1}));
   ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(bucket->size(), 2u);
+  ASSERT_EQ(bucket->size(), 2u);
+  EXPECT_EQ(r.Row((*bucket)[0])[1], 10);
+  EXPECT_EQ(r.Row((*bucket)[1])[1], 20);
   EXPECT_EQ(index.Lookup(Tuple({9})), nullptr);
 }
 
-TEST(HashIndexTest, CompositeKey) {
+TEST(HashIndexTest, AllocationFreeSpanLookup) {
   Relation r(3);
   r.Insert({1, 2, 3});
   r.Insert({1, 2, 4});
   r.Insert({1, 3, 5});
   HashIndex index(r, {0, 1});
-  const auto* bucket = index.Lookup(Tuple({1, 2}));
+  const Value key[] = {1, 2};
+  const std::vector<RowId>* bucket = index.Lookup(key);
   ASSERT_NE(bucket, nullptr);
   EXPECT_EQ(bucket->size(), 2u);
+  const Value missing[] = {1, 9};
+  EXPECT_EQ(index.Lookup(missing), nullptr);
+}
+
+TEST(HashIndexTest, CorrectUnderRelationGrowth) {
+  // Build an index over a large relation (many internal rehashes during
+  // the fill) and verify every key's bucket is exact.
+  Relation r(2);
+  for (Value i = 0; i < 2000; ++i) r.Insert({i % 50, i});
+  HashIndex index(r, {0});
+  for (Value k = 0; k < 50; ++k) {
+    const Value key[] = {k};
+    const std::vector<RowId>* bucket = index.Lookup(key);
+    ASSERT_NE(bucket, nullptr);
+    EXPECT_EQ(bucket->size(), 40u);
+    for (RowId row : *bucket) EXPECT_EQ(r.Row(row)[0], k);
+  }
+  EXPECT_EQ(index.distinct_keys(), 50u);
 }
 
 TEST(DatabaseTest, GetOrCreateAndFind) {

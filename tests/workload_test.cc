@@ -45,12 +45,12 @@ TEST(GraphsTest, RandomDeterministicInSeed) {
   EXPECT_EQ(a, b);
   EXPECT_NE(a, c);
   EXPECT_EQ(a.size(), 30u);
-  for (const Tuple& t : a) EXPECT_NE(t[0], t[1]);  // no self loops
+  for (TupleView t : a) EXPECT_NE(t[0], t[1]);  // no self loops
 }
 
 TEST(GraphsTest, LayeredDagStructure) {
   Relation g = LayeredDag(3, 4, 2, 9);
-  for (const Tuple& t : g) {
+  for (TupleView t : g) {
     EXPECT_EQ(t[1] / 4, t[0] / 4 + 1) << "edges go to the next layer";
   }
 }
@@ -62,7 +62,7 @@ TEST(DatabasesTest, SameGenerationShape) {
   EXPECT_EQ(w.db.Find("up")->size(), w.db.Find("down")->size());
   EXPECT_EQ(w.q.size(), 20u);  // identity over all 4x5 nodes
   // up is the reverse of down.
-  for (const Tuple& t : *w.db.Find("down")) {
+  for (TupleView t : *w.db.Find("down")) {
     EXPECT_TRUE(w.db.Find("up")->Contains({t[1], t[0]}));
   }
 }
@@ -74,7 +74,7 @@ TEST(DatabasesTest, KnowsBuysShape) {
   EXPECT_EQ(w.db.Find("cheap")->arity(), 1u);
   EXPECT_LE(w.q.size(), 8u);
   // Items are disjoint from people ids.
-  for (const Tuple& t : *w.db.Find("cheap")) EXPECT_GE(t[0], 10);
+  for (TupleView t : *w.db.Find("cheap")) EXPECT_GE(t[0], 10);
 }
 
 TEST(RulegenTest, CommutingPairInRestrictedClass) {
