@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench regression gate: fail when derivations/sec drops too far.
+
+Usage: bench_diff.py PREVIOUS.json CURRENT.json [--max-drop 0.20]
+
+Compares BENCH_engine.json records row by row. Rows are keyed on
+(workload, strategy, n, workers); a key present in only one file is
+reported but never fails the gate (workloads get added and renamed — the
+gate exists to catch regressions on work both records measured). `workers`
+participates in the key only when both records carry it, so a v1 record
+(pre-workers schema) still gates the overlapping rows of a v2 record.
+
+Exit status: 0 = no regression beyond the threshold, 1 = regression,
+2 = usage/parse error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = doc.get("results", [])
+    if not isinstance(rows, list):
+        print(f"bench_diff: {path} has no results list", file=sys.stderr)
+        sys.exit(2)
+    return doc, rows
+
+
+def key_of(row, with_workers):
+    key = (row.get("workload"), row.get("strategy"), row.get("n"))
+    if with_workers:
+        key += (row.get("workers"),)
+    return key
+
+
+def index_rows(rows, with_workers):
+    """Keys rows for comparison.
+
+    When `workers` is excluded from the key (one record predates it),
+    several worker-variant rows can collide on one key; keep the serial
+    (workers == 1 or absent) row — serial-to-serial is the comparison the
+    old record actually measured — rather than whichever happened last.
+    """
+    table = {}
+    for row in rows:
+        key = key_of(row, with_workers)
+        if key in table and row.get("workers", 1) != 1:
+            continue
+        table[key] = row
+    return table
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("previous")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop in derivations_per_sec "
+        "(default 0.20 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    prev_doc, prev_rows = load(args.previous)
+    curr_doc, curr_rows = load(args.current)
+
+    # `workers` joins the key only when both schemas record it.
+    with_workers = all(
+        "workers" in row for row in prev_rows + curr_rows
+    ) and bool(prev_rows) and bool(curr_rows)
+
+    prev = index_rows(prev_rows, with_workers)
+    curr = index_rows(curr_rows, with_workers)
+
+    header = f"{'workload':<24} {'strategy':<12} {'n':>6} {'prev d/s':>14} {'curr d/s':>14} {'ratio':>7}"
+    print(header)
+    print("-" * len(header))
+
+    failures = []
+    for key in sorted(prev, key=str):
+        if key not in curr:
+            print(f"SKIP {key}: missing from current record")
+            continue
+        p = prev[key].get("derivations_per_sec", 0.0)
+        c = curr[key].get("derivations_per_sec", 0.0)
+        if p <= 0:
+            print(f"SKIP {key}: previous throughput is zero")
+            continue
+        ratio = c / p
+        name = f"{key[0]:<24} {key[1]:<12} {key[2]:>6}"
+        flag = ""
+        if ratio < 1.0 - args.max_drop:
+            flag = "  << REGRESSION"
+            failures.append((key, p, c, ratio))
+        print(f"{name} {p:>14.1f} {c:>14.1f} {ratio:>6.2f}x{flag}")
+    for key in sorted(curr, key=str):
+        if key not in prev:
+            print(f"NEW  {key}: no previous record")
+
+    if failures:
+        print(
+            f"\nFAIL: {len(failures)} workload(s) dropped more than "
+            f"{args.max_drop:.0%} in derivations_per_sec:",
+            file=sys.stderr,
+        )
+        for key, p, c, ratio in failures:
+            print(f"  {key}: {p:.1f} -> {c:.1f} ({ratio:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print("\nOK: no workload regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

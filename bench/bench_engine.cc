@@ -3,19 +3,28 @@
 // Self-contained driver (no google-benchmark dependency): runs a fixed
 // strategy × workload matrix through linrec::Engine, times each cell, and
 // writes machine-readable results to BENCH_engine.json (path overridable
-// via argv[1]). CI runs this in Release mode and uploads the JSON as an
-// artifact, so every commit leaves a comparable perf record.
+// via argv[1]). CI runs this in Release mode, uploads the JSON as an
+// artifact, and diffs it against the previous push's artifact
+// (bench/bench_diff.py), so every commit leaves a comparable perf record
+// and large regressions fail the build.
 //
 // The figure of merit is derivations/sec: Theorem 3.1 counts work in tuple
 // derivations, so throughput in derivations normalizes across strategies
-// that do different amounts of total work.
+// that do different amounts of total work. Each row records the worker
+// count it ran with; the `meta` block records the host (hardware threads,
+// compiler, git sha) so cross-machine comparisons are interpretable —
+// worker counts above `hardware_concurrency` exercise the parallel
+// machinery without adding real parallelism.
 
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/parallel.h"
 #include "datalog/parser.h"
 #include "engine/engine.h"
 #include "workload/databases.h"
@@ -28,6 +37,7 @@ struct BenchResult {
   std::string workload;
   std::string strategy;
   int n = 0;
+  int workers = 0;
   int reps = 0;
   double wall_ms_mean = 0.0;
   double wall_ms_min = 0.0;
@@ -50,6 +60,7 @@ BenchResult Run(const std::string& workload, const std::string& strategy,
   r.workload = workload;
   r.strategy = strategy;
   r.n = n;
+  r.workers = plan.parallel_workers;
   r.reps = reps;
 
   auto once = [&]() -> double {
@@ -102,25 +113,58 @@ Relation SelfLoops(int n, int stride) {
   return q;
 }
 
+/// Best-effort git revision: CI exports GITHUB_SHA; local runs shell out.
+std::string GitSha() {
+  if (const char* sha = std::getenv("GITHUB_SHA")) return sha;
+  std::string out;
+  if (std::FILE* p = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[64];
+    if (std::fgets(buf, sizeof buf, p) != nullptr) {
+      out = buf;
+      while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+        out.pop_back();
+      }
+    }
+    ::pclose(p);
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+std::string Compiler() {
+#if defined(__clang_version__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
 void WriteJson(const std::vector<BenchResult>& results, const char* path) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL: cannot open %s for writing\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v1\",\n");
+  std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v2\",\n");
+  std::fprintf(f,
+               "  \"meta\": {\"git_sha\": \"%s\", "
+               "\"default_parallel_workers\": %d, "
+               "\"hardware_concurrency\": %u, \"compiler\": \"%s\"},\n",
+               GitSha().c_str(), ResolveWorkers(0),
+               std::thread::hardware_concurrency(), Compiler().c_str());
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(
         f,
         "    {\"workload\": \"%s\", \"strategy\": \"%s\", \"n\": %d, "
-        "\"reps\": %d, \"wall_ms_mean\": %.3f, \"wall_ms_min\": %.3f, "
-        "\"derivations\": %zu, \"derivations_per_sec\": %.1f, "
-        "\"result_size\": %zu}%s\n",
-        r.workload.c_str(), r.strategy.c_str(), r.n, r.reps, r.wall_ms_mean,
-        r.wall_ms_min, r.derivations, r.derivations_per_sec, r.result_size,
-        i + 1 < results.size() ? "," : "");
+        "\"workers\": %d, \"reps\": %d, \"wall_ms_mean\": %.3f, "
+        "\"wall_ms_min\": %.3f, \"derivations\": %zu, "
+        "\"derivations_per_sec\": %.1f, \"result_size\": %zu}%s\n",
+        r.workload.c_str(), r.strategy.c_str(), r.n, r.workers, r.reps,
+        r.wall_ms_mean, r.wall_ms_min, r.derivations, r.derivations_per_sec,
+        r.result_size, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -131,17 +175,26 @@ int Main(int argc, char** argv) {
   std::vector<BenchResult> results;
 
   // --- Transitive closure over a chain: deep recursion, no duplicates. ---
+  // Parallel semi-naive sweep: the same query at 1, 4 and 8 workers — the
+  // single-rule (one-group) case that only intra-round Δ partitioning can
+  // parallelize.
   {
     const int n = 512;
-    Database db;
-    db.GetOrCreate("e", 2) = ChainGraph(n);
-    Engine engine(std::move(db));
-    Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 1));
-    results.push_back(RunQuery("tc_chain", n, engine, q, 3));
+    for (int workers : {1, 4, 8}) {
+      Database db;
+      db.GetOrCreate("e", 2) = ChainGraph(n);
+      EngineOptions options;
+      options.parallel_workers = workers;
+      Engine engine(std::move(db), options);
+      Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 1));
+      results.push_back(RunQuery("tc_chain", n, engine, q, 3));
+    }
     // Naive is O(rounds × full relation): keep it small.
     Database db2;
     db2.GetOrCreate("e", 2) = ChainGraph(96);
-    Engine engine2(std::move(db2));
+    EngineOptions serial;
+    serial.parallel_workers = 1;
+    Engine engine2(std::move(db2), serial);
     Query naive_small =
         Query::Closure({TC("e")}).From(SelfLoops(96, 1)).Force(
             Strategy::kNaive);
@@ -151,11 +204,15 @@ int Main(int argc, char** argv) {
   // --- Transitive closure over a random sparse graph. ---
   {
     const int n = 1024;
-    Database db;
-    db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, /*seed=*/17);
-    Engine engine(std::move(db));
-    Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 8));
-    results.push_back(RunQuery("tc_random", n, engine, q, 3));
+    for (int workers : {1, 4, 8}) {
+      Database db;
+      db.GetOrCreate("e", 2) = RandomGraph(n, n * 3, /*seed=*/17);
+      EngineOptions options;
+      options.parallel_workers = workers;
+      Engine engine(std::move(db), options);
+      Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 8));
+      results.push_back(RunQuery("tc_random", n, engine, q, 3));
+    }
   }
 
   // --- Transitive closure over a grid: duplicate derivations dominate. ---
@@ -163,7 +220,9 @@ int Main(int argc, char** argv) {
     const int side = 14;
     Database db;
     db.GetOrCreate("e", 2) = GridGraph(side, side);
-    Engine engine(std::move(db));
+    EngineOptions serial;
+    serial.parallel_workers = 1;
+    Engine engine(std::move(db), serial);
     Query q = Query::Closure({TC("e")}).From(SelfLoops(side * side, 1));
     results.push_back(RunQuery("tc_grid", side, engine, q, 3));
   }
@@ -173,10 +232,13 @@ int Main(int argc, char** argv) {
     const int width = 48;
     SameGenerationWorkload w =
         MakeSameGeneration(/*layers=*/6, width, /*fanout=*/2, /*seed=*/99);
-    Engine engine(std::move(w.db));
+    EngineOptions serial;
+    serial.parallel_workers = 1;
+    Engine engine(std::move(w.db), serial);
     Relation seed = w.q;
     Query auto_q = Query::Closure(SameGenerationRules()).From(seed);
-    results.push_back(RunQuery("same_gen_decomposed", width, engine, auto_q, 3));
+    results.push_back(
+        RunQuery("same_gen_decomposed", width, engine, auto_q, 3));
     Query direct = Query::Closure(SameGenerationRules())
                        .From(seed)
                        .Force(Strategy::kSemiNaive);
@@ -184,12 +246,14 @@ int Main(int argc, char** argv) {
   }
 
   WriteJson(results, out_path);
-  std::printf("%-22s %-12s %6s %12s %12s %16s %12s\n", "workload", "strategy",
-              "n", "wall_ms", "wall_ms_min", "derivs/sec", "result");
+  std::printf("%-22s %-12s %6s %3s %12s %12s %16s %12s\n", "workload",
+              "strategy", "n", "w", "wall_ms", "wall_ms_min", "derivs/sec",
+              "result");
   for (const BenchResult& r : results) {
-    std::printf("%-22s %-12s %6d %12.3f %12.3f %16.1f %12zu\n",
-                r.workload.c_str(), r.strategy.c_str(), r.n, r.wall_ms_mean,
-                r.wall_ms_min, r.derivations_per_sec, r.result_size);
+    std::printf("%-22s %-12s %6d %3d %12.3f %12.3f %16.1f %12zu\n",
+                r.workload.c_str(), r.strategy.c_str(), r.n, r.workers,
+                r.wall_ms_mean, r.wall_ms_min, r.derivations_per_sec,
+                r.result_size);
   }
   std::printf("wrote %s\n", out_path);
   return 0;

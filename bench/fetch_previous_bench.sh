@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Downloads the BENCH_engine artifact from the most recent earlier workflow
+# run and writes its BENCH_engine.json to the path given as $1.
+#
+# Exits 0 whether or not a previous artifact exists (the very first run of
+# the gate, expired retention, or a forked repo without artifact access all
+# leave the gate vacuously green); the caller checks for the output file.
+# Requires: gh (authenticated via GH_TOKEN), jq, unzip — all preinstalled
+# on GitHub-hosted runners.
+set -euo pipefail
+
+out="${1:?usage: fetch_previous_bench.sh OUT.json}"
+repo="${GITHUB_REPOSITORY:?GITHUB_REPOSITORY not set}"
+current_run="${GITHUB_RUN_ID:-0}"
+
+# Newest non-expired BENCH_engine artifact from a run other than this one.
+artifact_id=$(gh api "repos/${repo}/actions/artifacts?name=BENCH_engine&per_page=50" \
+  --jq "[.artifacts[] | select(.expired | not) | select(.workflow_run.id != ${current_run})] \
+        | sort_by(.created_at) | last | .id // empty" || true)
+
+if [[ -z "${artifact_id}" ]]; then
+  echo "fetch_previous_bench: no previous BENCH_engine artifact found"
+  exit 0
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "${tmp}"' EXIT
+if ! gh api "repos/${repo}/actions/artifacts/${artifact_id}/zip" \
+    > "${tmp}/artifact.zip"; then
+  echo "fetch_previous_bench: download of artifact ${artifact_id} failed"
+  exit 0
+fi
+unzip -o -q "${tmp}/artifact.zip" -d "${tmp}"
+if [[ ! -f "${tmp}/BENCH_engine.json" ]]; then
+  echo "fetch_previous_bench: artifact ${artifact_id} has no BENCH_engine.json"
+  exit 0
+fi
+cp "${tmp}/BENCH_engine.json" "${out}"
+echo "fetch_previous_bench: wrote ${out} (artifact ${artifact_id})"

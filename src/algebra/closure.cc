@@ -1,49 +1,45 @@
 #include "algebra/closure.h"
 
 #include <algorithm>
-#include <atomic>
-#include <thread>
+
+#include "common/parallel.h"
 
 namespace linrec {
 namespace {
 
-/// Computes every P_i = groups[i]* q concurrently, each worker with its own
-/// IndexCache (HashIndex building mutates the cache, and the shared
-/// parameter relations are only ever read). Results and stats land in
-/// per-group slots, so no synchronization beyond the work-stealing counter
-/// and the joins is needed.
+/// Computes every P_i = groups[i]* q concurrently on a WorkerPool (one
+/// chunk per group), each lane with its own IndexCache (HashIndex building
+/// mutates the cache, and the shared parameter relations are only ever
+/// read). Results and stats land in per-group slots, so no synchronization
+/// beyond the pool's work-stealing counter is needed. When the worker
+/// budget exceeds the group count, the surplus goes to Δ partitioning
+/// inside each group's rounds (`inner_workers`), so a 2-group closure on
+/// an 8-way budget still uses all eight lanes.
 std::vector<Result<Relation>> CloseGroupsInParallel(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
     const Relation& q, std::vector<ClosureStats>* group_stats,
-    std::size_t workers) {
+    std::size_t workers, int inner_workers) {
   std::vector<Result<Relation>> parts;
   parts.reserve(groups.size());
   for (std::size_t i = 0; i < groups.size(); ++i) {
     parts.push_back(Status::Internal("group closure not executed"));
   }
-  std::atomic<std::size_t> next{0};
-  auto work = [&]() {
-    IndexCache local_cache;
-    for (std::size_t i = next.fetch_add(1); i < groups.size();
-         i = next.fetch_add(1)) {
-      // An exception escaping a spawned thread would std::terminate the
-      // process; convert it to the Status contract every other path uses.
-      try {
-        parts[i] = SemiNaiveClosure(groups[i], db, q, &(*group_stats)[i],
-                                    &local_cache);
-      } catch (const std::exception& e) {
-        parts[i] = Status::Internal(
-            std::string("group closure threw: ") + e.what());
-      } catch (...) {
-        parts[i] = Status::Internal("group closure threw");
-      }
+  WorkerPool pool(static_cast<int>(workers));
+  std::vector<IndexCache> caches(static_cast<std::size_t>(pool.lanes()));
+  pool.Run(groups.size(), [&](int lane, std::size_t i) {
+    // The pool swallows exceptions on its threads; convert them to the
+    // Status contract every other path uses.
+    try {
+      parts[i] = SemiNaiveClosure(groups[i], db, q, &(*group_stats)[i],
+                                  &caches[static_cast<std::size_t>(lane)],
+                                  inner_workers);
+    } catch (const std::exception& e) {
+      parts[i] =
+          Status::Internal(std::string("group closure threw: ") + e.what());
+    } catch (...) {
+      parts[i] = Status::Internal("group closure threw");
     }
-  };
-  std::vector<std::thread> threads;
-  threads.reserve(workers - 1);
-  for (std::size_t t = 1; t < workers; ++t) threads.emplace_back(work);
-  work();
-  for (std::thread& t : threads) t.join();
+  });
   return parts;
 }
 
@@ -51,8 +47,9 @@ std::vector<Result<Relation>> CloseGroupsInParallel(
 
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
-                               ClosureStats* stats, IndexCache* cache) {
-  return SemiNaiveClosure(rules, db, q, stats, cache);
+                               ClosureStats* stats, IndexCache* cache,
+                               int workers) {
+  return SemiNaiveClosure(rules, db, q, stats, cache, workers);
 }
 
 Result<Relation> DecomposedClosure(
@@ -64,19 +61,20 @@ Result<Relation> DecomposedClosure(
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
 
-  std::size_t pool = workers > 0 ? static_cast<std::size_t>(workers)
-                                 : std::thread::hardware_concurrency();
-  if (pool == 0) pool = 1;
-  pool = std::min(pool, groups.size());
+  const int resolved = ResolveWorkers(workers);
+  std::size_t pool =
+      std::min(static_cast<std::size_t>(resolved), groups.size());
 
   if (pool < 2 || groups.size() < 2) {
     // Sequential product: thread the accumulating relation through each
-    // group closure, rightmost first.
+    // group closure, rightmost first. All workers go to the inside of the
+    // rounds (this covers the single-group case — the one the group-level
+    // parallel phase cannot speed up).
     Relation current = q;
     for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
       ClosureStats group_stats;
       Result<Relation> next =
-          SemiNaiveClosure(*it, db, current, &group_stats, cache);
+          SemiNaiveClosure(*it, db, current, &group_stats, cache, resolved);
       if (!next.ok()) return next.status();
       current = std::move(next).value();
       if (stats != nullptr) stats->Accumulate(group_stats);
@@ -84,10 +82,15 @@ Result<Relation> DecomposedClosure(
     return current;
   }
 
-  // Parallel phase: P_i = G_i* q for every group at once.
+  // Parallel phase: P_i = G_i* q for every group at once; leftover worker
+  // budget beyond the group count parallelizes the inside of each group's
+  // rounds (total threads stay ≈ resolved, never pool × resolved).
+  const int inner_workers =
+      std::max(1, resolved / static_cast<int>(pool));
   std::vector<ClosureStats> group_stats(groups.size());
   std::vector<Result<Relation>> parts =
-      CloseGroupsInParallel(groups, db, q, &group_stats, pool);
+      CloseGroupsInParallel(groups, db, q, &group_stats, pool,
+                            inner_workers);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (!parts[i].ok()) return parts[i].status();
     if (stats != nullptr) stats->Accumulate(group_stats[i]);
@@ -96,12 +99,15 @@ Result<Relation> DecomposedClosure(
   // Merge right-to-left in product order. Step i computes G_i*(current)
   // as SemiNaiveResume(G_i, closed = P_i, extra = current): P_i ⊆
   // G_i*(current) because current ⊇ q, so seeding from P_i is sound and
-  // only cross-group compositions are newly derived.
+  // only cross-group compositions are newly derived. The merge is
+  // inherently ordered, so its parallelism comes from Δ partitioning
+  // inside each resume.
   Relation current = std::move(parts.back()).value();
   for (std::size_t i = groups.size() - 1; i-- > 0;) {
     ClosureStats merge_stats;
     Result<Relation> merged = SemiNaiveResume(groups[i], db, *parts[i],
-                                              current, &merge_stats, cache);
+                                              current, &merge_stats, cache,
+                                              resolved);
     if (!merged.ok()) return merged.status();
     current = std::move(merged).value();
     if (stats != nullptr) stats->Accumulate(merge_stats);

@@ -22,7 +22,8 @@ namespace linrec {
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
                                ClosureStats* stats = nullptr,
-                               IndexCache* cache = nullptr);
+                               IndexCache* cache = nullptr,
+                               int workers = 1);
 
 /// groups[0]* groups[1]* ... groups[k-1]* q — the rightmost group closure is
 /// applied first, matching operator-product order. Callers are responsible
@@ -30,14 +31,16 @@ Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
 /// closure (PlanDecomposition produces such groups). All group closures
 /// share `cache` (or a local one when null).
 ///
-/// `workers` sizes the thread pool for the parallel phase: the per-group
-/// closures P_i = G_i* q are independent of one another (only the *merge*
-/// must respect the product order), so with workers ≥ 2 they run
+/// `workers` follows the common/parallel.h rule (0 = hardware concurrency,
+/// 1 = serial) and is spent at two levels. With multiple groups and
+/// workers >= 2, the per-group closures P_i = G_i* q — independent of one
+/// another; only the *merge* must respect the product order — run
 /// concurrently, each on its own thread with its own IndexCache, and are
-/// then folded right-to-left with SemiNaiveResume — each merge step seeds
-/// its Δ with the other groups' tuples only, so no group's own work is
-/// re-derived. workers == 0 auto-detects hardware concurrency; workers == 1
-/// forces the sequential product.
+/// then folded right-to-left with SemiNaiveResume, whose rounds themselves
+/// run Δ-partition parallel; each merge step seeds its Δ with the other
+/// groups' tuples only, so no group's own work is re-derived. With a
+/// single group (or a sequential product), the full worker count goes to
+/// intra-round Δ partitioning instead (eval/fixpoint.h).
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
     const Relation& q, ClosureStats* stats = nullptr,

@@ -1,0 +1,85 @@
+// A minimal work-stealing worker pool for intra-round parallelism.
+//
+// The pool model is deliberately simple: a Run() call publishes a batch of
+// `chunks` independent work items; every participating thread (the caller
+// plus the pool's helper threads) repeatedly claims the next unclaimed chunk
+// through one shared atomic counter until the batch is drained. Dynamic
+// claiming is what balances skewed chunks — a thread that finishes early
+// immediately steals the next chunk instead of idling at a static split.
+//
+// Threads persist across Run() calls, so a semi-naive closure that executes
+// hundreds of rounds pays thread creation once, not once per round.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace linrec {
+
+/// Resolves a caller-facing worker count: 0 means "one lane per hardware
+/// thread" (hardware_concurrency, at least 1); any positive value is taken
+/// literally; negative values clamp to 1. Serial execution is workers == 1.
+int ResolveWorkers(int workers);
+
+/// A fixed-size pool of helper threads plus the calling thread, draining
+/// chunk batches via an atomic work-stealing counter.
+///
+/// `lanes` is the logical parallelism callers size their per-lane state
+/// (output pools, index caches) for. The pool never runs more OS threads
+/// than the host has hardware threads — oversubscribing a small machine
+/// with sleeping helpers would add context-switch cost to every round
+/// barrier without adding parallelism — so on an H-way host at most
+/// min(lanes, H) threads participate (helpers are lanes 1..k; the Run()
+/// caller is always lane 0 and always participates).
+class WorkerPool {
+ public:
+  explicit WorkerPool(int lanes);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Logical lane count (the value passed to the constructor, >= 1).
+  int lanes() const { return lanes_; }
+  /// Actual participating threads: helpers + the caller. <= lanes().
+  int participants() const { return static_cast<int>(threads_.size()) + 1; }
+
+  /// Runs fn(lane, chunk) for every chunk in [0, chunks). Chunks are
+  /// claimed dynamically; `lane` identifies the executing thread (0 = the
+  /// caller), so fn may use lane-indexed scratch without locking. Blocks
+  /// until the batch is drained. Exceptions thrown by fn are caught and
+  /// swallowed per chunk — fn must report failures through its own
+  /// lane-indexed state (closure code records a Status per lane).
+  void Run(std::size_t chunks,
+           const std::function<void(int, std::size_t)>& fn);
+
+  /// Test hook: overrides the hardware-thread cap on helper threads so a
+  /// single-core CI host can still exercise true cross-thread execution.
+  /// 0 restores the hardware cap. Affects pools constructed afterwards.
+  static void OverrideThreadCapForTesting(int cap);
+
+ private:
+  void HelperLoop(int lane);
+
+  int lanes_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(int, std::size_t)>* fn_ = nullptr;
+  std::size_t chunk_count_ = 0;
+  std::atomic<std::size_t> next_chunk_{0};
+  std::uint64_t generation_ = 0;
+  int active_helpers_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace linrec

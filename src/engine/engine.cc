@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "algebra/closure.h"
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/printer.h"
 #include "eval/fixpoint.h"
@@ -334,6 +335,7 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
   plan.rules = query.rules();
   plan.selection = query.selection();
   plan.seed = query.shared_seed();
+  plan.parallel_workers = ResolveWorkers(options_.parallel_workers);
 
   if (query.forced_strategy().has_value()) {
     LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
@@ -373,17 +375,23 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
     return Status::InvalidArgument("plan has no seed relation");
   }
   const Relation& seed = *plan.seed;
+  // Plans from older callers may predate the resolved field; fall back to
+  // the engine's own options.
+  const int workers = plan.parallel_workers > 0
+                          ? plan.parallel_workers
+                          : ResolveWorkers(options_.parallel_workers);
   ClosureStats s;
   Result<Relation> out = Status::Internal("strategy not executed");
   switch (plan.strategy) {
     case Strategy::kNaive:
-      out = NaiveClosure(plan.rules, db_, seed, &s, &cache_);
+      out = NaiveClosure(plan.rules, db_, seed, &s, &cache_, workers);
       break;
     case Strategy::kSemiNaive:
       out = plan.factorization.has_value()
                 ? RedundantClosure(*plan.factorization, db_, seed, &s,
-                                   &cache_)
-                : SemiNaiveClosure(plan.rules, db_, seed, &s, &cache_);
+                                   &cache_, workers)
+                : SemiNaiveClosure(plan.rules, db_, seed, &s, &cache_,
+                                   workers);
       break;
     case Strategy::kDecomposed: {
       if (plan.groups.empty()) {
@@ -394,8 +402,7 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
       for (const std::vector<int>& group : plan.groups) {
         groups.push_back(plan.RulesOf(group));
       }
-      out = DecomposedClosure(groups, db_, seed, &s, &cache_,
-                              options_.parallel_workers);
+      out = DecomposedClosure(groups, db_, seed, &s, &cache_, workers);
       break;
     }
     case Strategy::kSeparable: {
@@ -409,11 +416,12 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
       out = SeparableClosureUnchecked(plan.RulesOf(plan.outer),
                                       plan.RulesOf(plan.inner),
                                       *plan.selection, db_, seed, &s,
-                                      &cache_);
+                                      &cache_, workers);
       break;
     }
     case Strategy::kPowerSum:
-      out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, &cache_);
+      out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, &cache_,
+                     workers);
       break;
   }
   if (!out.ok()) return out.status();

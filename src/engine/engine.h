@@ -44,8 +44,12 @@ struct EngineOptions {
   bool enable_separable = true;
   bool enable_power_sum = true;
   bool enable_redundancy_elision = true;
-  /// Thread-pool size for kDecomposed's parallel group closures:
-  /// 0 = auto-detect hardware concurrency, 1 = sequential product.
+  /// Worker count applied to EVERY strategy (common/parallel.h rule:
+  /// 0 = one lane per hardware thread, 1 = serial). kDecomposed spends it
+  /// on parallel group closures first; every semi-naive/power-sum round —
+  /// including the single-group case no decomposition can touch — splits
+  /// its Δ into work-stealing chunks with thread-local output pools and a
+  /// sharded merge (eval/fixpoint.h).
   int parallel_workers = 0;
   /// Memoize compiled plans keyed on (rule-set digest, σ, forced strategy)
   /// so repeated queries skip analysis and planning entirely.

@@ -34,25 +34,59 @@ struct JoinStep {
   std::vector<std::pair<int, VarId>> check_positions;
 };
 
-/// Per-depth cursor of the iterative join loop: the candidate row-id list
-/// (nullptr ⇒ full scan of the step's relation) and the next candidate.
+/// Per-depth cursor of the iterative join loop: the candidate row-id span
+/// (nullptr ⇒ scan of [next, limit) row ids) and the next candidate.
 struct JoinFrame {
-  const std::vector<RowId>* rows = nullptr;
+  const RowId* rows = nullptr;
   std::size_t next = 0;
   std::size_t limit = 0;
 };
 
 }  // namespace
 
-Status ApplyRule(const Rule& rule, const Database& db,
-                 const ApplyOptions& options, Relation* out,
-                 ClosureStats* stats, IndexCache* cache) {
+struct CompiledRule::Impl {
+  // --- set at compile time ------------------------------------------------
+  std::vector<JoinStep> steps;
+  /// Head term templates: constants pre-filled in head_values; variables as
+  /// (position, var) pairs filled per emit.
+  std::vector<std::pair<std::size_t, VarId>> head_vars;
+  std::size_t head_arity = 0;
+  /// True when some body predicate resolved to no relation at all: the rule
+  /// can never derive anything (Run is a successful no-op, like the
+  /// original ApplyRule's early return).
+  bool no_input = false;
+  /// Index of the step the partition applies to (always 0: the forced
+  /// first atom); -1 when no first atom was forced (RunPartition invalid).
+  bool partitionable = false;
+
+  // --- per-Run scratch (why Run is not thread-safe) -----------------------
+  std::vector<Value> binding;
+  std::vector<Value> key_buf;
+  std::vector<Value> head_values;
+  std::vector<JoinFrame> frames;
+  std::vector<const HashIndex*> indexes;
+  /// Pending head rows (kEmitBatch × head_arity values) and their hashes:
+  /// emits are buffered so the output table's probe slots can be
+  /// prefetched a batch ahead — the probes' cache misses overlap instead
+  /// of stalling the join one emit at a time.
+  static constexpr std::size_t kEmitBatch = 16;
+  std::vector<Value> emit_rows;
+  std::vector<std::size_t> emit_hashes;
+
+  Status Execute(const PartitionView* delta, Relation* out,
+                 ClosureStats* stats, IndexCache* cache);
+};
+
+CompiledRule::CompiledRule() : impl_(new Impl) {}
+CompiledRule::~CompiledRule() = default;
+CompiledRule::CompiledRule(CompiledRule&&) noexcept = default;
+CompiledRule& CompiledRule::operator=(CompiledRule&&) noexcept = default;
+
+Result<CompiledRule> CompileRule(const Rule& rule, const Database& db,
+                                 const ApplyOptions& options) {
+  CompiledRule compiled;
+  CompiledRule::Impl& impl = *compiled.impl_;
   const std::vector<Atom>& body = rule.body();
-  if (out->arity() != rule.head().arity()) {
-    return Status::InvalidArgument(
-        StrCat("output arity ", out->arity(), " != head arity ",
-               rule.head().arity()));
-  }
   for (const Atom& atom : body) {
     if (atom.predicate == kEqualityPredicate) {
       return Status::InvalidArgument(
@@ -76,22 +110,24 @@ Status ApplyRule(const Rule& rule, const Database& db,
           StrCat("relation for '", body[i].predicate, "' has arity ",
                  relations[i]->arity(), ", atom expects ", body[i].arity()));
     }
-    if (relations[i] == nullptr) {
-      // Empty input somewhere: no derivations possible.
-      return Status::OK();
-    }
-    if (relations[i]->empty()) return Status::OK();
+    if (relations[i] == nullptr) impl.no_input = true;
   }
 
   // Greedy join order: start with the forced atom (or the smallest
   // relation); then repeatedly take the atom with the most bound positions,
-  // tie-breaking on relation size.
+  // tie-breaking on relation size. Sizes are compile-time sizes: the order
+  // is frozen for the closure (any order is correct; the forced-Δ-first
+  // property, which is what matters, is structural).
   const int n = static_cast<int>(body.size());
   std::vector<bool> used(body.size(), false);
   std::vector<bool> bound(static_cast<std::size_t>(rule.var_count()), false);
   std::vector<int> order;
   order.reserve(body.size());
 
+  auto rel_size = [&](int i) {
+    const Relation* r = relations[static_cast<std::size_t>(i)];
+    return r == nullptr ? static_cast<std::size_t>(0) : r->size();
+  };
   auto bound_score = [&](int i) {
     int score = 0;
     for (const Term& t : body[static_cast<std::size_t>(i)].terms) {
@@ -104,11 +140,13 @@ Status ApplyRule(const Rule& rule, const Database& db,
   if (first < 0) {
     std::size_t best_size = SIZE_MAX;
     for (int i = 0; i < n; ++i) {
-      if (relations[static_cast<std::size_t>(i)]->size() < best_size) {
-        best_size = relations[static_cast<std::size_t>(i)]->size();
+      if (rel_size(i) < best_size) {
+        best_size = rel_size(i);
         first = i;
       }
     }
+  } else {
+    impl.partitionable = true;
   }
   auto mark_used = [&](int i) {
     used[static_cast<std::size_t>(i)] = true;
@@ -117,7 +155,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
       if (t.is_var()) bound[static_cast<std::size_t>(t.var())] = true;
     }
   };
-  mark_used(first);
+  if (n > 0) mark_used(first);
   while (static_cast<int>(order.size()) < n) {
     int best = -1;
     int best_bound = -1;
@@ -125,7 +163,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
     for (int i = 0; i < n; ++i) {
       if (used[static_cast<std::size_t>(i)]) continue;
       int b = bound_score(i);
-      std::size_t sz = relations[static_cast<std::size_t>(i)]->size();
+      std::size_t sz = rel_size(i);
       if (b > best_bound || (b == best_bound && sz < best_size)) {
         best = i;
         best_bound = b;
@@ -137,8 +175,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
 
   // Compile join steps against the chosen order.
   std::fill(bound.begin(), bound.end(), false);
-  std::vector<JoinStep> steps;
-  steps.reserve(body.size());
+  impl.steps.reserve(body.size());
   std::size_t max_key_len = 0;
   for (int atom_index : order) {
     const Atom& atom = body[static_cast<std::size_t>(atom_index)];
@@ -162,57 +199,99 @@ Status ApplyRule(const Rule& rule, const Database& db,
     }
     bound = bound_here;
     max_key_len = std::max(max_key_len, step.key_positions.size());
-    steps.push_back(std::move(step));
+    impl.steps.push_back(std::move(step));
   }
 
   // The head must be fully bound by the body.
-  for (const Term& t : rule.head().terms) {
-    if (t.is_var() && !bound[static_cast<std::size_t>(t.var())]) {
-      return Status::InvalidArgument(
-          StrCat("head variable '", rule.var_name(t.var()),
-                 "' is not bound by the body in rule: ", ToString(rule)));
+  impl.head_arity = rule.head().arity();
+  impl.head_values.assign(impl.head_arity, 0);
+  for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
+    const Term& t = rule.head().terms[i];
+    if (t.is_const()) {
+      impl.head_values[i] = t.constant();
+    } else {
+      if (!bound[static_cast<std::size_t>(t.var())]) {
+        return Status::InvalidArgument(
+            StrCat("head variable '", rule.var_name(t.var()),
+                   "' is not bound by the body in rule: ", ToString(rule)));
+      }
+      impl.head_vars.push_back({i, t.var()});
     }
   }
 
-  // Pre-resolve indexes (stable during this application).
+  impl.binding.assign(static_cast<std::size_t>(rule.var_count()), 0);
+  impl.key_buf.assign(max_key_len, 0);
+  impl.frames.resize(impl.steps.size());
+  impl.indexes.assign(impl.steps.size(), nullptr);
+  impl.emit_rows.reserve(CompiledRule::Impl::kEmitBatch * impl.head_arity);
+  impl.emit_hashes.reserve(CompiledRule::Impl::kEmitBatch);
+  return compiled;
+}
+
+Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
+                                   ClosureStats* stats, IndexCache* cache) {
+  if (out->arity() != head_arity) {
+    return Status::InvalidArgument(StrCat("output arity ", out->arity(),
+                                          " != head arity ", head_arity));
+  }
+  // Empty input somewhere: no derivations possible (and, matching the
+  // original ApplyRule, no stats are charged).
+  if (no_input) return Status::OK();
+  for (const JoinStep& step : steps) {
+    if (step.relation->empty()) return Status::OK();
+  }
+  if (delta != nullptr) {
+    assert(partitionable && !steps.empty() &&
+           delta->relation == steps.front().relation &&
+           "partition must view the compiled first atom's relation");
+    if (delta->empty()) return Status::OK();
+  }
+
+  // Re-resolve indexes through the cache: relations may have grown since
+  // the last Run (the Δ-carrying relation does every round); the cache
+  // rebuilds exactly the stale ones. The partitioned first step never uses
+  // an index — it range-scans its slice and checks constants per row.
   IndexCache local_cache;
   IndexCache* idx = cache != nullptr ? cache : &local_cache;
-  std::vector<const HashIndex*> indexes(steps.size(), nullptr);
   for (std::size_t d = 0; d < steps.size(); ++d) {
-    if (!steps[d].key_positions.empty()) {
-      indexes[d] = &idx->Get(*steps[d].relation, steps[d].key_positions);
-    }
-  }
-
-  std::vector<Value> binding(static_cast<std::size_t>(rule.var_count()), 0);
-  std::vector<Value> key_buf(max_key_len, 0);
-  std::vector<Value> head_values(rule.head().arity(), 0);
-  for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
-    if (rule.head().terms[i].is_const()) {
-      head_values[i] = rule.head().terms[i].constant();
-    }
+    const bool partitioned_first = delta != nullptr && d == 0;
+    indexes[d] = (!partitioned_first && !steps[d].key_positions.empty())
+                     ? &idx->Get(*steps[d].relation, steps[d].key_positions)
+                     : nullptr;
   }
 
   std::size_t produced = 0;
+  emit_rows.clear();
+  emit_hashes.clear();
+  auto flush_emits = [&]() {
+    for (std::size_t k = 0; k < emit_hashes.size(); ++k) {
+      out->InsertRowHashed(emit_rows.data() + k * head_arity,
+                           emit_hashes[k]);
+    }
+    emit_rows.clear();
+    emit_hashes.clear();
+  };
   auto emit_head = [&]() {
-    for (std::size_t i = 0; i < rule.head().terms.size(); ++i) {
-      const Term& t = rule.head().terms[i];
-      if (t.is_var()) {
-        head_values[i] = binding[static_cast<std::size_t>(t.var())];
-      }
+    for (const auto& [pos, var] : head_vars) {
+      head_values[pos] = binding[static_cast<std::size_t>(var)];
     }
     ++produced;
-    out->InsertRow(head_values.data());
+    const std::size_t hash = HashRow(head_values.data(), head_arity);
+    out->PrefetchSlot(hash);
+    emit_rows.insert(emit_rows.end(), head_values.begin(),
+                     head_values.end());
+    emit_hashes.push_back(hash);
+    if (emit_hashes.size() == kEmitBatch) flush_emits();
   };
 
   if (steps.empty()) {
     // Bodyless rule: the (all-constant) head holds unconditionally.
     emit_head();
+    flush_emits();
   } else {
     // Iterative depth-first join. Everything the loop touches was allocated
-    // above: the per-candidate path does index probes, binding writes, and
-    // InsertRow — zero heap allocations per candidate tuple.
-    std::vector<JoinFrame> frames(steps.size());
+    // at compile time: the per-candidate path does index probes, binding
+    // writes, and InsertRow — zero heap allocations per candidate tuple.
     const std::size_t last = steps.size() - 1;
 
     // Positions the candidate cursor at `depth`, resolving the step's
@@ -228,13 +307,23 @@ Status ApplyRule(const Rule& rule, const Database& db,
                            ? parts[k].constant
                            : binding[static_cast<std::size_t>(parts[k].var)];
         }
-        f.rows = indexes[depth]->Lookup(key_buf.data());
-        f.limit = f.rows != nullptr ? f.rows->size() : 0;
+        RowSpan span = indexes[depth]->Lookup(key_buf.data());
+        f.rows = span.ids;
+        f.limit = span.count;
+      } else if (depth == 0 && delta != nullptr) {
+        f.rows = nullptr;  // partitioned: scan the Δ slice only
+        f.next = delta->begin;
+        f.limit = delta->end;
       } else {
         f.rows = nullptr;  // no bound position: scan the whole relation
         f.limit = step.relation->size();
       }
     };
+
+    // Constant positions of the partitioned first step, checked per row
+    // (the full-scan path resolves them through an index instead).
+    const bool filter_first =
+        delta != nullptr && !steps[0].key_positions.empty();
 
     std::size_t depth = 0;
     bool descending = true;
@@ -244,10 +333,21 @@ Status ApplyRule(const Rule& rule, const Database& db,
       JoinFrame& f = frames[depth];
       bool matched = false;
       while (f.next < f.limit) {
-        RowId row = f.rows != nullptr ? (*f.rows)[f.next]
+        RowId row = f.rows != nullptr ? f.rows[f.next]
                                       : static_cast<RowId>(f.next);
         ++f.next;
         const Value* t = step.relation->RowData(row);
+        if (depth == 0 && filter_first) {
+          bool pass = true;
+          for (std::size_t k = 0; k < step.key_positions.size(); ++k) {
+            if (t[static_cast<std::size_t>(step.key_positions[k])] !=
+                step.key_parts[k].constant) {
+              pass = false;
+              break;
+            }
+          }
+          if (!pass) continue;
+        }
         // Bind new variables, then verify intra-atom repeats.
         for (const auto& [pos, var] : step.bind_positions) {
           binding[static_cast<std::size_t>(var)] =
@@ -278,6 +378,7 @@ Status ApplyRule(const Rule& rule, const Database& db,
       --depth;
       descending = false;
     }
+    flush_emits();
   }
 
   if (stats != nullptr) {
@@ -285,6 +386,28 @@ Status ApplyRule(const Rule& rule, const Database& db,
     stats->derivations += produced;
   }
   return Status::OK();
+}
+
+Status CompiledRule::Run(Relation* out, ClosureStats* stats,
+                         IndexCache* cache) {
+  return impl_->Execute(nullptr, out, stats, cache);
+}
+
+Status CompiledRule::RunPartition(PartitionView delta, Relation* out,
+                                  ClosureStats* stats, IndexCache* cache) {
+  if (!impl_->partitionable) {
+    return Status::InvalidArgument(
+        "RunPartition requires a rule compiled with options.first_atom");
+  }
+  return impl_->Execute(&delta, out, stats, cache);
+}
+
+Status ApplyRule(const Rule& rule, const Database& db,
+                 const ApplyOptions& options, Relation* out,
+                 ClosureStats* stats, IndexCache* cache) {
+  Result<CompiledRule> compiled = CompileRule(rule, db, options);
+  if (!compiled.ok()) return compiled.status();
+  return compiled->Run(out, stats, cache);
 }
 
 Result<Relation> ApplySum(const std::vector<LinearRule>& rules,

@@ -1,8 +1,19 @@
 // Single application of a rule: the linear relational operator f(P, {Q_i})
 // of Section 2, realized as conjunctive-query evaluation.
+//
+// Two entry points share one join kernel:
+//  * ApplyRule — compile + run in one call (the original API).
+//  * CompileRule / CompiledRule::Run — compile once per closure, run once
+//    per round (or once per Δ chunk in the parallel round). Fixpoint loops
+//    execute the same rule hundreds of times; hoisting the join-order
+//    choice, step compilation and scratch allocation out of the round loop
+//    removes every per-round allocation, and the partition entry point
+//    (RunPartition) is what lets a work-stealing pool hand each worker a
+//    cache-sized slice of Δ.
 
 #pragma once
 
+#include <memory>
 #include <unordered_map>
 
 #include "common/status.h"
@@ -23,14 +34,54 @@ struct ApplyOptions {
   int first_atom = -1;
 };
 
+/// A rule compiled against fixed input relations: join order chosen, steps
+/// classified, scratch buffers allocated. Reusable across rounds as long as
+/// the resolved relations stay alive (their contents may grow — the closure
+/// loop's Δ-carrying relation does; indexes are revalidated per Run through
+/// the caller's IndexCache).
+///
+/// Not thread-safe: Run reuses internal scratch. Parallel rounds compile
+/// one instance per worker lane (compilation is cheap and per-closure).
+class CompiledRule {
+ public:
+  CompiledRule();
+  ~CompiledRule();
+  CompiledRule(CompiledRule&&) noexcept;
+  CompiledRule& operator=(CompiledRule&&) noexcept;
+
+  /// Evaluates the join over the first step's full relation, inserting each
+  /// derived head row into `out`. Equivalent to the original ApplyRule.
+  Status Run(Relation* out, ClosureStats* stats = nullptr,
+             IndexCache* cache = nullptr);
+
+  /// The chunked cursor entry point: evaluates the join with the first
+  /// atom's scan restricted to `delta` — which must view the relation the
+  /// first atom was compiled against (asserted). Requires the rule to have
+  /// been compiled with options.first_atom >= 0.
+  Status RunPartition(PartitionView delta, Relation* out,
+                      ClosureStats* stats = nullptr,
+                      IndexCache* cache = nullptr);
+
+ private:
+  friend Result<CompiledRule> CompileRule(const Rule& rule,
+                                          const Database& db,
+                                          const ApplyOptions& options);
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Compiles `rule`'s body into a CompiledRule against `db` plus overrides.
+/// Body predicates absent from both `db` and the overrides are treated as
+/// empty relations (the compiled rule derives nothing). Head variables not
+/// bound by the body yield InvalidArgument.
+Result<CompiledRule> CompileRule(const Rule& rule, const Database& db,
+                                 const ApplyOptions& options);
+
 /// Evaluates `rule`'s body as a join over `db` (plus overrides) and inserts
-/// each derived head tuple into `out`.
+/// each derived head tuple into `out` — CompileRule + Run in one call.
 ///
 /// Every produced head tuple counts as one derivation in `stats` (if given),
-/// whether or not it was already present in `out`. Body predicates absent
-/// from both `db` and the overrides are treated as empty relations. Head
-/// variables not bound by the body yield InvalidArgument (the rule is not
-/// range-restricted, so its output would be infinite).
+/// whether or not it was already present in `out`.
 Status ApplyRule(const Rule& rule, const Database& db,
                  const ApplyOptions& options, Relation* out,
                  ClosureStats* stats = nullptr, IndexCache* cache = nullptr);

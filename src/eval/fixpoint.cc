@@ -1,7 +1,10 @@
 #include "eval/fixpoint.h"
 
+#include <algorithm>
 #include <chrono>
+#include <optional>
 
+#include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
 
@@ -65,29 +68,191 @@ class Timer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// The Δ-driven loop shared by SemiNaiveClosure and SemiNaiveResume:
-/// iterates rules over `delta` until no new tuple lands in `result`.
-/// `result` must already contain `delta`.
-Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
-                    Relation* result, Relation delta, ClosureStats* stats,
-                    IndexCache* cache) {
-  while (!delta.empty() && !rules.empty()) {
-    if (stats != nullptr) ++stats->iterations;
-    Relation produced(result->arity());
-    produced.Reserve(delta.size());  // each Δ tuple derives ≈ O(1) heads
-    for (const LinearRule& lr : rules) {
-      ApplyOptions options;
-      options.overrides[lr.recursive_atom_index()] = &delta;
-      options.first_atom = lr.recursive_atom_index();
+/// A Δ chunk small enough to stay cache-resident per worker, large enough
+/// to amortize the per-chunk dispatch (an atomic claim + per-step index
+/// revalidation).
+constexpr std::size_t kMinChunkRows = 128;
+/// Rounds with fewer Δ rows than this run serially — the parallel round's
+/// fixed costs (wakeups, merge phases over 2^shard_bits shards) exceed the
+/// work.
+constexpr std::size_t kSerialRowThreshold = 256;
+/// Chunks per lane beyond the minimum, so early finishers have work to
+/// steal from skewed chunks.
+constexpr std::size_t kChunksPerLane = 4;
+
+/// Applies one prepared rule set to row ranges of a fixed input relation —
+/// the engine of every round below. Compiles each rule once per worker lane
+/// (the join plan and its scratch are lane-private); each Round() then
+/// either runs lane 0 serially or fans cache-sized Δ chunks out to the
+/// work-stealing pool and folds the thread-local output pools into the
+/// target through the sharded merger. Lanes, their index caches, output
+/// pools, the pool's threads and the merger's scratch all persist across
+/// rounds: the steady state does no locking and no allocation on the hot
+/// path.
+class RoundEvaluator {
+ public:
+  /// `input` is the relation every rule's recursive atom reads; row ranges
+  /// passed to Round() index into it. It may be (and for semi-naive is) the
+  /// same relation rounds merge into: Round() only mutates it after all
+  /// reads of the batch have completed.
+  RoundEvaluator(const std::vector<LinearRule>& rules, const Database& db,
+                 const Relation* input, int workers)
+      : rules_(&rules),
+        db_(&db),
+        input_(input),
+        workers_(std::max(workers, 1)) {}
+
+  /// Compiles every rule for every lane. Lane 0 borrows `caller_cache` (so
+  /// the caller's parameter-relation indexes are shared, exactly like the
+  /// serial path always has); other lanes own private caches that live
+  /// across rounds.
+  Status Compile(IndexCache* caller_cache) {
+    lanes_.resize(static_cast<std::size_t>(workers_));
+    for (Lane& lane : lanes_) {
+      lane.out = Relation(input_->arity());
+      lane.compiled.clear();
+      lane.compiled.reserve(rules_->size());
+      for (const LinearRule& lr : *rules_) {
+        ApplyOptions options;
+        options.overrides[lr.recursive_atom_index()] = input_;
+        options.first_atom = lr.recursive_atom_index();
+        Result<CompiledRule> compiled =
+            CompileRule(lr.rule(), *db_, options);
+        if (!compiled.ok()) return compiled.status();
+        lane.compiled.push_back(std::move(compiled).value());
+      }
+    }
+    caller_cache_ = caller_cache;
+    if (workers_ > 1) pool_.emplace(workers_);
+    return Status::OK();
+  }
+
+  /// Applies every rule to input rows [begin, end) and appends the derived
+  /// rows missing from `*target` to `*target`. The resulting relation is
+  /// identical for every worker count; only the insertion order of the new
+  /// rows varies with the chunking.
+  Status Round(RowId begin, RowId end, Relation* target,
+               ClosureStats* stats) {
+    const std::size_t rows = end - begin;
+    if (rows == 0) return Status::OK();
+    // The chunked path only pays for itself with real threads: when the
+    // host gives the pool no helpers (single hardware thread), thread-local
+    // pools and the sharded merge are pure overhead over direct emission.
+    if (workers_ == 1 || rows < kSerialRowThreshold ||
+        pool_->participants() == 1) {
+      return SerialRound(begin, end, target, stats);
+    }
+
+    const std::size_t chunk = std::max(
+        kMinChunkRows,
+        rows / (static_cast<std::size_t>(workers_) * kChunksPerLane));
+    const std::size_t chunks = (rows + chunk - 1) / chunk;
+    for (Lane& lane : lanes_) {
+      lane.out.Clear();
+      lane.stats = ClosureStats{};
+      lane.status = Status::OK();
+    }
+    pool_->Run(chunks, [&](int lane_id, std::size_t c) {
+      Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
+      if (!lane.status.ok()) return;
+      const RowId chunk_begin = begin + static_cast<RowId>(c * chunk);
+      const RowId chunk_end = static_cast<RowId>(
+          std::min<std::size_t>(end, chunk_begin + chunk));
+      PartitionView slice = input_->View(chunk_begin, chunk_end);
+      for (CompiledRule& rule : lane.compiled) {
+        Status s = lane.RunOne(&rule, slice, LaneCache(lane_id));
+        if (!s.ok()) {
+          lane.status = std::move(s);
+          return;
+        }
+      }
+    });
+    std::vector<const Relation*> pools;
+    pools.reserve(lanes_.size());
+    for (Lane& lane : lanes_) {
+      if (!lane.status.ok()) return lane.status;
+      if (stats != nullptr) stats->Accumulate(lane.stats);
+      pools.push_back(&lane.out);
+    }
+    try {
+      merger_.Merge(pools.data(), pools.size(), target, &*pool_);
+    } catch (const std::exception& e) {
+      return Status::Internal(StrCat("parallel merge threw: ", e.what()));
+    } catch (...) {
+      return Status::Internal("parallel merge threw");
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Lane {
+    std::vector<CompiledRule> compiled;
+    IndexCache cache;
+    Relation out;
+    ClosureStats stats;
+    Status status;
+
+    /// Wrapped so an exception escaping the join (bad_alloc, a throwing
+    /// assertion) becomes a Status instead of terminating a pool thread.
+    Status RunOne(CompiledRule* rule, PartitionView slice,
+                  IndexCache* cache_ptr) {
+      try {
+        return rule->RunPartition(slice, &out, &stats, cache_ptr);
+      } catch (const std::exception& e) {
+        return Status::Internal(StrCat("parallel round threw: ", e.what()));
+      } catch (...) {
+        return Status::Internal("parallel round threw");
+      }
+    }
+  };
+
+  IndexCache* LaneCache(int lane_id) {
+    if (lane_id == 0 && caller_cache_ != nullptr) return caller_cache_;
+    return &lanes_[static_cast<std::size_t>(lane_id)].cache;
+  }
+
+  Status SerialRound(RowId begin, RowId end, Relation* target,
+                     ClosureStats* stats) {
+    // Emit straight into the target — no intermediate pool, one dedup probe
+    // per derivation. Safe even when target == input (the semi-naive case):
+    // the cursor's Δ scan is bounded by `end`, the recursive atom is the
+    // only step reading `input` (the rules are linear), and the join kernel
+    // re-resolves row pointers per candidate, so appends — which may move
+    // the pool — never invalidate a live read.
+    PartitionView slice = input_->View(begin, end);
+    for (CompiledRule& rule : lanes_.front().compiled) {
       LINREC_RETURN_IF_ERROR(
-          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
+          rule.RunPartition(slice, target, stats, LaneCache(0)));
     }
-    Relation next_delta(result->arity());
-    next_delta.Reserve(produced.size());
-    for (TupleView t : produced) {
-      if (result->Insert(t)) next_delta.Insert(t);
-    }
-    delta = std::move(next_delta);
+    return Status::OK();
+  }
+
+  const std::vector<LinearRule>* rules_;
+  const Database* db_;
+  const Relation* input_;
+  int workers_;
+  IndexCache* caller_cache_ = nullptr;
+  std::vector<Lane> lanes_;
+  std::optional<WorkerPool> pool_;
+  PoolMerger merger_;
+};
+
+/// The Δ-driven loop shared by SemiNaiveClosure and SemiNaiveResume. The Δ
+/// of each round is the row range of `result` appended by the previous one
+/// — rows [delta_begin, size) — so no tuple is ever copied into a separate
+/// Δ relation and the next Δ materializes as a side effect of the merge.
+Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
+                    Relation* result, RowId delta_begin, ClosureStats* stats,
+                    IndexCache* cache, int workers) {
+  if (rules.empty() || delta_begin >= result->size()) return Status::OK();
+  RoundEvaluator evaluator(rules, db, result, workers);
+  LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
+  RowId begin = delta_begin;
+  while (begin < result->size()) {
+    if (stats != nullptr) ++stats->iterations;
+    RowId end = static_cast<RowId>(result->size());
+    LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, result, stats));
+    begin = end;
   }
   return Status::OK();
 }
@@ -96,7 +261,8 @@ Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
 
 Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   const Database& db, const Relation& q,
-                                  ClosureStats* stats, IndexCache* cache) {
+                                  ClosureStats* stats, IndexCache* cache,
+                                  int workers) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -106,7 +272,7 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
 
   Relation result = q;
   LINREC_RETURN_IF_ERROR(
-      RunSemiNaive(*prepared, db, &result, q, stats, cache));
+      RunSemiNaive(*prepared, db, &result, 0, stats, cache, workers));
   if (stats != nullptr) {
     stats->result_size = result.size();
     stats->duplicates = stats->derivations - (result.size() - q.size());
@@ -117,7 +283,7 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  const Database& db, const Relation& closed,
                                  const Relation& extra, ClosureStats* stats,
-                                 IndexCache* cache) {
+                                 IndexCache* cache, int workers) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, closed));
   if (extra.arity() != closed.arity()) {
     return Status::InvalidArgument(
@@ -134,16 +300,16 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
   // linear — each derivation consumes exactly one recursive tuple — and
   // `closed` is a fixpoint of the rules, derivations whose recursive input
   // lies in `closed` can only reproduce `closed`; they need not be re-run.
+  // The new tuples are appended to `result`, so the initial Δ is exactly
+  // the row range past the closed prefix.
   Relation result = closed;
-  Relation delta(closed.arity());
-  delta.Reserve(extra.size());
-  for (TupleView t : extra) {
-    if (result.Insert(t)) delta.Insert(t);
-  }
+  RowId delta_begin = static_cast<RowId>(result.size());
+  result.Reserve(result.size() + extra.size());
+  for (TupleView t : extra) result.Insert(t);
   std::size_t seeded = result.size();
 
-  LINREC_RETURN_IF_ERROR(
-      RunSemiNaive(*prepared, db, &result, std::move(delta), stats, cache));
+  LINREC_RETURN_IF_ERROR(RunSemiNaive(*prepared, db, &result, delta_begin,
+                                      stats, cache, workers));
   if (stats != nullptr) {
     stats->result_size = result.size();
     stats->duplicates += stats->derivations - (result.size() - seeded);
@@ -153,7 +319,8 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
 
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
-                              ClosureStats* stats, IndexCache* cache) {
+                              ClosureStats* stats, IndexCache* cache,
+                              int workers) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -162,22 +329,21 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
   if (cache == nullptr) cache = &local_cache;
 
   Relation result = q;
-  bool changed = !prepared->empty();
+  if (prepared->empty()) {
+    if (stats != nullptr) {
+      stats->result_size = result.size();
+      stats->duplicates = stats->derivations;
+    }
+    return result;
+  }
+  RoundEvaluator evaluator(*prepared, db, &result, workers);
+  LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
+  bool changed = true;
   while (changed) {
     if (stats != nullptr) ++stats->iterations;
-    Relation produced(q.arity());
-    produced.Reserve(result.size());
-    for (const LinearRule& lr : *prepared) {
-      ApplyOptions options;
-      options.overrides[lr.recursive_atom_index()] = &result;
-      options.first_atom = lr.recursive_atom_index();
-      LINREC_RETURN_IF_ERROR(
-          ApplyRule(lr.rule(), db, options, &produced, stats, cache));
-    }
-    changed = false;
-    for (TupleView t : produced) {
-      if (result.Insert(t)) changed = true;
-    }
+    RowId before = static_cast<RowId>(result.size());
+    LINREC_RETURN_IF_ERROR(evaluator.Round(0, before, &result, stats));
+    changed = result.size() > before;
   }
   if (stats != nullptr) {
     stats->result_size = result.size();
@@ -189,7 +355,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
                           const Database& db, const Relation& q,
                           int max_power, ClosureStats* stats,
-                          IndexCache* cache) {
+                          IndexCache* cache, int workers) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   if (max_power < 0) {
     return Status::InvalidArgument("max_power must be >= 0");
@@ -206,11 +372,17 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
     if (stats != nullptr) stats->result_size = result.size();
     return result;
   }
+  // `current` is the fixed input address the compiled rules read; each
+  // power produces into `next`, then the two swap.
+  RoundEvaluator evaluator(*prepared, db, &current, workers);
+  LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
+  Relation next(q.arity());
   for (int m = 1; m <= max_power; ++m) {
     if (stats != nullptr) ++stats->iterations;
-    Result<Relation> next = ApplySum(*prepared, db, current, stats, cache);
-    if (!next.ok()) return next.status();
-    current = std::move(next).value();
+    next.Clear();
+    LINREC_RETURN_IF_ERROR(evaluator.Round(
+        0, static_cast<RowId>(current.size()), &next, stats));
+    std::swap(current, next);
     if (current.empty()) break;
     result.UnionWith(current);
   }

@@ -1,5 +1,17 @@
 // Fixpoint engines: the transitive closure A* = Σ_k A^k of Theorem 2.1,
 // computed naively or semi-naively over a sum of linear operators.
+//
+// Every engine accepts a `workers` count (see common/parallel.h for the
+// resolution rule: 0 = one lane per hardware thread, 1 = serial). With
+// workers >= 2 the INSIDE of each round is parallelized: Δ is split into
+// cache-sized chunks claimed by a work-stealing pool, each worker runs the
+// compiled join cursor against a thread-local output pool (no locks on the
+// hot path, per-worker index caches reused across rounds), and the pools
+// are folded into the global relation by a sharded, contention-free merge
+// (storage/relation.h PoolMerger). Because the rounds of a semi-naive
+// closure multiply — a speedup inside the recursion step applies to every
+// round — this parallelizes the single-group (non-commuting) case that the
+// Theorem 3.1 decomposition cannot touch.
 
 #pragma once
 
@@ -20,11 +32,13 @@ namespace linrec {
 ///
 /// All rules must share the head predicate and arity of `q`. Parameter
 /// relations are read from `db`; the recursive predicate itself is never
-/// read from `db`.
+/// read from `db`. `workers` parallelizes the inside of each round (the
+/// result is the same relation for every worker count).
 Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats = nullptr,
-                                  IndexCache* cache = nullptr);
+                                  IndexCache* cache = nullptr,
+                                  int workers = 1);
 
 /// Semi-naive continuation: computes (Σ rules)* (closed ∪ extra) given that
 /// `closed` is already a fixpoint of the rules. Only the tuples of `extra`
@@ -38,7 +52,8 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  const Database& db, const Relation& closed,
                                  const Relation& extra,
                                  ClosureStats* stats = nullptr,
-                                 IndexCache* cache = nullptr);
+                                 IndexCache* cache = nullptr,
+                                 int workers = 1);
 
 /// Same fixpoint by naive evaluation: each round applies every operator to
 /// the full accumulated relation. Baseline for bench_engine (E7); produces
@@ -46,7 +61,7 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
                               ClosureStats* stats = nullptr,
-                              IndexCache* cache = nullptr);
+                              IndexCache* cache = nullptr, int workers = 1);
 
 /// Computes the single power sum Σ_{m=0}^{max_power} A^m q where A is the
 /// operator sum of `rules` (m = 0 contributes q itself). Used by the
@@ -54,6 +69,6 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
                           const Database& db, const Relation& q,
                           int max_power, ClosureStats* stats = nullptr,
-                          IndexCache* cache = nullptr);
+                          IndexCache* cache = nullptr, int workers = 1);
 
 }  // namespace linrec

@@ -7,13 +7,11 @@ namespace linrec {
 Relation ApplySelection(const Relation& input, const Selection& selection) {
   assert(selection.position >= 0 &&
          static_cast<std::size_t>(selection.position) < input.arity());
-  Relation out(input.arity());
-  for (TupleView t : input) {
-    if (t[static_cast<std::size_t>(selection.position)] == selection.value) {
-      out.Insert(t);
-    }
-  }
-  return out;
+  // Columnar: one strided pass over the selected column counts the matches
+  // (vectorizable — no other column is touched), the output is reserved
+  // exactly, and the matching rows are bulk-copied with their cached
+  // hashes. O(matches) allocations however large the input.
+  return input.WhereEquals(selection.position, selection.value);
 }
 
 }  // namespace linrec

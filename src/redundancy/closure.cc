@@ -12,7 +12,8 @@ namespace {
 /// Valid whenever the swap condition Cᴸ(BCᴸ) = Cᴸ(CᴸB) holds.
 Result<Relation> GeneralPath(const RedundantFactorization& f,
                              const Database& db, const Relation& q,
-                             ClosureStats* stats, IndexCache* cache) {
+                             ClosureStats* stats, IndexCache* cache,
+                             int workers) {
   const int l = f.L;
   const int k = f.K;
   const int n = f.N;
@@ -22,7 +23,8 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
   Result<LinearRule> b_power = Power(f.B, n - k);
   if (!b_power.ok()) return b_power.status();
   std::vector<LinearRule> b_rules{std::move(b_power).value()};
-  Result<Relation> x = SemiNaiveClosure(b_rules, db, q, stats, cache);
+  Result<Relation> x =
+      SemiNaiveClosure(b_rules, db, q, stats, cache, workers);
   if (!x.ok()) return x.status();
 
   // Y = Σ_{m=K}^{N-1} A^{mL} X, collected while iterating A.
@@ -38,11 +40,13 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
   }
 
   // W = Σ_{n'=0}^{L-1} A^{n'} Y.
-  Result<Relation> w = PowerSum(a_rules, db, y, l - 1, stats, cache);
+  Result<Relation> w =
+      PowerSum(a_rules, db, y, l - 1, stats, cache, workers);
   if (!w.ok()) return w.status();
 
   // Prefix Σ_{m=0}^{KL-1} A^m q.
-  Result<Relation> prefix = PowerSum(a_rules, db, q, k * l - 1, stats, cache);
+  Result<Relation> prefix =
+      PowerSum(a_rules, db, q, k * l - 1, stats, cache, workers);
   if (!prefix.ok()) return prefix.status();
 
   Relation result = std::move(prefix).value();
@@ -61,7 +65,8 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
 /// D-power prefix computed from q, never on the unbounded tail.
 Result<Relation> CommutingPath(const RedundantFactorization& f,
                                const Database& db, const Relation& q,
-                               ClosureStats* stats, IndexCache* cache) {
+                               ClosureStats* stats, IndexCache* cache,
+                               int workers) {
   const int l = f.L;
   const int k_prime = (f.K + l - 1) / l;
   // Smallest p with L·p ≡ 0 (mod N−K): the cycle period of Cᴸ-powers.
@@ -90,21 +95,23 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
   Result<LinearRule> b_power = Power(f.B, period);
   if (!b_power.ok()) return b_power.status();
   std::vector<LinearRule> b_rules{std::move(b_power).value()};
-  Result<Relation> x = SemiNaiveClosure(b_rules, db, t, stats, cache);
+  Result<Relation> x =
+      SemiNaiveClosure(b_rules, db, t, stats, cache, workers);
   if (!x.ok()) return x.status();
 
   Relation d_star = std::move(s1);
   d_star.UnionWith(*x);
 
   // A* q = Σ_{n<L} A^n (D* q).
-  return PowerSum(a_rules, db, d_star, l - 1, stats, cache);
+  return PowerSum(a_rules, db, d_star, l - 1, stats, cache, workers);
 }
 
 }  // namespace
 
 Result<Relation> RedundantClosure(const RedundantFactorization& f,
                                   const Database& db, const Relation& q,
-                                  ClosureStats* stats, IndexCache* cache) {
+                                  ClosureStats* stats, IndexCache* cache,
+                                  int workers) {
   if (!f.product_verified || !f.swap_verified) {
     return Status::InvalidArgument(
         "factorization not verified (product/swap); refusing to use it");
@@ -112,8 +119,8 @@ Result<Relation> RedundantClosure(const RedundantFactorization& f,
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
   Result<Relation> result =
-      f.commuting ? CommutingPath(f, db, q, stats, cache)
-                  : GeneralPath(f, db, q, stats, cache);
+      f.commuting ? CommutingPath(f, db, q, stats, cache, workers)
+                  : GeneralPath(f, db, q, stats, cache, workers);
   if (result.ok() && stats != nullptr) stats->result_size = result->size();
   return result;
 }

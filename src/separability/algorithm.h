@@ -35,6 +35,8 @@ Result<bool> SelectionCommutesWith(const LinearRule& rule,
 ///
 /// When `cache` is null a local IndexCache spans both phases; passing the
 /// caller's cache shares parameter-relation indexes with other closures.
+/// `workers` parallelizes the inside of both closure phases' rounds
+/// (eval/fixpoint.h).
 /// Prefer Engine::Execute (engine/engine.h), which plans this strategy
 /// automatically; this entry point remains for direct use.
 Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
@@ -42,7 +44,8 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
                                   const Selection& sigma, const Database& db,
                                   const Relation& q,
                                   ClosureStats* stats = nullptr,
-                                  IndexCache* cache = nullptr);
+                                  IndexCache* cache = nullptr,
+                                  int workers = 1);
 
 /// The A*(σ(B* q)) pipeline WITHOUT the precondition checks — the shared
 /// executor behind SeparableClosure (which verifies first) and the engine
@@ -53,7 +56,7 @@ Result<Relation> SeparableClosureUnchecked(
     const std::vector<LinearRule>& a_rules,
     const std::vector<LinearRule>& b_rules, const Selection& sigma,
     const Database& db, const Relation& q, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr);
+    IndexCache* cache = nullptr, int workers = 1);
 
 /// Baseline for comparison: (ΣA + ΣB)* q computed fully, then filtered.
 Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
@@ -61,6 +64,7 @@ Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
                                    const Selection& sigma, const Database& db,
                                    const Relation& q,
                                    ClosureStats* stats = nullptr,
-                                   IndexCache* cache = nullptr);
+                                   IndexCache* cache = nullptr,
+                                   int workers = 1);
 
 }  // namespace linrec

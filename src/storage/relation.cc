@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/parallel.h"
+
 namespace linrec {
 namespace {
 
@@ -17,8 +19,28 @@ std::size_t NextPow2(std::size_t n) {
 
 }  // namespace
 
-// Grow the dedup table when occupancy crosses 7/8: linear probing stays
-// short and the growth factor (2x) keeps inserts amortized O(1).
+std::uint64_t Relation::version() const {
+  // Lazy stamp: mutation only marks the version stale; the first reader
+  // draws one fresh value off the shared counter. Concurrent readers of a
+  // stale relation may both draw — the last store wins and both values are
+  // new, so (address, version) never aliases older contents. The
+  // release/acquire pair orders the version_ store before the stale_ clear:
+  // a reader that observes stale_ == false is guaranteed to see the fresh
+  // stamp, never the pre-mutation one.
+  if (version_stale_.load(std::memory_order_acquire)) {
+    version_.store(g_version_counter.fetch_add(1, std::memory_order_relaxed) +
+                       1,
+                   std::memory_order_relaxed);
+    version_stale_.store(false, std::memory_order_release);
+  }
+  return version_.load(std::memory_order_relaxed);
+}
+
+// Grow the dedup table when occupancy crosses 7/8. Small tables double;
+// large ones quadruple: every rehash re-probes all rows at random (the
+// dominant cost of a growing closure-sized relation), and 4x growth cuts
+// the total reinserted rows from ~2N to ~1.33N for a few extra bytes of
+// slot space per row.
 bool Relation::InsertHashed(const Value* row, std::size_t hash) {
   if (slots_.empty()) Rehash(8);
   std::size_t mask = slots_.size() - 1;
@@ -36,8 +58,10 @@ bool Relation::InsertHashed(const Value* row, std::size_t hash) {
   pool_.insert(pool_.end(), row, row + arity_);
   hashes_.push_back(hash);
   slots_[i] = id + 1;
-  version_ = g_version_counter.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (row_count_ * 8 >= slots_.size() * 7) Rehash(slots_.size() * 2);
+  version_stale_.store(true, std::memory_order_release);
+  if (row_count_ * 8 >= slots_.size() * 7) {
+    Rehash(slots_.size() * (slots_.size() >= 32768 ? 4 : 2));
+  }
   return true;
 }
 
@@ -57,19 +81,70 @@ RowId Relation::FindRow(const Value* row, std::size_t hash) const {
 void Relation::Rehash(std::size_t slot_count) {
   slots_.assign(slot_count, 0);
   std::size_t mask = slot_count - 1;
-  for (RowId id = 0; id < row_count_; ++id) {
-    std::size_t i = hashes_[id] & mask;
-    while (slots_[i] != 0) i = (i + 1) & mask;
-    slots_[i] = id + 1;
+  // Reinsertion is a stream of independent random probes — prefetch a
+  // batch ahead so their cache misses overlap (most rows land in their
+  // first slot of the fresh, sparsely filled table).
+  constexpr RowId kBatch = 16;
+  for (RowId base = 0; base < row_count_; base += kBatch) {
+    const RowId limit =
+        static_cast<RowId>(std::min<std::size_t>(row_count_, base + kBatch));
+    for (RowId id = base; id < limit; ++id) {
+      __builtin_prefetch(slots_.data() + (hashes_[id] & mask), 1);
+    }
+    for (RowId id = base; id < limit; ++id) {
+      std::size_t i = hashes_[id] & mask;
+      while (slots_[i] != 0) i = (i + 1) & mask;
+      slots_[i] = id + 1;
+    }
   }
 }
 
 void Relation::Reserve(std::size_t rows) {
-  pool_.reserve(rows * arity_);
-  hashes_.reserve(rows);
+  // Grow geometrically past the request: vector::reserve allocates exactly
+  // what is asked, so a closure loop reserving `current + Δ` every round
+  // would otherwise reallocate (and copy the whole pool) every round.
+  if (rows * arity_ > pool_.capacity()) {
+    pool_.reserve(std::max(rows * arity_, pool_.capacity() * 2));
+  }
+  if (rows > hashes_.capacity()) {
+    hashes_.reserve(std::max(rows, hashes_.capacity() * 2));
+  }
   // Size the table so `rows` insertions stay under the 7/8 growth trigger.
   std::size_t needed = NextPow2(rows * 8 / 7 + 1);
   if (needed > slots_.size()) Rehash(needed);
+}
+
+void Relation::Clear() {
+  row_count_ = 0;
+  version_.store(0, std::memory_order_relaxed);
+  version_stale_.store(false, std::memory_order_relaxed);
+  pool_.clear();
+  hashes_.clear();
+  std::fill(slots_.begin(), slots_.end(), 0);
+}
+
+Relation Relation::WhereEquals(int position, Value value) const {
+  assert(position >= 0 && static_cast<std::size_t>(position) < arity_);
+  Relation out(arity_);
+  if (row_count_ == 0) return out;
+  const Value* column = pool_.data() + position;
+  const std::size_t stride = arity_;
+  // Pass 1: count matches along one strided column — no branches that
+  // touch other columns, so -O3 vectorizes the compare+accumulate.
+  std::size_t matches = 0;
+  for (std::size_t i = 0; i < row_count_; ++i) {
+    matches += static_cast<std::size_t>(column[i * stride] == value);
+  }
+  if (matches == 0) return out;
+  out.Reserve(matches);
+  // Pass 2: bulk-copy the matching rows, reusing their cached hashes (rows
+  // of a relation are unique, so every insert lands).
+  for (std::size_t i = 0; i < row_count_; ++i) {
+    if (column[i * stride] == value) {
+      out.InsertHashed(pool_.data() + i * stride, hashes_[i]);
+    }
+  }
+  return out;
 }
 
 std::size_t Relation::UnionWith(const Relation& other) {
@@ -98,6 +173,126 @@ bool Relation::operator==(const Relation& other) const {
   return true;
 }
 
+PoolMerger::PoolMerger(int shard_bits)
+    : shard_bits_(shard_bits),
+      shard_count_(static_cast<std::size_t>(1) << shard_bits),
+      shards_(shard_count_) {}
+
+void PoolMerger::BucketPool(std::size_t pool_index, const Relation& pool) {
+  std::vector<RowId>* row_buckets = &buckets_[pool_index * shard_count_];
+  const RowId rows = static_cast<RowId>(pool.size());
+  for (RowId r = 0; r < rows; ++r) {
+    row_buckets[ShardOf(pool.hashes_[r])].push_back(r);
+  }
+}
+
+void PoolMerger::DedupShard(std::size_t shard, const Relation* const* pools,
+                            std::size_t pool_count, const Relation& target) {
+  Shard& s = shards_[shard];
+  std::size_t incoming = 0;
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    incoming += buckets_[p * shard_count_ + shard].size();
+  }
+  if (incoming == 0) return;
+  std::size_t needed = 8;
+  while (needed * 7 < incoming * 8) needed <<= 1;
+  if (s.slots.size() < needed) s.slots.resize(needed);
+  std::fill(s.slots.begin(), s.slots.end(), 0);
+  const std::size_t mask = s.slots.size() - 1;
+
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    const Relation& pool = *pools[p];
+    for (RowId r : buckets_[p * shard_count_ + shard]) {
+      const std::size_t hash = pool.hashes_[r];
+      const Value* row = pool.RowData(r);
+      if (target.FindRow(row, hash) != Relation::kNoRow) continue;
+      // Probe the shard-local table of surviving rows; first occurrence
+      // (in pool order) wins.
+      std::size_t i = hash & mask;
+      bool duplicate = false;
+      while (true) {
+        std::uint32_t slot = s.slots[i];
+        if (slot == 0) break;
+        const auto& [sp, sr] = s.survivors[slot - 1];
+        if (pools[sp]->hashes_[sr] == hash &&
+            std::equal(row, row + pool.arity(), pools[sp]->RowData(sr))) {
+          duplicate = true;
+          break;
+        }
+        i = (i + 1) & mask;
+      }
+      if (duplicate) continue;
+      s.survivors.emplace_back(static_cast<std::uint32_t>(p), r);
+      s.slots[i] = static_cast<std::uint32_t>(s.survivors.size());
+    }
+  }
+}
+
+std::size_t PoolMerger::Merge(const Relation* const* pools,
+                              std::size_t pool_count, Relation* target,
+                              WorkerPool* pool) {
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < pool_count; ++p) {
+    assert(pools[p]->arity() == target->arity());
+    total += pools[p]->size();
+  }
+  buckets_.resize(pool_count * shard_count_);
+  for (std::vector<RowId>& b : buckets_) b.clear();
+  for (Shard& s : shards_) s.survivors.clear();
+  if (total == 0) return 0;
+
+  // WorkerPool swallows exceptions on its threads (its contract: report
+  // through lane state); capture the first one here and rethrow after the
+  // phases so an allocation failure mid-shard can never yield a silently
+  // incomplete merge.
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  auto guarded = [&](auto&& body) {
+    try {
+      body();
+    } catch (...) {
+      if (!failed.exchange(true)) error = std::current_exception();
+    }
+  };
+
+  // Phase 1: bucket each pool's rows by the high hash bits (pool-major
+  // bucket storage: no two lanes ever write the same vector).
+  if (pool != nullptr && pool_count > 1) {
+    pool->Run(pool_count, [&](int, std::size_t p) {
+      guarded([&] { BucketPool(p, *pools[p]); });
+    });
+  } else {
+    for (std::size_t p = 0; p < pool_count; ++p) BucketPool(p, *pools[p]);
+  }
+
+  // Phase 2: deduplicate every shard independently — disjoint hash ranges,
+  // read-only target probes, per-shard scratch: no contention.
+  if (pool != nullptr) {
+    pool->Run(shard_count_, [&](int, std::size_t shard) {
+      guarded([&] { DedupShard(shard, pools, pool_count, *target); });
+    });
+  } else {
+    for (std::size_t s = 0; s < shard_count_; ++s) {
+      DedupShard(s, pools, pool_count, *target);
+    }
+  }
+  if (failed.load()) std::rethrow_exception(error);
+
+  // Phase 3: append the survivors — all provably new and pairwise distinct
+  // (cross-shard rows differ in their high hash bits), so every insert
+  // probes straight to an empty slot and lands.
+  std::size_t added = 0;
+  for (const Shard& s : shards_) added += s.survivors.size();
+  if (added == 0) return 0;
+  target->Reserve(target->size() + added);
+  for (const Shard& s : shards_) {
+    for (const auto& [p, r] : s.survivors) {
+      target->InsertHashed(pools[p]->RowData(r), pools[p]->hashes_[r]);
+    }
+  }
+  return added;
+}
+
 HashIndex::HashIndex(const Relation& rel, std::vector<int> key_positions)
     : rel_(&rel),
       key_positions_(std::move(key_positions)),
@@ -106,6 +301,22 @@ HashIndex::HashIndex(const Relation& rel, std::vector<int> key_positions)
   slots_.assign(slot_count, 0);
   std::size_t mask = slot_count - 1;
   const RowId rows = static_cast<RowId>(rel.size());
+
+  // Pass 1: discover groups and count their sizes. `group_of[row]` records
+  // each row's group so pass 2 is a straight scatter; `repr` holds one
+  // representative row per group for key comparison.
+  std::vector<std::uint32_t> group_of(rows);
+  std::vector<RowId> repr;
+  std::vector<std::uint32_t> counts;
+  auto projections_match = [&](RowId a, RowId b) {
+    const Value* ra = rel_->RowData(a);
+    const Value* rb = rel_->RowData(b);
+    for (int p : key_positions_) {
+      std::size_t i = static_cast<std::size_t>(p);
+      if (ra[i] != rb[i]) return false;
+    }
+    return true;
+  };
   for (RowId row = 0; row < rows; ++row) {
     std::size_t hash = RowKeyHash(row);
     std::size_t i = hash & mask;
@@ -114,19 +325,36 @@ HashIndex::HashIndex(const Relation& rel, std::vector<int> key_positions)
       if (slot == 0) {
         // New key: open a group. Groups never exceed row count, which the
         // table was sized for, so no grow step is needed here.
-        slots_[i] = static_cast<std::uint32_t>(groups_.size()) + 1;
-        groups_.emplace_back().push_back(row);
+        slots_[i] = static_cast<std::uint32_t>(repr.size()) + 1;
+        group_of[row] = static_cast<std::uint32_t>(repr.size());
+        repr.push_back(row);
+        counts.push_back(1);
         group_hashes_.push_back(hash);
         break;
       }
       std::size_t g = slot - 1;
-      if (group_hashes_[g] == hash &&
-          RowMatchesKey(groups_[g].front(), rel.RowData(row))) {
-        groups_[g].push_back(row);
+      if (group_hashes_[g] == hash && projections_match(repr[g], row)) {
+        group_of[row] = static_cast<std::uint32_t>(g);
+        ++counts[g];
         break;
       }
       i = (i + 1) & mask;
     }
+  }
+
+  // Prefix-sum the counts into CSR offsets, then scatter the rows; within
+  // a group insertion order is preserved.
+  starts_.resize(repr.size() + 1);
+  std::uint32_t total = 0;
+  for (std::size_t g = 0; g < repr.size(); ++g) {
+    starts_[g] = total;
+    total += counts[g];
+  }
+  starts_[repr.size()] = total;
+  row_ids_.resize(rows);
+  std::vector<std::uint32_t> cursor(starts_.begin(), starts_.end() - 1);
+  for (RowId row = 0; row < rows; ++row) {
+    row_ids_[cursor[group_of[row]]++] = row;
   }
 }
 
@@ -143,27 +371,16 @@ std::size_t HashIndex::RowKeyHash(RowId row) const {
   return HashFinalize(seed);
 }
 
-/// Does `row`'s projection equal the projection of the full row `other`?
-/// (Build-time comparison: both sides are full rows of the relation.)
-bool HashIndex::RowMatchesKey(RowId row, const Value* other) const {
-  const Value* mine = rel_->RowData(row);
-  for (int p : key_positions_) {
-    std::size_t i = static_cast<std::size_t>(p);
-    if (mine[i] != other[i]) return false;
-  }
-  return true;
-}
-
-const std::vector<RowId>* HashIndex::Lookup(const Value* key) const {
+RowSpan HashIndex::Lookup(const Value* key) const {
   std::size_t hash = KeyHash(key);
   std::size_t mask = slots_.size() - 1;
   std::size_t i = hash & mask;
   while (true) {
     std::uint32_t slot = slots_[i];
-    if (slot == 0) return nullptr;
+    if (slot == 0) return RowSpan{};
     std::size_t g = slot - 1;
     if (group_hashes_[g] == hash) {
-      const Value* repr = rel_->RowData(groups_[g].front());
+      const Value* repr = rel_->RowData(row_ids_[starts_[g]]);
       bool match = true;
       for (std::size_t k = 0; k < key_positions_.size(); ++k) {
         if (repr[static_cast<std::size_t>(key_positions_[k])] != key[k]) {
@@ -171,7 +388,10 @@ const std::vector<RowId>* HashIndex::Lookup(const Value* key) const {
           break;
         }
       }
-      if (match) return &groups_[g];
+      if (match) {
+        return RowSpan{row_ids_.data() + starts_[g],
+                       starts_[g + 1] - starts_[g]};
+      }
     }
     i = (i + 1) & mask;
   }

@@ -3,9 +3,11 @@
 
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <iterator>
+#include <utility>
 #include <vector>
 
 #include "storage/tuple.h"
@@ -14,6 +16,22 @@ namespace linrec {
 
 /// Index of a row inside a Relation's pool (insertion order, 0-based).
 using RowId = std::uint32_t;
+
+class Relation;
+class WorkerPool;
+
+/// A borrowed contiguous row range [begin, end) of one Relation — the unit
+/// of work the parallel semi-naive round hands to each worker. Views are
+/// cheap value types; they are invalidated (like TupleViews) by inserts
+/// into the underlying relation.
+struct PartitionView {
+  const Relation* relation = nullptr;
+  RowId begin = 0;
+  RowId end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+};
 
 /// A set of tuples sharing one arity, stored columnar-free but flat: all
 /// values live contiguously in one arity-strided pool, so a row is a
@@ -30,16 +48,63 @@ class Relation {
   Relation() : arity_(0) {}
   explicit Relation(std::size_t arity) : arity_(arity) {}
 
+  // Copy/move are member-wise; spelled out because the version stamp is
+  // atomic (for concurrent version() reads) and atomics are not copyable.
+  Relation(const Relation& o)
+      : arity_(o.arity_),
+        version_(o.version_.load(std::memory_order_relaxed)),
+        version_stale_(o.version_stale_.load(std::memory_order_relaxed)),
+        row_count_(o.row_count_),
+        pool_(o.pool_),
+        hashes_(o.hashes_),
+        slots_(o.slots_) {}
+  Relation(Relation&& o) noexcept
+      : arity_(o.arity_),
+        version_(o.version_.load(std::memory_order_relaxed)),
+        version_stale_(o.version_stale_.load(std::memory_order_relaxed)),
+        row_count_(o.row_count_),
+        pool_(std::move(o.pool_)),
+        hashes_(std::move(o.hashes_)),
+        slots_(std::move(o.slots_)) {
+    o.row_count_ = 0;
+    o.version_.store(0, std::memory_order_relaxed);
+    o.version_stale_.store(false, std::memory_order_relaxed);
+  }
+  Relation& operator=(const Relation& o) {
+    if (this != &o) *this = Relation(o);
+    return *this;
+  }
+  Relation& operator=(Relation&& o) noexcept {
+    if (this != &o) {
+      arity_ = o.arity_;
+      version_.store(o.version_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      version_stale_.store(
+          o.version_stale_.load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+      row_count_ = o.row_count_;
+      pool_ = std::move(o.pool_);
+      hashes_ = std::move(o.hashes_);
+      slots_ = std::move(o.slots_);
+      o.row_count_ = 0;
+      o.version_.store(0, std::memory_order_relaxed);
+      o.version_stale_.store(false, std::memory_order_relaxed);
+    }
+    return *this;
+  }
+
   std::size_t arity() const { return arity_; }
   std::size_t size() const { return row_count_; }
   bool empty() const { return row_count_ == 0; }
   /// Content stamp for index caching: 0 for an empty relation, otherwise a
-  /// process-globally unique value taken at the last successful insert.
-  /// Global uniqueness matters: distinct Relation objects can reuse one
-  /// address (e.g. the Δ of successive semi-naive rounds), and (address,
-  /// version) must never alias two different contents. Two relations may
-  /// share version 0 only when both are empty — identical contents.
-  std::uint64_t version() const { return version_; }
+  /// process-globally unique value taken at the first version() read after
+  /// a successful insert (lazily — a closure round doing 10^5 inserts
+  /// draws one stamp, not 10^5, off the shared counter). Global uniqueness
+  /// matters: distinct Relation objects can reuse one address (e.g. the Δ
+  /// of successive semi-naive rounds), and (address, version) must never
+  /// alias two different contents. Two relations may share version 0 only
+  /// when both are empty — identical contents.
+  std::uint64_t version() const;
 
   /// Inserts `t`; returns true iff the tuple was new.
   /// The tuple's arity must match the relation's (asserted).
@@ -59,6 +124,22 @@ class Relation {
   /// Tuple is constructed, and nothing is heap-allocated unless the pool or
   /// the dedup table must grow (amortized by Reserve).
   bool InsertRow(const Value* row) { return InsertHashed(row, Hash(row)); }
+  /// InsertRow with the row hash already computed (must equal
+  /// HashRow(row, arity); asserted). Lets batched writers hash once, then
+  /// prefetch, then insert.
+  bool InsertRowHashed(const Value* row, std::size_t hash) {
+    assert(hash == Hash(row));
+    return InsertHashed(row, hash);
+  }
+
+  /// Prefetches the dedup slot a row with this hash probes first. A writer
+  /// holding a batch of pending inserts issues these ahead of the inserts
+  /// so the probes' cache misses overlap instead of serializing.
+  void PrefetchSlot(std::size_t hash) const {
+    if (!slots_.empty()) {
+      __builtin_prefetch(slots_.data() + (hash & (slots_.size() - 1)));
+    }
+  }
 
   /// Inserts every tuple of `other` (same arity); returns number added.
   std::size_t UnionWith(const Relation& other);
@@ -66,6 +147,23 @@ class Relation {
   /// Pre-sizes the pool and the dedup table for `rows` total tuples, so a
   /// closure loop that knows its Δ size inserts without reallocation.
   void Reserve(std::size_t rows);
+
+  /// Removes every row but keeps the pool, hash and slot capacity, so a
+  /// per-round scratch relation (a worker's thread-local output pool) is
+  /// reused across rounds without reallocating.
+  void Clear();
+
+  /// Rows [begin, end) as a borrowed view (no copy).
+  PartitionView View(RowId begin, RowId end) const {
+    assert(begin <= end && end <= row_count_);
+    return PartitionView{this, begin, end};
+  }
+
+  /// σ_{position = value} as a columnar scan: stride-walks the selected
+  /// column of the flat pool counting matches (one tight, vectorizable
+  /// loop), reserves the output exactly, then bulk-copies the matching rows
+  /// reusing their cached hashes. Allocates O(matches), not O(rows).
+  Relation WhereEquals(int position, Value value) const;
 
   bool Contains(const Tuple& t) const {
     assert(t.arity() == arity_);
@@ -138,6 +236,8 @@ class Relation {
   bool operator!=(const Relation& other) const { return !(*this == other); }
 
  private:
+  friend class PoolMerger;
+
   static constexpr RowId kNoRow = static_cast<RowId>(-1);
 
   std::size_t Hash(const Value* row) const { return HashRow(row, arity_); }
@@ -153,29 +253,102 @@ class Relation {
   void Rehash(std::size_t slot_count);
 
   std::size_t arity_;
-  std::uint64_t version_ = 0;
+  /// Lazily drawn content stamp; see version(). Atomics make concurrent
+  /// version() reads of a quiescent relation race-free (mutation itself is
+  /// single-writer, like every other mutating member).
+  mutable std::atomic<std::uint64_t> version_{0};
+  mutable std::atomic<bool> version_stale_{false};
   std::size_t row_count_ = 0;     // == pool_.size() / arity_ unless arity 0
   std::vector<Value> pool_;       // arity-strided row storage
   std::vector<std::size_t> hashes_;  // per-row hash (dedup probes, rehash)
   std::vector<RowId> slots_;      // open addressing: row id + 1; 0 = empty
 };
 
+/// Merges thread-local output pools into one target relation with no
+/// locking on any row: rows are bucketed by the HIGH bits of their cached
+/// hashes into shards (the dedup table probes with the LOW bits, so the two
+/// partitions are independent), each shard is deduplicated on its own —
+/// against the target, then across pools, first pool-order occurrence wins
+/// — and only the surviving, provably-unique rows are appended to the
+/// target. Bucketing parallelizes over pools and deduplication over shards
+/// (disjoint hash ranges never contend); the final append is a short
+/// sequential pass over new rows only.
+///
+/// Scratch buffers persist across Merge calls, so the steady state of a
+/// semi-naive closure (one Merge per round) allocates nothing.
+class PoolMerger {
+ public:
+  /// 2^shard_bits shards. More shards = finer parallelism and smaller
+  /// per-shard dedup tables; 64 is plenty for any realistic worker count.
+  explicit PoolMerger(int shard_bits = 6);
+
+  /// Appends every row of `pools[0..pool_count)` absent from `*target` to
+  /// `*target` (deduplicating across pools) and returns the number of rows
+  /// appended. All relations must share the target's arity. When `pool` is
+  /// non-null the bucket and dedup phases run on it; serial otherwise.
+  /// The appended rows occupy target ids [old_size, new_size) in shard-
+  /// major, then pool-major, then row order — deterministic for fixed pool
+  /// contents. An exception thrown inside a parallel phase (WorkerPool
+  /// swallows them on its threads) is captured and rethrown here on the
+  /// calling thread — a failed phase must surface, never return a
+  /// silently incomplete merge.
+  std::size_t Merge(const Relation* const* pools, std::size_t pool_count,
+                    Relation* target, WorkerPool* pool = nullptr);
+
+ private:
+  struct Shard {
+    /// Surviving rows as (pool index, row id), in arrival order.
+    std::vector<std::pair<std::uint32_t, RowId>> survivors;
+    /// Open-addressing table over `survivors` (index + 1; 0 = empty).
+    std::vector<std::uint32_t> slots;
+  };
+
+  std::size_t ShardOf(std::size_t hash) const {
+    return hash >> (sizeof(std::size_t) * 8 - static_cast<unsigned>(shard_bits_));
+  }
+  void BucketPool(std::size_t pool_index, const Relation& pool);
+  void DedupShard(std::size_t shard, const Relation* const* pools,
+                  std::size_t pool_count, const Relation& target);
+
+  int shard_bits_;
+  std::size_t shard_count_;
+  /// buckets_[pool * shard_count_ + shard] = row ids of that pool whose
+  /// hash lands in that shard. Pool-major so bucketing never contends.
+  std::vector<std::vector<RowId>> buckets_;
+  std::vector<Shard> shards_;
+};
+
+/// A borrowed, contiguous list of row ids — what HashIndex::Lookup yields.
+struct RowSpan {
+  const RowId* ids = nullptr;
+  std::size_t count = 0;
+
+  bool empty() const { return count == 0; }
+  const RowId* begin() const { return ids; }
+  const RowId* end() const { return ids + count; }
+  RowId operator[](std::size_t i) const { return ids[i]; }
+};
+
 /// A hash index over one relation keyed by a subset of positions.
 ///
-/// Maps the projection of each row onto `key_positions` to the list of
-/// matching row ids — no tuple is copied. Built in one pass; Lookup takes a
-/// raw key span (values in key_positions order) and allocates nothing, so
-/// join loops probe without constructing a Tuple.
+/// Maps the projection of each row onto `key_positions` to the span of
+/// matching row ids — no tuple is copied. Groups live in one flat CSR
+/// layout (offsets + row ids) rather than per-group vectors, so building
+/// does two allocation-free passes over the rows and probing follows no
+/// per-group heap pointer. Lookup takes a raw key span (values in
+/// key_positions order) and allocates nothing, so join loops probe without
+/// constructing a Tuple.
 class HashIndex {
  public:
   HashIndex(const Relation& rel, std::vector<int> key_positions);
 
   /// Row ids whose `key_positions` projection equals `key[0..k)`, in
-  /// insertion order; nullptr when the key is absent. Allocation-free.
-  const std::vector<RowId>* Lookup(const Value* key) const;
+  /// insertion order; an empty span when the key is absent.
+  /// Allocation-free.
+  RowSpan Lookup(const Value* key) const;
   /// Convenience probe from an owning key tuple (arity must equal the
   /// number of key positions).
-  const std::vector<RowId>* Lookup(const Tuple& key) const {
+  RowSpan Lookup(const Tuple& key) const {
     assert(key.arity() == key_positions_.size());
     return Lookup(key.data());
   }
@@ -183,21 +356,22 @@ class HashIndex {
   const Relation& relation() const { return *rel_; }
   const std::vector<int>& key_positions() const { return key_positions_; }
   std::uint64_t built_at_version() const { return built_at_version_; }
-  std::size_t distinct_keys() const { return groups_.size(); }
+  std::size_t distinct_keys() const { return starts_.size() - 1; }
 
  private:
   std::size_t KeyHash(const Value* key) const {
     return HashRange(key, key + key_positions_.size());
   }
   std::size_t RowKeyHash(RowId row) const;
-  bool RowMatchesKey(RowId row, const Value* key) const;
 
   const Relation* rel_;
   std::vector<int> key_positions_;
   std::uint64_t built_at_version_;
-  std::vector<std::uint32_t> slots_;       // group index + 1; 0 = empty
-  std::vector<std::vector<RowId>> groups_; // group's key = projection of
-                                           // its first row
+  std::vector<std::uint32_t> slots_;   // group index + 1; 0 = empty
+  /// CSR: group g's rows are row_ids_[starts_[g], starts_[g+1]); its key is
+  /// the projection of its first row.
+  std::vector<std::uint32_t> starts_;
+  std::vector<RowId> row_ids_;
   std::vector<std::size_t> group_hashes_;
 };
 

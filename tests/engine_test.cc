@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "datalog/parser.h"
 #include "eval/fixpoint.h"
 #include "separability/algorithm.h"
@@ -207,6 +208,51 @@ TEST(EnginePlanTest, ExplainNamesStrategyAndTheorem) {
   EXPECT_NE(text.find("decomposed"), std::string::npos) << text;
   EXPECT_NE(text.find("Theorem 3.1"), std::string::npos) << text;
   EXPECT_NE(text.find("commute"), std::string::npos) << text;
+}
+
+TEST(EnginePlanTest, ExplainReportsParallelMode) {
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+
+  EngineOptions serial_options;
+  serial_options.parallel_workers = 1;
+  Engine serial_engine(Database{}, serial_options);
+  auto serial_plan = serial_engine.Plan(Query::Closure({tc}).From(q));
+  ASSERT_TRUE(serial_plan.ok());
+  EXPECT_EQ(serial_plan->parallel_workers, 1);
+  EXPECT_NE(serial_plan->Explain().find("parallel: serial"),
+            std::string::npos)
+      << serial_plan->Explain();
+
+  EngineOptions parallel_options;
+  parallel_options.parallel_workers = 8;
+  Engine parallel_engine(Database{}, parallel_options);
+  auto parallel_plan = parallel_engine.Plan(Query::Closure({tc}).From(q));
+  ASSERT_TRUE(parallel_plan.ok());
+  EXPECT_EQ(parallel_plan->parallel_workers, 8);
+  std::string text = parallel_plan->Explain();
+  EXPECT_NE(text.find("8 workers"), std::string::npos) << text;
+  EXPECT_NE(text.find("Δ partitions"), std::string::npos) << text;
+}
+
+TEST(EngineOptionsTest, ZeroWorkersMeansHardwareConcurrencyNotSerial) {
+  // The contract of common/parallel.h: 0 = one lane per hardware thread
+  // (always at least 1), 1 = serial, explicit values taken literally.
+  EXPECT_GE(ResolveWorkers(0), 1);
+  EXPECT_EQ(ResolveWorkers(1), 1);
+  EXPECT_EQ(ResolveWorkers(6), 6);
+  EXPECT_EQ(ResolveWorkers(-3), 1);
+
+  EngineOptions defaults;
+  EXPECT_EQ(defaults.parallel_workers, 0);  // auto, not serial
+  Engine engine;
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+  auto plan = engine.Plan(Query::Closure({tc}).From(q));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->parallel_workers, ResolveWorkers(0));
 }
 
 TEST(EngineForceTest, ForcedNaiveMatchesSemiNaive) {

@@ -18,6 +18,7 @@
 #include "datalog/parser.h"
 #include "eval/apply.h"
 #include "eval/index_cache.h"
+#include "eval/selection.h"
 #include "workload/graphs.h"
 
 namespace {
@@ -86,6 +87,32 @@ TEST(JoinAllocTest, ProbeLoopAllocatesNothingPerCandidate) {
   EXPECT_EQ(small, large) << "per-candidate path allocates";
   // And the compile phase itself stays a small constant.
   EXPECT_LE(small, 64u);
+}
+
+/// Allocations of one ApplySelection over a relation of `rows` rows in
+/// which exactly `matches` rows carry the selected value.
+std::size_t SelectionAllocations(int rows, int matches) {
+  Relation input(2);
+  for (int i = 0; i < rows; ++i) {
+    input.Insert({i < matches ? 42 : i + 100, i});
+  }
+  Selection sigma{0, 42};
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  Relation out = ApplySelection(input, sigma);
+  std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(matches));
+  return after - before;
+}
+
+TEST(JoinAllocTest, SelectiveScanAllocatesPerMatchNotPerInputRow) {
+  // The columnar ApplySelection counts matches first and reserves exactly,
+  // so a 16x larger input with the same match count allocates identically:
+  // O(matches), not O(input).
+  std::size_t small = SelectionAllocations(512, 16);
+  std::size_t large = SelectionAllocations(8192, 16);
+  EXPECT_EQ(small, large) << "selection allocates per input row";
+  // And the absolute count is the output relation's few buffers.
+  EXPECT_LE(small, 8u);
 }
 
 TEST(JoinAllocTest, CountingHookIsLive) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/parallel.h"
 #include "storage/database.h"
 #include "storage/relation.h"
 #include "storage/tuple.h"
@@ -176,12 +177,11 @@ TEST(HashIndexTest, LookupReturnsRowIds) {
   r.Insert({1, 20});
   r.Insert({2, 30});
   HashIndex index(r, {0});
-  const std::vector<RowId>* bucket = index.Lookup(Tuple({1}));
-  ASSERT_NE(bucket, nullptr);
-  ASSERT_EQ(bucket->size(), 2u);
-  EXPECT_EQ(r.Row((*bucket)[0])[1], 10);
-  EXPECT_EQ(r.Row((*bucket)[1])[1], 20);
-  EXPECT_EQ(index.Lookup(Tuple({9})), nullptr);
+  RowSpan bucket = index.Lookup(Tuple({1}));
+  ASSERT_EQ(bucket.count, 2u);
+  EXPECT_EQ(r.Row(bucket[0])[1], 10);
+  EXPECT_EQ(r.Row(bucket[1])[1], 20);
+  EXPECT_TRUE(index.Lookup(Tuple({9})).empty());
 }
 
 TEST(HashIndexTest, AllocationFreeSpanLookup) {
@@ -191,11 +191,10 @@ TEST(HashIndexTest, AllocationFreeSpanLookup) {
   r.Insert({1, 3, 5});
   HashIndex index(r, {0, 1});
   const Value key[] = {1, 2};
-  const std::vector<RowId>* bucket = index.Lookup(key);
-  ASSERT_NE(bucket, nullptr);
-  EXPECT_EQ(bucket->size(), 2u);
+  RowSpan bucket = index.Lookup(key);
+  EXPECT_EQ(bucket.count, 2u);
   const Value missing[] = {1, 9};
-  EXPECT_EQ(index.Lookup(missing), nullptr);
+  EXPECT_TRUE(index.Lookup(missing).empty());
 }
 
 TEST(HashIndexTest, CorrectUnderRelationGrowth) {
@@ -206,12 +205,112 @@ TEST(HashIndexTest, CorrectUnderRelationGrowth) {
   HashIndex index(r, {0});
   for (Value k = 0; k < 50; ++k) {
     const Value key[] = {k};
-    const std::vector<RowId>* bucket = index.Lookup(key);
-    ASSERT_NE(bucket, nullptr);
-    EXPECT_EQ(bucket->size(), 40u);
-    for (RowId row : *bucket) EXPECT_EQ(r.Row(row)[0], k);
+    RowSpan bucket = index.Lookup(key);
+    EXPECT_EQ(bucket.count, 40u);
+    for (RowId row : bucket) EXPECT_EQ(r.Row(row)[0], k);
   }
   EXPECT_EQ(index.distinct_keys(), 50u);
+}
+
+TEST(RelationTest, ClearKeepsCapacityAndResetsContents) {
+  Relation r(2);
+  for (Value i = 0; i < 100; ++i) r.Insert({i, i + 1});
+  EXPECT_EQ(r.size(), 100u);
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.version(), 0u);
+  EXPECT_FALSE(r.Contains({1, 2}));
+  // Reusable after clearing: fresh contents, fresh (nonzero) version.
+  r.Insert({7, 8});
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.Contains({7, 8}));
+  EXPECT_NE(r.version(), 0u);
+}
+
+TEST(RelationTest, WhereEqualsFiltersOneColumn) {
+  Relation r(3);
+  for (Value i = 0; i < 200; ++i) r.Insert({i % 5, i, i * 2});
+  Relation filtered = r.WhereEquals(0, 3);
+  EXPECT_EQ(filtered.size(), 40u);
+  for (TupleView t : filtered) EXPECT_EQ(t[0], 3);
+  // Every matching row made it (spot check).
+  EXPECT_TRUE(filtered.Contains({3, 3, 6}));
+  EXPECT_TRUE(filtered.Contains({3, 198, 396}));
+  // No matches and empty input both yield empty relations of the arity.
+  EXPECT_TRUE(r.WhereEquals(1, -1).empty());
+  Relation empty(3);
+  EXPECT_TRUE(empty.WhereEquals(2, 0).empty());
+  EXPECT_EQ(empty.WhereEquals(2, 0).arity(), 3u);
+}
+
+TEST(RelationTest, PartitionViewCoversRowRanges) {
+  Relation r(2);
+  for (Value i = 0; i < 10; ++i) r.Insert({i, i});
+  PartitionView all = r.View(0, 10);
+  EXPECT_EQ(all.size(), 10u);
+  PartitionView tail = r.View(7, 10);
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_FALSE(tail.empty());
+  EXPECT_TRUE(r.View(4, 4).empty());
+  EXPECT_EQ(tail.relation, &r);
+}
+
+TEST(PoolMergerTest, MergesPoolsDeduplicatingAgainstTargetAndAcrossPools) {
+  Relation target(2);
+  target.Insert({0, 0});
+  target.Insert({1, 1});
+
+  Relation a(2), b(2), c(2);
+  a.Insert({1, 1});  // already in target: dropped
+  a.Insert({2, 2});  // new
+  b.Insert({2, 2});  // duplicate of a's row: dropped
+  b.Insert({3, 3});  // new
+  // c empty
+
+  Relation expected = target;
+  expected.UnionWith(a);
+  expected.UnionWith(b);
+
+  const Relation* pools[] = {&a, &b, &c};
+  PoolMerger merger;
+  std::size_t added = merger.Merge(pools, 3, &target);
+  EXPECT_EQ(added, 2u);
+  EXPECT_EQ(target, expected);
+
+  // A second merge of the same pools adds nothing (idempotent).
+  EXPECT_EQ(merger.Merge(pools, 3, &target), 0u);
+  EXPECT_EQ(target, expected);
+}
+
+TEST(PoolMergerTest, LargeMergeMatchesUnionWith) {
+  // Cross-check the sharded path against the straightforward union on a
+  // size that populates many shards, with and without a worker pool.
+  Relation a(2), b(2);
+  for (Value i = 0; i < 5000; ++i) a.Insert({i, i + 1});
+  for (Value i = 2500; i < 7500; ++i) b.Insert({i, i + 1});  // 50% overlap
+  Relation target(2);
+  for (Value i = 0; i < 1000; ++i) target.Insert({i * 3, i * 3 + 1});
+
+  Relation expected = target;
+  expected.UnionWith(a);
+  expected.UnionWith(b);
+
+  const Relation* pools[] = {&a, &b};
+  {
+    Relation serial_target = target;
+    PoolMerger merger;
+    merger.Merge(pools, 2, &serial_target);
+    EXPECT_EQ(serial_target, expected);
+  }
+  {
+    WorkerPool::OverrideThreadCapForTesting(8);
+    WorkerPool pool(4);
+    Relation parallel_target = target;
+    PoolMerger merger;
+    merger.Merge(pools, 2, &parallel_target, &pool);
+    EXPECT_EQ(parallel_target, expected);
+    WorkerPool::OverrideThreadCapForTesting(0);
+  }
 }
 
 TEST(DatabaseTest, GetOrCreateAndFind) {

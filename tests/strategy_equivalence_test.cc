@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "algebra/closure.h"
+#include "common/parallel.h"
 #include "datalog/parser.h"
 #include "engine/engine.h"
 #include "eval/fixpoint.h"
@@ -22,6 +23,12 @@ LinearRule LR(const std::string& text) {
   EXPECT_TRUE(r.ok()) << r.status();
   return *r;
 }
+
+/// The determinism suite must exercise true cross-thread execution even on
+/// single-core CI hosts, where the pool would otherwise (correctly) decline
+/// to spawn helper threads.
+void ForceRealThreads() { WorkerPool::OverrideThreadCapForTesting(16); }
+void RestoreThreadCap() { WorkerPool::OverrideThreadCapForTesting(0); }
 
 /// Asserts naive == semi-naive == engine-auto on (rules, db, q) and returns
 /// the agreed closure (as sorted tuples, so failures print deterministic
@@ -125,6 +132,143 @@ TEST(StrategyEquivalence, ParallelDecomposedThreeGroups) {
     ASSERT_TRUE(out.ok()) << out.status();
     EXPECT_EQ(*direct, *out) << "workers=" << workers;
   }
+}
+
+// --- Parallel semi-naive determinism suite --------------------------------
+//
+// The intra-round parallel path (work-stealing Δ chunks, thread-local
+// output pools, sharded merge) must produce the IDENTICAL closure for every
+// worker count and on every repetition — chunk-to-thread assignment is
+// scheduler-dependent, so these tests fail if any result depends on it.
+
+TEST(ParallelSemiNaive, DeterministicAcrossWorkerCountsAndRuns_TcRandom) {
+  ForceRealThreads();
+  Database db;
+  db.GetOrCreate("e", 2) = RandomGraph(200, 600, /*seed=*/7);
+  std::vector<LinearRule> rules = {LR("p(X,Y) :- p(X,Z), e(Z,Y).")};
+  Relation q(2);
+  for (int i = 0; i < 200; i += 4) q.Insert({i, i});
+
+  ClosureStats reference_stats;
+  auto reference =
+      SemiNaiveClosure(rules, db, q, &reference_stats, nullptr, 1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int workers : {1, 2, 8}) {
+    for (int run = 0; run < 5; ++run) {
+      ClosureStats stats;
+      auto out = SemiNaiveClosure(rules, db, q, &stats, nullptr, workers);
+      ASSERT_TRUE(out.ok()) << out.status();
+      EXPECT_EQ(*reference, *out) << "workers=" << workers << " run=" << run;
+      // Derivation and round counts are chunking-independent: each Δ row
+      // produces the same matches whichever worker scans it, and every
+      // round's Δ is the same set.
+      EXPECT_EQ(stats.derivations, reference_stats.derivations)
+          << "workers=" << workers << " run=" << run;
+      EXPECT_EQ(stats.iterations, reference_stats.iterations);
+      EXPECT_EQ(out->Sorted(), reference->Sorted());
+    }
+  }
+  RestoreThreadCap();
+}
+
+TEST(ParallelSemiNaive, DeterministicAcrossWorkerCountsAndRuns_SameGen) {
+  ForceRealThreads();
+  SameGenerationWorkload w =
+      MakeSameGeneration(/*layers=*/5, /*width=*/24, /*fanout=*/2,
+                         /*seed=*/99);
+  std::vector<LinearRule> rules = SameGenerationRules();
+
+  auto reference = SemiNaiveClosure(rules, w.db, w.q, nullptr, nullptr, 1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  std::size_t reference_derivations = 0;
+  for (int workers : {1, 2, 8}) {
+    for (int run = 0; run < 5; ++run) {
+      ClosureStats stats;
+      auto out = SemiNaiveClosure(rules, w.db, w.q, &stats, nullptr,
+                                  workers);
+      ASSERT_TRUE(out.ok()) << out.status();
+      EXPECT_EQ(*reference, *out) << "workers=" << workers << " run=" << run;
+      if (reference_derivations == 0) {
+        reference_derivations = stats.derivations;
+      }
+      EXPECT_EQ(stats.derivations, reference_derivations)
+          << "workers=" << workers << " run=" << run;
+    }
+  }
+  RestoreThreadCap();
+}
+
+TEST(ParallelSemiNaive, ResumeDeterministicAcrossWorkerCounts) {
+  ForceRealThreads();
+  Database db;
+  db.GetOrCreate("e", 2) = RandomGraph(150, 450, /*seed=*/21);
+  std::vector<LinearRule> rules = {LR("p(X,Y) :- p(X,Z), e(Z,Y).")};
+
+  Relation q1(2);
+  for (int i = 0; i < 150; i += 10) q1.Insert({i, i});
+  auto closed = SemiNaiveClosure(rules, db, q1, nullptr, nullptr, 1);
+  ASSERT_TRUE(closed.ok()) << closed.status();
+
+  Relation extra(2);
+  for (int i = 5; i < 150; i += 10) extra.Insert({i, i});
+  auto reference = SemiNaiveResume(rules, db, *closed, extra, nullptr,
+                                   nullptr, 1);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+  for (int workers : {2, 8}) {
+    auto out =
+        SemiNaiveResume(rules, db, *closed, extra, nullptr, nullptr,
+                        workers);
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_EQ(*reference, *out) << "workers=" << workers;
+  }
+  RestoreThreadCap();
+}
+
+TEST(ParallelSemiNaive, EngineForcedParallelMatchesSerial) {
+  ForceRealThreads();
+  // Engine-level: parallel_workers applies to the automatically planned
+  // strategy; an 8-worker engine and a serial engine agree on tc_random.
+  auto build_engine = [](int workers) {
+    Database db;
+    db.GetOrCreate("e", 2) = RandomGraph(200, 600, /*seed=*/7);
+    EngineOptions options;
+    options.parallel_workers = workers;
+    return Engine(std::move(db), options);
+  };
+  Relation q(2);
+  for (int i = 0; i < 200; i += 4) q.Insert({i, i});
+  std::vector<LinearRule> rules = {LR("p(X,Y) :- p(X,Z), e(Z,Y).")};
+
+  Engine serial_engine = build_engine(1);
+  Engine parallel_engine = build_engine(8);
+  auto serial = serial_engine.Execute(Query::Closure(rules).From(q));
+  auto parallel = parallel_engine.Execute(Query::Closure(rules).From(q));
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_EQ(*serial, *parallel);
+  RestoreThreadCap();
+}
+
+TEST(ParallelSemiNaive, ParallelNaiveAndPowerSumMatchSerial) {
+  ForceRealThreads();
+  Database db;
+  db.GetOrCreate("e", 2) = RandomGraph(120, 360, /*seed=*/3);
+  std::vector<LinearRule> rules = {LR("p(X,Y) :- p(X,Z), e(Z,Y).")};
+  Relation q(2);
+  for (int i = 0; i < 120; i += 6) q.Insert({i, i});
+
+  auto naive_serial = NaiveClosure(rules, db, q, nullptr, nullptr, 1);
+  auto naive_parallel = NaiveClosure(rules, db, q, nullptr, nullptr, 8);
+  ASSERT_TRUE(naive_serial.ok()) << naive_serial.status();
+  ASSERT_TRUE(naive_parallel.ok()) << naive_parallel.status();
+  EXPECT_EQ(*naive_serial, *naive_parallel);
+
+  auto power_serial = PowerSum(rules, db, q, 6, nullptr, nullptr, 1);
+  auto power_parallel = PowerSum(rules, db, q, 6, nullptr, nullptr, 8);
+  ASSERT_TRUE(power_serial.ok()) << power_serial.status();
+  ASSERT_TRUE(power_parallel.ok()) << power_parallel.status();
+  EXPECT_EQ(*power_serial, *power_parallel);
+  RestoreThreadCap();
 }
 
 TEST(StrategyEquivalence, SemiNaiveResumeMatchesFromScratch) {
