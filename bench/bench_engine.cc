@@ -20,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "engine/engine.h"
 #include "workload/databases.h"
 #include "workload/graphs.h"
+#include "workload/rulegen.h"
 
 namespace linrec {
 namespace {
@@ -51,9 +53,28 @@ LinearRule TC(const char* edge) {
   return *ParseLinearRule(text);
 }
 
-/// Times `reps` executions of `plan` (after one untimed warmup) and fills a
-/// BenchResult row. Each repetition resets the engine stats so `derivations`
-/// is per-execution.
+/// Times `r->reps` calls of `once` (after one untimed warmup) and fills
+/// the row's timing fields. `once` executes the query, fills
+/// r->derivations / r->result_size, and returns wall milliseconds.
+void TimeInto(BenchResult* r, const std::function<double()>& once) {
+  once();  // warmup: builds parameter-relation indexes, touches the pages
+  double total = 0.0;
+  double best = 1e300;
+  for (int i = 0; i < r->reps; ++i) {
+    double ms = once();
+    total += ms;
+    best = std::min(best, ms);
+  }
+  r->wall_ms_mean = total / r->reps;
+  r->wall_ms_min = best;
+  r->derivations_per_sec =
+      r->wall_ms_mean > 0.0
+          ? static_cast<double>(r->derivations) / (r->wall_ms_mean / 1000.0)
+          : 0.0;
+}
+
+/// Times `reps` executions of `plan` and fills a BenchResult row. Each
+/// repetition resets the engine stats so `derivations` is per-execution.
 BenchResult Run(const std::string& workload, const std::string& strategy,
                 int n, Engine& engine, const ExecutionPlan& plan, int reps) {
   BenchResult r;
@@ -62,8 +83,7 @@ BenchResult Run(const std::string& workload, const std::string& strategy,
   r.n = n;
   r.workers = plan.parallel_workers;
   r.reps = reps;
-
-  auto once = [&]() -> double {
+  TimeInto(&r, [&]() -> double {
     engine.ResetStats();
     auto start = std::chrono::steady_clock::now();
     Result<Relation> out = engine.Execute(plan);
@@ -76,22 +96,7 @@ BenchResult Run(const std::string& workload, const std::string& strategy,
     r.derivations = engine.stats().derivations;
     r.result_size = out->size();
     return std::chrono::duration<double, std::milli>(end - start).count();
-  };
-
-  once();  // warmup: builds parameter-relation indexes, touches the pages
-  double total = 0.0;
-  double best = 1e300;
-  for (int i = 0; i < reps; ++i) {
-    double ms = once();
-    total += ms;
-    best = std::min(best, ms);
-  }
-  r.wall_ms_mean = total / reps;
-  r.wall_ms_min = best;
-  r.derivations_per_sec =
-      r.wall_ms_mean > 0.0
-          ? static_cast<double>(r.derivations) / (r.wall_ms_mean / 1000.0)
-          : 0.0;
+  });
   return r;
 }
 
@@ -225,6 +230,52 @@ int Main(int argc, char** argv) {
     Engine engine(std::move(db), serial);
     Query q = Query::Closure({TC("e")}).From(SelfLoops(side * side, 1));
     results.push_back(RunQuery("tc_grid", side, engine, q, 3));
+  }
+
+  // --- Mutual recursion: alternating-edge reachability, the joint SCC
+  // fixpoint (one Δ row-range per member predicate). ---
+  {
+    const int nodes = 96;
+    Result<JointWorkload> w =
+        MakeAlternatingReachability(nodes, nodes * 4, /*seed=*/29);
+    if (!w.ok()) {
+      std::fprintf(stderr, "FATAL mutual workload: %s\n",
+                   w.status().ToString().c_str());
+      std::exit(1);
+    }
+    EngineOptions serial;
+    serial.parallel_workers = 1;
+    Engine engine(std::move(w->db), serial);
+    Query query =
+        Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds);
+    Result<ExecutionPlan> plan = engine.Plan(query);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "FATAL planning mutual_alt_reach: %s\n",
+                   plan.status().ToString().c_str());
+      std::exit(1);
+    }
+    BenchResult r;
+    r.workload = "mutual_alt_reach";
+    r.strategy = StrategyName(plan->strategy);
+    r.n = nodes;
+    r.workers = plan->parallel_workers;
+    r.reps = 3;
+    TimeInto(&r, [&]() -> double {
+      engine.ResetStats();
+      auto start = std::chrono::steady_clock::now();
+      Result<std::vector<Relation>> out = engine.ExecuteJoint(*plan);
+      auto end = std::chrono::steady_clock::now();
+      if (!out.ok()) {
+        std::fprintf(stderr, "FATAL mutual_alt_reach: %s\n",
+                     out.status().ToString().c_str());
+        std::exit(1);
+      }
+      r.derivations = engine.stats().derivations;
+      r.result_size = 0;
+      for (const Relation& rel : *out) r.result_size += rel.size();
+      return std::chrono::duration<double, std::milli>(end - start).count();
+    });
+    results.push_back(r);
   }
 
   // --- Same-generation pair: the planner decomposes into B*C* (Thm 3.1). ---

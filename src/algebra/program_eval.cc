@@ -1,66 +1,194 @@
 #include "algebra/program_eval.h"
 
-#include <functional>
 #include <map>
 #include <set>
 #include <vector>
 
+#include "common/scc.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
 #include "datalog/printer.h"
 #include "engine/engine.h"
 #include "eval/apply.h"
+#include "eval/joint.h"
 
 namespace linrec {
 namespace {
 
-/// Rules grouped per derived predicate.
+/// Rules grouped per derived predicate. Classification (base vs recursive)
+/// happens per strongly connected component, because a rule of a mutually
+/// recursive predicate is "recursive" exactly when its body reads a member
+/// of the same component — a property of the condensation, not the rule.
 struct PredicateRules {
   std::size_t arity = 0;
-  std::vector<Rule> base;          // head predicate absent from the body
-  std::vector<LinearRule> linear;  // head predicate exactly once in body
+  std::vector<Rule> rules;
 };
 
-/// Topological order of derived predicates by body dependencies; mutual
-/// recursion across predicates is rejected.
-Result<std::vector<std::string>> OrderPredicates(
-    const std::map<std::string, PredicateRules>& rules) {
-  std::map<std::string, std::set<std::string>> deps;
-  for (const auto& [pred, group] : rules) {
-    std::set<std::string>& d = deps[pred];
-    auto scan = [&](const Rule& rule) {
+/// "a, b, c" for error messages and plan labels.
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+/// Seeds `pred`'s initial relation: facts for the predicate itself plus
+/// every base rule (equalities eliminated; unsatisfiable rules contribute
+/// nothing).
+Result<Relation> SeedPredicate(const std::string& pred, std::size_t arity,
+                               const std::vector<Rule>& base_rules,
+                               Engine& engine, ClosureStats* stats) {
+  Relation seed(arity);
+  if (const Relation* facts = engine.db().Find(pred)) {
+    if (facts->arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("facts for '", pred, "' have arity ", facts->arity(),
+                 ", rules use ", arity));
+    }
+    seed = *facts;
+  }
+  for (const Rule& base : base_rules) {
+    Rule effective = base;
+    if (HasEqualities(base)) {
+      Result<std::optional<Rule>> eliminated = EliminateEqualities(base);
+      if (!eliminated.ok()) return eliminated.status();
+      if (!eliminated->has_value()) continue;
+      effective = std::move(**eliminated);
+    }
+    LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine.db(), {}, &seed,
+                                     stats, &engine.index_cache()));
+  }
+  return seed;
+}
+
+/// The paper's single-predicate path: base rules seed Q, linear recursive
+/// rules close through the engine (the planner picks the strategy when
+/// use_decomposition is set).
+Status EvaluateSingleton(const std::string& pred,
+                         const PredicateRules& group,
+                         const ProgramEvalOptions& options, Engine& engine,
+                         ProgramResult* result) {
+  std::vector<Rule> base;
+  std::vector<LinearRule> linear;
+  for (const Rule& rule : group.rules) {
+    int occurrences = 0;
+    for (const Atom& atom : rule.body()) {
+      if (atom.predicate == pred) ++occurrences;
+    }
+    if (occurrences == 0) {
+      base.push_back(rule);
+    } else {
+      Result<LinearRule> lr = LinearRule::Make(rule);
+      if (!lr.ok()) {
+        return Status::InvalidArgument(
+            StrCat("rule is not linear: ", ToString(rule), " (",
+                   lr.status().message(), ")"));
+      }
+      linear.push_back(std::move(lr).value());
+    }
+  }
+
+  Result<Relation> seed =
+      SeedPredicate(pred, group.arity, base, engine, &result->stats);
+  if (!seed.ok()) return seed.status();
+  Relation value = std::move(seed).value();
+  if (!linear.empty()) {
+    Query query = Query::Closure(std::move(linear)).From(std::move(value));
+    if (!options.use_decomposition) query.Force(Strategy::kSemiNaive);
+    Result<ExecutionPlan> plan = engine.Plan(query);
+    if (!plan.ok()) return plan.status();
+    result->plan_explanations.push_back(
+        StrCat(pred, ":\n", plan->Explain()));
+    Result<Relation> closed = engine.Execute(*plan);
+    if (!closed.ok()) return closed.status();
+    value = std::move(closed).value();
+  }
+  engine.db().GetOrCreate(pred, group.arity) = std::move(value);
+  return Status::OK();
+}
+
+/// A non-trivial strongly connected component: classify every member rule
+/// against the component (0 member atoms = base, 1 = joint recursive,
+/// >= 2 = non-linear → rejected naming the full component), seed each
+/// member, and close the component jointly through the engine.
+Status EvaluateComponent(const std::vector<std::string>& members,
+                         const std::map<std::string, PredicateRules>& rules,
+                         Engine& engine, ProgramResult* result) {
+  const std::set<std::string> member_set(members.begin(), members.end());
+  std::map<std::string, int> member_index;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    member_index[members[i]] = static_cast<int>(i);
+  }
+
+  std::vector<Relation> seeds;
+  seeds.reserve(members.size());
+  std::vector<JointRule> joint_rules;
+  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+    const std::string& pred = members[mi];
+    const PredicateRules& group = rules.at(pred);
+    std::vector<Rule> base;
+    for (const Rule& rule : group.rules) {
+      int member_atoms = 0;
       for (const Atom& atom : rule.body()) {
-        if (atom.predicate != pred && rules.count(atom.predicate) > 0) {
-          d.insert(atom.predicate);
+        if (member_set.count(atom.predicate) > 0) ++member_atoms;
+      }
+      if (member_atoms == 0) {
+        base.push_back(rule);
+        continue;
+      }
+      if (member_atoms >= 2) {
+        return Status::InvalidArgument(StrCat(
+            "recursion through strongly connected component {",
+            JoinNames(members), "} is non-linear: rule ", ToString(rule),
+            " reads ", member_atoms,
+            " component predicates (at most one recursive atom is "
+            "supported)"));
+      }
+      // Locate the single member atom; equality atoms are eliminated by
+      // the joint closure itself, which remaps this index.
+      JointRule jr;
+      jr.rule = rule;
+      jr.head_member = static_cast<int>(mi);
+      for (std::size_t a = 0; a < rule.body().size(); ++a) {
+        auto it = member_index.find(rule.body()[a].predicate);
+        if (it != member_index.end()) {
+          jr.recursive_atom = static_cast<int>(a);
+          jr.recursive_member = it->second;
+          break;
         }
       }
-    };
-    for (const Rule& rule : group.base) scan(rule);
-    for (const LinearRule& lr : group.linear) scan(lr.rule());
-  }
-  std::vector<std::string> order;
-  std::set<std::string> done;
-  std::set<std::string> in_progress;
-  std::function<Status(const std::string&)> visit =
-      [&](const std::string& pred) -> Status {
-    if (done.count(pred) > 0) return Status::OK();
-    if (!in_progress.insert(pred).second) {
-      return Status::InvalidArgument(
-          StrCat("mutual recursion through predicate '", pred,
-                 "' is outside the linear single-predicate class"));
+      joint_rules.push_back(std::move(jr));
     }
-    for (const std::string& dep : deps[pred]) {
-      LINREC_RETURN_IF_ERROR(visit(dep));
-    }
-    in_progress.erase(pred);
-    done.insert(pred);
-    order.push_back(pred);
-    return Status::OK();
-  };
-  for (const auto& [pred, group] : rules) {
-    LINREC_RETURN_IF_ERROR(visit(pred));
+
+    Result<Relation> seed =
+        SeedPredicate(pred, group.arity, base, engine, &result->stats);
+    if (!seed.ok()) return seed.status();
+    seeds.push_back(std::move(seed).value());
   }
-  return order;
+
+  std::vector<Relation> closed;
+  if (joint_rules.empty()) {
+    // Unreachable for a genuine multi-member component (its cycles imply
+    // member atoms), but harmless: the seeds are already the fixpoint.
+    closed = std::move(seeds);
+  } else {
+    Query query = Query::JointClosure(members, std::move(joint_rules))
+                      .FromSeeds(std::move(seeds));
+    Result<ExecutionPlan> plan = engine.Plan(query);
+    if (!plan.ok()) return plan.status();
+    result->plan_explanations.push_back(
+        StrCat(JoinNames(members), ":\n", plan->Explain()));
+    Result<std::vector<Relation>> out = engine.ExecuteJoint(*plan);
+    if (!out.ok()) return out.status();
+    closed = std::move(out).value();
+  }
+  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+    engine.db().GetOrCreate(members[mi], rules.at(members[mi]).arity) =
+        std::move(closed[mi]);
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -70,80 +198,65 @@ Result<ProgramResult> EvaluateProgram(const Program& program,
   ProgramResult result;
   Result<Database> edb = program.FactsToDatabase();
   if (!edb.ok()) return edb.status();
-  Engine engine(std::move(edb).value());
+  EngineOptions engine_options;
+  engine_options.parallel_workers = options.parallel_workers;
+  Engine engine(std::move(edb).value(), engine_options);
 
-  // Group rules by head predicate; classify base vs linear recursive.
+  // Group rules by head predicate; arities must be consistent.
   std::map<std::string, PredicateRules> rules;
   for (const Rule& rule : program.rules) {
     const std::string& pred = rule.head().predicate;
     PredicateRules& group = rules[pred];
-    if (group.base.empty() && group.linear.empty()) {
+    if (group.rules.empty()) {
       group.arity = rule.head().arity();
     } else if (group.arity != rule.head().arity()) {
       return Status::InvalidArgument(
           StrCat("predicate '", pred, "' defined with arities ", group.arity,
                  " and ", rule.head().arity()));
     }
-    int occurrences = 0;
-    for (const Atom& atom : rule.body()) {
-      if (atom.predicate == pred) ++occurrences;
-    }
-    if (occurrences == 0) {
-      group.base.push_back(rule);
-    } else {
-      Result<LinearRule> lr = LinearRule::Make(rule);
-      if (!lr.ok()) {
-        return Status::InvalidArgument(
-            StrCat("rule is not linear: ", ToString(rule), " (",
-                   lr.status().message(), ")"));
-      }
-      group.linear.push_back(std::move(lr).value());
-    }
+    group.rules.push_back(rule);
   }
 
-  Result<std::vector<std::string>> order = OrderPredicates(rules);
-  if (!order.ok()) return order.status();
+  // Condense the predicate dependency graph (edge u → v: some rule of u
+  // reads derived predicate v) into strongly connected components,
+  // returned dependency-first. std::map iteration makes predicate ids —
+  // and therefore the condensation — deterministic.
+  std::vector<std::string> names;
+  names.reserve(rules.size());
+  std::map<std::string, int> id_of;
+  for (const auto& [pred, group] : rules) {
+    id_of[pred] = static_cast<int>(names.size());
+    names.push_back(pred);
+  }
+  std::vector<std::vector<int>> adjacency(names.size());
+  for (const auto& [pred, group] : rules) {
+    std::set<int> deps;
+    for (const Rule& rule : group.rules) {
+      for (const Atom& atom : rule.body()) {
+        auto it = id_of.find(atom.predicate);
+        if (it != id_of.end()) deps.insert(it->second);
+      }
+    }
+    adjacency[static_cast<std::size_t>(id_of[pred])]
+        .assign(deps.begin(), deps.end());
+  }
 
-  for (const std::string& pred : *order) {
-    const PredicateRules& group = rules[pred];
-    // Seed Q from the base rules.
-    Relation seed(group.arity);
-    if (const Relation* facts = engine.db().Find(pred)) {
-      if (facts->arity() != group.arity) {
-        return Status::InvalidArgument(
-            StrCat("facts for '", pred, "' have arity ", facts->arity(),
-                   ", rules use ", group.arity));
+  for (const std::vector<int>& component :
+       StronglyConnectedComponents(adjacency)) {
+    if (component.size() == 1) {
+      const std::string& pred =
+          names[static_cast<std::size_t>(component.front())];
+      LINREC_RETURN_IF_ERROR(EvaluateSingleton(pred, rules.at(pred), options,
+                                               engine, &result));
+    } else {
+      std::vector<std::string> members;
+      members.reserve(component.size());
+      for (int id : component) {
+        members.push_back(names[static_cast<std::size_t>(id)]);
       }
-      seed = *facts;
+      LINREC_RETURN_IF_ERROR(
+          EvaluateComponent(members, rules, engine, &result));
     }
-    for (const Rule& base : group.base) {
-      Rule effective = base;
-      if (HasEqualities(base)) {
-        Result<std::optional<Rule>> eliminated = EliminateEqualities(base);
-        if (!eliminated.ok()) return eliminated.status();
-        if (!eliminated->has_value()) continue;
-        effective = std::move(**eliminated);
-      }
-      LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine.db(), {}, &seed,
-                                       &result.stats,
-                                       &engine.index_cache()));
-    }
-    // Close under the linear rules through the engine: with
-    // use_decomposition the planner picks the strategy from the analysis
-    // (Section 3); otherwise force plain semi-naive on the sum.
-    Relation value = std::move(seed);
-    if (!group.linear.empty()) {
-      Query query = Query::Closure(group.linear).From(std::move(value));
-      if (!options.use_decomposition) query.Force(Strategy::kSemiNaive);
-      Result<ExecutionPlan> plan = engine.Plan(query);
-      if (!plan.ok()) return plan.status();
-      result.plan_explanations.push_back(
-          StrCat(pred, ":\n", plan->Explain()));
-      Result<Relation> closed = engine.Execute(*plan);
-      if (!closed.ok()) return closed.status();
-      value = std::move(closed).value();
-    }
-    engine.db().GetOrCreate(pred, group.arity) = std::move(value);
   }
   result.stats.Accumulate(engine.stats());
   result.db = std::move(engine.db());

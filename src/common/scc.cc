@@ -1,0 +1,84 @@
+#include "common/scc.h"
+
+#include <algorithm>
+
+namespace linrec {
+
+std::vector<std::vector<int>> StronglyConnectedComponents(
+    const std::vector<std::vector<int>>& adjacency) {
+  const int n = static_cast<int>(adjacency.size());
+  constexpr int kUnvisited = -1;
+  std::vector<int> index(static_cast<std::size_t>(n), kUnvisited);
+  std::vector<int> lowlink(static_cast<std::size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;  // Tarjan's component stack
+
+  // Explicit DFS frames: the node plus the next successor edge to explore.
+  struct Frame {
+    int node;
+    std::size_t edge;
+  };
+  std::vector<Frame> frames;
+
+  std::vector<std::vector<int>> components;
+  int next_index = 0;
+
+  auto push_node = [&](int v) {
+    index[static_cast<std::size_t>(v)] = next_index;
+    lowlink[static_cast<std::size_t>(v)] = next_index;
+    ++next_index;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = true;
+    frames.push_back(Frame{v, 0});
+  };
+
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<std::size_t>(start)] != kUnvisited) continue;
+    push_node(start);
+    while (!frames.empty()) {
+      const int v = frames.back().node;
+      const std::vector<int>& succ = adjacency[static_cast<std::size_t>(v)];
+      bool descended = false;
+      while (frames.back().edge < succ.size()) {
+        const int w = succ[frames.back().edge++];
+        if (w < 0 || w >= n) continue;  // ignore out-of-range ids
+        if (index[static_cast<std::size_t>(w)] == kUnvisited) {
+          push_node(w);
+          descended = true;
+          break;
+        }
+        if (on_stack[static_cast<std::size_t>(w)]) {
+          lowlink[static_cast<std::size_t>(v)] =
+              std::min(lowlink[static_cast<std::size_t>(v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+      }
+      if (descended) continue;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const int parent = frames.back().node;
+        lowlink[static_cast<std::size_t>(parent)] =
+            std::min(lowlink[static_cast<std::size_t>(parent)],
+                     lowlink[static_cast<std::size_t>(v)]);
+      }
+      if (lowlink[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        std::vector<int> component;
+        int w;
+        do {
+          w = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(w)] = false;
+          component.push_back(w);
+        } while (w != v);
+        std::sort(component.begin(), component.end());
+        components.push_back(std::move(component));
+      }
+    }
+  }
+  // Tarjan pops a component only after every component reachable from it:
+  // with u → v meaning "u depends on v", that is dependency-first order.
+  return components;
+}
+
+}  // namespace linrec

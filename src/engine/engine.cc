@@ -20,9 +20,24 @@ namespace {
 /// Plan-cache key: the printed rules (text determines semantics), the
 /// selection, and any forced strategy. The seed is deliberately excluded —
 /// planning never reads it beyond validation, so one cached plan serves
-/// every seed.
+/// every seed. Joint queries key on the member list plus the rule texts
+/// (validation pins each rule's recursive atom to its unique member atom,
+/// so the text determines the joint structure).
 std::string QueryDigest(const Query& query) {
   std::string digest;
+  if (query.is_joint()) {
+    digest += "joint:";
+    for (const std::string& member : query.members()) {
+      digest += member;
+      digest += ',';
+    }
+    digest += '\n';
+    for (const JointRule& jr : query.joint_rules()) {
+      digest += ToString(jr.rule);
+      digest += '\n';
+    }
+    return digest;
+  }
   for (const LinearRule& rule : query.rules()) {
     digest += ToString(rule);
     digest += '\n';
@@ -309,6 +324,10 @@ Status Engine::PlanForced(Strategy forced, ExecutionPlan* plan) {
       plan->power_bound = (*info)->uniform_bound.n - 1;
       return Status::OK();
     }
+    case Strategy::kJointSemiNaive:
+      return Status::InvalidArgument(
+          "the joint strategy cannot be forced on a single-predicate "
+          "query; use Query::JointClosure");
   }
   return Status::Internal("unhandled forced strategy");
 }
@@ -318,13 +337,16 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
   if (!valid.ok()) return valid;
 
   std::string digest;
-  if (options_.enable_plan_cache) {
+  const bool cache_on =
+      options_.enable_plan_cache && options_.plan_cache_capacity > 0;
+  if (cache_on) {
     digest = QueryDigest(query);
     auto it = plan_cache_.find(digest);
     if (it != plan_cache_.end()) {
       ++plan_cache_hits_;
       ExecutionPlan plan = it->second;  // cached seedless; copy and re-seed
       plan.seed = query.shared_seed();
+      if (query.is_joint()) plan.joint_seeds = query.shared_seeds();
       plan.from_plan_cache = true;
       return plan;
     }
@@ -332,47 +354,83 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
   }
 
   ExecutionPlan plan;
-  plan.rules = query.rules();
-  plan.selection = query.selection();
-  plan.seed = query.shared_seed();
   plan.parallel_workers = ResolveWorkers(options_.parallel_workers);
-
-  if (query.forced_strategy().has_value()) {
-    LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
+  if (query.is_joint()) {
+    plan.strategy = Strategy::kJointSemiNaive;
+    plan.members = query.members();
+    plan.joint_rules = query.joint_rules();
+    plan.joint_seeds = query.shared_seeds();
+    plan.justification.push_back(StrCat(
+        plan.members.size(),
+        " mutually recursive predicates form one strongly connected "
+        "component; closed jointly by multi-relation semi-naive rounds "
+        "(one Δ row-range per member)"));
   } else {
-    bool planned_separable = false;
-    if (plan.selection.has_value() && options_.enable_separable) {
-      Result<bool> separable = TrySeparable(&plan);
-      if (!separable.ok()) return separable.status();
-      planned_separable = *separable;
-    }
-    if (!planned_separable) {
-      LINREC_RETURN_IF_ERROR(ChooseClosureStrategy(&plan));
-      if (plan.selection.has_value() && !plan.selection_pushed) {
-        plan.justification.push_back(
-            "selection does not push through the closure; filtering the "
-            "final result");
+    plan.rules = query.rules();
+    plan.selection = query.selection();
+    plan.seed = query.shared_seed();
+
+    if (query.forced_strategy().has_value()) {
+      LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
+    } else {
+      bool planned_separable = false;
+      if (plan.selection.has_value() && options_.enable_separable) {
+        Result<bool> separable = TrySeparable(&plan);
+        if (!separable.ok()) return separable.status();
+        planned_separable = *separable;
+      }
+      if (!planned_separable) {
+        LINREC_RETURN_IF_ERROR(ChooseClosureStrategy(&plan));
+        if (plan.selection.has_value() && !plan.selection_pushed) {
+          plan.justification.push_back(
+              "selection does not push through the closure; filtering the "
+              "final result");
+        }
       }
     }
   }
 
-  if (options_.enable_plan_cache) {
-    if (plan_cache_.size() >= options_.plan_cache_capacity) {
-      plan_cache_.clear();  // bound memory under unboundedly diverse queries
+  if (cache_on) {
+    // FIFO eviction of single entries: the oldest plan makes room, so a
+    // diverse query stream at capacity no longer cold-starts every other
+    // hot plan the way a full clear() did.
+    while (plan_cache_.size() >= options_.plan_cache_capacity &&
+           !plan_cache_order_.empty()) {
+      plan_cache_.erase(plan_cache_order_.front());
+      plan_cache_order_.pop_front();
     }
     ExecutionPlan cached = plan;
     cached.seed = nullptr;  // never pin a caller's seed in the cache
+    cached.joint_seeds = nullptr;
+    plan_cache_order_.push_back(digest);
     plan_cache_.emplace(std::move(digest), std::move(cached));
   }
   return plan;
 }
 
 Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
+  if (plan.strategy == Strategy::kJointSemiNaive) {
+    return Status::InvalidArgument(
+        "joint plans produce one relation per member; use "
+        "Engine::ExecuteJoint");
+  }
   if (plan.rules.empty()) {
     return Status::InvalidArgument("plan has no rules");
   }
   if (plan.seed == nullptr) {
     return Status::InvalidArgument("plan has no seed relation");
+  }
+  if (plan.selection.has_value()) {
+    // Engine-boundary validation: plans normally arrive through Plan()
+    // (whose Query::Validate covers this), but a hand-built or mutated
+    // plan with an out-of-range σ position would otherwise reach
+    // Relation::WhereEquals as undefined behavior in NDEBUG builds.
+    const int arity = static_cast<int>(plan.rules.front().arity());
+    if (plan.selection->position < 0 || plan.selection->position >= arity) {
+      return Status::InvalidArgument(
+          StrCat("selection position ", plan.selection->position,
+                 " out of range for arity ", arity));
+    }
   }
   const Relation& seed = *plan.seed;
   // Plans from older callers may predate the resolved field; fall back to
@@ -423,6 +481,8 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
       out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, &cache_,
                      workers);
       break;
+    case Strategy::kJointSemiNaive:
+      return Status::Internal("joint strategy rejected above");
   }
   if (!out.ok()) return out.status();
   Relation result = std::move(out).value();
@@ -431,20 +491,52 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
     s.result_size = result.size();
   }
   stats_.Accumulate(s);
-  // Evict indexes built over this execution's temporaries (Δs, the seed):
-  // only the engine's own parameter relations are worth keeping across
-  // queries, and dead addresses would otherwise accumulate for the
-  // engine's lifetime.
+  EvictTemporaryIndexes();
+  return result;
+}
+
+void Engine::EvictTemporaryIndexes() {
   std::unordered_set<const Relation*> keep;
   for (const std::string& name : db_.Names()) keep.insert(db_.Find(name));
   cache_.RetainOnly(keep);
-  return result;
 }
 
 Result<Relation> Engine::Execute(const Query& query) {
   Result<ExecutionPlan> plan = Plan(query);
   if (!plan.ok()) return plan.status();
   return Execute(*plan);
+}
+
+Result<std::vector<Relation>> Engine::ExecuteJoint(const ExecutionPlan& plan) {
+  if (plan.strategy != Strategy::kJointSemiNaive) {
+    return Status::InvalidArgument(
+        "ExecuteJoint requires a joint plan (Strategy::kJointSemiNaive)");
+  }
+  if (plan.joint_seeds == nullptr) {
+    return Status::InvalidArgument("joint plan has no seed relations");
+  }
+  if (plan.joint_seeds->size() != plan.members.size()) {
+    return Status::InvalidArgument(
+        StrCat("joint plan has ", plan.joint_seeds->size(), " seeds for ",
+               plan.members.size(), " members"));
+  }
+  const int workers = plan.parallel_workers > 0
+                          ? plan.parallel_workers
+                          : ResolveWorkers(options_.parallel_workers);
+  ClosureStats s;
+  Result<std::vector<Relation>> out =
+      JointSemiNaiveClosure(plan.members, plan.joint_rules, db_,
+                            *plan.joint_seeds, &s, &cache_, workers);
+  if (!out.ok()) return out.status();
+  stats_.Accumulate(s);
+  EvictTemporaryIndexes();
+  return out;
+}
+
+Result<std::vector<Relation>> Engine::ExecuteJoint(const Query& query) {
+  Result<ExecutionPlan> plan = Plan(query);
+  if (!plan.ok()) return plan.status();
+  return ExecuteJoint(*plan);
 }
 
 }  // namespace linrec

@@ -21,8 +21,10 @@
 
 #pragma once
 
+#include <deque>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "engine/plan.h"
@@ -54,10 +56,11 @@ struct EngineOptions {
   /// Memoize compiled plans keyed on (rule-set digest, σ, forced strategy)
   /// so repeated queries skip analysis and planning entirely.
   bool enable_plan_cache = true;
-  /// Entry bound for the plan cache: when full, the cache is cleared before
-  /// the next insert (repeated-query workloads never get near the bound; a
-  /// long-lived engine serving unboundedly diverse queries must not grow
-  /// without limit).
+  /// Entry bound for the plan cache: at capacity the oldest entry is
+  /// evicted (FIFO) before the next insert, so a long-lived engine serving
+  /// unboundedly diverse queries stays bounded while hot plans survive —
+  /// earlier versions dropped the whole cache, cold-starting every hot
+  /// plan. 0 disables caching entirely.
   std::size_t plan_cache_capacity = 1024;
 };
 
@@ -87,10 +90,20 @@ class Engine {
 
   /// Runs `plan` against the engine's database. Stats accumulate into
   /// stats(); indexes over parameter relations are shared across calls.
+  /// Joint plans (Strategy::kJointSemiNaive) produce one relation per
+  /// member and must go through ExecuteJoint.
   Result<Relation> Execute(const ExecutionPlan& plan);
 
   /// Plan + Execute in one step.
   Result<Relation> Execute(const Query& query);
+
+  /// Runs a joint plan (from a Query::JointClosure), returning the closed
+  /// member relations in member order. Stats and the shared IndexCache
+  /// behave exactly as in Execute.
+  Result<std::vector<Relation>> ExecuteJoint(const ExecutionPlan& plan);
+
+  /// Plan + ExecuteJoint in one step.
+  Result<std::vector<Relation>> ExecuteJoint(const Query& query);
 
   /// Aggregated ClosureStats over every Execute call since ResetStats.
   const ClosureStats& stats() const { return stats_; }
@@ -115,6 +128,11 @@ class Engine {
   Status ChooseClosureStrategy(ExecutionPlan* plan);
   Status PlanSingleRule(ExecutionPlan* plan);
   Status PlanForced(Strategy forced, ExecutionPlan* plan);
+  /// Drops cached indexes over an execution's temporaries (Δs, seeds):
+  /// only the engine's own parameter relations are worth keeping across
+  /// queries, and dead addresses would otherwise accumulate for the
+  /// engine's lifetime.
+  void EvictTemporaryIndexes();
 
   Database db_;
   EngineOptions options_;
@@ -124,6 +142,9 @@ class Engine {
   /// Compiled plans keyed on the query digest, stored seedless (the seed is
   /// re-attached per query, so caching never pins a caller's relation).
   std::unordered_map<std::string, ExecutionPlan> plan_cache_;
+  /// Digests in insertion order; at capacity the front (oldest entry) is
+  /// evicted, one entry per insert.
+  std::deque<std::string> plan_cache_order_;
   std::size_t plan_cache_hits_ = 0;
   std::size_t plan_cache_misses_ = 0;
 };

@@ -38,12 +38,26 @@ std::string ExecutionPlan::Explain() const {
       os << " — bounded power sum Σ_{m<=" << power_bound
          << "} A^m (Section 4.2)";
       break;
+    case Strategy::kJointSemiNaive:
+      os << " — joint Δ-driven fixpoint over the strongly connected "
+            "component {";
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        os << (i ? ", " : "") << members[i];
+      }
+      os << "}";
+      break;
   }
   os << "\n";
 
   os << "rules:\n";
   for (std::size_t i = 0; i < rules.size(); ++i) {
     os << "  [" << i << "] " << ToString(rules[i]) << "\n";
+  }
+  for (std::size_t i = 0; i < joint_rules.size(); ++i) {
+    os << "  [" << i << "] " << ToString(joint_rules[i].rule)
+       << "  (Δ source: " << members[static_cast<std::size_t>(
+                                 joint_rules[i].recursive_member)]
+       << ")\n";
   }
 
   if (strategy == Strategy::kDecomposed) {
@@ -107,6 +121,14 @@ std::string ExecutionPlan::Explain() const {
   if (seed != nullptr) {
     os << "seed: " << seed->size() << " tuple(s), arity " << seed->arity()
        << "\n";
+  }
+  if (joint_seeds != nullptr) {
+    os << "seeds:";
+    for (std::size_t m = 0; m < joint_seeds->size() && m < members.size();
+         ++m) {
+      os << " " << members[m] << "=" << (*joint_seeds)[m].size();
+    }
+    os << "\n";
   }
   return os.str();
 }

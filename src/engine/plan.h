@@ -14,6 +14,7 @@
 
 #include "datalog/rule.h"
 #include "engine/strategy.h"
+#include "eval/joint.h"
 #include "eval/selection.h"
 #include "redundancy/factorize.h"
 #include "storage/relation.h"
@@ -57,6 +58,13 @@ struct ExecutionPlan {
   /// The initial relation q, shared immutably with the originating Query
   /// (planning never copies the relation).
   std::shared_ptr<const Relation> seed;
+  /// kJointSemiNaive: the member predicate names of the strongly connected
+  /// component, the joint rules over them (eval/joint.h), and the
+  /// per-member seeds (shared with the Query like `seed`). Executed via
+  /// Engine::ExecuteJoint, which returns one relation per member.
+  std::vector<std::string> members;
+  std::vector<JointRule> joint_rules;
+  std::shared_ptr<const std::vector<Relation>> joint_seeds;
 
   /// Rules at `indices`, in order.
   std::vector<LinearRule> RulesOf(const std::vector<int>& indices) const;

@@ -10,6 +10,14 @@ Query Query::Closure(std::vector<LinearRule> rules) {
   return query;
 }
 
+Query Query::JointClosure(std::vector<std::string> members,
+                          std::vector<JointRule> rules) {
+  Query query;
+  query.members_ = std::move(members);
+  query.joint_rules_ = std::move(rules);
+  return query;
+}
+
 Query& Query::Select(Selection sigma) {
   selection_ = sigma;
   return *this;
@@ -20,12 +28,39 @@ Query& Query::From(Relation seed) {
   return *this;
 }
 
+Query& Query::FromSeeds(std::vector<Relation> seeds) {
+  seeds_ = std::make_shared<const std::vector<Relation>>(std::move(seeds));
+  return *this;
+}
+
 Query& Query::Force(Strategy strategy) {
   forced_ = strategy;
   return *this;
 }
 
 Status Query::Validate() const {
+  if (is_joint()) {
+    // Query-level structural checks; the per-rule/member checks are the
+    // shared joint boundary validation (eval/joint.h ValidateJointRules).
+    if (selection_.has_value() || forced_.has_value() || !rules_.empty() ||
+        seed_ != nullptr) {
+      return Status::InvalidArgument(
+          "joint queries do not support Select, Force, From or single-"
+          "predicate rules");
+    }
+    if (joint_rules_.empty()) {
+      return Status::InvalidArgument("joint query has no rules");
+    }
+    if (seeds_ == nullptr) {
+      return Status::InvalidArgument(
+          "joint query has no initial relations (FromSeeds)");
+    }
+    return ValidateJointRules(members_, joint_rules_, *seeds_);
+  }
+  if (seeds_ != nullptr || !joint_rules_.empty()) {
+    return Status::InvalidArgument(
+        "FromSeeds and joint rules require a Query::JointClosure");
+  }
   if (rules_.empty()) {
     return Status::InvalidArgument("query has no rules");
   }

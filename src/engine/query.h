@@ -12,11 +12,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "datalog/rule.h"
 #include "engine/strategy.h"
+#include "eval/joint.h"
 #include "eval/selection.h"
 #include "storage/relation.h"
 
@@ -28,13 +30,26 @@ class Query {
   /// containing the initial relation and closed under every rule.
   static Query Closure(std::vector<LinearRule> rules);
 
+  /// Starts a joint query: the least relations P_0..P_{M-1} (one per
+  /// member predicate of a strongly connected component) jointly closed
+  /// under mutually recursive linear rules. Seed with FromSeeds; execute
+  /// with Engine::ExecuteJoint. Selections and Force are not supported on
+  /// joint queries.
+  static Query JointClosure(std::vector<std::string> members,
+                            std::vector<JointRule> rules);
+
   /// Applies σ_{position=value} to the closure. The planner pushes the
   /// selection through the closure when Theorem 4.1 licenses it, and
   /// filters the final result otherwise.
   Query& Select(Selection sigma);
 
-  /// Sets the initial relation q (the paper's P ⊇ q seed). Required.
+  /// Sets the initial relation q (the paper's P ⊇ q seed). Required for
+  /// single-predicate closures.
   Query& From(Relation seed);
+
+  /// Sets the per-member initial relations of a joint query (one per
+  /// member, in member order). Required for joint closures.
+  Query& FromSeeds(std::vector<Relation> seeds);
 
   /// Overrides automatic strategy selection (e.g. Strategy::kNaive as an
   /// experiment baseline). Plan() fails if the forced strategy's
@@ -51,8 +66,23 @@ class Query {
   const std::shared_ptr<const Relation>& shared_seed() const { return seed_; }
   const std::optional<Strategy>& forced_strategy() const { return forced_; }
 
+  /// True iff this is a joint (multi-predicate) query.
+  bool is_joint() const { return !members_.empty(); }
+  const std::vector<std::string>& members() const { return members_; }
+  const std::vector<JointRule>& joint_rules() const { return joint_rules_; }
+  bool has_seeds() const { return seeds_ != nullptr; }
+  /// Requires has_seeds(). Shared (immutable) between the query and its
+  /// plans, like the single-predicate seed.
+  const std::shared_ptr<const std::vector<Relation>>& shared_seeds() const {
+    return seeds_;
+  }
+
   /// Structural checks: at least one rule, all rules over one head
   /// predicate/arity, a seed of that arity, selection position in range.
+  /// Joint queries check instead: distinct members, one seed per member,
+  /// every rule headed by its member with exactly one member atom in the
+  /// body (the recursive atom), arities consistent; selections and forced
+  /// strategies are rejected.
   Status Validate() const;
 
  private:
@@ -60,6 +90,10 @@ class Query {
   std::optional<Selection> selection_;
   std::shared_ptr<const Relation> seed_;
   std::optional<Strategy> forced_;
+  // Joint-query state (is_joint() == !members_.empty()).
+  std::vector<std::string> members_;
+  std::vector<JointRule> joint_rules_;
+  std::shared_ptr<const std::vector<Relation>> seeds_;
 };
 
 }  // namespace linrec

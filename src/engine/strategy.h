@@ -20,6 +20,9 @@ enum class Strategy {
   kSeparable,
   /// Uniformly bounded operator: A* = Σ_{m<N} A^m (Section 4.2).
   kPowerSum,
+  /// Joint multi-relation semi-naive fixpoint over one strongly connected
+  /// predicate component (stratified linear mutual recursion; eval/joint.h).
+  kJointSemiNaive,
 };
 
 inline const char* StrategyName(Strategy s) {
@@ -34,6 +37,8 @@ inline const char* StrategyName(Strategy s) {
       return "separable";
     case Strategy::kPowerSum:
       return "power-sum";
+    case Strategy::kJointSemiNaive:
+      return "joint-semi-naive";
   }
   return "unknown";
 }

@@ -1,0 +1,24 @@
+// Δ-chunking parameters shared by the parallel round evaluators
+// (eval/fixpoint.cc single-relation rounds, eval/joint.cc joint
+// multi-relation rounds). One definition so the two engines stay tuned
+// together.
+
+#pragma once
+
+#include <cstddef>
+
+namespace linrec {
+
+/// A Δ chunk small enough to stay cache-resident per worker, large enough
+/// to amortize the per-chunk dispatch (an atomic claim + per-step index
+/// revalidation).
+inline constexpr std::size_t kMinChunkRows = 128;
+/// Rounds with fewer Δ rows than this run serially — the parallel round's
+/// fixed costs (wakeups, merge phases over 2^shard_bits shards) exceed
+/// the work.
+inline constexpr std::size_t kSerialRowThreshold = 256;
+/// Chunks per lane beyond the minimum, so early finishers have work to
+/// steal from skewed chunks.
+inline constexpr std::size_t kChunksPerLane = 4;
+
+}  // namespace linrec

@@ -7,6 +7,8 @@
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
+#include "eval/chunking.h"
+#include "eval/timing.h"
 
 namespace linrec {
 namespace {
@@ -49,36 +51,6 @@ Status ValidateRules(const std::vector<LinearRule>& rules, const Relation& q) {
   }
   return Status::OK();
 }
-
-class Timer {
- public:
-  explicit Timer(ClosureStats* stats) : stats_(stats) {
-    start_ = std::chrono::steady_clock::now();
-  }
-  ~Timer() {
-    if (stats_ != nullptr) {
-      auto end = std::chrono::steady_clock::now();
-      stats_->millis +=
-          std::chrono::duration<double, std::milli>(end - start_).count();
-    }
-  }
-
- private:
-  ClosureStats* stats_;
-  std::chrono::steady_clock::time_point start_;
-};
-
-/// A Δ chunk small enough to stay cache-resident per worker, large enough
-/// to amortize the per-chunk dispatch (an atomic claim + per-step index
-/// revalidation).
-constexpr std::size_t kMinChunkRows = 128;
-/// Rounds with fewer Δ rows than this run serially — the parallel round's
-/// fixed costs (wakeups, merge phases over 2^shard_bits shards) exceed the
-/// work.
-constexpr std::size_t kSerialRowThreshold = 256;
-/// Chunks per lane beyond the minimum, so early finishers have work to
-/// steal from skewed chunks.
-constexpr std::size_t kChunksPerLane = 4;
 
 /// Applies one prepared rule set to row ranges of a fixed input relation —
 /// the engine of every round below. Compiles each rule once per worker lane
@@ -266,7 +238,7 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
-  Timer timer(stats);
+  ClosureTimer timer(stats);
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
 
@@ -292,7 +264,7 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
   }
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
-  Timer timer(stats);
+  ClosureTimer timer(stats);
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
 
@@ -324,7 +296,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
-  Timer timer(stats);
+  ClosureTimer timer(stats);
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
 
@@ -362,7 +334,7 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
   }
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
-  Timer timer(stats);
+  ClosureTimer timer(stats);
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
 

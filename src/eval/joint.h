@@ -1,0 +1,82 @@
+// Joint multi-relation semi-naive fixpoint for mutually recursive
+// predicates — one strongly connected component of the predicate
+// dependency graph closed as a unit.
+//
+// The paper's processing class is single-predicate linear recursion; the
+// joint fixpoint lifts the same computation model to *stratified linear
+// mutual recursion*: every rule consumes exactly one tuple of exactly one
+// member predicate (its "recursive atom") and derives into its head
+// member, so the component closes by the familiar Δ-driven rounds — one Δ
+// row-range per member relation instead of one. Rules compile once per
+// closure (eval/apply.h CompiledRule); with workers >= 2 each round fans
+// every member's Δ chunks to the shared work-stealing pool and folds
+// per-member thread-local output pools through the sharded PoolMerger,
+// exactly like the single-relation rounds of eval/fixpoint.h.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "datalog/rule.h"
+#include "eval/index_cache.h"
+#include "eval/stats.h"
+#include "storage/database.h"
+
+namespace linrec {
+
+/// One rule of a joint closure over member predicates 0..M-1. The rule's
+/// head predicate is member `head_member`; body atom `recursive_atom` is
+/// the single atom reading a member relation (`recursive_member`, which
+/// may equal `head_member` — plain self-recursion inside the component).
+/// Every other body atom must resolve outside the component (EDB or an
+/// already-materialized lower stratum): the joint fixpoint overrides only
+/// the recursive atom, so a second member atom in the body would silently
+/// read stale data. ValidateJointRules rejects such rules as non-linear.
+struct JointRule {
+  Rule rule;
+  int head_member = -1;
+  int recursive_atom = -1;
+  int recursive_member = -1;
+};
+
+/// The joint boundary validation, shared by Query::Validate and the
+/// closure entry points below: members distinct (and not the reserved
+/// equality predicate), one seed per member, every rule structurally
+/// valid and headed by its member with its recursive atom reading
+/// `members[recursive_member]`, head/recursive arities matching the
+/// seeds, and — the linearity invariant — exactly one body atom naming
+/// any member (a second member atom would resolve against `db`, where
+/// members are absent, and silently compute a wrong fixpoint).
+Status ValidateJointRules(const std::vector<std::string>& members,
+                          const std::vector<JointRule>& rules,
+                          const std::vector<Relation>& seeds);
+
+/// Computes the least relations P_0..P_{M-1} with P_i ⊇ seeds[i] jointly
+/// closed under every rule, by multi-relation semi-naive evaluation: each
+/// round applies every rule to the Δ row-range of its recursive member
+/// only. members[i] names P_i (used for validation); member arities are
+/// the seed arities. The result is the same family of relations for
+/// every worker count.
+///
+/// Equality atoms in rule bodies are statically eliminated up front
+/// (rules left unsatisfiable contribute nothing). Parameter relations are
+/// read from `db`; member relations are never read from `db` — the
+/// recursive atom reads the evolving member relation via its override.
+Result<std::vector<Relation>> JointSemiNaiveClosure(
+    const std::vector<std::string>& members,
+    const std::vector<JointRule>& rules, const Database& db,
+    const std::vector<Relation>& seeds, ClosureStats* stats = nullptr,
+    IndexCache* cache = nullptr, int workers = 1);
+
+/// The same fixpoint by naive evaluation: each round re-applies every rule
+/// to its recursive member's FULL relation. Reference/baseline only —
+/// identical results with many more duplicate derivations.
+Result<std::vector<Relation>> JointNaiveClosure(
+    const std::vector<std::string>& members,
+    const std::vector<JointRule>& rules, const Database& db,
+    const std::vector<Relation>& seeds, ClosureStats* stats = nullptr,
+    IndexCache* cache = nullptr, int workers = 1);
+
+}  // namespace linrec

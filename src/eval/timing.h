@@ -1,0 +1,34 @@
+// Wall-clock instrumentation shared by the closure engines
+// (eval/fixpoint.cc, eval/joint.cc).
+
+#pragma once
+
+#include <chrono>
+
+#include "eval/stats.h"
+
+namespace linrec {
+
+/// RAII accumulator: adds the enclosing scope's wall-clock milliseconds to
+/// stats->millis (no-op when stats is null). One definition so every
+/// closure entry point reports time identically.
+class ClosureTimer {
+ public:
+  explicit ClosureTimer(ClosureStats* stats)
+      : stats_(stats), start_(std::chrono::steady_clock::now()) {}
+  ~ClosureTimer() {
+    if (stats_ != nullptr) {
+      auto end = std::chrono::steady_clock::now();
+      stats_->millis +=
+          std::chrono::duration<double, std::milli>(end - start_).count();
+    }
+  }
+  ClosureTimer(const ClosureTimer&) = delete;
+  ClosureTimer& operator=(const ClosureTimer&) = delete;
+
+ private:
+  ClosureStats* stats_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace linrec

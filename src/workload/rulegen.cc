@@ -296,5 +296,110 @@ Result<std::pair<LinearRule, LinearRule>> MakeProfiledPair(
   return std::make_pair(std::move(r1).value(), std::move(r2).value());
 }
 
+namespace {
+
+/// `head(X) :- body(Y), step(Y,X).` — the unary mutual-step rule shape of
+/// the even/odd family.
+Result<Rule> UnaryStepRule(const std::string& head, const std::string& body,
+                           const std::string& step) {
+  RuleBuilder b;
+  Term x = Term::MakeVar(b.Var("X"));
+  Term y = Term::MakeVar(b.Var("Y"));
+  b.SetHead(head, {x});
+  b.AddBodyAtom(body, {y});
+  b.AddBodyAtom(step, {y, x});
+  return b.Build();
+}
+
+/// `head(X,Z) :- body(X,Y), step(Y,Z).` — the binary chaining rule shape
+/// of the alternating-reachability family.
+Result<Rule> BinaryStepRule(const std::string& head, const std::string& body,
+                            const std::string& step) {
+  RuleBuilder b;
+  Term x = Term::MakeVar(b.Var("X"));
+  Term y = Term::MakeVar(b.Var("Y"));
+  Term z = Term::MakeVar(b.Var("Z"));
+  b.SetHead(head, {x, z});
+  b.AddBodyAtom(body, {x, y});
+  b.AddBodyAtom(step, {y, z});
+  return b.Build();
+}
+
+}  // namespace
+
+Result<JointWorkload> MakeEvenOddChain(int n) {
+  if (n < 1) return Status::InvalidArgument("n must be >= 1");
+  JointWorkload w;
+  w.members = {"even", "odd"};  // member 0 = even, member 1 = odd
+
+  Result<Rule> even_rule = UnaryStepRule("even", "odd", "succ");
+  if (!even_rule.ok()) return even_rule.status();
+  Result<Rule> odd_rule = UnaryStepRule("odd", "even", "succ");
+  if (!odd_rule.ok()) return odd_rule.status();
+  w.rules.push_back(
+      JointRule{std::move(even_rule).value(), /*head_member=*/0,
+                /*recursive_atom=*/0, /*recursive_member=*/1});
+  w.rules.push_back(
+      JointRule{std::move(odd_rule).value(), /*head_member=*/1,
+                /*recursive_atom=*/0, /*recursive_member=*/0});
+
+  Relation succ(2);
+  for (int i = 0; i + 1 < n; ++i) succ.Insert({i, i + 1});
+  w.db.GetOrCreate("succ", 2) = std::move(succ);
+
+  Relation even_seed(1);
+  even_seed.Insert({0});
+  w.seeds.push_back(std::move(even_seed));
+  w.seeds.emplace_back(1);  // odd starts empty
+  return w;
+}
+
+Result<JointWorkload> MakeAlternatingReachability(int nodes, int edges,
+                                                  std::uint32_t seed) {
+  if (nodes < 2 || edges < 1) {
+    return Status::InvalidArgument("need nodes >= 2 and edges >= 1");
+  }
+  if (static_cast<long long>(edges) >
+      static_cast<long long>(nodes) * (nodes - 1)) {
+    return Status::InvalidArgument(
+        StrCat("cannot place ", edges, " distinct edges over ", nodes,
+               " nodes (max ", static_cast<long long>(nodes) * (nodes - 1),
+               " without self-loops)"));
+  }
+  JointWorkload w;
+  w.members = {"reach_blue", "reach_red"};  // member 0 = blue, 1 = red
+
+  Result<Rule> red_rule = BinaryStepRule("reach_red", "reach_blue", "red");
+  if (!red_rule.ok()) return red_rule.status();
+  Result<Rule> blue_rule = BinaryStepRule("reach_blue", "reach_red", "blue");
+  if (!blue_rule.ok()) return blue_rule.status();
+  w.rules.push_back(
+      JointRule{std::move(red_rule).value(), /*head_member=*/1,
+                /*recursive_atom=*/0, /*recursive_member=*/0});
+  w.rules.push_back(
+      JointRule{std::move(blue_rule).value(), /*head_member=*/0,
+                /*recursive_atom=*/0, /*recursive_member=*/1});
+
+  // Two independent random edge sets, deterministic in `seed`.
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> node_of(0, nodes - 1);
+  auto random_edges = [&]() {
+    Relation rel(2);
+    while (rel.size() < static_cast<std::size_t>(edges)) {
+      int from = node_of(rng);
+      int to = node_of(rng);
+      if (from != to) rel.Insert({from, to});
+    }
+    return rel;
+  };
+  Relation red = random_edges();
+  Relation blue = random_edges();
+  w.seeds.push_back(blue);  // reach_blue: paths of length 1 ending blue
+  w.seeds.push_back(red);   // reach_red: paths of length 1 ending red
+  w.db.GetOrCreate("red", 2) = std::move(red);
+  w.db.GetOrCreate("blue", 2) = std::move(blue);
+  return w;
+}
+
 }  // namespace linrec
 

@@ -3,10 +3,14 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "datalog/rule.h"
+#include "eval/joint.h"
+#include "storage/database.h"
 
 namespace linrec {
 
@@ -61,5 +65,34 @@ struct ClauseProfile {
 /// Builds a rule pair realizing `profile`. Requires arity() >= 1.
 Result<std::pair<LinearRule, LinearRule>> MakeProfiledPair(
     const ClauseProfile& profile);
+
+/// A mutually recursive workload: member predicates (sorted), the joint
+/// rules over them, the parameter database and the per-member seeds —
+/// ready for Query::JointClosure(members, rules).FromSeeds(seeds) or a
+/// direct JointSemiNaiveClosure call.
+struct JointWorkload {
+  std::vector<std::string> members;
+  std::vector<JointRule> rules;
+  Database db;
+  std::vector<Relation> seeds;
+};
+
+/// Even/odd parity over the successor chain 0 → 1 → ... → n-1:
+///   even(X) :- odd(Y), succ(Y,X).    odd(X) :- even(Y), succ(Y,X).
+/// seeded with even = {0}. The joint closure is exactly the parity split
+/// of 0..n-1 — a two-member component whose Δs alternate between the
+/// members, so every round exercises the joint Δ bookkeeping. Requires
+/// n >= 1.
+Result<JointWorkload> MakeEvenOddChain(int n);
+
+/// Color-alternating reachability over a random 2-colored graph (`edges`
+/// red and `edges` blue edges over `nodes` vertices, deterministic in
+/// `seed`):
+///   reach_red(X,Z)  :- reach_blue(X,Y), red(Y,Z).
+///   reach_blue(X,Z) :- reach_red(X,Y), blue(Y,Z).
+/// seeded with reach_red = red, reach_blue = blue: pairs connected by a
+/// path of strictly alternating colors, split by the final edge's color.
+Result<JointWorkload> MakeAlternatingReachability(int nodes, int edges,
+                                                  std::uint32_t seed);
 
 }  // namespace linrec

@@ -12,6 +12,7 @@
 #include "separability/algorithm.h"
 #include "workload/databases.h"
 #include "workload/graphs.h"
+#include "workload/rulegen.h"
 
 namespace linrec {
 namespace {
@@ -407,6 +408,191 @@ TEST(EngineParallelTest, ParallelWorkersMatchSequentialResult) {
       sequential_engine.Execute(Query::Closure({Down(), Up()}).From(q));
   ASSERT_TRUE(sequential_out.ok()) << sequential_out.status();
   EXPECT_EQ(*parallel_out, *sequential_out);
+}
+
+TEST(EnginePlanCacheTest, FifoEvictsOldestSingleEntry) {
+  // At capacity the cache drops exactly the oldest entry — earlier
+  // versions cleared the whole cache, cold-starting every hot plan.
+  EngineOptions options;
+  options.plan_cache_capacity = 2;
+  Engine engine(Database{}, options);
+  Relation q(2);
+  q.Insert({0, 0});
+  Query a = Query::Closure({LR("p(X,Y) :- p(X,Z), ea(Z,Y).")}).From(q);
+  Query b = Query::Closure({LR("p(X,Y) :- p(X,Z), eb(Z,Y).")}).From(q);
+  Query c = Query::Closure({LR("p(X,Y) :- p(X,Z), ec(Z,Y).")}).From(q);
+
+  ASSERT_TRUE(engine.Plan(a).ok());  // miss: {a}
+  ASSERT_TRUE(engine.Plan(b).ok());  // miss: {a, b}
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+  EXPECT_TRUE(engine.Plan(a)->from_plan_cache);  // hit, a stays cached
+  EXPECT_EQ(engine.plan_cache_hits(), 1u);
+
+  ASSERT_TRUE(engine.Plan(c).ok());  // miss; evicts only a (the oldest)
+  EXPECT_EQ(engine.plan_cache_misses(), 3u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+  EXPECT_TRUE(engine.Plan(b)->from_plan_cache);  // b survived the insert
+  EXPECT_TRUE(engine.Plan(c)->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_hits(), 3u);
+
+  EXPECT_FALSE(engine.Plan(a)->from_plan_cache);  // a was the one evicted
+  EXPECT_EQ(engine.plan_cache_misses(), 4u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
+}
+
+TEST(EnginePlanCacheTest, ZeroCapacityDisablesCaching) {
+  EngineOptions options;
+  options.plan_cache_capacity = 0;
+  Engine engine(Database{}, options);
+  Relation q(2);
+  q.Insert({0, 0});
+  Query query = Query::Closure({LR("p(X,Y) :- p(X,Z), e(Z,Y).")}).From(q);
+  ASSERT_TRUE(engine.Plan(query).ok());
+  EXPECT_FALSE(engine.Plan(query)->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
+}
+
+TEST(EngineExecuteTest, RejectsOutOfRangeSelectionPosition) {
+  // Engine-boundary validation: a hand-mutated plan with an out-of-range
+  // σ must fail with InvalidArgument, not reach WhereEquals as UB in
+  // NDEBUG builds.
+  Engine engine;
+  engine.db().GetOrCreate("e", 2) = ChainGraph(4);
+  LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
+  Relation q(2);
+  q.Insert({0, 0});
+  auto plan = engine.Plan(Query::Closure({tc}).From(q));
+  ASSERT_TRUE(plan.ok());
+
+  ExecutionPlan tampered = *plan;
+  tampered.selection = Selection{5, 0};
+  auto out = engine.Execute(tampered);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+
+  tampered.selection = Selection{-1, 0};
+  EXPECT_FALSE(engine.Execute(tampered).ok());
+
+  // An in-range selection still executes.
+  tampered.selection = Selection{0, 0};
+  EXPECT_TRUE(engine.Execute(tampered).ok());
+}
+
+TEST(EngineJointTest, JointQueryPlansAndExecutes) {
+  auto w = MakeEvenOddChain(8);
+  ASSERT_TRUE(w.ok()) << w.status();
+  Engine engine(std::move(w->db));
+  Query query = Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds);
+  auto plan = engine.Plan(query);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->strategy, Strategy::kJointSemiNaive);
+  std::string text = plan->Explain();
+  EXPECT_NE(text.find("joint-semi-naive"), std::string::npos) << text;
+  EXPECT_NE(text.find("even, odd"), std::string::npos) << text;
+  EXPECT_NE(text.find("Δ source"), std::string::npos) << text;
+
+  // Joint plans refuse the single-relation entry point...
+  auto wrong = engine.Execute(*plan);
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  // ...and ExecuteJoint refuses non-joint plans.
+  Relation q(2);
+  q.Insert({0, 0});
+  auto single =
+      engine.Plan(Query::Closure({LR("p(X,Y) :- p(X,Z), succ(Z,Y).")})
+                      .From(q));
+  ASSERT_TRUE(single.ok());
+  EXPECT_FALSE(engine.ExecuteJoint(*single).ok());
+
+  auto out = engine.ExecuteJoint(*plan);
+  ASSERT_TRUE(out.ok()) << out.status();
+  ASSERT_EQ(out->size(), 2u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ((*out)[0].Contains({i}), i % 2 == 0) << i;
+    EXPECT_EQ((*out)[1].Contains({i}), i % 2 == 1) << i;
+  }
+  EXPECT_GT(engine.stats().derivations, 0u);
+}
+
+TEST(EngineJointTest, JointPlansAreCachedSeedless) {
+  auto w = MakeEvenOddChain(6);
+  ASSERT_TRUE(w.ok());
+  Engine engine(std::move(w->db));
+  Query query = Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds);
+  auto first = engine.Plan(query);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(first->from_plan_cache);
+
+  // Same members + rules with fresh seeds: a hit, seeds re-attached.
+  std::vector<Relation> fresh;
+  fresh.emplace_back(1);
+  fresh.back().Insert({2});
+  fresh.emplace_back(1);
+  auto second = engine.Plan(
+      Query::JointClosure(w->members, w->rules).FromSeeds(std::move(fresh)));
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_TRUE(second->from_plan_cache);
+  ASSERT_NE(second->joint_seeds, nullptr);
+  EXPECT_EQ((*second->joint_seeds)[0].size(), 1u);
+  auto out = engine.ExecuteJoint(*second);
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Seeded from 2 instead of 0: evens are {2,4}, odds {3,5}.
+  EXPECT_TRUE((*out)[0].Contains({4}));
+  EXPECT_FALSE((*out)[0].Contains({0}));
+}
+
+TEST(EngineJointTest, JointValidationErrors) {
+  auto w = MakeEvenOddChain(6);
+  ASSERT_TRUE(w.ok());
+  Engine engine;
+
+  // Selections and Force are not supported on joint queries.
+  {
+    Query query =
+        Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds);
+    query.Select(Selection{0, 1});
+    EXPECT_FALSE(engine.Plan(query).ok());
+  }
+  // Seed count must match member count.
+  {
+    std::vector<Relation> one_seed;
+    one_seed.emplace_back(1);
+    Query query = Query::JointClosure(w->members, w->rules)
+                      .FromSeeds(std::move(one_seed));
+    EXPECT_FALSE(engine.Plan(query).ok());
+  }
+  // No seeds at all.
+  EXPECT_FALSE(
+      engine.Plan(Query::JointClosure(w->members, w->rules)).ok());
+  // A rule reading two member atoms is non-linear joint recursion.
+  {
+    auto bad_rule = ParseRule("even(X) :- odd(X), even(X), succ(X,X).");
+    ASSERT_TRUE(bad_rule.ok());
+    std::vector<JointRule> rules = w->rules;
+    rules.push_back(JointRule{*bad_rule, 0, 0, 1});
+    Query query =
+        Query::JointClosure(w->members, std::move(rules)).FromSeeds(w->seeds);
+    auto plan = engine.Plan(query);
+    ASSERT_FALSE(plan.ok());
+    EXPECT_NE(plan.status().message().find("exactly one member atom"),
+              std::string::npos)
+        << plan.status().message();
+  }
+  // Duplicate member names.
+  {
+    Query query = Query::JointClosure({"even", "even"}, w->rules)
+                      .FromSeeds(w->seeds);
+    EXPECT_FALSE(engine.Plan(query).ok());
+  }
+  // FromSeeds on a single-predicate closure is rejected, not ignored.
+  {
+    Relation q(2);
+    q.Insert({0, 0});
+    Query query =
+        Query::Closure({LR("p(X,Y) :- p(X,Z), succ(Z,Y).")}).From(q);
+    query.FromSeeds(w->seeds);
+    EXPECT_FALSE(engine.Plan(query).ok());
+  }
 }
 
 TEST(EngineQueryTest, ValidationErrors) {

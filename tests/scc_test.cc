@@ -1,0 +1,99 @@
+#include "common/scc.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace linrec {
+namespace {
+
+/// Maps node → index of its component in the result.
+std::map<int, std::size_t> ComponentOf(
+    const std::vector<std::vector<int>>& components) {
+  std::map<int, std::size_t> where;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (int node : components[c]) where[node] = c;
+  }
+  return where;
+}
+
+TEST(SccTest, EmptyGraph) {
+  EXPECT_TRUE(StronglyConnectedComponents({}).empty());
+}
+
+TEST(SccTest, DagYieldsSingletonsDependencyFirst) {
+  // 0 → 1 → 2: dependencies (higher ids) must come out first.
+  std::vector<std::vector<int>> adj{{1}, {2}, {}};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), 3u);
+  EXPECT_EQ(components[0], std::vector<int>{2});
+  EXPECT_EQ(components[1], std::vector<int>{1});
+  EXPECT_EQ(components[2], std::vector<int>{0});
+}
+
+TEST(SccTest, CycleCollapsesToOneComponent) {
+  // 0 → 1 → 2 → 0, plus 2 → 3 (a dependency outside the cycle).
+  std::vector<std::vector<int>> adj{{1}, {2}, {0, 3}, {}};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], std::vector<int>{3});  // dependency first
+  EXPECT_EQ(components[1], (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SccTest, TwoCyclesStayDistinct) {
+  // {0,1} ⇄ and {2,3} ⇄, with 1 → 2 linking them.
+  std::vector<std::vector<int>> adj{{1}, {0, 2}, {3}, {2}};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], (std::vector<int>{2, 3}));
+  EXPECT_EQ(components[1], (std::vector<int>{0, 1}));
+}
+
+TEST(SccTest, SelfLoopIsSingletonComponent) {
+  // A self-loop makes the singleton cyclic but must not change the
+  // partition or merge it with anything.
+  std::vector<std::vector<int>> adj{{0, 1}, {}};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0], std::vector<int>{1});
+  EXPECT_EQ(components[1], std::vector<int>{0});
+}
+
+TEST(SccTest, DependencyFirstOrderOnRandomishGraph) {
+  // Every edge u → v must have v's component no later than u's.
+  std::vector<std::vector<int>> adj{
+      {1, 4}, {2}, {0, 3}, {}, {5}, {4, 6}, {3}, {6}};
+  auto components = StronglyConnectedComponents(adj);
+  auto where = ComponentOf(components);
+  std::size_t nodes = 0;
+  for (const auto& c : components) nodes += c.size();
+  EXPECT_EQ(nodes, adj.size());
+  for (std::size_t u = 0; u < adj.size(); ++u) {
+    for (int v : adj[u]) {
+      EXPECT_LE(where[v], where[static_cast<int>(u)])
+          << "edge " << u << " -> " << v;
+    }
+  }
+}
+
+TEST(SccTest, OutOfRangeSuccessorsAreIgnored) {
+  std::vector<std::vector<int>> adj{{1, 99, -7}, {}};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), 2u);
+}
+
+TEST(SccTest, HundredThousandNodeChainIsIterative) {
+  // The regression the iterative frames exist for: a recursive Tarjan
+  // would overflow the thread stack on a chain this deep.
+  constexpr int kNodes = 100000;
+  std::vector<std::vector<int>> adj(kNodes);
+  for (int i = 0; i + 1 < kNodes; ++i) adj[static_cast<std::size_t>(i)] = {i + 1};
+  auto components = StronglyConnectedComponents(adj);
+  ASSERT_EQ(components.size(), static_cast<std::size_t>(kNodes));
+  EXPECT_EQ(components.front(), std::vector<int>{kNodes - 1});
+  EXPECT_EQ(components.back(), std::vector<int>{0});
+}
+
+}  // namespace
+}  // namespace linrec
