@@ -10,6 +10,13 @@ gate exists to catch regressions on work both records measured). `workers`
 participates in the key only when both records carry it, so a v1 record
 (pre-workers schema) still gates the overlapping rows of a v2 record.
 
+Besides the per-row throughput gate, the `meta` block's
+`plan_cache_hit_rate` (the one-shot σ-sweep's hits / lookups; present
+since schema v3) is gated when both records carry it: the sweep runs N
+distinct selection constants over one query structure, so the rate must
+stay near (N-1)/N — a planner change that keys plans on the σ value again
+collapses it to ~0, which fails the gate (--max-hit-rate-drop, absolute).
+
 Exit status: 0 = no regression beyond the threshold, 1 = regression,
 2 = usage/parse error.
 """
@@ -68,6 +75,13 @@ def main():
         help="maximum tolerated fractional drop in derivations_per_sec "
         "(default 0.20 = 20%%)",
     )
+    parser.add_argument(
+        "--max-hit-rate-drop",
+        type=float,
+        default=0.25,
+        help="maximum tolerated absolute drop in the meta block's "
+        "plan_cache_hit_rate (default 0.25)",
+    )
     args = parser.parse_args()
 
     prev_doc, prev_rows = load(args.previous)
@@ -106,6 +120,35 @@ def main():
         if key not in prev:
             print(f"NEW  {key}: no previous record")
 
+    # Planner observability gate: absolute plan-cache hit-rate drop (only
+    # when both records carry the metric — v2 and older have no meta rate).
+    prev_rate = (prev_doc.get("meta") or {}).get("plan_cache_hit_rate")
+    curr_rate = (curr_doc.get("meta") or {}).get("plan_cache_hit_rate")
+    hit_rate_failure = None
+    if isinstance(prev_rate, (int, float)) and isinstance(
+        curr_rate, (int, float)
+    ):
+        drop = prev_rate - curr_rate
+        flag = ""
+        if drop > args.max_hit_rate_drop:
+            flag = "  << REGRESSION"
+            hit_rate_failure = (prev_rate, curr_rate, drop)
+        print(
+            f"\nplan_cache_hit_rate: {prev_rate:.4f} -> {curr_rate:.4f}"
+            f"{flag}"
+        )
+
+    if hit_rate_failure:
+        prev_rate, curr_rate, drop = hit_rate_failure
+        print(
+            f"\nFAIL: meta plan_cache_hit_rate dropped {drop:.2f} "
+            f"(absolute), more than {args.max_hit_rate_drop:.2f}: "
+            f"{prev_rate:.4f} -> {curr_rate:.4f} — the planner is "
+            f"re-planning structures it should serve from the cache "
+            f"(σ value back in the digest?)",
+            file=sys.stderr,
+        )
+
     if failures:
         print(
             f"\nFAIL: {len(failures)} workload(s) dropped more than "
@@ -115,6 +158,8 @@ def main():
         for key, p, c, ratio in failures:
             print(f"  {key}: {p:.1f} -> {c:.1f} ({ratio:.2f}x)",
                   file=sys.stderr)
+        return 1
+    if hit_rate_failure:
         return 1
     print("\nOK: no workload regressed beyond the threshold")
     return 0

@@ -145,19 +145,32 @@ std::string Compiler() {
 #endif
 }
 
-void WriteJson(const std::vector<BenchResult>& results, const char* path) {
+void WriteJson(const std::vector<BenchResult>& results, const char* path,
+               std::size_t plan_cache_hits, std::size_t plan_cache_misses) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "FATAL: cannot open %s for writing\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v2\",\n");
+  // Plan-cache hit rate of the one-shot σ-sweep: N distinct selection
+  // constants over one structure must be (N-1)/N hits — the digest
+  // excludes the σ value. bench_diff.py gates an absolute drop, so a
+  // planner change that re-keys plans on the value fails CI.
+  const std::size_t lookups = plan_cache_hits + plan_cache_misses;
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(plan_cache_hits) /
+                        static_cast<double>(lookups)
+                  : 0.0;
+  std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v3\",\n");
   std::fprintf(f,
                "  \"meta\": {\"git_sha\": \"%s\", "
                "\"default_parallel_workers\": %d, "
-               "\"hardware_concurrency\": %u, \"compiler\": \"%s\"},\n",
+               "\"hardware_concurrency\": %u, \"compiler\": \"%s\", "
+               "\"plan_cache_hits\": %zu, \"plan_cache_misses\": %zu, "
+               "\"plan_cache_hit_rate\": %.4f},\n",
                GitSha().c_str(), ResolveWorkers(0),
-               std::thread::hardware_concurrency(), Compiler().c_str());
+               std::thread::hardware_concurrency(), Compiler().c_str(),
+               plan_cache_hits, plan_cache_misses, hit_rate);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -296,7 +309,130 @@ int Main(int argc, char** argv) {
     results.push_back(RunQuery("same_gen_direct", width, engine, direct, 3));
   }
 
-  WriteJson(results, out_path);
+  // --- σ-sweep over one prepared plan: N selection constants against the
+  // separable same-generation query. Three calling conventions on the same
+  // work: the one-shot API (Plan + Execute per constant — each a plan-cache
+  // hit after the first, since the digest excludes the σ value), the
+  // prepared API run serially (plan once, bind N times), and the prepared
+  // API batched onto the shared worker pool (queries concurrent, rounds
+  // serial, one shared read-side IndexCache). The one-shot engine's
+  // hit/miss counters feed the JSON meta block: a planner change that
+  // leaks the σ value back into the digest collapses the hit rate, which
+  // bench_diff.py gates. ---
+  std::size_t sweep_cache_hits = 0;
+  std::size_t sweep_cache_misses = 0;
+  {
+    const int width = 32;
+    const int sweep = 48;
+    SameGenerationWorkload w =
+        MakeSameGeneration(/*layers=*/7, width, /*fanout=*/2, /*seed=*/77);
+    // The first `sweep` seed nodes are the selection constants.
+    std::vector<Value> constants;
+    for (const Tuple& t : w.q.Sorted()) {
+      constants.push_back(t[0]);
+      if (static_cast<int>(constants.size()) == sweep) break;
+    }
+    const Selection sigma0{0, 0};  // position fixed; value swept
+
+    EngineOptions serial;
+    serial.parallel_workers = 1;
+    Engine one_shot(w.db, serial);
+    {
+      BenchResult r;
+      r.workload = "batch_sigma_sweep";
+      r.strategy = "one_shot";
+      r.n = sweep;
+      r.workers = 1;
+      r.reps = 3;
+      TimeInto(&r, [&]() -> double {
+        one_shot.ResetStats();
+        auto start = std::chrono::steady_clock::now();
+        std::size_t total = 0;
+        for (Value v : constants) {
+          Result<Relation> out = one_shot.Execute(
+              Query::Closure(SameGenerationRules())
+                  .Select(Selection{sigma0.position, v})
+                  .From(w.q));
+          if (!out.ok()) {
+            std::fprintf(stderr, "FATAL batch_sigma_sweep/one_shot: %s\n",
+                         out.status().ToString().c_str());
+            std::exit(1);
+          }
+          total += out->size();
+        }
+        auto end = std::chrono::steady_clock::now();
+        r.derivations = one_shot.stats().derivations;
+        r.result_size = total;
+        return std::chrono::duration<double, std::milli>(end - start)
+            .count();
+      });
+      results.push_back(r);
+    }
+    sweep_cache_hits = one_shot.plan_cache_hits();
+    sweep_cache_misses = one_shot.plan_cache_misses();
+
+    auto sweep_prepared = [&](Engine& engine, const char* strategy,
+                              int workers, bool batched) {
+      Result<PreparedQuery> prepared =
+          engine.Prepare(Query::Closure(SameGenerationRules())
+                             .SelectPosition(sigma0.position));
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "FATAL preparing batch_sigma_sweep: %s\n",
+                     prepared.status().ToString().c_str());
+        std::exit(1);
+      }
+      auto seed = std::make_shared<const Relation>(w.q);
+      std::vector<BoundQuery> batch;
+      for (Value v : constants) {
+        batch.push_back(prepared->Bind(v).BindSeed(seed));
+      }
+      BenchResult r;
+      r.workload = "batch_sigma_sweep";
+      r.strategy = strategy;
+      r.n = sweep;
+      r.workers = workers;
+      r.reps = 3;
+      TimeInto(&r, [&]() -> double {
+        engine.ResetStats();
+        auto start = std::chrono::steady_clock::now();
+        std::size_t total = 0;
+        if (batched) {
+          Result<std::vector<QueryResult>> out = engine.ExecuteBatch(batch);
+          if (!out.ok()) {
+            std::fprintf(stderr, "FATAL batch_sigma_sweep/%s: %s\n",
+                         strategy, out.status().ToString().c_str());
+            std::exit(1);
+          }
+          for (const QueryResult& qr : *out) total += qr.relation().size();
+        } else {
+          for (const BoundQuery& bound : batch) {
+            Result<QueryResult> out = engine.Execute(bound);
+            if (!out.ok()) {
+              std::fprintf(stderr, "FATAL batch_sigma_sweep/%s: %s\n",
+                           strategy, out.status().ToString().c_str());
+              std::exit(1);
+            }
+            total += out->relation().size();
+          }
+        }
+        auto end = std::chrono::steady_clock::now();
+        r.derivations = engine.stats().derivations;
+        r.result_size = total;
+        return std::chrono::duration<double, std::milli>(end - start)
+            .count();
+      });
+      results.push_back(r);
+    };
+
+    Engine prepared_serial(w.db, serial);
+    sweep_prepared(prepared_serial, "prepared_serial", 1, false);
+    EngineOptions batched_options;
+    batched_options.parallel_workers = 8;
+    Engine prepared_batch(std::move(w.db), batched_options);
+    sweep_prepared(prepared_batch, "prepared_batch", 8, true);
+  }
+
+  WriteJson(results, out_path, sweep_cache_hits, sweep_cache_misses);
   std::printf("%-22s %-12s %6s %3s %12s %12s %16s %12s\n", "workload",
               "strategy", "n", "w", "wall_ms", "wall_ms_min", "derivs/sec",
               "result");

@@ -131,15 +131,16 @@ int main(int argc, char** argv) {
       }
     }
 
-    // What would the engine do with this rule sum? Plan over an empty seed
-    // — strategy selection is purely symbolic.
+    // What would the engine do with this rule sum? Prepare compiles the
+    // structure alone — no seed needed; strategy selection is purely
+    // symbolic.
     Engine engine;
-    auto plan = engine.Plan(
-        Query::Closure(rules).From(Relation(rules[0].arity())));
-    if (plan.ok()) {
-      std::cout << "\nengine plan:\n" << plan->Explain();
+    auto prepared = engine.Prepare(Query::Closure(rules));
+    if (prepared.ok()) {
+      std::cout << "\nengine plan:\n" << prepared->plan().Explain();
     } else {
-      std::cout << "\nengine plan unavailable: " << plan.status() << "\n";
+      std::cout << "\nengine plan unavailable: " << prepared.status()
+                << "\n";
     }
     std::cout << "\n";
   }

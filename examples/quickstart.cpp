@@ -1,8 +1,10 @@
 // Quickstart: parse two linear recursive rules, hand them to the
 // linrec::Engine, and let analysis choose the strategy — the planner
 // discovers that the operators commute and compiles the decomposition
-// (A1+A2)* = A1*A2* by itself. Plan().Explain() shows the theorem-level
-// justification; a forced semi-naive plan provides the comparison.
+// (A1+A2)* = A1*A2* by itself. Prepare() compiles once and Explain()
+// shows the theorem-level justification; Bind().BindSeed() stamps out
+// executions, and a forced semi-naive preparation provides the
+// comparison.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -44,39 +46,47 @@ int main() {
   db.GetOrCreate("down", 2) = std::move(down);
   db.GetOrCreate("up", 2) = std::move(up);
 
-  // 2. Ask the engine for a plan. The planner runs the Theorem 5.1/5.2
-  // commutativity oracle over the pair and picks the decomposed strategy.
+  // 2. Prepare the query. The planner runs the Theorem 5.1/5.2
+  // commutativity oracle over the pair and compiles the decomposed
+  // strategy — once; the prepared handle binds and runs any number of
+  // seeds afterwards.
   Engine engine(std::move(db));
-  auto plan = engine.Plan(Query::Closure({*r1, *r2}).From(q));
-  if (!plan.ok()) {
-    std::cerr << "planning failed: " << plan.status() << "\n";
+  auto prepared = engine.Prepare(Query::Closure({*r1, *r2}));
+  if (!prepared.ok()) {
+    std::cerr << "planning failed: " << prepared.status() << "\n";
     return 1;
   }
-  std::cout << plan->Explain() << "\n";
+  std::cout << prepared->plan().Explain() << "\n";
 
-  // 3. Execute the chosen plan and the forced semi-naive baseline, and
+  // 3. Execute the prepared query and the forced semi-naive baseline, and
   // compare the work (Theorem 3.1: the decomposition never produces more
-  // duplicate derivations).
-  auto decomposed = engine.Execute(*plan);
-  ClosureStats decomposed_stats = engine.stats();
-  engine.ResetStats();
-  auto direct = engine.Execute(
-      Query::Closure({*r1, *r2}).From(q).Force(Strategy::kSemiNaive));
-  ClosureStats direct_stats = engine.stats();
+  // duplicate derivations). Each QueryResult carries its own stats — no
+  // ResetStats bookkeeping between runs.
+  auto baseline = engine.Prepare(
+      Query::Closure({*r1, *r2}).Force(Strategy::kSemiNaive));
+  if (!baseline.ok()) {
+    std::cerr << "planning failed: " << baseline.status() << "\n";
+    return 1;
+  }
+  auto decomposed = engine.Execute(prepared->Bind().BindSeed(q));
+  auto direct = engine.Execute(baseline->Bind().BindSeed(q));
   if (!direct.ok() || !decomposed.ok()) {
     std::cerr << "evaluation failed\n";
     return 1;
   }
 
   std::cout << "same-generation pairs over a binary tree:\n";
-  std::cout << "  result size        : " << direct->size() << " tuples\n";
+  std::cout << "  result size        : " << direct->relation().size()
+            << " tuples\n";
   std::cout << "  results identical  : "
-            << (*direct == *decomposed ? "yes" : "NO (bug!)") << "\n";
-  std::cout << "  direct (A1+A2)*    : " << direct_stats.derivations
-            << " derivations, " << direct_stats.duplicates
+            << (direct->relation() == decomposed->relation() ? "yes"
+                                                             : "NO (bug!)")
+            << "\n";
+  std::cout << "  direct (A1+A2)*    : " << direct->stats.derivations
+            << " derivations, " << direct->stats.duplicates
             << " duplicates\n";
-  std::cout << "  decomposed A1*A2*  : " << decomposed_stats.derivations
-            << " derivations, " << decomposed_stats.duplicates
+  std::cout << "  decomposed A1*A2*  : " << decomposed->stats.derivations
+            << " derivations, " << decomposed->stats.duplicates
             << " duplicates\n";
   std::cout << "\nTheorem 3.1 in action: the decomposed evaluation never "
                "produces more duplicates — and the engine chose it from "

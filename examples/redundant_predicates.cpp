@@ -55,35 +55,39 @@ int main() {
     }
   }
 
-  // 2. Plan: the factorization happens inside the engine; Explain() names
-  // the elided predicate and the theorems that license the elision.
-  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
-  if (!plan.ok()) {
-    std::cerr << "planning failed: " << plan.status() << "\n";
+  // 2. Prepare: the factorization happens inside the engine; Explain()
+  // names the elided predicate and the theorems that license the elision.
+  auto aware_q = engine.Prepare(Query::Closure({*rule}));
+  if (!aware_q.ok()) {
+    std::cerr << "planning failed: " << aware_q.status() << "\n";
     return 1;
   }
-  std::cout << "\n" << plan->Explain() << "\n";
+  std::cout << "\n" << aware_q->plan().Explain() << "\n";
 
-  // 3. Evaluate both ways on a deep workload with heavy endorsement fanout.
-  auto aware = engine.Execute(*plan);
-  ClosureStats aware_stats = engine.stats();
-  engine.ResetStats();
-  auto direct = engine.Execute(
-      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
-  ClosureStats direct_stats = engine.stats();
+  // 3. Evaluate both ways on a deep workload with heavy endorsement
+  // fanout; each QueryResult carries its own stats.
+  auto direct_q = engine.Prepare(
+      Query::Closure({*rule}).Force(Strategy::kSemiNaive));
+  if (!direct_q.ok()) {
+    std::cerr << "planning failed: " << direct_q.status() << "\n";
+    return 1;
+  }
+  auto aware = engine.Execute(aware_q->Bind().BindSeed(w.q));
+  auto direct = engine.Execute(direct_q->Bind().BindSeed(w.q));
   if (!direct.ok() || !aware.ok()) {
     std::cerr << "evaluation failed\n";
     return 1;
   }
 
   std::cout << "\nclosure over " << w.q.size() << " initial purchases:\n";
-  std::cout << "  result size      : " << direct->size()
-            << " (strategies agree: " << (*direct == *aware ? "yes" : "NO!")
+  std::cout << "  result size      : " << direct->relation().size()
+            << " (strategies agree: "
+            << (direct->relation() == aware->relation() ? "yes" : "NO!")
             << ")\n";
-  std::cout << "  direct           : " << direct_stats.derivations
-            << " derivations, " << direct_stats.millis << " ms\n";
-  std::cout << "  redundancy-aware : " << aware_stats.derivations
-            << " derivations, " << aware_stats.millis << " ms\n";
+  std::cout << "  direct           : " << direct->stats.derivations
+            << " derivations, " << direct->stats.millis << " ms\n";
+  std::cout << "  redundancy-aware : " << aware->stats.derivations
+            << " derivations, " << aware->stats.millis << " ms\n";
   std::cout << "\nThe redundant predicate is applied a bounded number of "
                "times instead of once per iteration.\n";
   return 0;

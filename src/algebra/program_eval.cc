@@ -95,15 +95,16 @@ Status EvaluateSingleton(const std::string& pred,
   if (!seed.ok()) return seed.status();
   Relation value = std::move(seed).value();
   if (!linear.empty()) {
-    Query query = Query::Closure(std::move(linear)).From(std::move(value));
+    Query query = Query::Closure(std::move(linear));
     if (!options.use_decomposition) query.Force(Strategy::kSemiNaive);
-    Result<ExecutionPlan> plan = engine.Plan(query);
-    if (!plan.ok()) return plan.status();
+    Result<PreparedQuery> prepared = engine.Prepare(query);
+    if (!prepared.ok()) return prepared.status();
     result->plan_explanations.push_back(
-        StrCat(pred, ":\n", plan->Explain()));
-    Result<Relation> closed = engine.Execute(*plan);
+        StrCat(pred, ":\n", prepared->plan().Explain()));
+    Result<QueryResult> closed =
+        engine.Execute(prepared->Bind().BindSeed(std::move(value)));
     if (!closed.ok()) return closed.status();
-    value = std::move(closed).value();
+    value = std::move(closed->relation());
   }
   engine.db().GetOrCreate(pred, group.arity) = std::move(value);
   return Status::OK();
@@ -174,15 +175,15 @@ Status EvaluateComponent(const std::vector<std::string>& members,
     // member atoms), but harmless: the seeds are already the fixpoint.
     closed = std::move(seeds);
   } else {
-    Query query = Query::JointClosure(members, std::move(joint_rules))
-                      .FromSeeds(std::move(seeds));
-    Result<ExecutionPlan> plan = engine.Plan(query);
-    if (!plan.ok()) return plan.status();
+    Result<PreparedQuery> prepared =
+        engine.Prepare(Query::JointClosure(members, std::move(joint_rules)));
+    if (!prepared.ok()) return prepared.status();
     result->plan_explanations.push_back(
-        StrCat(JoinNames(members), ":\n", plan->Explain()));
-    Result<std::vector<Relation>> out = engine.ExecuteJoint(*plan);
+        StrCat(JoinNames(members), ":\n", prepared->plan().Explain()));
+    Result<QueryResult> out =
+        engine.Execute(prepared->Bind().BindSeeds(std::move(seeds)));
     if (!out.ok()) return out.status();
-    closed = std::move(out).value();
+    closed = std::move(out->relations);
   }
   for (std::size_t mi = 0; mi < members.size(); ++mi) {
     engine.db().GetOrCreate(members[mi], rules.at(members[mi]).arity) =

@@ -1,8 +1,9 @@
 #include "engine/engine.h"
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 #include <numeric>
-
 #include <unordered_set>
 
 #include "algebra/closure.h"
@@ -17,8 +18,12 @@
 namespace linrec {
 namespace {
 
-/// Plan-cache key: the printed rules (text determines semantics), the
-/// selection, and any forced strategy. The seed is deliberately excluded —
+/// Plan-cache key: query *structure* only — the printed rules (text
+/// determines semantics), the σ position, and any forced strategy. The σ
+/// *value* is deliberately excluded: planning is positional (Theorem 4.1's
+/// preconditions read the selected column, never the constant), so one
+/// cached plan serves a whole σ-sweep — keying on the value made every
+/// sweep step a cache miss. The seed is excluded for the same reason:
 /// planning never reads it beyond validation, so one cached plan serves
 /// every seed. Joint queries key on the member list plus the rule texts
 /// (validation pins each rule's recursive atom to its unique member atom,
@@ -42,9 +47,8 @@ std::string QueryDigest(const Query& query) {
     digest += ToString(rule);
     digest += '\n';
   }
-  if (query.selection().has_value()) {
-    digest += StrCat("|sigma:", query.selection()->position, "=",
-                     query.selection()->value);
+  if (query.sigma_position().has_value()) {
+    digest += StrCat("|sigma_pos:", *query.sigma_position());
   }
   if (query.forced_strategy().has_value()) {
     digest += StrCat("|force:", StrategyName(*query.forced_strategy()));
@@ -332,10 +336,7 @@ Status Engine::PlanForced(Strategy forced, ExecutionPlan* plan) {
   return Status::Internal("unhandled forced strategy");
 }
 
-Result<ExecutionPlan> Engine::Plan(const Query& query) {
-  Status valid = query.Validate();
-  if (!valid.ok()) return valid;
-
+Result<ExecutionPlan> Engine::PlanParameterized(const Query& query) {
   std::string digest;
   const bool cache_on =
       options_.enable_plan_cache && options_.plan_cache_capacity > 0;
@@ -344,9 +345,9 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
     auto it = plan_cache_.find(digest);
     if (it != plan_cache_.end()) {
       ++plan_cache_hits_;
-      ExecutionPlan plan = it->second;  // cached seedless; copy and re-seed
-      plan.seed = query.shared_seed();
-      if (query.is_joint()) plan.joint_seeds = query.shared_seeds();
+      // Cached plans are seedless and σ-parameterized; the caller
+      // re-attaches this query's seed(s) and σ value.
+      ExecutionPlan plan = it->second;
       plan.from_plan_cache = true;
       return plan;
     }
@@ -359,7 +360,6 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
     plan.strategy = Strategy::kJointSemiNaive;
     plan.members = query.members();
     plan.joint_rules = query.joint_rules();
-    plan.joint_seeds = query.shared_seeds();
     plan.justification.push_back(StrCat(
         plan.members.size(),
         " mutually recursive predicates form one strongly connected "
@@ -367,8 +367,13 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
         "(one Δ row-range per member)"));
   } else {
     plan.rules = query.rules();
-    plan.selection = query.selection();
-    plan.seed = query.shared_seed();
+    if (query.sigma_position().has_value()) {
+      // Planning reads only the position (every σ-commutation test is
+      // positional), so the plan is compiled as a σ template: value 0 is a
+      // placeholder until a Bind substitutes the execution's constant.
+      plan.selection = Selection{*query.sigma_position(), 0};
+      plan.sigma_parameterized = true;
+    }
 
     if (query.forced_strategy().has_value()) {
       LINREC_RETURN_IF_ERROR(PlanForced(*query.forced_strategy(), &plan));
@@ -399,21 +404,70 @@ Result<ExecutionPlan> Engine::Plan(const Query& query) {
       plan_cache_.erase(plan_cache_order_.front());
       plan_cache_order_.pop_front();
     }
-    ExecutionPlan cached = plan;
-    cached.seed = nullptr;  // never pin a caller's seed in the cache
-    cached.joint_seeds = nullptr;
     plan_cache_order_.push_back(digest);
-    plan_cache_.emplace(std::move(digest), std::move(cached));
+    plan_cache_.emplace(std::move(digest), plan);
   }
   return plan;
 }
 
-Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
-  if (plan.strategy == Strategy::kJointSemiNaive) {
-    return Status::InvalidArgument(
-        "joint plans produce one relation per member; use "
-        "Engine::ExecuteJoint");
+Result<ExecutionPlan> Engine::Plan(const Query& query) {
+  Status valid = query.Validate();
+  if (!valid.ok()) return valid;
+  Result<ExecutionPlan> planned = PlanParameterized(query);
+  if (!planned.ok()) return planned;
+  ExecutionPlan plan = std::move(*planned);
+  plan.seed = query.shared_seed();
+  if (query.is_joint()) plan.joint_seeds = query.shared_seeds();
+  if (query.sigma_value().has_value()) {
+    plan.selection->value = *query.sigma_value();
+    plan.sigma_parameterized = false;
   }
+  return plan;
+}
+
+Result<PreparedQuery> Engine::Prepare(const Query& query) {
+  // Structure-only validation: a prepared query is seedless by design
+  // (seeds bind per execution), though a seed given anyway is checked.
+  Status valid = query.ValidateStructure();
+  if (!valid.ok()) return valid;
+  Result<ExecutionPlan> planned = PlanParameterized(query);
+  if (!planned.ok()) return planned.status();
+  return PreparedQuery(
+      std::make_shared<const ExecutionPlan>(std::move(*planned)),
+      query.sigma_position(), query.sigma_value());
+}
+
+Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
+                                int workers_override) const {
+  // Plans from older callers may predate the resolved field; fall back to
+  // the engine's own options.
+  const int workers =
+      workers_override > 0
+          ? workers_override
+          : (plan.parallel_workers > 0
+                 ? plan.parallel_workers
+                 : ResolveWorkers(options_.parallel_workers));
+
+  if (plan.strategy == Strategy::kJointSemiNaive) {
+    if (plan.joint_seeds == nullptr) {
+      return Status::InvalidArgument("joint plan has no seed relations");
+    }
+    if (plan.joint_seeds->size() != plan.members.size()) {
+      return Status::InvalidArgument(
+          StrCat("joint plan has ", plan.joint_seeds->size(), " seeds for ",
+                 plan.members.size(), " members"));
+    }
+    QueryResult result;
+    result.joint = true;
+    Result<std::vector<Relation>> out =
+        JointSemiNaiveClosure(plan.members, plan.joint_rules, db_,
+                              *plan.joint_seeds, &result.stats, cache,
+                              workers);
+    if (!out.ok()) return out.status();
+    result.relations = std::move(out).value();
+    return result;
+  }
+
   if (plan.rules.empty()) {
     return Status::InvalidArgument("plan has no rules");
   }
@@ -421,6 +475,11 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
     return Status::InvalidArgument("plan has no seed relation");
   }
   if (plan.selection.has_value()) {
+    if (plan.sigma_parameterized) {
+      return Status::InvalidArgument(
+          "the plan's σ parameter is unbound; bind a value "
+          "(PreparedQuery::Bind) before executing");
+    }
     // Engine-boundary validation: plans normally arrive through Plan()
     // (whose Query::Validate covers this), but a hand-built or mutated
     // plan with an out-of-range σ position would otherwise reach
@@ -433,22 +492,18 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
     }
   }
   const Relation& seed = *plan.seed;
-  // Plans from older callers may predate the resolved field; fall back to
-  // the engine's own options.
-  const int workers = plan.parallel_workers > 0
-                          ? plan.parallel_workers
-                          : ResolveWorkers(options_.parallel_workers);
-  ClosureStats s;
+  QueryResult result;
+  ClosureStats& s = result.stats;
   Result<Relation> out = Status::Internal("strategy not executed");
   switch (plan.strategy) {
     case Strategy::kNaive:
-      out = NaiveClosure(plan.rules, db_, seed, &s, &cache_, workers);
+      out = NaiveClosure(plan.rules, db_, seed, &s, cache, workers);
       break;
     case Strategy::kSemiNaive:
       out = plan.factorization.has_value()
                 ? RedundantClosure(*plan.factorization, db_, seed, &s,
-                                   &cache_, workers)
-                : SemiNaiveClosure(plan.rules, db_, seed, &s, &cache_,
+                                   cache, workers)
+                : SemiNaiveClosure(plan.rules, db_, seed, &s, cache,
                                    workers);
       break;
     case Strategy::kDecomposed: {
@@ -460,7 +515,7 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
       for (const std::vector<int>& group : plan.groups) {
         groups.push_back(plan.RulesOf(group));
       }
-      out = DecomposedClosure(groups, db_, seed, &s, &cache_, workers);
+      out = DecomposedClosure(groups, db_, seed, &s, cache, workers);
       break;
     }
     case Strategy::kSeparable: {
@@ -470,28 +525,28 @@ Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
             "group");
       }
       // A*( σ( B* q ) ) — Theorem 4.1. Preconditions were verified by
-      // TrySeparable during planning.
+      // TrySeparable during planning; the σ value flows in here, at
+      // execute time (the plan itself is value-free).
       out = SeparableClosureUnchecked(plan.RulesOf(plan.outer),
                                       plan.RulesOf(plan.inner),
                                       *plan.selection, db_, seed, &s,
-                                      &cache_, workers);
+                                      cache, workers);
       break;
     }
     case Strategy::kPowerSum:
-      out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, &cache_,
+      out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, cache,
                      workers);
       break;
     case Strategy::kJointSemiNaive:
-      return Status::Internal("joint strategy rejected above");
+      return Status::Internal("joint strategy handled above");
   }
   if (!out.ok()) return out.status();
-  Relation result = std::move(out).value();
+  Relation relation = std::move(out).value();
   if (plan.selection.has_value() && !plan.selection_pushed) {
-    result = ApplySelection(result, *plan.selection);
-    s.result_size = result.size();
+    relation = ApplySelection(relation, *plan.selection);
+    s.result_size = relation.size();
   }
-  stats_.Accumulate(s);
-  EvictTemporaryIndexes();
+  result.relations.push_back(std::move(relation));
   return result;
 }
 
@@ -499,6 +554,102 @@ void Engine::EvictTemporaryIndexes() {
   std::unordered_set<const Relation*> keep;
   for (const std::string& name : db_.Names()) keep.insert(db_.Find(name));
   cache_.RetainOnly(keep);
+}
+
+Result<QueryResult> Engine::Execute(const BoundQuery& bound) {
+  LINREC_RETURN_IF_ERROR(bound.Validate());
+  Result<QueryResult> result = Run(bound.ToPlan(), &cache_,
+                                   /*workers_override=*/0);
+  if (!result.ok()) return result;
+  stats_.Accumulate(result->stats);
+  EvictTemporaryIndexes();
+  return result;
+}
+
+Result<std::vector<QueryResult>> Engine::ExecuteBatch(
+    const std::vector<BoundQuery>& batch) {
+  if (batch.empty()) return std::vector<QueryResult>{};
+  // Validate and materialize every plan up front, serially — failing
+  // before any work starts, and keeping planning/copying off the lanes.
+  std::vector<ExecutionPlan> plans;
+  plans.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Status valid = batch[i].Validate();
+    if (!valid.ok()) {
+      return Status(valid.code(),
+                    StrCat("batch query ", i, ": ", valid.message()));
+    }
+    plans.push_back(batch[i].ToPlan());
+  }
+
+  // The batch's shared read side: the engine's parameter relations are
+  // quiescent for the whole batch, so their indexes live in the engine
+  // cache behind one mutex — built by whichever query needs one first,
+  // reused by every other. Everything else a query indexes is a private
+  // temporary.
+  std::unordered_set<const Relation*> shared_relations;
+  for (const std::string& name : db_.Names()) {
+    shared_relations.insert(db_.Find(name));
+  }
+  std::mutex shared_mu;
+
+  std::vector<Result<QueryResult>> slots;
+  slots.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    slots.emplace_back(Status::Internal("batch query not executed"));
+  }
+  auto run_one = [&](std::size_t i) {
+    TieredIndexCache cache(&cache_, &shared_mu, &shared_relations);
+    // Each query runs its rounds serially: batch-level parallelism
+    // replaces intra-round parallelism, so results cannot depend on the
+    // lane schedule. The per-query temporary tier dies right here, at the
+    // end of the query; the shared tier is swept once, below.
+    slots[i] = Run(plans[i], &cache, /*workers_override=*/1);
+  };
+
+  const int lanes = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(ResolveWorkers(
+                                options_.parallel_workers)),
+                            batch.size()));
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < batch.size(); ++i) run_one(i);
+  } else {
+    WorkerPool pool(lanes);
+    pool.Run(batch.size(), [&](int, std::size_t i) { run_one(i); });
+  }
+
+  std::vector<QueryResult> results;
+  results.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (!slots[i].ok()) {
+      const Status& st = slots[i].status();
+      return Status(st.code(),
+                    StrCat("batch query ", i, ": ", st.message()));
+    }
+    // Accumulate in batch order, so the engine-global record is identical
+    // to having executed the batch sequentially.
+    stats_.Accumulate(slots[i]->stats);
+    results.push_back(std::move(*slots[i]));
+  }
+  // Deferred to batch end: one sweep drops whatever the batch pinned into
+  // the shared tier beyond the parameter relations (today: nothing — the
+  // tiering keeps temporaries private — but the sweep keeps the invariant
+  // explicit and cheap).
+  EvictTemporaryIndexes();
+  return results;
+}
+
+Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
+  if (plan.strategy == Strategy::kJointSemiNaive) {
+    return Status::InvalidArgument(
+        "joint plans produce one relation per member; use "
+        "Engine::ExecuteJoint");
+  }
+  Result<QueryResult> result = Run(plan, &cache_, /*workers_override=*/0);
+  if (!result.ok()) return result.status();
+  stats_.Accumulate(result->stats);
+  EvictTemporaryIndexes();
+  return std::move(result->relations.front());
 }
 
 Result<Relation> Engine::Execute(const Query& query) {
@@ -512,25 +663,11 @@ Result<std::vector<Relation>> Engine::ExecuteJoint(const ExecutionPlan& plan) {
     return Status::InvalidArgument(
         "ExecuteJoint requires a joint plan (Strategy::kJointSemiNaive)");
   }
-  if (plan.joint_seeds == nullptr) {
-    return Status::InvalidArgument("joint plan has no seed relations");
-  }
-  if (plan.joint_seeds->size() != plan.members.size()) {
-    return Status::InvalidArgument(
-        StrCat("joint plan has ", plan.joint_seeds->size(), " seeds for ",
-               plan.members.size(), " members"));
-  }
-  const int workers = plan.parallel_workers > 0
-                          ? plan.parallel_workers
-                          : ResolveWorkers(options_.parallel_workers);
-  ClosureStats s;
-  Result<std::vector<Relation>> out =
-      JointSemiNaiveClosure(plan.members, plan.joint_rules, db_,
-                            *plan.joint_seeds, &s, &cache_, workers);
-  if (!out.ok()) return out.status();
-  stats_.Accumulate(s);
+  Result<QueryResult> result = Run(plan, &cache_, /*workers_override=*/0);
+  if (!result.ok()) return result.status();
+  stats_.Accumulate(result->stats);
   EvictTemporaryIndexes();
-  return out;
+  return std::move(result->relations);
 }
 
 Result<std::vector<Relation>> Engine::ExecuteJoint(const Query& query) {

@@ -10,10 +10,22 @@
 // licenses eliding the redundant predicate (Theorems 6.3/6.4). Callers
 // state the query; the planner applies the theorems.
 //
+// The execution API is built around *prepared* queries — compile once,
+// bind and run many times (engine/prepared.h):
+//
 //   Engine engine(std::move(db));
-//   auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
-//   std::cout << plan->Explain();          // strategy + theorem citations
-//   auto result = engine.Execute(*plan);   // shared IndexCache + stats
+//   auto prepared = engine.Prepare(
+//       Query::Closure({r1, r2}).SelectPosition(0));  // σ is a parameter
+//   std::cout << prepared->plan().Explain();  // strategy + theorem citations
+//   auto result = engine.Execute(prepared->Bind(v).BindSeed(q));
+//   // result->relation(), result->stats — and N bindings can run
+//   // concurrently on the worker pool:
+//   //   engine.ExecuteBatch({prepared->Bind(v1).BindSeed(q),
+//   //                        prepared->Bind(v2).BindSeed(q)});
+//
+// Plans are cached on query *structure* (rules, σ position, forced
+// strategy — never the σ value or the seed), so sweeping selection
+// constants over one prepared query plans exactly once.
 //
 // The pre-engine free functions (SemiNaiveClosure, DecomposedClosure,
 // SeparableClosure, ...) remain available as direct entry points; the
@@ -28,6 +40,7 @@
 
 #include "common/status.h"
 #include "engine/plan.h"
+#include "engine/prepared.h"
 #include "engine/query.h"
 #include "engine/rule_info.h"
 #include "eval/index_cache.h"
@@ -88,26 +101,68 @@ class Engine {
   /// preconditions).
   Result<ExecutionPlan> Plan(const Query& query);
 
-  /// Runs `plan` against the engine's database. Stats accumulate into
+  /// Compiles `query`'s structure into a reusable PreparedQuery: a
+  /// seedless, σ-parameterized plan (the cache digest covers rules, σ
+  /// position and forced strategy — not the σ value, not the seed).
+  /// Bind(value)/BindSeed stamp out per-execution BoundQuery handles; one
+  /// Prepare followed by N binds performs exactly one planning pass.
+  /// Queries with Select(σ) prepare with that value as the Bind() default;
+  /// queries with SelectPosition(p) must Bind(value) per execution.
+  Result<PreparedQuery> Prepare(const Query& query);
+
+  /// Runs one bound query, returning its relations (one, or one per joint
+  /// member) and this execution's own ClosureStats. Also accumulates into
   /// stats(); indexes over parameter relations are shared across calls.
-  /// Joint plans (Strategy::kJointSemiNaive) produce one relation per
-  /// member and must go through ExecuteJoint.
+  Result<QueryResult> Execute(const BoundQuery& bound);
+
+  /// Runs independent bound queries concurrently on the shared worker pool
+  /// (EngineOptions::parallel_workers lanes, capped at the batch size; the
+  /// queries themselves run their rounds serially — batch-level
+  /// parallelism replaces intra-round parallelism here). All queries share
+  /// one read-side IndexCache, so an index over a parameter relation is
+  /// built once for the whole batch; per-query temporaries (Δs, seeds) use
+  /// isolated private caches, and temporary-index eviction is deferred to
+  /// batch end. Results are positionally aligned with `batch` and
+  /// identical to executing each bound query sequentially, for every
+  /// worker count. Stats accumulate into stats() in batch order. The
+  /// first failing query fails the whole batch.
+  Result<std::vector<QueryResult>> ExecuteBatch(
+      const std::vector<BoundQuery>& batch);
+
+  /// \deprecated Shim over the prepared-query path (kept for one PR).
+  /// Runs `plan` against the engine's database. Stats accumulate into
+  /// stats(). Joint plans (Strategy::kJointSemiNaive) produce one relation
+  /// per member and must go through ExecuteJoint.
   Result<Relation> Execute(const ExecutionPlan& plan);
 
+  /// \deprecated Shim over Prepare + Bind + Execute (kept for one PR).
   /// Plan + Execute in one step.
   Result<Relation> Execute(const Query& query);
 
+  /// \deprecated Shim over the prepared-query path (kept for one PR).
   /// Runs a joint plan (from a Query::JointClosure), returning the closed
-  /// member relations in member order. Stats and the shared IndexCache
-  /// behave exactly as in Execute.
+  /// member relations in member order.
   Result<std::vector<Relation>> ExecuteJoint(const ExecutionPlan& plan);
 
+  /// \deprecated Shim over Prepare + Bind + Execute (kept for one PR).
   /// Plan + ExecuteJoint in one step.
   Result<std::vector<Relation>> ExecuteJoint(const Query& query);
 
   /// Aggregated ClosureStats over every Execute call since ResetStats.
+  /// Per-execution stats are returned in each QueryResult.
   const ClosureStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = ClosureStats{}; }
+  void ResetStats() { stats_.Reset(); }
+
+  /// Resets every observability counter coherently: the ClosureStats
+  /// accumulator (as ResetStats) plus the plan-cache hit/miss counters.
+  /// Cache *contents* (plans, indexes, analysis) are untouched — so after
+  /// ResetCounters a repeated query counts as a hit against an empty
+  /// hit/miss ledger.
+  void ResetCounters() {
+    ResetStats();
+    plan_cache_hits_ = 0;
+    plan_cache_misses_ = 0;
+  }
 
   IndexCache& index_cache() { return cache_; }
   const AnalysisCache& analysis_cache() const { return analysis_; }
@@ -119,6 +174,20 @@ class Engine {
   std::size_t plan_cache_size() const { return plan_cache_.size(); }
 
  private:
+  /// The shared planning core behind Plan and Prepare: returns a seedless,
+  /// σ-parameterized plan for the query's *structure*, serving it from /
+  /// inserting it into the plan cache (digest: rules, σ position, forced
+  /// strategy, member list — never the σ value or the seed).
+  Result<ExecutionPlan> PlanParameterized(const Query& query);
+  /// The single execution path behind every public entry point: runs
+  /// `plan` (single-predicate or joint) against db_ through `cache`,
+  /// filling one QueryResult with this execution's stats. Const — it
+  /// mutates no engine state, so batch lanes may call it concurrently with
+  /// distinct caches. `workers_override` > 0 replaces the plan's resolved
+  /// worker count (ExecuteBatch forces 1: parallelism moves across
+  /// queries).
+  Result<QueryResult> Run(const ExecutionPlan& plan, IndexCache* cache,
+                          int workers_override) const;
   /// Fills groups via union-find over the memoized non-commuting pairs,
   /// appending per-pair verdicts to the plan's justification.
   Status ComputeGroups(ExecutionPlan* plan);

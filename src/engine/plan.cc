@@ -97,8 +97,13 @@ std::string ExecutionPlan::Explain() const {
   }
 
   if (selection.has_value()) {
-    os << "selection: σ_{pos " << selection->position << " = "
-       << selection->value << "} — "
+    os << "selection: σ_{pos " << selection->position << " = ";
+    if (sigma_parameterized) {
+      os << "<bind parameter>";
+    } else {
+      os << selection->value;
+    }
+    os << "} — "
        << (selection_pushed ? "pushed into the strategy"
                             : "applied to the final result")
        << "\n";

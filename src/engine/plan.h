@@ -34,6 +34,15 @@ struct ExecutionPlan {
   std::vector<int> inner;
   /// The query's selection, if any.
   std::optional<Selection> selection;
+  /// True while `selection->value` is an unbound placeholder: the plan was
+  /// compiled against the σ *position* only (planning never reads the
+  /// value — Theorem 4.1's preconditions are positional), so one plan
+  /// serves every selection constant. Prepared/cached plans stay in this
+  /// state; binding a value (PreparedQuery::Bind, or re-attaching the
+  /// query's σ on a plan-cache hit) clears the flag. Executing a plan with
+  /// the flag still set is an error — the σ value must flow in at execute
+  /// time, never be baked in at plan time.
+  bool sigma_parameterized = false;
   /// True when the strategy evaluates the selection internally
   /// (kSeparable); false ⇒ σ filters the final result.
   bool selection_pushed = false;

@@ -1,0 +1,155 @@
+// Prepared queries: compile once, bind and run many times.
+//
+// Engine::Prepare compiles a Query's *structure* — rules, σ position,
+// forced strategy — into a seedless, σ-parameterized ExecutionPlan and
+// hands back a PreparedQuery owning it. Bind calls stamp out lightweight
+// BoundQuery handles (a shared pointer to the plan plus the per-execution
+// σ value and seed relations); Engine::Execute(BoundQuery) runs one,
+// Engine::ExecuteBatch runs many concurrently on the shared worker pool.
+// Planning happens exactly once however many values are swept:
+//
+//   auto prepared = engine.Prepare(
+//       Query::Closure({r1, r2}).SelectPosition(0));
+//   std::vector<BoundQuery> batch;
+//   for (Value v : constants)
+//     batch.push_back(prepared->Bind(v).BindSeed(seed));
+//   auto results = engine.ExecuteBatch(batch);   // one QueryResult each
+//
+// Every execution path — prepared or the deprecated Execute/ExecuteJoint
+// shims — reports through one result type, QueryResult: the closed
+// relation(s) plus that execution's own ClosureStats.
+
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/plan.h"
+#include "eval/stats.h"
+#include "storage/relation.h"
+
+namespace linrec {
+
+/// The unified result of one query execution.
+///
+/// Single-predicate plans produce exactly one relation; joint plans
+/// (Strategy::kJointSemiNaive) produce one per member, in member order.
+/// `stats` is this execution's own record — the engine-global accumulator
+/// (Engine::stats()) still aggregates across executions, but callers no
+/// longer need to Reset/diff it to attribute work to a query.
+struct QueryResult {
+  /// The closed relation(s): size 1 unless `joint`.
+  std::vector<Relation> relations;
+  /// Per-execution counters (derivations, duplicates, rounds, wall time).
+  ClosureStats stats;
+  /// True iff this result came from a joint plan (member-ordered
+  /// relations).
+  bool joint = false;
+
+  /// The single result relation. Requires a single-predicate result
+  /// (asserted); joint results are read through `relations`.
+  Relation& relation() {
+    assert(!joint && relations.size() == 1);
+    return relations.front();
+  }
+  const Relation& relation() const {
+    assert(!joint && relations.size() == 1);
+    return relations.front();
+  }
+};
+
+class BoundQuery;
+
+/// A compiled, reusable query: the seedless, σ-parameterized plan plus the
+/// binding surface. Immutable and cheaply copyable (the plan is shared);
+/// safe to Bind from concurrently.
+class PreparedQuery {
+ public:
+  /// The underlying parameterized plan (seedless; σ value unbound when
+  /// has_sigma_param()). Explain() works as usual.
+  const ExecutionPlan& plan() const { return *plan_; }
+  bool is_joint() const {
+    return plan_->strategy == Strategy::kJointSemiNaive;
+  }
+  /// True iff the plan carries a σ whose value is bound per execution.
+  bool has_sigma_param() const { return sigma_position_.has_value(); }
+  /// The σ position fixed at Prepare time, if any.
+  const std::optional<int>& sigma_position() const { return sigma_position_; }
+
+  /// Binds the σ parameter to `sigma_value`. Requires has_sigma_param();
+  /// misuse is deferred to BoundQuery::Validate / Engine::Execute (fluent
+  /// chains cannot return a Status).
+  BoundQuery Bind(Value sigma_value) const;
+
+  /// Binds nothing: valid when the prepared query has no σ, and also when
+  /// the Query handed to Prepare carried a *bound* σ (its value becomes the
+  /// default binding, so migrating callers keep their one-line flow).
+  BoundQuery Bind() const;
+
+ private:
+  friend class Engine;
+  PreparedQuery(std::shared_ptr<const ExecutionPlan> plan,
+                std::optional<int> sigma_position,
+                std::optional<Value> default_sigma_value)
+      : plan_(std::move(plan)),
+        sigma_position_(sigma_position),
+        default_sigma_value_(default_sigma_value) {}
+
+  std::shared_ptr<const ExecutionPlan> plan_;
+  std::optional<int> sigma_position_;
+  /// Engaged when Prepare was given a bound σ: Bind() with no argument
+  /// reuses it.
+  std::optional<Value> default_sigma_value_;
+};
+
+/// One executable instance of a PreparedQuery: the shared plan plus this
+/// execution's σ value and seed relation(s). Lightweight — copying a
+/// BoundQuery copies two shared pointers and a Selection, never a relation.
+class BoundQuery {
+ public:
+  /// Sets the initial relation q of a single-predicate execution. The
+  /// relation is shared immutably, like Query::From.
+  BoundQuery& BindSeed(Relation seed);
+  BoundQuery& BindSeed(std::shared_ptr<const Relation> seed);
+
+  /// Sets the per-member initial relations of a joint execution (member
+  /// order).
+  BoundQuery& BindSeeds(std::vector<Relation> seeds);
+  BoundQuery& BindSeeds(std::shared_ptr<const std::vector<Relation>> seeds);
+
+  const std::shared_ptr<const ExecutionPlan>& plan() const { return plan_; }
+  /// The fully bound selection, if the prepared query had a σ parameter or
+  /// default value.
+  const std::optional<Selection>& selection() const { return selection_; }
+  const std::shared_ptr<const Relation>& seed() const { return seed_; }
+  const std::shared_ptr<const std::vector<Relation>>& seeds() const {
+    return seeds_;
+  }
+
+  /// Checks the binding is complete and coherent: a plan is attached, any
+  /// deferred Bind misuse surfaces here, σ is bound iff the plan is
+  /// parameterized, the right seed shape is attached and its arity matches
+  /// the plan. Engine::Execute/ExecuteBatch call this first.
+  Status Validate() const;
+
+  /// Materializes the executable plan: a copy of the prepared plan with
+  /// this binding's seed(s) attached and the σ value substituted
+  /// (clearing ExecutionPlan::sigma_parameterized). Requires Validate().
+  ExecutionPlan ToPlan() const;
+
+ private:
+  friend class PreparedQuery;
+  std::shared_ptr<const ExecutionPlan> plan_;
+  std::optional<Selection> selection_;
+  std::shared_ptr<const Relation> seed_;
+  std::shared_ptr<const std::vector<Relation>> seeds_;
+  /// First misuse of the fluent surface (Bind(v) without a σ parameter,
+  /// BindSeed on a joint plan, ...), reported by Validate.
+  Status error_ = Status::OK();
+};
+
+}  // namespace linrec

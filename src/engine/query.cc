@@ -20,6 +20,13 @@ Query Query::JointClosure(std::vector<std::string> members,
 
 Query& Query::Select(Selection sigma) {
   selection_ = sigma;
+  sigma_param_ = false;
+  return *this;
+}
+
+Query& Query::SelectPosition(int position) {
+  selection_ = Selection{position, 0};
+  sigma_param_ = true;
   return *this;
 }
 
@@ -38,7 +45,13 @@ Query& Query::Force(Strategy strategy) {
   return *this;
 }
 
-Status Query::Validate() const {
+Status Query::Validate() const { return ValidateImpl(/*require_seed=*/true); }
+
+Status Query::ValidateStructure() const {
+  return ValidateImpl(/*require_seed=*/false);
+}
+
+Status Query::ValidateImpl(bool require_seed) const {
   if (is_joint()) {
     // Query-level structural checks; the per-rule/member checks are the
     // shared joint boundary validation (eval/joint.h ValidateJointRules).
@@ -52,8 +65,11 @@ Status Query::Validate() const {
       return Status::InvalidArgument("joint query has no rules");
     }
     if (seeds_ == nullptr) {
-      return Status::InvalidArgument(
-          "joint query has no initial relations (FromSeeds)");
+      if (require_seed) {
+        return Status::InvalidArgument(
+            "joint query has no initial relations (FromSeeds)");
+      }
+      return ValidateJointRuleStructure(members_, joint_rules_);
     }
     return ValidateJointRules(members_, joint_rules_, *seeds_);
   }
@@ -74,9 +90,10 @@ Status Query::Validate() const {
     }
   }
   if (seed_ == nullptr) {
-    return Status::InvalidArgument("query has no initial relation (From)");
-  }
-  if (seed_->arity() != arity) {
+    if (require_seed) {
+      return Status::InvalidArgument("query has no initial relation (From)");
+    }
+  } else if (seed_->arity() != arity) {
     return Status::InvalidArgument(StrCat("seed arity ", seed_->arity(),
                                           " does not match rule arity ",
                                           arity));

@@ -43,6 +43,13 @@ class Query {
   /// filters the final result otherwise.
   Query& Select(Selection sigma);
 
+  /// Declares a σ bind parameter: the selection *position* (the structural
+  /// part the planner reads) without a value. The value is bound per
+  /// execution via PreparedQuery::Bind — the prepared form of a σ-sweep
+  /// (Theorem 4.1's workload) plans once and binds many times. A query with
+  /// an unbound σ can be Prepared but not Executed directly.
+  Query& SelectPosition(int position);
+
   /// Sets the initial relation q (the paper's P ⊇ q seed). Required for
   /// single-predicate closures.
   Query& From(Relation seed);
@@ -57,7 +64,24 @@ class Query {
   Query& Force(Strategy strategy);
 
   const std::vector<LinearRule>& rules() const { return rules_; }
+  /// The selection, if any. When has_sigma_param() the value field is a
+  /// placeholder (0) — only the position is meaningful.
   const std::optional<Selection>& selection() const { return selection_; }
+  /// True iff σ was declared as a bind parameter (SelectPosition): the
+  /// position is fixed, the value arrives at Bind time.
+  bool has_sigma_param() const { return sigma_param_; }
+  /// The σ position, if a selection (bound or parameterized) is present.
+  std::optional<int> sigma_position() const {
+    return selection_.has_value() ? std::optional<int>(selection_->position)
+                                  : std::nullopt;
+  }
+  /// The σ value, if a *bound* selection is present (empty for a σ
+  /// parameter).
+  std::optional<Value> sigma_value() const {
+    return selection_.has_value() && !sigma_param_
+               ? std::optional<Value>(selection_->value)
+               : std::nullopt;
+  }
   /// Requires has_seed().
   const Relation& seed() const { return *seed_; }
   bool has_seed() const { return seed_ != nullptr; }
@@ -85,9 +109,18 @@ class Query {
   /// strategies are rejected.
   Status Validate() const;
 
+  /// Validate minus the seed-presence requirement: what Engine::Prepare
+  /// checks. A prepared query is seedless by design — seeds arrive per
+  /// execution via BoundQuery::BindSeed(s) — but a seed given anyway (the
+  /// migration path: Prepare(old_query)) is still checked for arity.
+  Status ValidateStructure() const;
+
  private:
+  Status ValidateImpl(bool require_seed) const;
   std::vector<LinearRule> rules_;
   std::optional<Selection> selection_;
+  /// True ⇒ selection_->value is a placeholder (σ declared by position only).
+  bool sigma_param_ = false;
   std::shared_ptr<const Relation> seed_;
   std::optional<Strategy> forced_;
   // Joint-query state (is_joint() == !members_.empty()).

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -20,12 +21,24 @@ namespace linrec {
 /// The table is an unordered_map whose key carries its own precomputed hash,
 /// so a Get is one O(1) probe (plus one small vector copy to build the probe
 /// key) instead of a red-black-tree walk with per-node vector comparisons.
+///
+/// Get is virtual so a TieredIndexCache can route probes between a shared
+/// and a private tier; the call runs once per (round, Δ chunk, join step),
+/// never per tuple, so the indirection costs nothing measurable.
 class IndexCache {
  public:
+  IndexCache() = default;
+  virtual ~IndexCache() = default;
+  // Movable (per-lane caches live in resizable vectors); not copyable —
+  // the entries own their indexes.
+  IndexCache(IndexCache&&) = default;
+  IndexCache& operator=(IndexCache&&) = default;
+
   /// Returns an index of `rel` on `positions`, building it if necessary.
   /// The reference stays valid until the next Get call that rebuilds the
   /// same entry (i.e., after `rel` was modified).
-  const HashIndex& Get(const Relation& rel, const std::vector<int>& positions);
+  virtual const HashIndex& Get(const Relation& rel,
+                               const std::vector<int>& positions);
 
   /// Drops every entry whose keyed relation is not in `keep`. Long-lived
   /// owners (the engine) call this after a closure so indexes built over
@@ -57,6 +70,44 @@ class IndexCache {
 
   std::unordered_map<Key, std::unique_ptr<HashIndex>, KeyHash> entries_;
   std::size_t rebuilds_ = 0;
+};
+
+/// Two-tier cache for batched multi-query execution (Engine::ExecuteBatch).
+///
+/// Probes over relations in `shared_relations` (the engine's parameter
+/// relations, which every query of a batch reads but none mutates) route to
+/// the shared cache under `shared_mu`, so an index over a parameter relation
+/// is built once and reused by every query of the batch. Every other probe —
+/// per-query temporaries: the Δ-carrying result, seeds, phase intermediates —
+/// lands in this object's own private tier, keeping queries isolated from
+/// each other; the private tier dies with the TieredIndexCache at query end,
+/// which is also what defers shared-tier eviction to the batch boundary.
+///
+/// Returning shared references across threads is safe: entries are
+/// heap-owned (unordered_map inserts never move them), and a shared relation
+/// is quiescent for the whole batch, so no Get can rebuild an entry another
+/// lane still reads.
+class TieredIndexCache final : public IndexCache {
+ public:
+  TieredIndexCache(IndexCache* shared, std::mutex* shared_mu,
+                   const std::unordered_set<const Relation*>* shared_relations)
+      : shared_(shared),
+        shared_mu_(shared_mu),
+        shared_relations_(shared_relations) {}
+
+  const HashIndex& Get(const Relation& rel,
+                       const std::vector<int>& positions) override {
+    if (shared_relations_->count(&rel) != 0) {
+      std::lock_guard<std::mutex> lock(*shared_mu_);
+      return shared_->Get(rel, positions);
+    }
+    return IndexCache::Get(rel, positions);
+  }
+
+ private:
+  IndexCache* shared_;
+  std::mutex* shared_mu_;
+  const std::unordered_set<const Relation*>* shared_relations_;
 };
 
 }  // namespace linrec

@@ -291,9 +291,14 @@ Result<std::vector<Relation>> CloseJoint(
 
 }  // namespace
 
-Status ValidateJointRules(const std::vector<std::string>& members,
-                          const std::vector<JointRule>& rules,
-                          const std::vector<Relation>& seeds) {
+namespace {
+
+/// Shared body of ValidateJointRules / ValidateJointRuleStructure: a null
+/// `seeds` skips the seed-count and seed-arity checks (prepared queries
+/// bind seeds per execution; the closure entry points re-validate fully).
+Status ValidateJointImpl(const std::vector<std::string>& members,
+                         const std::vector<JointRule>& rules,
+                         const std::vector<Relation>* seeds) {
   if (members.empty()) {
     return Status::InvalidArgument(
         "joint closure requires at least one member");
@@ -310,10 +315,10 @@ Status ValidateJointRules(const std::vector<std::string>& members,
           StrCat("joint member '", members[i], "' is not distinct"));
     }
   }
-  if (seeds.size() != members.size()) {
-    return Status::InvalidArgument(StrCat("joint closure has ", seeds.size(),
-                                          " seeds for ", members.size(),
-                                          " members"));
+  if (seeds != nullptr && seeds->size() != members.size()) {
+    return Status::InvalidArgument(StrCat("joint closure has ",
+                                          seeds->size(), " seeds for ",
+                                          members.size(), " members"));
   }
   const int member_count = static_cast<int>(members.size());
   for (const JointRule& jr : rules) {
@@ -362,24 +367,39 @@ Status ValidateJointRules(const std::vector<std::string>& members,
           StrCat("joint rule must read exactly one member atom, found ",
                  member_atoms, ": ", ToString(jr.rule)));
     }
-    const std::size_t head_arity =
-        seeds[static_cast<std::size_t>(jr.head_member)].arity();
-    if (jr.rule.head().arity() != head_arity) {
-      return Status::InvalidArgument(
-          StrCat("joint rule head arity ", jr.rule.head().arity(),
-                 " does not match seed arity ", head_arity, " of member '",
-                 head_name, "'"));
-    }
-    const std::size_t rec_arity =
-        seeds[static_cast<std::size_t>(jr.recursive_member)].arity();
-    if (rec.arity() != rec_arity) {
-      return Status::InvalidArgument(
-          StrCat("joint rule recursive atom arity ", rec.arity(),
-                 " does not match seed arity ", rec_arity, " of member '",
-                 rec.predicate, "'"));
+    if (seeds != nullptr) {
+      const std::size_t head_arity =
+          (*seeds)[static_cast<std::size_t>(jr.head_member)].arity();
+      if (jr.rule.head().arity() != head_arity) {
+        return Status::InvalidArgument(
+            StrCat("joint rule head arity ", jr.rule.head().arity(),
+                   " does not match seed arity ", head_arity,
+                   " of member '", head_name, "'"));
+      }
+      const std::size_t rec_arity =
+          (*seeds)[static_cast<std::size_t>(jr.recursive_member)].arity();
+      if (rec.arity() != rec_arity) {
+        return Status::InvalidArgument(
+            StrCat("joint rule recursive atom arity ", rec.arity(),
+                   " does not match seed arity ", rec_arity,
+                   " of member '", rec.predicate, "'"));
+      }
     }
   }
   return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateJointRules(const std::vector<std::string>& members,
+                          const std::vector<JointRule>& rules,
+                          const std::vector<Relation>& seeds) {
+  return ValidateJointImpl(members, rules, &seeds);
+}
+
+Status ValidateJointRuleStructure(const std::vector<std::string>& members,
+                                  const std::vector<JointRule>& rules) {
+  return ValidateJointImpl(members, rules, nullptr);
 }
 
 Result<std::vector<Relation>> JointSemiNaiveClosure(

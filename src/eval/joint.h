@@ -53,6 +53,14 @@ Status ValidateJointRules(const std::vector<std::string>& members,
                           const std::vector<JointRule>& rules,
                           const std::vector<Relation>& seeds);
 
+/// Structure-only variant: everything ValidateJointRules checks except the
+/// seed count and seed-arity consistency. Used for prepared joint queries
+/// (Engine::Prepare), whose seeds arrive per execution via
+/// BoundQuery::BindSeeds — the closure entry points re-run the full
+/// validation against the actual seeds.
+Status ValidateJointRuleStructure(const std::vector<std::string>& members,
+                                  const std::vector<JointRule>& rules);
+
 /// Computes the least relations P_0..P_{M-1} with P_i ⊇ seeds[i] jointly
 /// closed under every rule, by multi-relation semi-naive evaluation: each
 /// round applies every rule to the Δ row-range of its recursive member

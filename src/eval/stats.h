@@ -12,6 +12,11 @@
 namespace linrec {
 
 /// Counters filled by ApplyRule / closure routines.
+///
+/// Each execution produces one per-execution record — returned to callers in
+/// QueryResult::stats (engine/prepared.h) — and the engine additionally
+/// accumulates every execution into its engine-global record
+/// (Engine::stats()).
 struct ClosureStats {
   /// Fixpoint rounds executed (semi-naive/naive loops).
   std::size_t iterations = 0;
@@ -28,7 +33,12 @@ struct ClosureStats {
   /// Wall-clock milliseconds.
   double millis = 0.0;
 
-  /// Accumulates another stats record (used by multi-phase strategies).
+  /// Accumulates another stats record (used by multi-phase strategies and
+  /// by the engine-global accumulator). All counters sum except
+  /// result_size, which takes the newest record's value: phases of one
+  /// execution refine the same result, and across executions the engine-
+  /// global record reports the most recent query's size (per-query sizes
+  /// live in each QueryResult).
   void Accumulate(const ClosureStats& other) {
     iterations += other.iterations;
     rule_applications += other.rule_applications;
@@ -37,6 +47,9 @@ struct ClosureStats {
     result_size = other.result_size;
     millis += other.millis;
   }
+
+  /// Zeroes every counter.
+  void Reset() { *this = ClosureStats{}; }
 };
 
 }  // namespace linrec

@@ -353,12 +353,31 @@ TEST(EnginePlanCacheTest, RepeatQueriesSkipPlanning) {
   ASSERT_TRUE(out2.ok());
   EXPECT_EQ(*out1, *out2);
 
-  // A different σ is a different digest: planned from scratch.
+  // Introducing a σ changes the structural digest: planned from scratch.
   auto with_sigma = engine.Plan(
       Query::Closure({Down(), Up()}).Select(Selection{0, 3}).From(q));
   ASSERT_TRUE(with_sigma.ok()) << with_sigma.status();
   EXPECT_FALSE(with_sigma->from_plan_cache);
   EXPECT_EQ(engine.plan_cache_misses(), 2u);
+
+  // ...but the σ *value* is not part of the digest (plans are
+  // σ-parameterized): a different constant at the same position is a hit,
+  // with the new value re-bound into the served plan.
+  auto other_value = engine.Plan(
+      Query::Closure({Down(), Up()}).Select(Selection{0, 7}).From(q));
+  ASSERT_TRUE(other_value.ok()) << other_value.status();
+  EXPECT_TRUE(other_value->from_plan_cache);
+  ASSERT_TRUE(other_value->selection.has_value());
+  EXPECT_EQ(other_value->selection->value, 7);
+  EXPECT_FALSE(other_value->sigma_parameterized);
+  EXPECT_EQ(engine.plan_cache_misses(), 2u);
+
+  // A different σ *position* is structural: planned from scratch.
+  auto other_position = engine.Plan(
+      Query::Closure({Down(), Up()}).Select(Selection{1, 3}).From(q));
+  ASSERT_TRUE(other_position.ok()) << other_position.status();
+  EXPECT_FALSE(other_position->from_plan_cache);
+  EXPECT_EQ(engine.plan_cache_misses(), 3u);
 }
 
 TEST(EnginePlanCacheTest, CachedPlanServesFreshSeeds) {
