@@ -20,20 +20,21 @@ SameGenerationWorkload MakeWorkload(int width) {
 void BM_Direct(benchmark::State& state) {
   SameGenerationWorkload w = MakeWorkload(static_cast<int>(state.range(0)));
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(
-      Query::Closure(SameGenerationRules()).From(w.q).Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(
+      Query::Closure(SameGenerationRules()).Force(Strategy::kSemiNaive));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   std::size_t result = 0;
   for (auto _ : state) {
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) {
       state.SkipWithError(out.status().ToString().c_str());
       break;
     }
-    result = out->size();
+    result = out->relation().size();
     benchmark::DoNotOptimize(out);
   }
   state.counters["result"] = static_cast<double>(result);
@@ -43,38 +44,45 @@ void BM_Decomposed(benchmark::State& state) {
   SameGenerationWorkload w = MakeWorkload(static_cast<int>(state.range(0)));
   Engine engine(std::move(w.db));
   // Automatic planning: the analysis finds the commuting split.
-  auto plan = engine.Plan(Query::Closure(SameGenerationRules()).From(w.q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(Query::Closure(SameGenerationRules()));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
-  if (plan->strategy != Strategy::kDecomposed) {
+  if (prepared->plan().strategy != Strategy::kDecomposed) {
     state.SkipWithError("planner did not choose kDecomposed");
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   std::size_t result = 0;
   for (auto _ : state) {
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) {
       state.SkipWithError(out.status().ToString().c_str());
       break;
     }
-    result = out->size();
+    result = out->relation().size();
     benchmark::DoNotOptimize(out);
   }
   state.counters["result"] = static_cast<double>(result);
 }
 
 void BM_PlannedEndToEnd(benchmark::State& state) {
-  // Plan + Execute each iteration over a prebuilt Query (the seed is
-  // shared, not copied). After the first iteration the pairwise
-  // commutativity verdicts come from the engine's AnalysisCache, so this
-  // measures the warm re-planning overhead the facade adds per query.
+  // Prepare + Bind + Execute each iteration (the seed is shared, not
+  // copied). After the first iteration the structural digest hits the plan
+  // cache, so this measures the warm re-preparation overhead the facade
+  // adds per query.
   SameGenerationWorkload w = MakeWorkload(static_cast<int>(state.range(0)));
   Engine engine(std::move(w.db));
-  Query query = Query::Closure(SameGenerationRules()).From(std::move(w.q));
+  Query query = Query::Closure(SameGenerationRules());
+  auto seed = std::make_shared<const Relation>(std::move(w.q));
   for (auto _ : state) {
-    auto out = engine.Execute(query);
+    auto prepared = engine.Prepare(query);
+    if (!prepared.ok()) {
+      state.SkipWithError(prepared.status().ToString().c_str());
+      break;
+    }
+    auto out = engine.Execute(prepared->Bind().BindSeed(seed));
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }

@@ -35,15 +35,16 @@ void BM_Direct_SumClosure(benchmark::State& state) {
                                           static_cast<int>(state.range(1)),
                                           static_cast<int>(state.range(2)));
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(
-      Query::Closure(SameGenerationRules()).From(w.q).Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(
+      Query::Closure(SameGenerationRules()).Force(Strategy::kSemiNaive));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   for (auto _ : state) {
     engine.ResetStats();
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
@@ -56,22 +57,25 @@ void BM_Decomposed_BstarCstar(benchmark::State& state) {
                                           static_cast<int>(state.range(2)));
   Engine engine(std::move(w.db));
   // Baseline duplicates for the ratio counter.
-  auto direct = engine.Plan(
-      Query::Closure(SameGenerationRules()).From(w.q).Force(Strategy::kSemiNaive));
-  if (!direct.ok() || !engine.Execute(*direct).ok()) {
+  auto direct = engine.Prepare(
+      Query::Closure(SameGenerationRules()).Force(Strategy::kSemiNaive));
+  if (!direct.ok() ||
+      !engine.Execute(direct->Bind().BindSeed(w.q)).ok()) {
     state.SkipWithError("direct baseline failed");
     return;
   }
   const std::size_t direct_duplicates = engine.stats().duplicates;
 
-  auto plan = engine.Plan(Query::Closure(SameGenerationRules()).From(w.q));
-  if (!plan.ok() || plan->strategy != Strategy::kDecomposed) {
+  auto prepared = engine.Prepare(Query::Closure(SameGenerationRules()));
+  if (!prepared.ok() ||
+      prepared->plan().strategy != Strategy::kDecomposed) {
     state.SkipWithError("planner did not choose kDecomposed");
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   for (auto _ : state) {
     engine.ResetStats();
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }

@@ -26,8 +26,10 @@
 #include <vector>
 
 #include "common/parallel.h"
+#include "common/strings.h"
 #include "datalog/parser.h"
 #include "engine/engine.h"
+#include "server/server.h"
 #include "workload/databases.h"
 #include "workload/graphs.h"
 #include "workload/rulegen.h"
@@ -73,20 +75,21 @@ void TimeInto(BenchResult* r, const std::function<double()>& once) {
           : 0.0;
 }
 
-/// Times `reps` executions of `plan` and fills a BenchResult row. Each
+/// Times `reps` executions of `bound` and fills a BenchResult row. Each
 /// repetition resets the engine stats so `derivations` is per-execution.
 BenchResult Run(const std::string& workload, const std::string& strategy,
-                int n, Engine& engine, const ExecutionPlan& plan, int reps) {
+                int n, Engine& engine, const BoundQuery& bound, int workers,
+                int reps) {
   BenchResult r;
   r.workload = workload;
   r.strategy = strategy;
   r.n = n;
-  r.workers = plan.parallel_workers;
+  r.workers = workers;
   r.reps = reps;
   TimeInto(&r, [&]() -> double {
     engine.ResetStats();
     auto start = std::chrono::steady_clock::now();
-    Result<Relation> out = engine.Execute(plan);
+    Result<QueryResult> out = engine.Execute(bound);
     auto end = std::chrono::steady_clock::now();
     if (!out.ok()) {
       std::fprintf(stderr, "FATAL %s/%s: %s\n", workload.c_str(),
@@ -94,7 +97,7 @@ BenchResult Run(const std::string& workload, const std::string& strategy,
       std::exit(1);
     }
     r.derivations = engine.stats().derivations;
-    r.result_size = out->size();
+    r.result_size = out->relation().size();
     return std::chrono::duration<double, std::milli>(end - start).count();
   });
   return r;
@@ -102,13 +105,16 @@ BenchResult Run(const std::string& workload, const std::string& strategy,
 
 BenchResult RunQuery(const std::string& workload, int n, Engine& engine,
                      const Query& query, int reps) {
-  Result<ExecutionPlan> plan = engine.Plan(query);
-  if (!plan.ok()) {
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  if (!prepared.ok()) {
     std::fprintf(stderr, "FATAL planning %s: %s\n", workload.c_str(),
-                 plan.status().ToString().c_str());
+                 prepared.status().ToString().c_str());
     std::exit(1);
   }
-  return Run(workload, StrategyName(plan->strategy), n, engine, *plan, reps);
+  BoundQuery bound = prepared->Bind();
+  if (query.has_seed()) bound.BindSeed(query.shared_seed());
+  return Run(workload, StrategyName(prepared->plan().strategy), n, engine,
+             bound, prepared->plan().parallel_workers, reps);
 }
 
 /// Seed relation {(i,i) : i ∈ 0..n-1 step `stride`}.
@@ -261,22 +267,23 @@ int Main(int argc, char** argv) {
     Engine engine(std::move(w->db), serial);
     Query query =
         Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds);
-    Result<ExecutionPlan> plan = engine.Plan(query);
-    if (!plan.ok()) {
+    Result<PreparedQuery> prepared = engine.Prepare(query);
+    if (!prepared.ok()) {
       std::fprintf(stderr, "FATAL planning mutual_alt_reach: %s\n",
-                   plan.status().ToString().c_str());
+                   prepared.status().ToString().c_str());
       std::exit(1);
     }
+    BoundQuery bound = prepared->Bind().BindSeeds(w->seeds);
     BenchResult r;
     r.workload = "mutual_alt_reach";
-    r.strategy = StrategyName(plan->strategy);
+    r.strategy = StrategyName(prepared->plan().strategy);
     r.n = nodes;
-    r.workers = plan->parallel_workers;
+    r.workers = prepared->plan().parallel_workers;
     r.reps = 3;
     TimeInto(&r, [&]() -> double {
       engine.ResetStats();
       auto start = std::chrono::steady_clock::now();
-      Result<std::vector<Relation>> out = engine.ExecuteJoint(*plan);
+      Result<QueryResult> out = engine.Execute(bound);
       auto end = std::chrono::steady_clock::now();
       if (!out.ok()) {
         std::fprintf(stderr, "FATAL mutual_alt_reach: %s\n",
@@ -285,7 +292,7 @@ int Main(int argc, char** argv) {
       }
       r.derivations = engine.stats().derivations;
       r.result_size = 0;
-      for (const Relation& rel : *out) r.result_size += rel.size();
+      for (const Relation& rel : out->relations) r.result_size += rel.size();
       return std::chrono::duration<double, std::milli>(end - start).count();
     });
     results.push_back(r);
@@ -307,6 +314,51 @@ int Main(int argc, char** argv) {
                        .From(seed)
                        .Force(Strategy::kSemiNaive);
     results.push_back(RunQuery("same_gen_direct", width, engine, direct, 3));
+  }
+
+  // --- The full serving path: LOAD + query through the linrecd front
+  // door (src/server). Every rep is a fresh session against one shared
+  // Server, so after the first rep the program is a registry hit and the
+  // closure a plan-cache hit — the row tracks the per-connection cost a
+  // warmed server pays: parse, seed, closure, goal filter, and reply
+  // formatting. Gated by bench_diff.py like every other workload. ---
+  {
+    const int n = 160;
+    std::string program =
+        "tc(X, Y) :- edge(X, Y).\n"
+        "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+    for (int i = 1; i < n; ++i) {
+      program += StrCat("edge(", i, ", ", i + 1, ").\n");
+    }
+    Server server;
+    BenchResult r;
+    r.workload = "server_tc_chain";
+    r.strategy = "served";
+    r.n = n;
+    r.workers = 1;
+    r.reps = 3;
+    std::size_t result_rows = 0;
+    TimeInto(&r, [&]() -> double {
+      auto session = server.NewSession();
+      std::vector<std::string> replies;
+      auto start = std::chrono::steady_clock::now();
+      server.HandleLine(*session, "LOAD", &replies);
+      server.HandleLine(*session, program, &replies);
+      server.HandleLine(*session, "END", &replies);
+      server.SubmitQueryLines(*session, {"?- tc(X, Y)."}, &replies);
+      auto end = std::chrono::steady_clock::now();
+      if (replies.size() < 3 || replies[0].rfind("OK loaded", 0) != 0 ||
+          replies[1].rfind("RESULT tc/2", 0) != 0) {
+        std::fprintf(stderr, "FATAL server_tc_chain: %s\n",
+                     replies.empty() ? "no reply" : replies.front().c_str());
+        std::exit(1);
+      }
+      r.derivations = session->instance().derivations();
+      result_rows = replies.size() - 3;  // minus OK, RESULT header, "."
+      return std::chrono::duration<double, std::milli>(end - start).count();
+    });
+    r.result_size = result_rows;
+    results.push_back(r);
   }
 
   // --- σ-sweep over one prepared plan: N selection constants against the
@@ -337,6 +389,7 @@ int Main(int argc, char** argv) {
     EngineOptions serial;
     serial.parallel_workers = 1;
     Engine one_shot(w.db, serial);
+    auto one_shot_seed = std::make_shared<const Relation>(w.q);
     {
       BenchResult r;
       r.workload = "batch_sigma_sweep";
@@ -349,16 +402,22 @@ int Main(int argc, char** argv) {
         auto start = std::chrono::steady_clock::now();
         std::size_t total = 0;
         for (Value v : constants) {
-          Result<Relation> out = one_shot.Execute(
-              Query::Closure(SameGenerationRules())
-                  .Select(Selection{sigma0.position, v})
-                  .From(w.q));
+          Result<PreparedQuery> prepared =
+              one_shot.Prepare(Query::Closure(SameGenerationRules())
+                                   .Select(Selection{sigma0.position, v}));
+          if (!prepared.ok()) {
+            std::fprintf(stderr, "FATAL batch_sigma_sweep/one_shot: %s\n",
+                         prepared.status().ToString().c_str());
+            std::exit(1);
+          }
+          Result<QueryResult> out =
+              one_shot.Execute(prepared->Bind().BindSeed(one_shot_seed));
           if (!out.ok()) {
             std::fprintf(stderr, "FATAL batch_sigma_sweep/one_shot: %s\n",
                          out.status().ToString().c_str());
             std::exit(1);
           }
-          total += out->size();
+          total += out->relation().size();
         }
         auto end = std::chrono::steady_clock::now();
         r.derivations = one_shot.stats().derivations;

@@ -28,11 +28,11 @@ EndorsedBuysWorkload MakeWorkload(int people, int fanout) {
                           /*initial_buys=*/people / 4, /*seed=*/3);
 }
 
-void RunPlanned(benchmark::State& state, const ExecutionPlan& plan,
-                Engine& engine) {
+void RunBound(benchmark::State& state, const BoundQuery& bound,
+              Engine& engine) {
   for (auto _ : state) {
     engine.ResetStats();
-    auto out = engine.Execute(plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
@@ -46,13 +46,13 @@ void BM_Direct_FanoutSweep(benchmark::State& state) {
   EndorsedBuysWorkload w =
       MakeWorkload(200, static_cast<int>(state.range(0)));
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(
-      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(
+      Query::Closure({*rule}).Force(Strategy::kSemiNaive));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
-  RunPlanned(state, *plan, engine);
+  RunBound(state, prepared->Bind().BindSeed(w.q), engine);
 }
 
 void BM_RedundancyAware_FanoutSweep(benchmark::State& state) {
@@ -60,17 +60,18 @@ void BM_RedundancyAware_FanoutSweep(benchmark::State& state) {
   EndorsedBuysWorkload w =
       MakeWorkload(200, static_cast<int>(state.range(0)));
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(Query::Closure({*rule}));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
-  if (!plan->factorization.has_value()) {
+  if (!prepared->plan().factorization.has_value()) {
     state.SkipWithError("planner did not elide the redundant predicate");
     return;
   }
-  RunPlanned(state, *plan, engine);
-  state.counters["commuting_path"] = plan->factorization->commuting ? 1 : 0;
+  RunBound(state, prepared->Bind().BindSeed(w.q), engine);
+  state.counters["commuting_path"] =
+      prepared->plan().factorization->commuting ? 1 : 0;
 }
 
 void BM_Direct_DepthSweep(benchmark::State& state) {
@@ -78,14 +79,15 @@ void BM_Direct_DepthSweep(benchmark::State& state) {
   EndorsedBuysWorkload w =
       MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(
-      Query::Closure({*rule}).From(w.q).Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(
+      Query::Closure({*rule}).Force(Strategy::kSemiNaive));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   for (auto _ : state) {
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
@@ -96,13 +98,14 @@ void BM_RedundancyAware_DepthSweep(benchmark::State& state) {
   EndorsedBuysWorkload w =
       MakeWorkload(static_cast<int>(state.range(0)), /*fanout=*/8);
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(Query::Closure({*rule}).From(w.q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(Query::Closure({*rule}));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(w.q);
   for (auto _ : state) {
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }

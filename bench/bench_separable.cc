@@ -30,11 +30,11 @@ Fixture MakeFixture(int width) {
   return f;
 }
 
-void RunPlanned(benchmark::State& state, const ExecutionPlan& plan,
-                Engine& engine) {
+void RunBound(benchmark::State& state, const BoundQuery& bound,
+              Engine& engine) {
   for (auto _ : state) {
     engine.ResetStats();
-    auto out = engine.Execute(plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }
@@ -45,31 +45,30 @@ void RunPlanned(benchmark::State& state, const ExecutionPlan& plan,
 void BM_ClosureThenSelect(benchmark::State& state) {
   Fixture f = MakeFixture(static_cast<int>(state.range(0)));
   Engine engine(std::move(f.w.db));
-  auto plan = engine.Plan(Query::Closure(SameGenerationRules())
-                              .Select(f.sigma)
-                              .From(f.w.q)
-                              .Force(Strategy::kSemiNaive));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(Query::Closure(SameGenerationRules())
+                                     .Select(f.sigma)
+                                     .Force(Strategy::kSemiNaive));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
-  RunPlanned(state, *plan, engine);
+  RunBound(state, prepared->Bind().BindSeed(f.w.q), engine);
 }
 
 void BM_SeparableAlgorithm(benchmark::State& state) {
   Fixture f = MakeFixture(static_cast<int>(state.range(0)));
   Engine engine(std::move(f.w.db));
-  auto plan = engine.Plan(
-      Query::Closure(SameGenerationRules()).Select(f.sigma).From(f.w.q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared = engine.Prepare(
+      Query::Closure(SameGenerationRules()).Select(f.sigma));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
-  if (plan->strategy != Strategy::kSeparable) {
+  if (prepared->plan().strategy != Strategy::kSeparable) {
     state.SkipWithError("planner did not choose kSeparable");
     return;
   }
-  RunPlanned(state, *plan, engine);
+  RunBound(state, prepared->Bind().BindSeed(f.w.q), engine);
 }
 
 // Selectivity sweep: fraction of seed nodes matching σ, emulated by seeding
@@ -88,14 +87,15 @@ void BM_SeparableSelectivity(benchmark::State& state) {
   }
   Selection sigma{0, key};
   Engine engine(std::move(w.db));
-  auto plan =
-      engine.Plan(Query::Closure(SameGenerationRules()).Select(sigma).From(q));
-  if (!plan.ok()) {
-    state.SkipWithError(plan.status().ToString().c_str());
+  auto prepared =
+      engine.Prepare(Query::Closure(SameGenerationRules()).Select(sigma));
+  if (!prepared.ok()) {
+    state.SkipWithError(prepared.status().ToString().c_str());
     return;
   }
+  BoundQuery bound = prepared->Bind().BindSeed(q);
   for (auto _ : state) {
-    auto out = engine.Execute(*plan);
+    auto out = engine.Execute(bound);
     if (!out.ok()) state.SkipWithError(out.status().ToString().c_str());
     benchmark::DoNotOptimize(out);
   }

@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# Smoke test for the linrecd socket front: start the daemon on an
+# ephemeral port, drive a transitive-closure workload over TCP from two
+# clients (second LOAD must be a program-registry hit), then SHUTDOWN and
+# assert a clean exit.
+#
+# Usage: bench/linrecd_smoke.sh [path/to/linrecd]
+
+set -euo pipefail
+
+LINRECD="${1:-build/tools/linrecd}"
+if [ ! -x "$LINRECD" ]; then
+  echo "FAIL: $LINRECD not found or not executable" >&2
+  exit 1
+fi
+
+WORKDIR="$(mktemp -d)"
+SERVER_LOG="$WORKDIR/server.log"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+"$LINRECD" --port 0 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the LISTENING line (the daemon prints it once bound).
+PORT=""
+for _ in $(seq 1 50); do
+  PORT="$(awk '/^LISTENING /{print $2; exit}' "$SERVER_LOG" 2>/dev/null || true)"
+  [ -n "$PORT" ] && break
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "FAIL: linrecd died before listening:" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "FAIL: no LISTENING line within 5s" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+echo "linrecd listening on port $PORT"
+
+# One TCP client: LOAD the chain-of-5 TC program, run point and full
+# queries, check STATS. `?- tc(1, Y).` has 4 answers; tc has 10 rows.
+tcp_client() {
+  python3 - "$PORT" <<'PY'
+import socket, sys
+
+port = int(sys.argv[1])
+script = (
+    "PING\n"
+    "LOAD\n"
+    "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+    "END\n"
+    "?- tc(1, Y).\n"
+    "?- tc(X, Y).\n"
+    "STATS\n"
+    "QUIT\n"
+)
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(script.encode())
+data = b""
+while b"OK bye\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+reply = data.decode()
+for needle in ("OK pong", "OK loaded rules=2 facts=4 queries=0",
+               "RESULT tc/2 rows=4 truncated=0",
+               "RESULT tc/2 rows=10 truncated=0", "OK stats", "OK bye"):
+    if needle not in reply:
+        sys.exit(f"FAIL: missing {needle!r} in reply:\n{reply}")
+print(reply, end="")
+PY
+}
+
+echo "--- client 1 (compiles the program) ---"
+tcp_client
+echo "--- client 2 (must hit the program registry) ---"
+OUT2="$(tcp_client)"
+echo "$OUT2"
+if ! grep -q "program_hits=1" <<<"$OUT2"; then
+  echo "FAIL: second LOAD was not a program-registry hit" >&2
+  exit 1
+fi
+
+# SHUTDOWN from a third connection; daemon must exit 0 by itself.
+python3 - "$PORT" <<'PY'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+s.sendall(b"SHUTDOWN\n")
+data = b""
+while b"OK shutdown\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+if b"OK shutdown" not in data:
+    sys.exit("FAIL: no OK shutdown reply")
+PY
+
+EXIT_CODE=0
+for _ in $(seq 1 50); do
+  if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    wait "$SERVER_PID" || EXIT_CODE=$?
+    break
+  fi
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "FAIL: linrecd still running 5s after SHUTDOWN" >&2
+  exit 1
+fi
+if [ "$EXIT_CODE" -ne 0 ]; then
+  echo "FAIL: linrecd exited with $EXIT_CODE" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+if ! grep -q "SHUTDOWN complete" "$SERVER_LOG"; then
+  echo "FAIL: no 'SHUTDOWN complete' in server log" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+echo "PASS: linrecd smoke (port $PORT, clean shutdown)"

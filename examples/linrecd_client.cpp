@@ -1,0 +1,114 @@
+// linrecd_client: a scripted TCP client for the linrecd daemon
+// (tools/linrecd.cc). Connects to 127.0.0.1:<port>, streams a protocol
+// script (a file, or a built-in transitive-closure demo), and prints
+// every reply line. The built-in demo LOADs a chain-of-6 TC program and
+// runs a full scan, two σ point queries, EXPLAIN and STATS — run it twice
+// against one daemon and the second STATS shows the program-registry hit.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/tools/linrecd --port 0 &        # prints LISTENING <port>
+//   ./build/examples/linrecd_client <port>              # built-in demo
+//   ./build/examples/linrecd_client <port> script.lr    # your script
+//
+// The client sends the whole script, then reads until the server closes
+// the connection — append QUIT (or SHUTDOWN) to end your script, as the
+// demo does.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+const char* kDemoScript =
+    "PING\n"
+    "LOAD\n"
+    "% Transitive closure over the chain 1->2->...->6.\n"
+    "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5). edge(5, 6).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+    "END\n"
+    "?- tc(X, Y).\n"
+    "?- tc(1, Y).\n"
+    "?- tc(X, 6).\n"
+    "EXPLAIN\n"
+    "STATS\n"
+    "QUIT\n";
+
+int Fail(const std::string& what) {
+  std::cerr << what << ": " << std::strerror(errno) << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::cerr << "usage: " << argv[0] << " <port> [script-file]\n";
+    return 2;
+  }
+  const int port = std::atoi(argv[1]);
+
+  std::string script;
+  if (argc == 3) {
+    std::ifstream in(argv[2]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[2] << "\n";
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    script = buffer.str();
+    if (!script.empty() && script.back() != '\n') script += '\n';
+  } else {
+    script = kDemoScript;
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Fail("connect");
+  }
+
+  // Send the whole script up front: runs of "?-" lines arrive together
+  // and the server batches them onto its worker pool.
+  std::size_t sent = 0;
+  while (sent < script.size()) {
+    ssize_t n = ::send(fd, script.data() + sent, script.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Fail("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  ::shutdown(fd, SHUT_WR);
+
+  // Print replies until the server closes the connection (QUIT/SHUTDOWN).
+  char chunk[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ::close(fd);
+      return Fail("recv");
+    }
+    if (n == 0) break;
+    std::cout.write(chunk, n);
+  }
+  std::cout.flush();
+  ::close(fd);
+  return 0;
+}

@@ -18,7 +18,8 @@ namespace {
 std::vector<Result<Relation>> CloseGroupsInParallel(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
     const Relation& q, std::vector<ClosureStats>* group_stats,
-    std::size_t workers, int inner_workers) {
+    std::size_t workers, int inner_workers,
+    const CancellationToken* cancel) {
   std::vector<Result<Relation>> parts;
   parts.reserve(groups.size());
   for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -32,7 +33,7 @@ std::vector<Result<Relation>> CloseGroupsInParallel(
     try {
       parts[i] = SemiNaiveClosure(groups[i], db, q, &(*group_stats)[i],
                                   &caches[static_cast<std::size_t>(lane)],
-                                  inner_workers);
+                                  inner_workers, cancel);
     } catch (const std::exception& e) {
       parts[i] =
           Status::Internal(std::string("group closure threw: ") + e.what());
@@ -48,13 +49,14 @@ std::vector<Result<Relation>> CloseGroupsInParallel(
 Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
                                ClosureStats* stats, IndexCache* cache,
-                               int workers) {
-  return SemiNaiveClosure(rules, db, q, stats, cache, workers);
+                               int workers, const CancellationToken* cancel) {
+  return SemiNaiveClosure(rules, db, q, stats, cache, workers, cancel);
 }
 
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
-    const Relation& q, ClosureStats* stats, IndexCache* cache, int workers) {
+    const Relation& q, ClosureStats* stats, IndexCache* cache, int workers,
+    const CancellationToken* cancel) {
   if (groups.empty()) {
     return Status::InvalidArgument("DecomposedClosure requires >= 1 group");
   }
@@ -74,7 +76,8 @@ Result<Relation> DecomposedClosure(
     for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
       ClosureStats group_stats;
       Result<Relation> next =
-          SemiNaiveClosure(*it, db, current, &group_stats, cache, resolved);
+          SemiNaiveClosure(*it, db, current, &group_stats, cache, resolved,
+                           cancel);
       if (!next.ok()) return next.status();
       current = std::move(next).value();
       if (stats != nullptr) stats->Accumulate(group_stats);
@@ -90,7 +93,7 @@ Result<Relation> DecomposedClosure(
   std::vector<ClosureStats> group_stats(groups.size());
   std::vector<Result<Relation>> parts =
       CloseGroupsInParallel(groups, db, q, &group_stats, pool,
-                            inner_workers);
+                            inner_workers, cancel);
   for (std::size_t i = 0; i < parts.size(); ++i) {
     if (!parts[i].ok()) return parts[i].status();
     if (stats != nullptr) stats->Accumulate(group_stats[i]);
@@ -107,7 +110,7 @@ Result<Relation> DecomposedClosure(
     ClosureStats merge_stats;
     Result<Relation> merged = SemiNaiveResume(groups[i], db, *parts[i],
                                               current, &merge_stats, cache,
-                                              resolved);
+                                              resolved, cancel);
     if (!merged.ok()) return merged.status();
     current = std::move(merged).value();
     if (stats != nullptr) stats->Accumulate(merge_stats);

@@ -23,7 +23,8 @@ Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
                                const Database& db, const Relation& q,
                                ClosureStats* stats = nullptr,
                                IndexCache* cache = nullptr,
-                               int workers = 1);
+                               int workers = 1,
+                               const CancellationToken* cancel = nullptr);
 
 /// groups[0]* groups[1]* ... groups[k-1]* q — the rightmost group closure is
 /// applied first, matching operator-product order. Callers are responsible
@@ -44,6 +45,7 @@ Result<Relation> DirectClosure(const std::vector<LinearRule>& rules,
 Result<Relation> DecomposedClosure(
     const std::vector<std::vector<LinearRule>>& groups, const Database& db,
     const Relation& q, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr, int workers = 0);
+    IndexCache* cache = nullptr, int workers = 0,
+    const CancellationToken* cancel = nullptr);
 
 }  // namespace linrec

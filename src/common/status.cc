@@ -14,6 +14,12 @@ const char* StatusCodeName(StatusCode code) {
       return "BudgetExhausted";
     case StatusCode::kNotFound:
       return "NotFound";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
     case StatusCode::kInternal:
       return "Internal";
   }

@@ -25,6 +25,13 @@ enum class StatusCode {
   kBudgetExhausted,
   /// An entity (predicate, relation, variable) was not found.
   kNotFound,
+  /// The operation was cancelled before it completed.
+  kCancelled,
+  /// The operation ran past its deadline and was stopped.
+  kDeadlineExceeded,
+  /// The service cannot accept the request right now (e.g. queue full);
+  /// the caller may retry after backing off.
+  kUnavailable,
   /// Internal invariant violated; indicates a bug in linrec itself.
   kInternal,
 };
@@ -54,6 +61,15 @@ class Status {
   }
   static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -10,7 +10,7 @@ namespace linrec {
 namespace {
 
 enum class TokKind { kIdent, kVariable, kInteger, kLParen, kRParen, kComma,
-                     kImplies, kPeriod, kEquals, kEnd };
+                     kImplies, kQuery, kPeriod, kEquals, kEnd };
 
 struct Token {
   TokKind kind;
@@ -59,6 +59,13 @@ class Lexer {
         }
         Advance();
         tok.kind = TokKind::kImplies;
+      } else if (c == '?') {
+        Advance();
+        if (pos_ >= text_.size() || text_[pos_] != '-') {
+          return Error("expected '-' after '?'");
+        }
+        Advance();
+        tok.kind = TokKind::kQuery;
       } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '-') {
         tok.kind = TokKind::kInteger;
         std::string num;
@@ -197,6 +204,14 @@ class Parser {
     std::string head_pred;
     std::vector<Term> head_terms;
     const Token& start = Peek();
+    if (start.kind == TokKind::kQuery) {
+      // Query goal: "?- atom." — variables and constants both allowed.
+      ++pos_;
+      LINREC_RETURN_IF_ERROR(ParseAtom(&builder, &head_pred, &head_terms));
+      LINREC_RETURN_IF_ERROR(Expect(TokKind::kPeriod, "'.'"));
+      program->queries.push_back(Atom{head_pred, std::move(head_terms)});
+      return Status::OK();
+    }
     LINREC_RETURN_IF_ERROR(ParseAtom(&builder, &head_pred, &head_terms));
 
     if (Peek().kind == TokKind::kPeriod) {
@@ -295,7 +310,8 @@ Result<Program> ParseProgram(const std::string& text) {
 Result<Rule> ParseRule(const std::string& text) {
   Result<Program> program = ParseProgram(text);
   if (!program.ok()) return program.status();
-  if (program->rules.size() != 1 || !program->facts.empty()) {
+  if (program->rules.size() != 1 || !program->facts.empty() ||
+      !program->queries.empty()) {
     return Status::InvalidArgument(
         StrCat("expected exactly one rule, got ", program->rules.size(),
                " rule(s) and ", program->facts.size(), " fact(s)"));

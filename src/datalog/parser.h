@@ -4,6 +4,7 @@
 //
 //   program  := clause*
 //   clause   := atom ( ":-" atom ("," atom)* )? "."
+//             | "?-" atom "."
 //   atom     := predicate "(" term ("," term)* ")"
 //   term     := VARIABLE | INTEGER
 //
@@ -11,6 +12,8 @@
 // start with an uppercase letter or '_'. Constants are (signed) integers —
 // the value domain is typeless (Section 2), so workloads intern any symbolic
 // data to integers. A clause without a body and without variables is a fact.
+// A "?-" clause is a query goal: its atom may mix variables and constants
+// (the front end lowers a single constant into a σ bind, engine/query.h).
 
 #pragma once
 
@@ -23,10 +26,12 @@
 
 namespace linrec {
 
-/// A parsed program: rules (clauses with a body) and ground facts.
+/// A parsed program: rules (clauses with a body), ground facts, and query
+/// goals ("?-" clauses, in program order).
 struct Program {
   std::vector<Rule> rules;
   std::vector<Atom> facts;
+  std::vector<Atom> queries;
 
   /// Loads all facts into a Database (arities inferred; conflicting arities
   /// for one predicate yield InvalidArgument).

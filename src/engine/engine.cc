@@ -437,7 +437,18 @@ Result<PreparedQuery> Engine::Prepare(const Query& query) {
       query.sigma_position(), query.sigma_value());
 }
 
-Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
+Engine::ExecutionBinding Engine::BindingOf(const BoundQuery& bound) {
+  ExecutionBinding binding;
+  binding.seed = bound.seed().get();
+  binding.seeds = bound.seeds().get();
+  binding.selection = bound.selection();
+  binding.cancel = bound.cancel();
+  return binding;
+}
+
+Result<QueryResult> Engine::Run(const ExecutionPlan& plan,
+                                const ExecutionBinding& binding,
+                                IndexCache* cache,
                                 int workers_override) const {
   // Plans from older callers may predate the resolved field; fall back to
   // the engine's own options.
@@ -447,22 +458,24 @@ Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
           : (plan.parallel_workers > 0
                  ? plan.parallel_workers
                  : ResolveWorkers(options_.parallel_workers));
+  const CancellationToken* cancel = binding.cancel;
 
   if (plan.strategy == Strategy::kJointSemiNaive) {
-    if (plan.joint_seeds == nullptr) {
+    const std::vector<Relation>* seeds =
+        binding.seeds != nullptr ? binding.seeds : plan.joint_seeds.get();
+    if (seeds == nullptr) {
       return Status::InvalidArgument("joint plan has no seed relations");
     }
-    if (plan.joint_seeds->size() != plan.members.size()) {
+    if (seeds->size() != plan.members.size()) {
       return Status::InvalidArgument(
-          StrCat("joint plan has ", plan.joint_seeds->size(), " seeds for ",
+          StrCat("joint plan has ", seeds->size(), " seeds for ",
                  plan.members.size(), " members"));
     }
     QueryResult result;
     result.joint = true;
     Result<std::vector<Relation>> out =
-        JointSemiNaiveClosure(plan.members, plan.joint_rules, db_,
-                              *plan.joint_seeds, &result.stats, cache,
-                              workers);
+        JointSemiNaiveClosure(plan.members, plan.joint_rules, db_, *seeds,
+                              &result.stats, cache, workers, cancel);
     if (!out.ok()) return out.status();
     result.relations = std::move(out).value();
     return result;
@@ -471,40 +484,47 @@ Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
   if (plan.rules.empty()) {
     return Status::InvalidArgument("plan has no rules");
   }
-  if (plan.seed == nullptr) {
+  const Relation* seed_ptr =
+      binding.seed != nullptr ? binding.seed : plan.seed.get();
+  if (seed_ptr == nullptr) {
     return Status::InvalidArgument("plan has no seed relation");
   }
-  if (plan.selection.has_value()) {
-    if (plan.sigma_parameterized) {
-      return Status::InvalidArgument(
-          "the plan's σ parameter is unbound; bind a value "
-          "(PreparedQuery::Bind) before executing");
-    }
-    // Engine-boundary validation: plans normally arrive through Plan()
-    // (whose Query::Validate covers this), but a hand-built or mutated
-    // plan with an out-of-range σ position would otherwise reach
+  // The binding's σ value (when present) overrides the plan's selection —
+  // parameterized plans store a value-free placeholder.
+  std::optional<Selection> selection = plan.selection;
+  if (binding.selection.has_value()) {
+    selection = binding.selection;
+  } else if (plan.sigma_parameterized) {
+    return Status::InvalidArgument(
+        "the plan's σ parameter is unbound; bind a value "
+        "(PreparedQuery::Bind) before executing");
+  }
+  if (selection.has_value()) {
+    // Engine-boundary validation: bindings normally arrive through
+    // Prepare/Bind (whose validation covers this), but a hand-built plan
+    // with an out-of-range σ position would otherwise reach
     // Relation::WhereEquals as undefined behavior in NDEBUG builds.
     const int arity = static_cast<int>(plan.rules.front().arity());
-    if (plan.selection->position < 0 || plan.selection->position >= arity) {
+    if (selection->position < 0 || selection->position >= arity) {
       return Status::InvalidArgument(
-          StrCat("selection position ", plan.selection->position,
+          StrCat("selection position ", selection->position,
                  " out of range for arity ", arity));
     }
   }
-  const Relation& seed = *plan.seed;
+  const Relation& seed = *seed_ptr;
   QueryResult result;
   ClosureStats& s = result.stats;
   Result<Relation> out = Status::Internal("strategy not executed");
   switch (plan.strategy) {
     case Strategy::kNaive:
-      out = NaiveClosure(plan.rules, db_, seed, &s, cache, workers);
+      out = NaiveClosure(plan.rules, db_, seed, &s, cache, workers, cancel);
       break;
     case Strategy::kSemiNaive:
       out = plan.factorization.has_value()
                 ? RedundantClosure(*plan.factorization, db_, seed, &s,
-                                   cache, workers)
+                                   cache, workers, cancel)
                 : SemiNaiveClosure(plan.rules, db_, seed, &s, cache,
-                                   workers);
+                                   workers, cancel);
       break;
     case Strategy::kDecomposed: {
       if (plan.groups.empty()) {
@@ -515,11 +535,12 @@ Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
       for (const std::vector<int>& group : plan.groups) {
         groups.push_back(plan.RulesOf(group));
       }
-      out = DecomposedClosure(groups, db_, seed, &s, cache, workers);
+      out = DecomposedClosure(groups, db_, seed, &s, cache, workers,
+                              cancel);
       break;
     }
     case Strategy::kSeparable: {
-      if (!plan.selection.has_value() || plan.outer.empty()) {
+      if (!selection.has_value() || plan.outer.empty()) {
         return Status::InvalidArgument(
             "separable plan requires a selection and a nonempty outer "
             "group");
@@ -529,21 +550,21 @@ Result<QueryResult> Engine::Run(const ExecutionPlan& plan, IndexCache* cache,
       // execute time (the plan itself is value-free).
       out = SeparableClosureUnchecked(plan.RulesOf(plan.outer),
                                       plan.RulesOf(plan.inner),
-                                      *plan.selection, db_, seed, &s,
-                                      cache, workers);
+                                      *selection, db_, seed, &s, cache,
+                                      workers, cancel);
       break;
     }
     case Strategy::kPowerSum:
       out = PowerSum(plan.rules, db_, seed, plan.power_bound, &s, cache,
-                     workers);
+                     workers, cancel);
       break;
     case Strategy::kJointSemiNaive:
       return Status::Internal("joint strategy handled above");
   }
   if (!out.ok()) return out.status();
   Relation relation = std::move(out).value();
-  if (plan.selection.has_value() && !plan.selection_pushed) {
-    relation = ApplySelection(relation, *plan.selection);
+  if (selection.has_value() && !plan.selection_pushed) {
+    relation = ApplySelection(relation, *selection);
     s.result_size = relation.size();
   }
   result.relations.push_back(std::move(relation));
@@ -558,7 +579,9 @@ void Engine::EvictTemporaryIndexes() {
 
 Result<QueryResult> Engine::Execute(const BoundQuery& bound) {
   LINREC_RETURN_IF_ERROR(bound.Validate());
-  Result<QueryResult> result = Run(bound.ToPlan(), &cache_,
+  // The shared plan is used in place: the seed, σ value and cancellation
+  // token flow through the binding, so executing never copies the plan.
+  Result<QueryResult> result = Run(*bound.plan(), BindingOf(bound), &cache_,
                                    /*workers_override=*/0);
   if (!result.ok()) return result;
   stats_.Accumulate(result->stats);
@@ -566,20 +589,30 @@ Result<QueryResult> Engine::Execute(const BoundQuery& bound) {
   return result;
 }
 
-Result<std::vector<QueryResult>> Engine::ExecuteBatch(
+std::vector<Result<QueryResult>> Engine::ExecuteBatchEach(
     const std::vector<BoundQuery>& batch) {
-  if (batch.empty()) return std::vector<QueryResult>{};
-  // Validate and materialize every plan up front, serially — failing
-  // before any work starts, and keeping planning/copying off the lanes.
-  std::vector<ExecutionPlan> plans;
-  plans.reserve(batch.size());
+  std::vector<Result<QueryResult>> slots;
+  slots.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    slots.emplace_back(Status::Internal("batch query not executed"));
+  }
+  if (batch.empty()) return slots;
+
+  // Validate serially up front; an invalid slot fails alone, its
+  // neighbours still run. Bindings are pointers into the BoundQuery — the
+  // shared prepared plan is used in place, so N slots over one
+  // PreparedQuery share a single plan object (no per-slot deep copy, no
+  // per-slot digest hashing).
+  std::vector<ExecutionBinding> bindings(batch.size());
+  std::vector<char> runnable(batch.size(), 0);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     Status valid = batch[i].Validate();
     if (!valid.ok()) {
-      return Status(valid.code(),
-                    StrCat("batch query ", i, ": ", valid.message()));
+      slots[i] = std::move(valid);
+      continue;
     }
-    plans.push_back(batch[i].ToPlan());
+    bindings[i] = BindingOf(batch[i]);
+    runnable[i] = 1;
   }
 
   // The batch's shared read side: the engine's parameter relations are
@@ -593,18 +626,15 @@ Result<std::vector<QueryResult>> Engine::ExecuteBatch(
   }
   std::mutex shared_mu;
 
-  std::vector<Result<QueryResult>> slots;
-  slots.reserve(batch.size());
-  for (std::size_t i = 0; i < batch.size(); ++i) {
-    slots.emplace_back(Status::Internal("batch query not executed"));
-  }
   auto run_one = [&](std::size_t i) {
+    if (!runnable[i]) return;  // failed validation above
     TieredIndexCache cache(&cache_, &shared_mu, &shared_relations);
     // Each query runs its rounds serially: batch-level parallelism
     // replaces intra-round parallelism, so results cannot depend on the
     // lane schedule. The per-query temporary tier dies right here, at the
     // end of the query; the shared tier is swept once, below.
-    slots[i] = Run(plans[i], &cache, /*workers_override=*/1);
+    slots[i] = Run(*batch[i].plan(), bindings[i], &cache,
+                   /*workers_override=*/1);
   };
 
   const int lanes = static_cast<int>(
@@ -618,62 +648,42 @@ Result<std::vector<QueryResult>> Engine::ExecuteBatch(
     pool.Run(batch.size(), [&](int, std::size_t i) { run_one(i); });
   }
 
-  std::vector<QueryResult> results;
-  results.reserve(batch.size());
+  // Accumulate in batch order, so the engine-global record is identical
+  // to having executed the successful slots sequentially.
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    if (!slots[i].ok()) {
-      const Status& st = slots[i].status();
-      return Status(st.code(),
-                    StrCat("batch query ", i, ": ", st.message()));
-    }
-    // Accumulate in batch order, so the engine-global record is identical
-    // to having executed the batch sequentially.
-    stats_.Accumulate(slots[i]->stats);
-    results.push_back(std::move(*slots[i]));
+    if (slots[i].ok()) stats_.Accumulate(slots[i]->stats);
   }
   // Deferred to batch end: one sweep drops whatever the batch pinned into
   // the shared tier beyond the parameter relations (today: nothing — the
   // tiering keeps temporaries private — but the sweep keeps the invariant
   // explicit and cheap).
   EvictTemporaryIndexes();
+  return slots;
+}
+
+Result<std::vector<QueryResult>> Engine::ExecuteBatch(
+    const std::vector<BoundQuery>& batch) {
+  // Fail fast on validation, before any work starts (the per-slot path
+  // lets valid neighbours run; the all-or-nothing contract here does not).
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Status valid = batch[i].Validate();
+    if (!valid.ok()) {
+      return Status(valid.code(),
+                    StrCat("batch query ", i, ": ", valid.message()));
+    }
+  }
+  std::vector<Result<QueryResult>> slots = ExecuteBatchEach(batch);
+  std::vector<QueryResult> results;
+  results.reserve(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].ok()) {
+      const Status& st = slots[i].status();
+      return Status(st.code(),
+                    StrCat("batch query ", i, ": ", st.message()));
+    }
+    results.push_back(std::move(*slots[i]));
+  }
   return results;
-}
-
-Result<Relation> Engine::Execute(const ExecutionPlan& plan) {
-  if (plan.strategy == Strategy::kJointSemiNaive) {
-    return Status::InvalidArgument(
-        "joint plans produce one relation per member; use "
-        "Engine::ExecuteJoint");
-  }
-  Result<QueryResult> result = Run(plan, &cache_, /*workers_override=*/0);
-  if (!result.ok()) return result.status();
-  stats_.Accumulate(result->stats);
-  EvictTemporaryIndexes();
-  return std::move(result->relations.front());
-}
-
-Result<Relation> Engine::Execute(const Query& query) {
-  Result<ExecutionPlan> plan = Plan(query);
-  if (!plan.ok()) return plan.status();
-  return Execute(*plan);
-}
-
-Result<std::vector<Relation>> Engine::ExecuteJoint(const ExecutionPlan& plan) {
-  if (plan.strategy != Strategy::kJointSemiNaive) {
-    return Status::InvalidArgument(
-        "ExecuteJoint requires a joint plan (Strategy::kJointSemiNaive)");
-  }
-  Result<QueryResult> result = Run(plan, &cache_, /*workers_override=*/0);
-  if (!result.ok()) return result.status();
-  stats_.Accumulate(result->stats);
-  EvictTemporaryIndexes();
-  return std::move(result->relations);
-}
-
-Result<std::vector<Relation>> Engine::ExecuteJoint(const Query& query) {
-  Result<ExecutionPlan> plan = Plan(query);
-  if (!plan.ok()) return plan.status();
-  return ExecuteJoint(*plan);
 }
 
 }  // namespace linrec

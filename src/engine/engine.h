@@ -125,28 +125,21 @@ class Engine {
   /// batch end. Results are positionally aligned with `batch` and
   /// identical to executing each bound query sequentially, for every
   /// worker count. Stats accumulate into stats() in batch order. The
-  /// first failing query fails the whole batch.
+  /// first failing query fails the whole batch (Validate failures fail it
+  /// before any work starts); callers needing per-slot outcomes use
+  /// ExecuteBatchEach.
   Result<std::vector<QueryResult>> ExecuteBatch(
       const std::vector<BoundQuery>& batch);
 
-  /// \deprecated Shim over the prepared-query path (kept for one PR).
-  /// Runs `plan` against the engine's database. Stats accumulate into
-  /// stats(). Joint plans (Strategy::kJointSemiNaive) produce one relation
-  /// per member and must go through ExecuteJoint.
-  Result<Relation> Execute(const ExecutionPlan& plan);
-
-  /// \deprecated Shim over Prepare + Bind + Execute (kept for one PR).
-  /// Plan + Execute in one step.
-  Result<Relation> Execute(const Query& query);
-
-  /// \deprecated Shim over the prepared-query path (kept for one PR).
-  /// Runs a joint plan (from a Query::JointClosure), returning the closed
-  /// member relations in member order.
-  Result<std::vector<Relation>> ExecuteJoint(const ExecutionPlan& plan);
-
-  /// \deprecated Shim over Prepare + Bind + Execute (kept for one PR).
-  /// Plan + ExecuteJoint in one step.
-  Result<std::vector<Relation>> ExecuteJoint(const Query& query);
+  /// ExecuteBatch with per-slot outcomes: every slot runs to its own
+  /// Result, so one failing (or deadline-expired) query never voids its
+  /// neighbours' work. Scheduling, caching and determinism are identical
+  /// to ExecuteBatch; stats accumulate into stats() for the successful
+  /// slots, in batch order. This is the serving path: a batch of client
+  /// queries with per-query cancellation tokens
+  /// (BoundQuery::WithCancellation) degrades per query, not per batch.
+  std::vector<Result<QueryResult>> ExecuteBatchEach(
+      const std::vector<BoundQuery>& batch);
 
   /// Aggregated ClosureStats over every Execute call since ResetStats.
   /// Per-execution stats are returned in each QueryResult.
@@ -179,14 +172,28 @@ class Engine {
   /// inserting it into the plan cache (digest: rules, σ position, forced
   /// strategy, member list — never the σ value or the seed).
   Result<ExecutionPlan> PlanParameterized(const Query& query);
+  /// One execution's bindings over a shared plan: the seed(s), the σ value
+  /// and the cancellation token live here — never in the (cached, shared)
+  /// ExecutionPlan — so N batch slots over one PreparedQuery share a single
+  /// plan object instead of deep-copying it per slot.
+  struct ExecutionBinding {
+    const Relation* seed = nullptr;
+    const std::vector<Relation>* seeds = nullptr;
+    /// Engaged when the binding carries a σ value (parameterized plans
+    /// require it; it overrides the plan's placeholder selection).
+    std::optional<Selection> selection;
+    const CancellationToken* cancel = nullptr;
+  };
+  static ExecutionBinding BindingOf(const BoundQuery& bound);
   /// The single execution path behind every public entry point: runs
-  /// `plan` (single-predicate or joint) against db_ through `cache`,
-  /// filling one QueryResult with this execution's stats. Const — it
-  /// mutates no engine state, so batch lanes may call it concurrently with
-  /// distinct caches. `workers_override` > 0 replaces the plan's resolved
-  /// worker count (ExecuteBatch forces 1: parallelism moves across
-  /// queries).
-  Result<QueryResult> Run(const ExecutionPlan& plan, IndexCache* cache,
+  /// `plan` (single-predicate or joint) with this `binding` against db_
+  /// through `cache`, filling one QueryResult with this execution's stats.
+  /// Const — it mutates no engine state, so batch lanes may call it
+  /// concurrently with distinct caches. `workers_override` > 0 replaces
+  /// the plan's resolved worker count (ExecuteBatchEach forces 1:
+  /// parallelism moves across queries).
+  Result<QueryResult> Run(const ExecutionPlan& plan,
+                          const ExecutionBinding& binding, IndexCache* cache,
                           int workers_override) const;
   /// Fills groups via union-find over the memoized non-commuting pairs,
   /// appending per-pair verdicts to the plan's justification.

@@ -69,8 +69,8 @@ struct ExecutionPlan {
   std::shared_ptr<const Relation> seed;
   /// kJointSemiNaive: the member predicate names of the strongly connected
   /// component, the joint rules over them (eval/joint.h), and the
-  /// per-member seeds (shared with the Query like `seed`). Executed via
-  /// Engine::ExecuteJoint, which returns one relation per member.
+  /// per-member seeds (shared with the Query like `seed`). Executing a
+  /// joint BoundQuery yields a QueryResult with one relation per member.
   std::vector<std::string> members;
   std::vector<JointRule> joint_rules;
   std::shared_ptr<const std::vector<Relation>> joint_seeds;

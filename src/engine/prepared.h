@@ -15,9 +15,8 @@
 //     batch.push_back(prepared->Bind(v).BindSeed(seed));
 //   auto results = engine.ExecuteBatch(batch);   // one QueryResult each
 //
-// Every execution path — prepared or the deprecated Execute/ExecuteJoint
-// shims — reports through one result type, QueryResult: the closed
-// relation(s) plus that execution's own ClosureStats.
+// Every execution path reports through one result type, QueryResult: the
+// closed relation(s) plus that execution's own ClosureStats.
 
 #pragma once
 
@@ -27,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "engine/plan.h"
 #include "eval/stats.h"
@@ -121,6 +121,15 @@ class BoundQuery {
   BoundQuery& BindSeeds(std::vector<Relation> seeds);
   BoundQuery& BindSeeds(std::shared_ptr<const std::vector<Relation>> seeds);
 
+  /// Attaches a cancellation token checked at round boundaries of this
+  /// execution. Not owned: the token must outlive the execution. A null
+  /// token (the default) never cancels. The token never reaches the plan
+  /// cache — cancellation is a property of the binding, not the plan.
+  BoundQuery& WithCancellation(const CancellationToken* cancel) {
+    cancel_ = cancel;
+    return *this;
+  }
+
   const std::shared_ptr<const ExecutionPlan>& plan() const { return plan_; }
   /// The fully bound selection, if the prepared query had a σ parameter or
   /// default value.
@@ -129,6 +138,7 @@ class BoundQuery {
   const std::shared_ptr<const std::vector<Relation>>& seeds() const {
     return seeds_;
   }
+  const CancellationToken* cancel() const { return cancel_; }
 
   /// Checks the binding is complete and coherent: a plan is attached, any
   /// deferred Bind misuse surfaces here, σ is bound iff the plan is
@@ -147,6 +157,7 @@ class BoundQuery {
   std::optional<Selection> selection_;
   std::shared_ptr<const Relation> seed_;
   std::shared_ptr<const std::vector<Relation>> seeds_;
+  const CancellationToken* cancel_ = nullptr;
   /// First misuse of the fluent surface (Bind(v) without a σ parameter,
   /// BindSeed on a joint plan, ...), reported by Validate.
   Status error_ = Status::OK();

@@ -4,9 +4,10 @@
 // rules' cached analysis. Typical use:
 //
 //   Engine engine(std::move(db));
-//   auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
-//   std::cout << plan->Explain();
-//   auto result = engine.Execute(*plan);
+//   auto prepared = engine.Prepare(
+//       Query::Closure({r1, r2}).SelectPosition(0));
+//   std::cout << prepared->plan().Explain();
+//   auto result = engine.Execute(prepared->Bind(v).BindSeed(q));
 
 #pragma once
 
@@ -32,9 +33,9 @@ class Query {
 
   /// Starts a joint query: the least relations P_0..P_{M-1} (one per
   /// member predicate of a strongly connected component) jointly closed
-  /// under mutually recursive linear rules. Seed with FromSeeds; execute
-  /// with Engine::ExecuteJoint. Selections and Force are not supported on
-  /// joint queries.
+  /// under mutually recursive linear rules. Seed with FromSeeds (or bind
+  /// seeds per execution with BoundQuery::BindSeeds). Selections and Force
+  /// are not supported on joint queries.
   static Query JointClosure(std::vector<std::string> members,
                             std::vector<JointRule> rules);
 

@@ -1,0 +1,85 @@
+// DigestRegistry: a digest-keyed, single-flight registry of compiled
+// artifacts (prepared programs, in the server's case).
+//
+// The engine's plan cache deduplicates *queries* by structural digest; the
+// registry lifts the same idea one level up, to whole compiled programs:
+// GetOrCompile(digest, factory) runs `factory` exactly once per digest,
+// however many sessions submit the same program text concurrently, and
+// every caller shares one immutable compiled artifact. Because the factory
+// funnels all Engine::Prepare calls of a program through one place, N
+// sessions loading the same program cost exactly one plan-cache miss per
+// distinct query structure — the serving-path guarantee the front door is
+// built on.
+//
+// The registry is a header-only template so src/engine/ never depends on
+// the types compiled into it (the server instantiates it with the
+// frontend's CompiledProgram).
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace linrec {
+
+template <typename T>
+class DigestRegistry {
+ public:
+  using Factory = std::function<Result<T>()>;
+
+  /// Returns the artifact registered under `digest`, running `factory` to
+  /// compile it on first use. Single-flight: the registry mutex is held
+  /// across the factory, so concurrent callers with the same digest block
+  /// until the first compile finishes and then share its result — the
+  /// factory never runs twice for one digest. A failing factory registers
+  /// nothing (the next caller retries).
+  Result<std::shared_ptr<const T>> GetOrCompile(const std::string& digest,
+                                                const Factory& factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(digest);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    Result<T> compiled = factory();
+    if (!compiled.ok()) return compiled.status();
+    auto entry = std::make_shared<const T>(std::move(*compiled));
+    entries_.emplace(digest, entry);
+    return entry;
+  }
+
+  /// Returns the artifact under `digest`, or null if absent (no counter
+  /// movement — a pure probe).
+  std::shared_ptr<const T> Find(const std::string& digest) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(digest);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  std::size_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::size_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const T>> entries_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace linrec

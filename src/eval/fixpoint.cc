@@ -215,12 +215,14 @@ class RoundEvaluator {
 /// Δ relation and the next Δ materializes as a side effect of the merge.
 Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
                     Relation* result, RowId delta_begin, ClosureStats* stats,
-                    IndexCache* cache, int workers) {
+                    IndexCache* cache, int workers,
+                    const CancellationToken* cancel) {
   if (rules.empty() || delta_begin >= result->size()) return Status::OK();
   RoundEvaluator evaluator(rules, db, result, workers);
   LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
   RowId begin = delta_begin;
   while (begin < result->size()) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     if (stats != nullptr) ++stats->iterations;
     RowId end = static_cast<RowId>(result->size());
     LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, result, stats));
@@ -234,7 +236,8 @@ Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
 Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats, IndexCache* cache,
-                                  int workers) {
+                                  int workers,
+                                  const CancellationToken* cancel) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -244,7 +247,8 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
 
   Relation result = q;
   LINREC_RETURN_IF_ERROR(
-      RunSemiNaive(*prepared, db, &result, 0, stats, cache, workers));
+      RunSemiNaive(*prepared, db, &result, 0, stats, cache, workers,
+                   cancel));
   if (stats != nullptr) {
     stats->result_size = result.size();
     stats->duplicates = stats->derivations - (result.size() - q.size());
@@ -255,7 +259,8 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  const Database& db, const Relation& closed,
                                  const Relation& extra, ClosureStats* stats,
-                                 IndexCache* cache, int workers) {
+                                 IndexCache* cache, int workers,
+                                 const CancellationToken* cancel) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, closed));
   if (extra.arity() != closed.arity()) {
     return Status::InvalidArgument(
@@ -281,7 +286,7 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
   std::size_t seeded = result.size();
 
   LINREC_RETURN_IF_ERROR(RunSemiNaive(*prepared, db, &result, delta_begin,
-                                      stats, cache, workers));
+                                      stats, cache, workers, cancel));
   if (stats != nullptr) {
     stats->result_size = result.size();
     stats->duplicates += stats->derivations - (result.size() - seeded);
@@ -292,7 +297,7 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
                               ClosureStats* stats, IndexCache* cache,
-                              int workers) {
+                              int workers, const CancellationToken* cancel) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -312,6 +317,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
   LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
   bool changed = true;
   while (changed) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     if (stats != nullptr) ++stats->iterations;
     RowId before = static_cast<RowId>(result.size());
     LINREC_RETURN_IF_ERROR(evaluator.Round(0, before, &result, stats));
@@ -327,7 +333,8 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
                           const Database& db, const Relation& q,
                           int max_power, ClosureStats* stats,
-                          IndexCache* cache, int workers) {
+                          IndexCache* cache, int workers,
+                          const CancellationToken* cancel) {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   if (max_power < 0) {
     return Status::InvalidArgument("max_power must be >= 0");
@@ -350,6 +357,7 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
   LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
   Relation next(q.arity());
   for (int m = 1; m <= max_power; ++m) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     if (stats != nullptr) ++stats->iterations;
     next.Clear();
     LINREC_RETURN_IF_ERROR(evaluator.Round(

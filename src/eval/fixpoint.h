@@ -12,11 +12,16 @@
 // closure multiply — a speedup inside the recursion step applies to every
 // round — this parallelizes the single-group (non-commuting) case that the
 // Theorem 3.1 decomposition cannot touch.
+//
+// Every engine also accepts an optional CancellationToken, checked at round
+// boundaries: a cancelled or deadline-expired token stops the fixpoint with
+// kCancelled / kDeadlineExceeded after at most one more round.
 
 #pragma once
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "datalog/rule.h"
 #include "eval/apply.h"
@@ -38,7 +43,8 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats = nullptr,
                                   IndexCache* cache = nullptr,
-                                  int workers = 1);
+                                  int workers = 1,
+                                  const CancellationToken* cancel = nullptr);
 
 /// Semi-naive continuation: computes (Σ rules)* (closed ∪ extra) given that
 /// `closed` is already a fixpoint of the rules. Only the tuples of `extra`
@@ -53,7 +59,8 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  const Relation& extra,
                                  ClosureStats* stats = nullptr,
                                  IndexCache* cache = nullptr,
-                                 int workers = 1);
+                                 int workers = 1,
+                                 const CancellationToken* cancel = nullptr);
 
 /// Same fixpoint by naive evaluation: each round applies every operator to
 /// the full accumulated relation. Baseline for bench_engine (E7); produces
@@ -61,7 +68,8 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
                               ClosureStats* stats = nullptr,
-                              IndexCache* cache = nullptr, int workers = 1);
+                              IndexCache* cache = nullptr, int workers = 1,
+                              const CancellationToken* cancel = nullptr);
 
 /// Computes the single power sum Σ_{m=0}^{max_power} A^m q where A is the
 /// operator sum of `rules` (m = 0 contributes q itself). Used by the
@@ -69,6 +77,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
 Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
                           const Database& db, const Relation& q,
                           int max_power, ClosureStats* stats = nullptr,
-                          IndexCache* cache = nullptr, int workers = 1);
+                          IndexCache* cache = nullptr, int workers = 1,
+                          const CancellationToken* cancel = nullptr);
 
 }  // namespace linrec

@@ -246,7 +246,8 @@ Result<std::vector<Relation>> CloseJoint(
     const std::vector<std::string>& members,
     const std::vector<JointRule>& rules, const Database& db,
     const std::vector<Relation>& seeds, ClosureStats* stats,
-    IndexCache* cache, int workers, bool naive) {
+    IndexCache* cache, int workers, bool naive,
+    const CancellationToken* cancel) {
   LINREC_RETURN_IF_ERROR(ValidateJointRules(members, rules, seeds));
   Result<std::vector<JointRule>> prepared = PrepareJointRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -271,6 +272,7 @@ Result<std::vector<Relation>> CloseJoint(
         if (evaluator.Feeds(m)) delta_rows += end[m] - begin[m];
       }
       if (delta_rows == 0) break;
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
       if (stats != nullptr) ++stats->iterations;
       LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, stats));
       if (naive) {
@@ -406,18 +408,18 @@ Result<std::vector<Relation>> JointSemiNaiveClosure(
     const std::vector<std::string>& members,
     const std::vector<JointRule>& rules, const Database& db,
     const std::vector<Relation>& seeds, ClosureStats* stats,
-    IndexCache* cache, int workers) {
+    IndexCache* cache, int workers, const CancellationToken* cancel) {
   return CloseJoint(members, rules, db, seeds, stats, cache, workers,
-                    /*naive=*/false);
+                    /*naive=*/false, cancel);
 }
 
 Result<std::vector<Relation>> JointNaiveClosure(
     const std::vector<std::string>& members,
     const std::vector<JointRule>& rules, const Database& db,
     const std::vector<Relation>& seeds, ClosureStats* stats,
-    IndexCache* cache, int workers) {
+    IndexCache* cache, int workers, const CancellationToken* cancel) {
   return CloseJoint(members, rules, db, seeds, stats, cache, workers,
-                    /*naive=*/true);
+                    /*naive=*/true, cancel);
 }
 
 }  // namespace linrec

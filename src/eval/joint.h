@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "datalog/rule.h"
 #include "eval/index_cache.h"
@@ -76,7 +77,8 @@ Result<std::vector<Relation>> JointSemiNaiveClosure(
     const std::vector<std::string>& members,
     const std::vector<JointRule>& rules, const Database& db,
     const std::vector<Relation>& seeds, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr, int workers = 1);
+    IndexCache* cache = nullptr, int workers = 1,
+    const CancellationToken* cancel = nullptr);
 
 /// The same fixpoint by naive evaluation: each round re-applies every rule
 /// to its recursive member's FULL relation. Reference/baseline only —
@@ -85,6 +87,7 @@ Result<std::vector<Relation>> JointNaiveClosure(
     const std::vector<std::string>& members,
     const std::vector<JointRule>& rules, const Database& db,
     const std::vector<Relation>& seeds, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr, int workers = 1);
+    IndexCache* cache = nullptr, int workers = 1,
+    const CancellationToken* cancel = nullptr);
 
 }  // namespace linrec

@@ -1,0 +1,557 @@
+#include "frontend/lower.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/scc.h"
+#include "common/strings.h"
+#include "datalog/equality.h"
+#include "datalog/printer.h"
+#include "eval/apply.h"
+
+namespace linrec {
+namespace {
+
+/// Rules grouped per derived predicate (mirrors algebra/program_eval.cc —
+/// classification happens per strongly connected component).
+struct PredicateRules {
+  std::size_t arity = 0;
+  std::vector<Rule> rules;
+};
+
+std::string JoinNames(const std::vector<std::string>& names) {
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+Result<std::map<std::string, PredicateRules>> GroupRules(
+    const std::vector<Rule>& rules) {
+  std::map<std::string, PredicateRules> grouped;
+  for (const Rule& rule : rules) {
+    const std::string& pred = rule.head().predicate;
+    PredicateRules& group = grouped[pred];
+    if (group.rules.empty()) {
+      group.arity = rule.head().arity();
+    } else if (group.arity != rule.head().arity()) {
+      return Status::InvalidArgument(
+          StrCat("predicate '", pred, "' defined with arities ", group.arity,
+                 " and ", rule.head().arity()));
+    }
+    group.rules.push_back(rule);
+  }
+  return grouped;
+}
+
+/// Compiles one singleton component into a CompiledUnit: base rules kept
+/// for seeding, linear recursive rules prepared (seedless) through the
+/// shared planner.
+Status CompileSingleton(const std::string& pred, const PredicateRules& group,
+                        Planner& planner, CompiledProgram* out) {
+  CompiledUnit unit;
+  unit.members = {pred};
+  unit.arities = {group.arity};
+  unit.base_rules.resize(1);
+  for (const Rule& rule : group.rules) {
+    int occurrences = 0;
+    for (const Atom& atom : rule.body()) {
+      if (atom.predicate == pred) ++occurrences;
+    }
+    if (occurrences == 0) {
+      unit.base_rules[0].push_back(rule);
+      continue;
+    }
+    Result<LinearRule> lr = LinearRule::Make(rule);
+    if (!lr.ok()) {
+      return Status::InvalidArgument(StrCat("rule is not linear: ",
+                                            ToString(rule), " (",
+                                            lr.status().message(), ")"));
+    }
+    unit.linear.push_back(std::move(lr).value());
+  }
+  if (!unit.linear.empty()) {
+    Result<PreparedQuery> prepared =
+        planner.Prepare(Query::Closure(unit.linear));
+    if (!prepared.ok()) return prepared.status();
+    out->plan_explanations.push_back(
+        StrCat(pred, ":\n", prepared->plan().Explain()));
+    unit.closure = std::move(prepared).value();
+  }
+  out->unit_of[pred] = out->units.size();
+  out->member_of[pred] = 0;
+  out->units.push_back(std::move(unit));
+  return Status::OK();
+}
+
+/// Compiles one multi-member component: per member, rules reading no
+/// component predicate are base; rules reading exactly one become
+/// JointRules; more is non-linear recursion through the component.
+Status CompileComponent(const std::vector<std::string>& members,
+                        const std::map<std::string, PredicateRules>& rules,
+                        Planner& planner, CompiledProgram* out) {
+  const std::set<std::string> member_set(members.begin(), members.end());
+  std::map<std::string, int> member_index;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    member_index[members[i]] = static_cast<int>(i);
+  }
+
+  CompiledUnit unit;
+  unit.joint = true;
+  unit.members = members;
+  unit.base_rules.resize(members.size());
+  std::vector<JointRule> joint_rules;
+  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+    const std::string& pred = members[mi];
+    const PredicateRules& group = rules.at(pred);
+    unit.arities.push_back(group.arity);
+    for (const Rule& rule : group.rules) {
+      int member_atoms = 0;
+      for (const Atom& atom : rule.body()) {
+        if (member_set.count(atom.predicate) > 0) ++member_atoms;
+      }
+      if (member_atoms == 0) {
+        unit.base_rules[mi].push_back(rule);
+        continue;
+      }
+      if (member_atoms >= 2) {
+        return Status::InvalidArgument(StrCat(
+            "recursion through strongly connected component {",
+            JoinNames(members), "} is non-linear: rule ", ToString(rule),
+            " reads ", member_atoms,
+            " component predicates (at most one recursive atom is "
+            "supported)"));
+      }
+      JointRule jr;
+      jr.rule = rule;
+      jr.head_member = static_cast<int>(mi);
+      for (std::size_t a = 0; a < rule.body().size(); ++a) {
+        auto it = member_index.find(rule.body()[a].predicate);
+        if (it != member_index.end()) {
+          jr.recursive_atom = static_cast<int>(a);
+          jr.recursive_member = it->second;
+          break;
+        }
+      }
+      joint_rules.push_back(std::move(jr));
+    }
+  }
+  if (!joint_rules.empty()) {
+    Result<PreparedQuery> prepared =
+        planner.Prepare(Query::JointClosure(members, std::move(joint_rules)));
+    if (!prepared.ok()) return prepared.status();
+    out->plan_explanations.push_back(
+        StrCat(JoinNames(members), ":\n", prepared->plan().Explain()));
+    unit.closure = std::move(prepared).value();
+  }
+  for (std::size_t mi = 0; mi < members.size(); ++mi) {
+    out->unit_of[members[mi]] = out->units.size();
+    out->member_of[members[mi]] = mi;
+  }
+  out->units.push_back(std::move(unit));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string ProgramDigest(const std::vector<Rule>& rules) {
+  std::vector<std::string> texts;
+  texts.reserve(rules.size());
+  for (const Rule& rule : rules) texts.push_back(ToString(rule));
+  std::sort(texts.begin(), texts.end());
+  std::string digest;
+  for (const std::string& text : texts) {
+    digest += text;
+    digest += '\n';
+  }
+  return digest;
+}
+
+Result<CompiledProgram> CompileProgram(const std::vector<Rule>& rules,
+                                       Planner& planner) {
+  CompiledProgram out;
+  out.digest = ProgramDigest(rules);
+  Result<std::map<std::string, PredicateRules>> grouped = GroupRules(rules);
+  if (!grouped.ok()) return grouped.status();
+
+  // Condense the predicate dependency graph (edge u → v: some rule of u
+  // reads derived predicate v). std::map iteration makes predicate ids —
+  // and therefore the condensation — deterministic.
+  std::vector<std::string> names;
+  names.reserve(grouped->size());
+  std::map<std::string, int> id_of;
+  for (const auto& [pred, group] : *grouped) {
+    id_of[pred] = static_cast<int>(names.size());
+    names.push_back(pred);
+  }
+  std::vector<std::vector<int>> adjacency(names.size());
+  for (const auto& [pred, group] : *grouped) {
+    std::set<int> deps;
+    for (const Rule& rule : group.rules) {
+      for (const Atom& atom : rule.body()) {
+        auto it = id_of.find(atom.predicate);
+        if (it != id_of.end()) deps.insert(it->second);
+      }
+    }
+    adjacency[static_cast<std::size_t>(id_of[pred])]
+        .assign(deps.begin(), deps.end());
+  }
+
+  for (const std::vector<int>& component :
+       StronglyConnectedComponents(adjacency)) {
+    if (component.size() == 1) {
+      const std::string& pred =
+          names[static_cast<std::size_t>(component.front())];
+      LINREC_RETURN_IF_ERROR(
+          CompileSingleton(pred, grouped->at(pred), planner, &out));
+    } else {
+      std::vector<std::string> members;
+      members.reserve(component.size());
+      for (int id : component) {
+        members.push_back(names[static_cast<std::size_t>(id)]);
+      }
+      LINREC_RETURN_IF_ERROR(
+          CompileComponent(members, *grouped, planner, &out));
+    }
+  }
+  return out;
+}
+
+ProgramInstance::ProgramInstance(EngineOptions options)
+    : options_(options) {
+  RebuildEngine();
+}
+
+void ProgramInstance::RebuildEngine() {
+  Database db = facts_;  // deep copy: materialization overwrites in place
+  engine_ = std::make_unique<Engine>(std::move(db), options_);
+  materialized_ = 0;
+}
+
+void ProgramInstance::SetProgram(
+    std::shared_ptr<const CompiledProgram> program) {
+  program_ = std::move(program);
+  RebuildEngine();
+}
+
+Status ProgramInstance::AddFact(const Atom& fact) {
+  for (const Term& term : fact.terms) {
+    if (!term.is_const()) {
+      return Status::InvalidArgument(
+          StrCat("fact for '", fact.predicate, "' is not ground"));
+    }
+  }
+  if (program_ != nullptr && program_->unit_of.count(fact.predicate) > 0) {
+    return Status::InvalidArgument(StrCat(
+        "predicate '", fact.predicate,
+        "' is derived by the loaded program; facts may only name base "
+        "relations"));
+  }
+  if (const Relation* existing = facts_.Find(fact.predicate)) {
+    if (existing->arity() != fact.arity()) {
+      return Status::InvalidArgument(
+          StrCat("facts for '", fact.predicate, "' have arity ",
+                 existing->arity(), ", got ", fact.arity()));
+    }
+  }
+  Relation& rel = facts_.GetOrCreate(fact.predicate, fact.arity());
+  std::vector<Value> row;
+  row.reserve(fact.arity());
+  for (const Term& term : fact.terms) row.push_back(term.constant());
+  rel.InsertRow(row.data());
+  // The fixpoints may grow: drop every materialized derived predicate (and
+  // the session engine's index cache entries over them) by rebuilding.
+  RebuildEngine();
+  return Status::OK();
+}
+
+void ProgramInstance::Reset() {
+  program_.reset();
+  facts_ = Database{};
+  RebuildEngine();
+}
+
+Result<Relation> ProgramInstance::SeedMember(const CompiledUnit& unit,
+                                             std::size_t member,
+                                             const CancellationToken* cancel) {
+  const std::string& pred = unit.members[member];
+  const std::size_t arity = unit.arities[member];
+  Relation seed(arity);
+  if (const Relation* facts = engine_->db().Find(pred)) {
+    if (facts->arity() != arity) {
+      return Status::InvalidArgument(
+          StrCat("facts for '", pred, "' have arity ", facts->arity(),
+                 ", rules use ", arity));
+    }
+    seed = *facts;
+  }
+  ClosureStats stats;
+  for (const Rule& base : unit.base_rules[member]) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
+    Rule effective = base;
+    if (HasEqualities(base)) {
+      Result<std::optional<Rule>> eliminated = EliminateEqualities(base);
+      if (!eliminated.ok()) return eliminated.status();
+      if (!eliminated->has_value()) continue;
+      effective = std::move(**eliminated);
+    }
+    LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine_->db(), {}, &seed,
+                                     &stats, &engine_->index_cache()));
+  }
+  derivations_ += stats.derivations;
+  return seed;
+}
+
+Status ProgramInstance::MaterializeUnit(std::size_t index,
+                                        const CancellationToken* cancel) {
+  const CompiledUnit& unit = program_->units[index];
+  if (!unit.joint) {
+    Result<Relation> seed = SeedMember(unit, 0, cancel);
+    if (!seed.ok()) return seed.status();
+    Relation value = std::move(seed).value();
+    if (unit.closure.has_value()) {
+      Result<QueryResult> closed = engine_->Execute(
+          unit.closure->Bind().BindSeed(std::move(value)).WithCancellation(
+              cancel));
+      if (!closed.ok()) return closed.status();
+      derivations_ += closed->stats.derivations;
+      value = std::move(closed->relation());
+    }
+    engine_->db().GetOrCreate(unit.members[0], unit.arities[0]) =
+        std::move(value);
+    return Status::OK();
+  }
+
+  std::vector<Relation> seeds;
+  seeds.reserve(unit.members.size());
+  for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+    Result<Relation> seed = SeedMember(unit, mi, cancel);
+    if (!seed.ok()) return seed.status();
+    seeds.push_back(std::move(seed).value());
+  }
+  std::vector<Relation> closed;
+  if (unit.closure.has_value()) {
+    Result<QueryResult> out = engine_->Execute(
+        unit.closure->Bind().BindSeeds(std::move(seeds)).WithCancellation(
+            cancel));
+    if (!out.ok()) return out.status();
+    derivations_ += out->stats.derivations;
+    closed = std::move(out->relations);
+  } else {
+    closed = std::move(seeds);
+  }
+  for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+    engine_->db().GetOrCreate(unit.members[mi], unit.arities[mi]) =
+        std::move(closed[mi]);
+  }
+  return Status::OK();
+}
+
+Status ProgramInstance::MaterializeUpTo(std::size_t limit,
+                                        const CancellationToken* cancel) {
+  for (std::size_t i = materialized_; i < limit; ++i) {
+    LINREC_RETURN_IF_ERROR(MaterializeUnit(i, cancel));
+    materialized_ = i + 1;
+  }
+  return Status::OK();
+}
+
+bool ProgramInstance::SigmaFastPath(const Atom& goal, const CompiledUnit& unit,
+                                    int* position, Value* value) const {
+  if (unit.joint || !unit.closure.has_value() || unit.linear.empty()) {
+    return false;
+  }
+  int constants = 0;
+  std::set<VarId> seen;
+  for (std::size_t i = 0; i < goal.terms.size(); ++i) {
+    const Term& term = goal.terms[i];
+    if (term.is_const()) {
+      ++constants;
+      *position = static_cast<int>(i);
+      *value = term.constant();
+    } else if (!seen.insert(term.var()).second) {
+      return false;  // repeated variable: the σ result would need refiltering
+    }
+  }
+  return constants == 1;
+}
+
+Result<QueryResult> ProgramInstance::EvalQuery(const Atom& goal,
+                                               Planner& planner,
+                                               const CancellationToken* cancel) {
+  const std::vector<const CancellationToken*> cancels = {cancel};
+  std::vector<Result<QueryResult>> results =
+      EvalQueries({goal}, planner, &cancels);
+  return std::move(results.front());
+}
+
+std::vector<Result<QueryResult>> ProgramInstance::EvalQueries(
+    const std::vector<Atom>& goals, Planner& planner,
+    const std::vector<const CancellationToken*>* cancels) {
+  std::vector<Result<QueryResult>> results(
+      goals.size(), Result<QueryResult>(Status::Internal("goal not run")));
+  auto cancel_of = [&](std::size_t i) -> const CancellationToken* {
+    return cancels != nullptr && i < cancels->size() ? (*cancels)[i] : nullptr;
+  };
+
+  // Pass 1: σ-bind fast paths become batch slots; everything else gets
+  // evaluated by materializing its dependency cone.
+  struct SigmaSlot {
+    std::size_t goal_index;
+    std::size_t unit_index;
+  };
+  std::vector<SigmaSlot> sigma_slots;
+  std::vector<BoundQuery> batch;
+  // One seed per unit, shared across the unit's slots (BindSeed takes a
+  // shared_ptr, so N point queries over one predicate copy nothing).
+  std::map<std::size_t, std::shared_ptr<const Relation>> unit_seeds;
+
+  for (std::size_t gi = 0; gi < goals.size(); ++gi) {
+    const Atom& goal = goals[gi];
+    const CancellationToken* cancel = cancel_of(gi);
+    if (program_ == nullptr) {
+      results[gi] = Status::InvalidArgument("no program loaded");
+      continue;
+    }
+    auto unit_it = program_->unit_of.find(goal.predicate);
+    if (unit_it == program_->unit_of.end()) {
+      // Base predicate: answer from the session's facts.
+      const Relation* facts = facts_.Find(goal.predicate);
+      if (facts == nullptr) {
+        results[gi] = Status::NotFound(
+            StrCat("unknown predicate '", goal.predicate, "/", goal.arity(),
+                   "' (not derived by the program, no facts loaded)"));
+        continue;
+      }
+      if (facts->arity() != goal.arity()) {
+        results[gi] = Status::InvalidArgument(
+            StrCat("goal for '", goal.predicate, "' has arity ", goal.arity(),
+                   ", facts have ", facts->arity()));
+        continue;
+      }
+      QueryResult qr;
+      qr.relations.push_back(MatchGoal(*facts, goal));
+      results[gi] = std::move(qr);
+      continue;
+    }
+
+    const std::size_t ui = unit_it->second;
+    const CompiledUnit& unit = program_->units[ui];
+    const std::size_t member = program_->member_of.at(goal.predicate);
+    if (goal.arity() != unit.arities[member]) {
+      results[gi] = Status::InvalidArgument(
+          StrCat("goal for '", goal.predicate, "' has arity ", goal.arity(),
+                 ", rules use ", unit.arities[member]));
+      continue;
+    }
+
+    int position = 0;
+    Value value = 0;
+    if (ui >= materialized_ &&
+        SigmaFastPath(goal, unit, &position, &value)) {
+      // Materialize the dependencies (not the unit), seed once per unit,
+      // and prepare the σ-parameterized closure through the shared planner
+      // — its plan-cache digest covers the σ position, so repeated point
+      // queries (from any session) plan once.
+      Status deps = MaterializeUpTo(ui, cancel);
+      if (!deps.ok()) {
+        results[gi] = deps;
+        continue;
+      }
+      auto seed_it = unit_seeds.find(ui);
+      if (seed_it == unit_seeds.end()) {
+        Result<Relation> seed = SeedMember(unit, 0, cancel);
+        if (!seed.ok()) {
+          results[gi] = seed.status();
+          continue;
+        }
+        seed_it = unit_seeds
+                      .emplace(ui, std::make_shared<const Relation>(
+                                       std::move(seed).value()))
+                      .first;
+      }
+      Result<PreparedQuery> sigma = planner.Prepare(
+          Query::Closure(unit.linear).SelectPosition(position));
+      if (!sigma.ok()) {
+        results[gi] = sigma.status();
+        continue;
+      }
+      sigma_slots.push_back({gi, ui});
+      batch.push_back(sigma->Bind(value)
+                          .BindSeed(seed_it->second)
+                          .WithCancellation(cancel));
+      continue;
+    }
+
+    // Full path: materialize the cone through this unit, filter.
+    Status upto = MaterializeUpTo(ui + 1, cancel);
+    if (!upto.ok()) {
+      results[gi] = upto;
+      continue;
+    }
+    const Relation* rows = engine_->db().Find(goal.predicate);
+    QueryResult qr;
+    qr.relations.push_back(rows != nullptr ? MatchGoal(*rows, goal)
+                                           : Relation(goal.arity()));
+    results[gi] = std::move(qr);
+  }
+
+  if (!batch.empty()) {
+    std::vector<Result<QueryResult>> outcomes =
+        engine_->ExecuteBatchEach(batch);
+    for (std::size_t si = 0; si < sigma_slots.size(); ++si) {
+      Result<QueryResult>& outcome = outcomes[si];
+      if (outcome.ok()) derivations_ += outcome->stats.derivations;
+      results[sigma_slots[si].goal_index] = std::move(outcome);
+    }
+  }
+  return results;
+}
+
+Relation MatchGoal(const Relation& rows, const Atom& goal) {
+  // Constant positions and repeated-variable position groups.
+  std::vector<std::pair<std::size_t, Value>> constants;
+  std::map<VarId, std::vector<std::size_t>> var_positions;
+  for (std::size_t i = 0; i < goal.terms.size(); ++i) {
+    const Term& term = goal.terms[i];
+    if (term.is_const()) {
+      constants.emplace_back(i, term.constant());
+    } else {
+      var_positions[term.var()].push_back(i);
+    }
+  }
+  bool trivial = constants.empty();
+  for (const auto& [var, positions] : var_positions) {
+    if (positions.size() > 1) trivial = false;
+  }
+  if (trivial) return rows;
+
+  Relation out(rows.arity());
+  for (TupleView row : rows) {
+    bool keep = true;
+    for (const auto& [pos, value] : constants) {
+      if (row[pos] != value) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      for (const auto& [var, positions] : var_positions) {
+        for (std::size_t p = 1; p < positions.size(); ++p) {
+          if (row[positions[p]] != row[positions[0]]) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) break;
+      }
+    }
+    if (keep) out.Insert(row);
+  }
+  return out;
+}
+
+}  // namespace linrec

@@ -1,0 +1,196 @@
+// Frontend lowering: from parsed Datalog text to prepared engine plans.
+//
+// The parser (datalog/parser.h) produces rules, facts and "?-" query
+// goals; this pass turns the *rules* into a CompiledProgram — the
+// predicate dependency graph condensed into strongly connected components
+// (common/scc.h), each recursive component compiled through
+// Engine::Prepare into a seedless plan (singleton components through
+// Query::Closure, mutual-recursion components through Query::JointClosure)
+// — and turns *facts* and *goals* into per-session state and executions
+// over it.
+//
+// The split mirrors the serving architecture:
+//
+//  * CompileProgram runs against a shared, planning-only Engine (the
+//    "planner"), whose plan cache digests query structure. All sessions
+//    funnel their Prepare calls through one Planner, so N sessions loading
+//    the same program text cost exactly one plan-cache miss per distinct
+//    closure structure. Compiled programs are immutable and shared
+//    (engine/registry.h keys them on ProgramDigest).
+//
+//  * ProgramInstance is one session's evaluation state over a shared
+//    CompiledProgram: a session-private Engine whose database holds that
+//    session's named base relations plus whatever derived predicates its
+//    queries have materialized so far. Goals evaluate lazily — a goal
+//    materializes its dependency cone once and caches it; adding facts
+//    invalidates the cache. A goal with exactly one constant over a
+//    recursive singleton predicate takes the σ-bind fast path: the
+//    constant becomes a PreparedQuery::Bind parameter, so the planner's
+//    separable pushdown (Theorem 4.1) applies and the closure is computed
+//    on the selected cone only.
+
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "datalog/ast.h"
+#include "datalog/rule.h"
+#include "engine/engine.h"
+
+namespace linrec {
+
+/// A shared planning front: one Engine (no data, only plan/analysis
+/// caches) behind one mutex. Engines are not internally synchronized;
+/// every cross-session Prepare goes through here.
+class Planner {
+ public:
+  explicit Planner(EngineOptions options = {}) : engine_(Database{}, options) {}
+
+  Result<PreparedQuery> Prepare(const Query& query) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.Prepare(query);
+  }
+
+  std::size_t plan_cache_hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.plan_cache_hits();
+  }
+  std::size_t plan_cache_misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return engine_.plan_cache_misses();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Engine engine_;
+};
+
+/// One strongly connected component of the compiled program, in
+/// dependency-first order. Singleton units have one member; joint units
+/// (mutual recursion) one per component predicate.
+struct CompiledUnit {
+  std::vector<std::string> members;
+  std::vector<std::size_t> arities;
+  /// Per member: rules whose body reads no component predicate. They run
+  /// once, into the seed.
+  std::vector<std::vector<Rule>> base_rules;
+  /// Singleton only: the linear recursive rules (kept so σ-bind variants
+  /// can be prepared on demand for point queries).
+  std::vector<LinearRule> linear;
+  /// The seedless prepared closure; absent when the unit has no recursive
+  /// rules (the seed is already the fixpoint).
+  std::optional<PreparedQuery> closure;
+  bool joint = false;
+};
+
+/// An immutable compiled program, shared across sessions.
+struct CompiledProgram {
+  /// ProgramDigest of the source rules — the registry key.
+  std::string digest;
+  /// Units in dependency-first (topological) order.
+  std::vector<CompiledUnit> units;
+  /// Derived predicate → index into `units` / member index within it.
+  std::map<std::string, std::size_t> unit_of;
+  std::map<std::string, std::size_t> member_of;
+  /// Engine plan explanation per recursive unit, for EXPLAIN.
+  std::vector<std::string> plan_explanations;
+};
+
+/// Canonical structural digest of a rule set: the printed rule texts,
+/// sorted — rule order never changes Datalog semantics, so permuted
+/// submissions of one program share a digest (and therefore a registry
+/// entry and its prepared plans).
+std::string ProgramDigest(const std::vector<Rule>& rules);
+
+/// Lowers `rules` into a CompiledProgram through `planner`. Fails on
+/// inconsistent arities, non-linear recursion (self- or through a
+/// component), and anything Engine::Prepare rejects.
+Result<CompiledProgram> CompileProgram(const std::vector<Rule>& rules,
+                                       Planner& planner);
+
+/// One session's evaluation state over a shared CompiledProgram.
+/// Not internally synchronized: a session is single-threaded by design
+/// (the server serializes each session's requests; concurrency is across
+/// sessions, which share nothing but the Planner and the registry).
+class ProgramInstance {
+ public:
+  explicit ProgramInstance(EngineOptions options = {});
+
+  /// The session's private engine (database = base facts + materialized
+  /// derived predicates). The engine's IndexCache is the session's tier.
+  Engine& engine() { return *engine_; }
+
+  /// Installs a compiled program. Previously materialized derived
+  /// predicates are dropped; the session's base facts persist.
+  void SetProgram(std::shared_ptr<const CompiledProgram> program);
+  const std::shared_ptr<const CompiledProgram>& program() const {
+    return program_;
+  }
+
+  /// Adds one ground fact to the session's base relations. Invalidates
+  /// every materialized derived predicate (the fixpoints may grow).
+  /// Rejects facts for predicates the program derives.
+  Status AddFact(const Atom& fact);
+
+  /// Drops program and facts both.
+  void Reset();
+
+  /// Evaluates one query goal: materializes the goal's dependency cone
+  /// (cached until facts change), takes the σ-bind fast path for a
+  /// single-constant goal over a recursive singleton predicate, and
+  /// filters rows against the goal's constants and repeated variables.
+  /// `cancel` is checked at round boundaries of every closure run.
+  Result<QueryResult> EvalQuery(const Atom& goal, Planner& planner,
+                                const CancellationToken* cancel = nullptr);
+
+  /// Batch EvalQuery: σ-fast-path goals over one unit run concurrently
+  /// through Engine::ExecuteBatchEach (per-slot cancellation tokens —
+  /// aligned with `cancels` when non-null), the rest sequentially.
+  /// Replies align with `goals`; a failing goal fails alone.
+  std::vector<Result<QueryResult>> EvalQueries(
+      const std::vector<Atom>& goals, Planner& planner,
+      const std::vector<const CancellationToken*>* cancels = nullptr);
+
+  /// Total derivations across every closure this session has run.
+  std::size_t derivations() const { return derivations_; }
+
+ private:
+  /// True if `goal` qualifies for the σ-bind fast path; fills position
+  /// and value.
+  bool SigmaFastPath(const Atom& goal, const CompiledUnit& unit,
+                     int* position, Value* value) const;
+  /// Ensures units [0, limit) are materialized into the session database.
+  Status MaterializeUpTo(std::size_t limit, const CancellationToken* cancel);
+  Status MaterializeUnit(std::size_t index, const CancellationToken* cancel);
+  /// Seed of one unit member: session facts plus base rules.
+  Result<Relation> SeedMember(const CompiledUnit& unit, std::size_t member,
+                              const CancellationToken* cancel);
+  /// Recreates the session engine from the base facts (invalidation path:
+  /// a fresh engine drops materializations and every cached index).
+  void RebuildEngine();
+
+  EngineOptions options_;
+  /// Base facts, kept apart from the engine database so invalidation can
+  /// rebuild it (materialization overwrites derived entries in place).
+  Database facts_;
+  std::unique_ptr<Engine> engine_;
+  std::shared_ptr<const CompiledProgram> program_;
+  /// Units fully materialized into the engine database (prefix lengths:
+  /// units materialize in dependency order).
+  std::size_t materialized_ = 0;
+  std::size_t derivations_ = 0;
+};
+
+/// Filters `rows` against `goal`: constants must match their column,
+/// repeated variables must agree across their columns. Distinct variables
+/// match anything.
+Relation MatchGoal(const Relation& rows, const Atom& goal);
+
+}  // namespace linrec

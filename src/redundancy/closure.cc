@@ -13,7 +13,7 @@ namespace {
 Result<Relation> GeneralPath(const RedundantFactorization& f,
                              const Database& db, const Relation& q,
                              ClosureStats* stats, IndexCache* cache,
-                             int workers) {
+                             int workers, const CancellationToken* cancel) {
   const int l = f.L;
   const int k = f.K;
   const int n = f.N;
@@ -24,7 +24,7 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
   if (!b_power.ok()) return b_power.status();
   std::vector<LinearRule> b_rules{std::move(b_power).value()};
   Result<Relation> x =
-      SemiNaiveClosure(b_rules, db, q, stats, cache, workers);
+      SemiNaiveClosure(b_rules, db, q, stats, cache, workers, cancel);
   if (!x.ok()) return x.status();
 
   // Y = Σ_{m=K}^{N-1} A^{mL} X, collected while iterating A.
@@ -32,6 +32,7 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
   {
     Relation z = std::move(x).value();
     for (int step = 1; step <= (n - 1) * l; ++step) {
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
       Result<Relation> next = ApplySum(a_rules, db, z, stats, cache);
       if (!next.ok()) return next.status();
       z = std::move(next).value();
@@ -41,12 +42,12 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
 
   // W = Σ_{n'=0}^{L-1} A^{n'} Y.
   Result<Relation> w =
-      PowerSum(a_rules, db, y, l - 1, stats, cache, workers);
+      PowerSum(a_rules, db, y, l - 1, stats, cache, workers, cancel);
   if (!w.ok()) return w.status();
 
   // Prefix Σ_{m=0}^{KL-1} A^m q.
   Result<Relation> prefix =
-      PowerSum(a_rules, db, q, k * l - 1, stats, cache, workers);
+      PowerSum(a_rules, db, q, k * l - 1, stats, cache, workers, cancel);
   if (!prefix.ok()) return prefix.status();
 
   Relation result = std::move(prefix).value();
@@ -66,7 +67,8 @@ Result<Relation> GeneralPath(const RedundantFactorization& f,
 Result<Relation> CommutingPath(const RedundantFactorization& f,
                                const Database& db, const Relation& q,
                                ClosureStats* stats, IndexCache* cache,
-                               int workers) {
+                               int workers,
+                               const CancellationToken* cancel) {
   const int l = f.L;
   const int k_prime = (f.K + l - 1) / l;
   // Smallest p with L·p ≡ 0 (mod N−K): the cycle period of Cᴸ-powers.
@@ -78,6 +80,7 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
   Relation s1 = q;
   Relation power = q;
   for (int m = 1; m <= k_prime - 1; ++m) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     Result<Relation> next = ApplySum(d_rules, db, power, stats, cache);
     if (!next.ok()) return next.status();
     power = std::move(next).value();
@@ -86,6 +89,7 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
   // T = Σ_{j=0}^{p'-1} D^{k'+j} q.
   Relation t(q.arity());
   for (int j = 0; j < period; ++j) {
+    LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     Result<Relation> next = ApplySum(d_rules, db, power, stats, cache);
     if (!next.ok()) return next.status();
     power = std::move(next).value();
@@ -96,14 +100,14 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
   if (!b_power.ok()) return b_power.status();
   std::vector<LinearRule> b_rules{std::move(b_power).value()};
   Result<Relation> x =
-      SemiNaiveClosure(b_rules, db, t, stats, cache, workers);
+      SemiNaiveClosure(b_rules, db, t, stats, cache, workers, cancel);
   if (!x.ok()) return x.status();
 
   Relation d_star = std::move(s1);
   d_star.UnionWith(*x);
 
   // A* q = Σ_{n<L} A^n (D* q).
-  return PowerSum(a_rules, db, d_star, l - 1, stats, cache, workers);
+  return PowerSum(a_rules, db, d_star, l - 1, stats, cache, workers, cancel);
 }
 
 }  // namespace
@@ -111,7 +115,8 @@ Result<Relation> CommutingPath(const RedundantFactorization& f,
 Result<Relation> RedundantClosure(const RedundantFactorization& f,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats, IndexCache* cache,
-                                  int workers) {
+                                  int workers,
+                                  const CancellationToken* cancel) {
   if (!f.product_verified || !f.swap_verified) {
     return Status::InvalidArgument(
         "factorization not verified (product/swap); refusing to use it");
@@ -119,8 +124,8 @@ Result<Relation> RedundantClosure(const RedundantFactorization& f,
   IndexCache local_cache;
   if (cache == nullptr) cache = &local_cache;
   Result<Relation> result =
-      f.commuting ? CommutingPath(f, db, q, stats, cache, workers)
-                  : GeneralPath(f, db, q, stats, cache, workers);
+      f.commuting ? CommutingPath(f, db, q, stats, cache, workers, cancel)
+                  : GeneralPath(f, db, q, stats, cache, workers, cancel);
   if (result.ok() && stats != nullptr) stats->result_size = result->size();
   return result;
 }

@@ -24,6 +24,7 @@ Result<Relation> RedundantClosure(const RedundantFactorization& f,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats = nullptr,
                                   IndexCache* cache = nullptr,
-                                  int workers = 1);
+                                  int workers = 1,
+                                  const CancellationToken* cancel = nullptr);
 
 }  // namespace linrec

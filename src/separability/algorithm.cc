@@ -26,7 +26,8 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
                                   const std::vector<LinearRule>& b_rules,
                                   const Selection& sigma, const Database& db,
                                   const Relation& q, ClosureStats* stats,
-                                  IndexCache* cache, int workers) {
+                                  IndexCache* cache, int workers,
+                                  const CancellationToken* cancel) {
   for (const LinearRule& a : a_rules) {
     for (const LinearRule& b : b_rules) {
       Result<bool> commute = Commute(a, b);
@@ -49,14 +50,14 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
   }
 
   return SeparableClosureUnchecked(a_rules, b_rules, sigma, db, q, stats,
-                                   cache, workers);
+                                   cache, workers, cancel);
 }
 
 Result<Relation> SeparableClosureUnchecked(
     const std::vector<LinearRule>& a_rules,
     const std::vector<LinearRule>& b_rules, const Selection& sigma,
     const Database& db, const Relation& q, ClosureStats* stats,
-    IndexCache* cache, int workers) {
+    IndexCache* cache, int workers, const CancellationToken* cancel) {
   // A*( σ( B* q ) ) — see the header derivation. Both phases share one
   // index cache so the parameter-relation indexes are built once.
   IndexCache local_cache;
@@ -68,7 +69,7 @@ Result<Relation> SeparableClosureUnchecked(
   } else {
     ClosureStats phase;
     Result<Relation> after_b =
-        SemiNaiveClosure(b_rules, db, q, &phase, cache, workers);
+        SemiNaiveClosure(b_rules, db, q, &phase, cache, workers, cancel);
     if (!after_b.ok()) return after_b.status();
     if (stats != nullptr) stats->Accumulate(phase);
     filtered = ApplySelection(*after_b, sigma);
@@ -76,7 +77,8 @@ Result<Relation> SeparableClosureUnchecked(
 
   ClosureStats phase2;
   Result<Relation> after_a =
-      SemiNaiveClosure(a_rules, db, filtered, &phase2, cache, workers);
+      SemiNaiveClosure(a_rules, db, filtered, &phase2, cache, workers,
+                       cancel);
   if (!after_a.ok()) return after_a.status();
   if (stats != nullptr) stats->Accumulate(phase2);
   return after_a;

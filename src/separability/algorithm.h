@@ -45,7 +45,8 @@ Result<Relation> SeparableClosure(const std::vector<LinearRule>& a_rules,
                                   const Relation& q,
                                   ClosureStats* stats = nullptr,
                                   IndexCache* cache = nullptr,
-                                  int workers = 1);
+                                  int workers = 1,
+                                  const CancellationToken* cancel = nullptr);
 
 /// The A*(σ(B* q)) pipeline WITHOUT the precondition checks — the shared
 /// executor behind SeparableClosure (which verifies first) and the engine
@@ -56,7 +57,8 @@ Result<Relation> SeparableClosureUnchecked(
     const std::vector<LinearRule>& a_rules,
     const std::vector<LinearRule>& b_rules, const Selection& sigma,
     const Database& db, const Relation& q, ClosureStats* stats = nullptr,
-    IndexCache* cache = nullptr, int workers = 1);
+    IndexCache* cache = nullptr, int workers = 1,
+    const CancellationToken* cancel = nullptr);
 
 /// Baseline for comparison: (ΣA + ΣB)* q computed fully, then filtered.
 Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,

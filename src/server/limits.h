@@ -1,0 +1,28 @@
+// Serving limits: the knobs that keep one misbehaving client from taking
+// the front door down. Every limit is enforced per request, with a typed
+// error reply — never by dropping the connection or killing the server.
+
+#pragma once
+
+#include <cstddef>
+
+namespace linrec {
+
+struct ServerLimits {
+  /// Global bound on queries admitted but not yet completed, across every
+  /// session. A submission that would push the count past this replies
+  /// ERR Unavailable (backpressure) instead of queueing unboundedly.
+  std::size_t max_pending = 128;
+
+  /// Per-query deadline default, in milliseconds; sessions override with
+  /// SET timeout_ms. Negative = no deadline. Zero = an already-expired
+  /// token — every closure replies ERR DeadlineExceeded at its first round
+  /// boundary, which is how the tests exercise expiry deterministically.
+  int default_timeout_ms = -1;
+
+  /// Result-size cap default: replies stream at most this many rows and
+  /// flag `truncated=1`. Sessions override with SET max_rows.
+  std::size_t default_max_rows = 100000;
+};
+
+}  // namespace linrec

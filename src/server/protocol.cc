@@ -1,0 +1,119 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace linrec {
+namespace {
+
+/// First whitespace-delimited word, uppercased for keyword matching.
+std::string Keyword(const std::string& line) {
+  std::size_t end = 0;
+  while (end < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  std::string word = line.substr(0, end);
+  std::transform(word.begin(), word.end(), word.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return word;
+}
+
+std::string Rest(const std::string& line) {
+  std::size_t end = 0;
+  while (end < line.size() &&
+         !std::isspace(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  while (end < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[end]))) {
+    ++end;
+  }
+  return line.substr(end);
+}
+
+}  // namespace
+
+Result<Request> ParseRequestLine(const std::string& line) {
+  const std::string trimmed = Trim(line);
+  Request request;
+  if (trimmed.empty() || trimmed[0] == '%') {
+    request.kind = RequestKind::kEmpty;
+    return request;
+  }
+  if (trimmed.rfind("?-", 0) == 0) {
+    request.kind = RequestKind::kQuery;
+    request.text = trimmed;
+    return request;
+  }
+  const std::string keyword = Keyword(trimmed);
+  if (keyword == "LOAD") {
+    request.kind = RequestKind::kLoad;
+  } else if (keyword == "END") {
+    request.kind = RequestKind::kEnd;
+  } else if (keyword == "FACT") {
+    request.kind = RequestKind::kFact;
+    request.text = Trim(Rest(trimmed));
+    if (request.text.empty()) {
+      return Status::InvalidArgument("FACT expects a ground atom clause");
+    }
+  } else if (keyword == "EXPLAIN") {
+    request.kind = RequestKind::kExplain;
+  } else if (keyword == "SET") {
+    request.kind = RequestKind::kSet;
+    std::string args = Trim(Rest(trimmed));
+    std::replace(args.begin(), args.end(), '=', ' ');
+    request.text = args;
+    if (request.text.empty()) {
+      return Status::InvalidArgument("SET expects '<key> <value>'");
+    }
+  } else if (keyword == "STATS") {
+    request.kind = RequestKind::kStats;
+  } else if (keyword == "RESET") {
+    request.kind = RequestKind::kReset;
+  } else if (keyword == "PING") {
+    request.kind = RequestKind::kPing;
+  } else if (keyword == "QUIT") {
+    request.kind = RequestKind::kQuit;
+  } else if (keyword == "SHUTDOWN") {
+    request.kind = RequestKind::kShutdown;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown command '", keyword,
+               "' (expected LOAD, FACT, ?-, EXPLAIN, SET, STATS, RESET, "
+               "PING, QUIT or SHUTDOWN)"));
+  }
+  return request;
+}
+
+std::string SanitizeMessage(std::string message) {
+  std::replace(message.begin(), message.end(), '\n', ' ');
+  std::replace(message.begin(), message.end(), '\r', ' ');
+  return message;
+}
+
+std::string FormatError(const Status& status) {
+  return StrCat("ERR ", StatusCodeName(status.code()), " ",
+                SanitizeMessage(status.message()));
+}
+
+std::string FormatResultHeader(const std::string& predicate,
+                               std::size_t arity, std::size_t rows,
+                               bool truncated) {
+  return StrCat("RESULT ", predicate, "/", arity, " rows=", rows,
+                " truncated=", truncated ? 1 : 0);
+}
+
+std::string FormatRow(TupleView row) {
+  std::string out;
+  for (std::size_t i = 0; i < row.arity(); ++i) {
+    if (i > 0) out += ' ';
+    out += StrCat(row[i]);
+  }
+  return out;
+}
+
+}  // namespace linrec

@@ -1,0 +1,335 @@
+#include "server/server.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "datalog/parser.h"
+
+namespace linrec {
+namespace {
+
+/// Parses "<key> <value>" where value is a base-10 integer.
+Result<std::pair<std::string, long>> ParseSetArgs(const std::string& args) {
+  std::size_t space = args.find(' ');
+  if (space == std::string::npos) {
+    return Status::InvalidArgument("SET expects '<key> <value>'");
+  }
+  std::string key = args.substr(0, space);
+  std::string value_text = args.substr(space + 1);
+  try {
+    std::size_t consumed = 0;
+    long value = std::stol(value_text, &consumed);
+    if (consumed != value_text.size()) {
+      return Status::InvalidArgument(
+          StrCat("SET ", key, ": '", value_text, "' is not an integer"));
+    }
+    return std::make_pair(std::move(key), value);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(
+        StrCat("SET ", key, ": '", value_text, "' is not an integer"));
+  }
+}
+
+/// Parses one FACT / "?-" clause through the full program parser.
+Result<Program> ParseClauseLine(const std::string& text) {
+  Result<Program> parsed = ParseProgram(text);
+  if (!parsed.ok()) return parsed.status();
+  return parsed;
+}
+
+}  // namespace
+
+std::unique_ptr<Session> Server::NewSession() {
+  const long id = next_session_.fetch_add(1);
+  return std::make_unique<Session>(StrCat("s", id), limits_, engine_options_);
+}
+
+Server::Action Server::HandleLine(Session& session, const std::string& line,
+                                  std::vector<std::string>* out) {
+  if (session.in_load()) {
+    // Inside a LOAD block only END is a command; everything else is
+    // program text (including blank lines and comments).
+    Result<Request> request = ParseRequestLine(line);
+    if (request.ok() && request->kind == RequestKind::kEnd) {
+      HandleLoadEnd(session, out);
+    } else {
+      session.AppendLoadLine(line);
+    }
+    return Action::kContinue;
+  }
+
+  Result<Request> request = ParseRequestLine(line);
+  if (!request.ok()) {
+    out->push_back(FormatError(request.status()));
+    return Action::kContinue;
+  }
+  switch (request->kind) {
+    case RequestKind::kEmpty:
+      return Action::kContinue;
+    case RequestKind::kLoad:
+      session.BeginLoad();
+      return Action::kContinue;
+    case RequestKind::kEnd:
+      out->push_back(FormatError(
+          Status::InvalidArgument("END outside a LOAD block")));
+      return Action::kContinue;
+    case RequestKind::kFact: {
+      Result<Program> parsed = ParseClauseLine(request->text);
+      if (!parsed.ok()) {
+        out->push_back(FormatError(parsed.status()));
+        return Action::kContinue;
+      }
+      if (parsed->facts.size() != 1 || !parsed->rules.empty() ||
+          !parsed->queries.empty()) {
+        out->push_back(FormatError(Status::InvalidArgument(
+            "FACT expects exactly one ground atom clause")));
+        return Action::kContinue;
+      }
+      Status added = session.instance().AddFact(parsed->facts.front());
+      out->push_back(added.ok() ? "OK fact" : FormatError(added));
+      return Action::kContinue;
+    }
+    case RequestKind::kQuery:
+      SubmitQueryLines(session, {request->text}, out);
+      return Action::kContinue;
+    case RequestKind::kExplain:
+      HandleExplain(session, out);
+      return Action::kContinue;
+    case RequestKind::kSet:
+      HandleSet(session, request->text, out);
+      return Action::kContinue;
+    case RequestKind::kStats:
+      HandleStats(session, out);
+      return Action::kContinue;
+    case RequestKind::kReset:
+      session.instance().Reset();
+      out->push_back("OK reset");
+      return Action::kContinue;
+    case RequestKind::kPing:
+      out->push_back("OK pong");
+      return Action::kContinue;
+    case RequestKind::kQuit:
+      out->push_back("OK bye");
+      return Action::kCloseSession;
+    case RequestKind::kShutdown:
+      out->push_back("OK shutdown");
+      return Action::kShutdown;
+  }
+  return Action::kContinue;
+}
+
+void Server::HandleLoadEnd(Session& session, std::vector<std::string>* out) {
+  const std::string text = session.TakeLoadText();
+  Result<Program> parsed = ParseProgram(text);
+  if (!parsed.ok()) {
+    out->push_back(FormatError(parsed.status()));
+    return;
+  }
+  if (!parsed->rules.empty()) {
+    const std::string digest = ProgramDigest(parsed->rules);
+    Result<std::shared_ptr<const CompiledProgram>> compiled =
+        registry_.GetOrCompile(digest, [&]() -> Result<CompiledProgram> {
+          Result<CompiledProgram> program =
+              CompileProgram(parsed->rules, planner_);
+          return program;
+        });
+    if (!compiled.ok()) {
+      out->push_back(FormatError(compiled.status()));
+      return;
+    }
+    session.instance().SetProgram(std::move(compiled).value());
+  }
+  for (const Atom& fact : parsed->facts) {
+    Status added = session.instance().AddFact(fact);
+    if (!added.ok()) {
+      out->push_back(FormatError(added));
+      return;
+    }
+  }
+  out->push_back(StrCat("OK loaded rules=", parsed->rules.size(),
+                        " facts=", parsed->facts.size(),
+                        " queries=", parsed->queries.size()));
+  if (!parsed->queries.empty()) {
+    SubmitQueries(session, parsed->queries, out);
+  }
+}
+
+std::vector<Result<QueryResult>> Server::EvaluateGoals(
+    Session& session, const std::vector<Atom>& goals) {
+  if (goals.empty()) return {};
+  // Admission: the whole batch is admitted or rejected atomically against
+  // the global pending bound.
+  const long admitted = pending_.fetch_add(static_cast<long>(goals.size())) +
+                        static_cast<long>(goals.size());
+  if (admitted > static_cast<long>(limits_.max_pending)) {
+    pending_.fetch_sub(static_cast<long>(goals.size()));
+    queries_rejected_.fetch_add(static_cast<long>(goals.size()));
+    const Status rejected = Status::Unavailable(
+        StrCat("server at capacity (", limits_.max_pending,
+               " queries in flight); retry later"));
+    return std::vector<Result<QueryResult>>(goals.size(),
+                                            Result<QueryResult>(rejected));
+  }
+
+  // Arm per-goal deadlines. Tokens live here (stable addresses) for the
+  // whole evaluation.
+  std::vector<CancellationToken> tokens;
+  tokens.reserve(goals.size());
+  std::vector<const CancellationToken*> cancels(goals.size(), nullptr);
+  if (session.timeout_ms() >= 0) {
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      tokens.push_back(CancellationToken::WithTimeout(
+          std::chrono::milliseconds(session.timeout_ms())));
+    }
+    for (std::size_t i = 0; i < goals.size(); ++i) cancels[i] = &tokens[i];
+  }
+
+  std::vector<Result<QueryResult>> outcomes =
+      session.instance().EvalQueries(goals, planner_, &cancels);
+  pending_.fetch_sub(static_cast<long>(goals.size()));
+  session.CountQueries(goals.size());
+  queries_served_.fetch_add(static_cast<long>(goals.size()));
+  return outcomes;
+}
+
+void Server::SubmitQueries(Session& session, const std::vector<Atom>& goals,
+                           std::vector<std::string>* out) {
+  std::vector<Result<QueryResult>> outcomes = EvaluateGoals(session, goals);
+  for (std::size_t i = 0; i < goals.size(); ++i) {
+    AppendOutcome(session, goals[i], outcomes[i], out);
+  }
+}
+
+void Server::SubmitQueryLines(Session& session,
+                              const std::vector<std::string>& lines,
+                              std::vector<std::string>* out) {
+  // Parse every line first; failures reply ERR in place, the rest run as
+  // one batch so pipelined point queries share seeds and worker lanes.
+  std::vector<Status> parse_errors(lines.size(), Status::OK());
+  std::vector<Atom> goals;
+  std::vector<std::size_t> goal_line;  // batch slot -> line index
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    Result<Program> parsed = ParseClauseLine(lines[i]);
+    if (!parsed.ok()) {
+      parse_errors[i] = parsed.status();
+      continue;
+    }
+    if (parsed->queries.size() != 1 || !parsed->rules.empty() ||
+        !parsed->facts.empty()) {
+      parse_errors[i] =
+          Status::InvalidArgument("expected exactly one '?-' goal");
+      continue;
+    }
+    goal_line.push_back(i);
+    goals.push_back(std::move(parsed->queries.front()));
+  }
+  std::vector<Result<QueryResult>> outcomes = EvaluateGoals(session, goals);
+  std::size_t slot = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (!parse_errors[i].ok()) {
+      out->push_back(FormatError(parse_errors[i]));
+    } else {
+      AppendOutcome(session, goals[slot], outcomes[slot], out);
+      ++slot;
+    }
+  }
+}
+
+void Server::AppendOutcome(Session& session, const Atom& goal,
+                           const Result<QueryResult>& outcome,
+                           std::vector<std::string>* out) {
+  if (!outcome.ok()) {
+    out->push_back(FormatError(outcome.status()));
+    return;
+  }
+  const Relation& rows = outcome->relations.front();
+  const std::size_t cap = session.max_rows();
+  const bool truncated = rows.size() > cap;
+  const std::size_t emit = truncated ? cap : rows.size();
+  out->push_back(
+      FormatResultHeader(goal.predicate, goal.arity(), emit, truncated));
+  std::size_t emitted = 0;
+  for (TupleView row : rows) {
+    if (emitted >= emit) break;
+    out->push_back(FormatRow(row));
+    ++emitted;
+  }
+  out->push_back(".");
+}
+
+void Server::HandleSet(Session& session, const std::string& args,
+                       std::vector<std::string>* out) {
+  Result<std::pair<std::string, long>> parsed = ParseSetArgs(args);
+  if (!parsed.ok()) {
+    out->push_back(FormatError(parsed.status()));
+    return;
+  }
+  const auto& [key, value] = *parsed;
+  if (key == "timeout_ms") {
+    if (value > 86400000) {
+      out->push_back(FormatError(
+          Status::InvalidArgument("timeout_ms above 86400000 (one day)")));
+      return;
+    }
+    session.set_timeout_ms(static_cast<int>(value));
+  } else if (key == "max_rows") {
+    if (value < 0) {
+      out->push_back(
+          FormatError(Status::InvalidArgument("max_rows must be >= 0")));
+      return;
+    }
+    session.set_max_rows(static_cast<std::size_t>(value));
+  } else {
+    out->push_back(FormatError(Status::InvalidArgument(
+        StrCat("unknown setting '", key,
+               "' (expected timeout_ms or max_rows)"))));
+    return;
+  }
+  out->push_back(StrCat("OK set ", key, "=", value));
+}
+
+void Server::HandleStats(Session& session, std::vector<std::string>* out) {
+  out->push_back("OK stats");
+  out->push_back(StrCat("programs=", registry_.size()));
+  out->push_back(StrCat("program_hits=", registry_.hits()));
+  out->push_back(StrCat("program_misses=", registry_.misses()));
+  out->push_back(StrCat("plan_hits=", planner_.plan_cache_hits()));
+  out->push_back(StrCat("plan_misses=", planner_.plan_cache_misses()));
+  out->push_back(StrCat("queries_served=", queries_served_.load()));
+  out->push_back(StrCat("queries_rejected=", queries_rejected_.load()));
+  out->push_back(StrCat("pending=", pending_.load()));
+  out->push_back(StrCat("session_queries=", session.queries_served()));
+  out->push_back(
+      StrCat("session_derivations=", session.instance().derivations()));
+  out->push_back(".");
+}
+
+void Server::HandleExplain(Session& session, std::vector<std::string>* out) {
+  const auto& program = session.instance().program();
+  if (program == nullptr) {
+    out->push_back(FormatError(Status::InvalidArgument("no program loaded")));
+    return;
+  }
+  out->push_back("OK explain");
+  if (program->plan_explanations.empty()) {
+    out->push_back("(no recursive predicates: nothing to plan)");
+  }
+  for (const std::string& explanation : program->plan_explanations) {
+    std::size_t begin = 0;
+    while (begin <= explanation.size()) {
+      std::size_t end = explanation.find('\n', begin);
+      if (end == std::string::npos) {
+        if (begin < explanation.size()) {
+          out->push_back(explanation.substr(begin));
+        }
+        break;
+      }
+      out->push_back(explanation.substr(begin, end - begin));
+      begin = end + 1;
+    }
+  }
+  out->push_back(".");
+  return;
+}
+
+}  // namespace linrec

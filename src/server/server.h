@@ -1,0 +1,105 @@
+// linrecd's front door, transport-agnostic: feed it request lines, get
+// back protocol reply lines. The binary (tools/linrecd.cc) wires this to a
+// file, stdin, or a TCP socket; the tests drive it directly.
+//
+// Sharing model (the plan-cache-miss=1 guarantee):
+//
+//   Server ── Planner             one planning-only Engine, mutexed; every
+//         │                       Prepare of every session goes through it
+//         ├─ DigestRegistry<CompiledProgram>
+//         │                       programs keyed on ProgramDigest; N
+//         │                       sessions LOADing one program compile once
+//         └─ Session*             per client: ProgramInstance (private
+//                                 facts + engine + index-cache tier)
+//
+// Admission control: a bounded count of in-flight queries across all
+// sessions; past the bound, submissions reply ERR Unavailable instead of
+// queueing. Per-query deadlines become CancellationTokens checked at round
+// boundaries, so an expired query replies ERR DeadlineExceeded without
+// killing the server or its batch neighbours.
+
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/registry.h"
+#include "frontend/lower.h"
+#include "server/limits.h"
+#include "server/protocol.h"
+#include "server/session.h"
+
+namespace linrec {
+
+class Server {
+ public:
+  /// What the connection driver should do after a handled line.
+  enum class Action { kContinue, kCloseSession, kShutdown };
+
+  explicit Server(ServerLimits limits = {}, EngineOptions engine_options = {})
+      : limits_(limits),
+        engine_options_(engine_options),
+        planner_(engine_options) {}
+
+  const ServerLimits& limits() const { return limits_; }
+
+  /// Creates an independent session (the caller owns it; one per
+  /// connection/REPL). Thread-safe.
+  std::unique_ptr<Session> NewSession();
+
+  /// Handles one request line for `session`, appending reply lines to
+  /// `out`. Thread-safe across sessions; a single session must be driven
+  /// from one thread at a time.
+  Action HandleLine(Session& session, const std::string& line,
+                    std::vector<std::string>* out);
+
+  /// Evaluates a batch of pipelined query goals (the driver batches
+  /// consecutive "?-" lines; HandleLine submits singletons through here).
+  /// One RESULT block or ERR line per goal, in order. Counts against the
+  /// pending bound as one unit per goal.
+  void SubmitQueries(Session& session, const std::vector<Atom>& goals,
+                     std::vector<std::string>* out);
+
+  /// SubmitQueries over raw "?- ..." lines: lines that fail to parse reply
+  /// ERR in place, the rest evaluate as one batch. Replies stay in line
+  /// order.
+  void SubmitQueryLines(Session& session,
+                        const std::vector<std::string>& lines,
+                        std::vector<std::string>* out);
+
+  Planner& planner() { return planner_; }
+  DigestRegistry<CompiledProgram>& registry() { return registry_; }
+  /// Queries admitted and not yet completed, across sessions.
+  std::size_t pending() const {
+    return static_cast<std::size_t>(pending_.load());
+  }
+
+ private:
+  void HandleLoadEnd(Session& session, std::vector<std::string>* out);
+  /// The shared evaluation core: admission control, per-goal deadline
+  /// tokens, EvalQueries. One Result per goal (Unavailable on rejection).
+  std::vector<Result<QueryResult>> EvaluateGoals(Session& session,
+                                                 const std::vector<Atom>& goals);
+  void HandleSet(Session& session, const std::string& args,
+                 std::vector<std::string>* out);
+  void HandleStats(Session& session, std::vector<std::string>* out);
+  void HandleExplain(Session& session, std::vector<std::string>* out);
+  /// Formats one goal's outcome (RESULT block with the session's row cap,
+  /// or an ERR line).
+  void AppendOutcome(Session& session, const Atom& goal,
+                     const Result<QueryResult>& outcome,
+                     std::vector<std::string>* out);
+
+  ServerLimits limits_;
+  EngineOptions engine_options_;
+  Planner planner_;
+  DigestRegistry<CompiledProgram> registry_;
+  std::atomic<long> pending_{0};
+  std::atomic<long> next_session_{0};
+  std::atomic<long> queries_served_{0};
+  std::atomic<long> queries_rejected_{0};
+};
+
+}  // namespace linrec

@@ -1,0 +1,67 @@
+// One client session: a private ProgramInstance (own base relations, own
+// engine and therefore own TieredIndexCache tier), per-session limits, and
+// the LOAD-block accumulator. Sessions are single-threaded by contract —
+// the connection that owns one drives it; concurrency is across sessions,
+// which share nothing but the server's Planner and program registry.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "frontend/lower.h"
+#include "server/limits.h"
+
+namespace linrec {
+
+class Session {
+ public:
+  Session(std::string id, const ServerLimits& limits,
+          EngineOptions engine_options)
+      : id_(std::move(id)),
+        instance_(engine_options),
+        timeout_ms_(limits.default_timeout_ms),
+        max_rows_(limits.default_max_rows) {}
+
+  const std::string& id() const { return id_; }
+  ProgramInstance& instance() { return instance_; }
+
+  /// Per-query deadline in ms; negative = none, zero = already expired.
+  int timeout_ms() const { return timeout_ms_; }
+  void set_timeout_ms(int ms) { timeout_ms_ = ms; }
+
+  /// Reply row cap; results past it are cut and flagged truncated=1.
+  std::size_t max_rows() const { return max_rows_; }
+  void set_max_rows(std::size_t rows) { max_rows_ = rows; }
+
+  /// LOAD...END block state.
+  bool in_load() const { return in_load_; }
+  void BeginLoad() {
+    in_load_ = true;
+    load_text_.clear();
+  }
+  void AppendLoadLine(const std::string& line) {
+    load_text_ += line;
+    load_text_ += '\n';
+  }
+  std::string TakeLoadText() {
+    in_load_ = false;
+    std::string text = std::move(load_text_);
+    load_text_.clear();
+    return text;
+  }
+
+  std::size_t queries_served() const { return queries_served_; }
+  void CountQueries(std::size_t n) { queries_served_ += n; }
+
+ private:
+  std::string id_;
+  ProgramInstance instance_;
+  int timeout_ms_;
+  std::size_t max_rows_;
+  bool in_load_ = false;
+  std::string load_text_;
+  std::size_t queries_served_ = 0;
+};
+
+}  // namespace linrec

@@ -23,6 +23,20 @@ LinearRule LR(const std::string& text) {
   return *lr;
 }
 
+/// Prepared-path execution of a fully specified query (seed and σ, if any,
+/// attached to the Query): Prepare, re-bind the query's own seed(s), run.
+Result<QueryResult> RunQuery(Engine& engine, const Query& query) {
+  Result<PreparedQuery> prepared = engine.Prepare(query);
+  if (!prepared.ok()) return prepared.status();
+  BoundQuery bound = prepared->Bind();
+  if (query.is_joint()) {
+    if (query.has_seeds()) bound.BindSeeds(query.shared_seeds());
+  } else if (query.has_seed()) {
+    bound.BindSeed(query.shared_seed());
+  }
+  return engine.Execute(bound);
+}
+
 /// Same-generation pair (Example 5.2): the two operators commute.
 LinearRule Down() { return LR("p(X,Y) :- p(X,V), down(V,Y)."); }
 LinearRule Up() { return LR("p(X,Y) :- p(U,Y), up(X,U)."); }
@@ -49,17 +63,18 @@ Relation IdentitySeed(const Database& db) {
 TEST(EnginePlanTest, CommutingPairYieldsDecomposed) {
   Engine engine(SameGenDb());
   Relation q = IdentitySeed(engine.db());
-  auto plan = engine.Plan(Query::Closure({Down(), Up()}).From(q));
+  Query query = Query::Closure({Down(), Up()}).From(q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kDecomposed);
   EXPECT_EQ(plan->groups.size(), 2u);
 
-  // Engine result equals the legacy semi-naive closure of the sum.
-  auto via_engine = engine.Execute(*plan);
+  // Engine result equals the direct semi-naive closure of the sum.
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok()) << via_engine.status();
-  auto legacy = SemiNaiveClosure({Down(), Up()}, engine.db(), q);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*via_engine, *legacy);
+  auto direct = SemiNaiveClosure({Down(), Up()}, engine.db(), q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->relation(), *direct);
 }
 
 TEST(EnginePlanTest, NonCommutingPairFallsBackToSemiNaive) {
@@ -73,16 +88,17 @@ TEST(EnginePlanTest, NonCommutingPairFallsBackToSemiNaive) {
   Relation seed(2);
   seed.Insert({0, 0});
 
-  auto plan = engine.Plan(Query::Closure({r1, r2}).From(seed));
+  Query query = Query::Closure({r1, r2}).From(seed);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kSemiNaive);
   EXPECT_TRUE(plan->groups.empty());
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok());
-  auto legacy = SemiNaiveClosure({r1, r2}, engine.db(), seed);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*via_engine, *legacy);
+  auto direct = SemiNaiveClosure({r1, r2}, engine.db(), seed);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->relation(), *direct);
 }
 
 TEST(EnginePlanTest, PersistentSelectedColumnYieldsSeparable) {
@@ -91,8 +107,8 @@ TEST(EnginePlanTest, PersistentSelectedColumnYieldsSeparable) {
   // Position 0 is 1-persistent in Down() and not in Up(): A = {down rule},
   // B = {up rule}, and the pair commutes (Theorem 4.1).
   Selection sigma{0, q.Sorted().front()[0]};
-  auto plan =
-      engine.Plan(Query::Closure({Down(), Up()}).Select(sigma).From(q));
+  Query query = Query::Closure({Down(), Up()}).Select(sigma).From(q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kSeparable);
   EXPECT_TRUE(plan->selection_pushed);
@@ -101,15 +117,15 @@ TEST(EnginePlanTest, PersistentSelectedColumnYieldsSeparable) {
   EXPECT_EQ(plan->outer[0], 0);
   EXPECT_EQ(plan->inner[0], 1);
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok());
-  auto legacy =
+  auto direct =
       SeparableClosure({Down()}, {Up()}, sigma, engine.db(), q);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*via_engine, *legacy);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->relation(), *direct);
   auto filtered = ClosureThenSelect({Down()}, {Up()}, sigma, engine.db(), q);
   ASSERT_TRUE(filtered.ok());
-  EXPECT_EQ(*via_engine, *filtered);
+  EXPECT_EQ(via_engine->relation(), *filtered);
 }
 
 TEST(EnginePlanTest, SelectionOnGeneralColumnIsPostFiltered) {
@@ -123,16 +139,17 @@ TEST(EnginePlanTest, SelectionOnGeneralColumnIsPostFiltered) {
   Relation q(2);
   q.Insert({0, 0});
   Selection sigma{1, 3};
-  auto plan = engine.Plan(Query::Closure({r1, r2}).Select(sigma).From(q));
+  Query query = Query::Closure({r1, r2}).Select(sigma).From(q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_NE(plan->strategy, Strategy::kSeparable);
   EXPECT_FALSE(plan->selection_pushed);
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok());
   auto closure = SemiNaiveClosure({r1, r2}, engine.db(), q);
   ASSERT_TRUE(closure.ok());
-  EXPECT_EQ(*via_engine, ApplySelection(*closure, sigma));
+  EXPECT_EQ(via_engine->relation(), ApplySelection(*closure, sigma));
 }
 
 TEST(EnginePlanTest, FullPushdownWhenSelectionCommutesWithEveryRule) {
@@ -144,16 +161,17 @@ TEST(EnginePlanTest, FullPushdownWhenSelectionCommutesWithEveryRule) {
   Relation q(2);
   for (int i = 0; i < 6; ++i) q.Insert({i, i});
   Selection sigma{0, 2};
-  auto plan = engine.Plan(Query::Closure({tc}).Select(sigma).From(q));
+  Query query = Query::Closure({tc}).Select(sigma).From(q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kSeparable);
   EXPECT_TRUE(plan->inner.empty());
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok());
   auto closure = SemiNaiveClosure({tc}, engine.db(), q);
   ASSERT_TRUE(closure.ok());
-  EXPECT_EQ(*via_engine, ApplySelection(*closure, sigma));
+  EXPECT_EQ(via_engine->relation(), ApplySelection(*closure, sigma));
 }
 
 TEST(EnginePlanTest, UniformlyBoundedRuleYieldsPowerSum) {
@@ -165,16 +183,17 @@ TEST(EnginePlanTest, UniformlyBoundedRuleYieldsPowerSum) {
   Relation q(1);
   q.Insert({1});
   q.Insert({7});
-  auto plan = engine.Plan(Query::Closure({r}).From(q));
+  Query query = Query::Closure({r}).From(q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kPowerSum);
   EXPECT_EQ(plan->power_bound, 1);
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok());
-  auto legacy = SemiNaiveClosure({r}, engine.db(), q);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*via_engine, *legacy);
+  auto direct = SemiNaiveClosure({r}, engine.db(), q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->relation(), *direct);
 }
 
 TEST(EnginePlanTest, BoundedBridgeElidesRedundantPredicate) {
@@ -186,18 +205,19 @@ TEST(EnginePlanTest, BoundedBridgeElidesRedundantPredicate) {
                                             /*fanout=*/4,
                                             /*initial_buys=*/15, /*seed=*/3);
   Engine engine(std::move(w.db));
-  auto plan = engine.Plan(Query::Closure({rule}).From(w.q));
+  Query query = Query::Closure({rule}).From(w.q);
+  auto plan = engine.Plan(query);
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->strategy, Strategy::kSemiNaive);
   ASSERT_TRUE(plan->factorization.has_value());
   ASSERT_EQ(plan->elided_predicates.size(), 1u);
   EXPECT_EQ(plan->elided_predicates[0], "endorses");
 
-  auto via_engine = engine.Execute(*plan);
+  auto via_engine = RunQuery(engine, query);
   ASSERT_TRUE(via_engine.ok()) << via_engine.status();
-  auto legacy = SemiNaiveClosure({rule}, engine.db(), w.q);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*via_engine, *legacy);
+  auto direct = SemiNaiveClosure({rule}, engine.db(), w.q);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_engine->relation(), *direct);
 }
 
 TEST(EnginePlanTest, ExplainNamesStrategyAndTheorem) {
@@ -263,11 +283,11 @@ TEST(EngineForceTest, ForcedNaiveMatchesSemiNaive) {
   Relation q(2);
   for (int i = 0; i < 5; ++i) q.Insert({i, i});
   auto naive =
-      engine.Execute(Query::Closure({tc}).From(q).Force(Strategy::kNaive));
+      RunQuery(engine, Query::Closure({tc}).From(q).Force(Strategy::kNaive));
   ASSERT_TRUE(naive.ok());
-  auto semi = engine.Execute(Query::Closure({tc}).From(q));
+  auto semi = RunQuery(engine, Query::Closure({tc}).From(q));
   ASSERT_TRUE(semi.ok());
-  EXPECT_EQ(*naive, *semi);
+  EXPECT_EQ(naive->relation(), semi->relation());
 }
 
 TEST(EngineForceTest, ForcedPowerSumRequiresBound) {
@@ -306,9 +326,9 @@ TEST(EngineCacheTest, StatsAccumulateAcrossQueries) {
   LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
   Relation q(2);
   q.Insert({0, 0});
-  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  ASSERT_TRUE(RunQuery(engine, Query::Closure({tc}).From(q)).ok());
   std::size_t after_one = engine.stats().derivations;
-  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  ASSERT_TRUE(RunQuery(engine, Query::Closure({tc}).From(q)).ok());
   EXPECT_GT(engine.stats().derivations, after_one);
   engine.ResetStats();
   EXPECT_EQ(engine.stats().derivations, 0u);
@@ -322,10 +342,10 @@ TEST(EngineCacheTest, IndexCacheDoesNotAccumulateTemporaries) {
   LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
   Relation q(2);
   q.Insert({0, 0});
-  ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+  ASSERT_TRUE(RunQuery(engine, Query::Closure({tc}).From(q)).ok());
   std::size_t after_one = engine.index_cache().entry_count();
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(engine.Execute(Query::Closure({tc}).From(q)).ok());
+    ASSERT_TRUE(RunQuery(engine, Query::Closure({tc}).From(q)).ok());
   }
   EXPECT_EQ(engine.index_cache().entry_count(), after_one);
 }
@@ -347,11 +367,11 @@ TEST(EnginePlanCacheTest, RepeatQueriesSkipPlanning) {
   EXPECT_EQ(engine.plan_cache_hits(), 1u);
 
   // The cached plan executes identically.
-  auto out1 = engine.Execute(*first);
-  auto out2 = engine.Execute(*second);
+  auto out1 = RunQuery(engine, Query::Closure({Down(), Up()}).From(q));
+  auto out2 = RunQuery(engine, Query::Closure({Down(), Up()}).From(q));
   ASSERT_TRUE(out1.ok());
   ASSERT_TRUE(out2.ok());
-  EXPECT_EQ(*out1, *out2);
+  EXPECT_EQ(out1->relation(), out2->relation());
 
   // Introducing a σ changes the structural digest: planned from scratch.
   auto with_sigma = engine.Plan(
@@ -384,7 +404,7 @@ TEST(EnginePlanCacheTest, CachedPlanServesFreshSeeds) {
   // The digest excludes the seed, so one cached plan answers every From().
   Engine engine(SameGenDb());
   Relation q1 = IdentitySeed(engine.db());
-  ASSERT_TRUE(engine.Execute(Query::Closure({Down(), Up()}).From(q1)).ok());
+  ASSERT_TRUE(RunQuery(engine, Query::Closure({Down(), Up()}).From(q1)).ok());
   Relation q2(2);
   q2.Insert({3, 3});
   auto plan = engine.Plan(Query::Closure({Down(), Up()}).From(q2));
@@ -392,11 +412,11 @@ TEST(EnginePlanCacheTest, CachedPlanServesFreshSeeds) {
   EXPECT_TRUE(plan->from_plan_cache);
   ASSERT_NE(plan->seed, nullptr);
   EXPECT_EQ(plan->seed->size(), 1u);  // the new seed, not the cached query's
-  auto out = engine.Execute(*plan);
+  auto out = RunQuery(engine, Query::Closure({Down(), Up()}).From(q2));
   ASSERT_TRUE(out.ok()) << out.status();
-  auto legacy = SemiNaiveClosure({Down(), Up()}, engine.db(), q2);
-  ASSERT_TRUE(legacy.ok());
-  EXPECT_EQ(*out, *legacy);
+  auto direct = SemiNaiveClosure({Down(), Up()}, engine.db(), q2);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(out->relation(), *direct);
 }
 
 TEST(EnginePlanCacheTest, DisabledByOption) {
@@ -417,16 +437,16 @@ TEST(EngineParallelTest, ParallelWorkersMatchSequentialResult) {
   Engine parallel_engine(SameGenDb(), parallel_options);
   Relation q = IdentitySeed(parallel_engine.db());
   auto parallel_out =
-      parallel_engine.Execute(Query::Closure({Down(), Up()}).From(q));
+      RunQuery(parallel_engine, Query::Closure({Down(), Up()}).From(q));
   ASSERT_TRUE(parallel_out.ok()) << parallel_out.status();
 
   EngineOptions sequential_options;
   sequential_options.parallel_workers = 1;
   Engine sequential_engine(SameGenDb(), sequential_options);
   auto sequential_out =
-      sequential_engine.Execute(Query::Closure({Down(), Up()}).From(q));
+      RunQuery(sequential_engine, Query::Closure({Down(), Up()}).From(q));
   ASSERT_TRUE(sequential_out.ok()) << sequential_out.status();
-  EXPECT_EQ(*parallel_out, *sequential_out);
+  EXPECT_EQ(parallel_out->relation(), sequential_out->relation());
 }
 
 TEST(EnginePlanCacheTest, FifoEvictsOldestSingleEntry) {
@@ -472,29 +492,24 @@ TEST(EnginePlanCacheTest, ZeroCapacityDisablesCaching) {
 }
 
 TEST(EngineExecuteTest, RejectsOutOfRangeSelectionPosition) {
-  // Engine-boundary validation: a hand-mutated plan with an out-of-range
-  // σ must fail with InvalidArgument, not reach WhereEquals as UB in
-  // NDEBUG builds.
+  // Engine-boundary validation: an out-of-range σ position must fail with
+  // InvalidArgument at Prepare, not reach WhereEquals as UB in NDEBUG
+  // builds.
   Engine engine;
   engine.db().GetOrCreate("e", 2) = ChainGraph(4);
   LinearRule tc = LR("p(X,Y) :- p(X,Z), e(Z,Y).");
   Relation q(2);
   q.Insert({0, 0});
-  auto plan = engine.Plan(Query::Closure({tc}).From(q));
-  ASSERT_TRUE(plan.ok());
 
-  ExecutionPlan tampered = *plan;
-  tampered.selection = Selection{5, 0};
-  auto out = engine.Execute(tampered);
-  ASSERT_FALSE(out.ok());
-  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
-
-  tampered.selection = Selection{-1, 0};
-  EXPECT_FALSE(engine.Execute(tampered).ok());
+  auto out_of_range = engine.Prepare(Query::Closure({tc}).SelectPosition(5));
+  ASSERT_FALSE(out_of_range.ok());
+  EXPECT_EQ(out_of_range.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(engine.Prepare(Query::Closure({tc}).SelectPosition(-1)).ok());
 
   // An in-range selection still executes.
-  tampered.selection = Selection{0, 0};
-  EXPECT_TRUE(engine.Execute(tampered).ok());
+  auto prepared = engine.Prepare(Query::Closure({tc}).SelectPosition(0));
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  EXPECT_TRUE(engine.Execute(prepared->Bind(0).BindSeed(q)).ok());
 }
 
 TEST(EngineJointTest, JointQueryPlansAndExecutes) {
@@ -510,25 +525,28 @@ TEST(EngineJointTest, JointQueryPlansAndExecutes) {
   EXPECT_NE(text.find("even, odd"), std::string::npos) << text;
   EXPECT_NE(text.find("Δ source"), std::string::npos) << text;
 
-  // Joint plans refuse the single-relation entry point...
-  auto wrong = engine.Execute(*plan);
-  ASSERT_FALSE(wrong.ok());
-  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
-  // ...and ExecuteJoint refuses non-joint plans.
+  // Joint plans refuse a single-relation seed binding...
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
   Relation q(2);
   q.Insert({0, 0});
+  auto wrong = engine.Execute(prepared->Bind().BindSeed(q));
+  ASSERT_FALSE(wrong.ok());
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+  // ...and non-joint plans refuse per-member seeds.
   auto single =
-      engine.Plan(Query::Closure({LR("p(X,Y) :- p(X,Z), succ(Z,Y).")})
-                      .From(q));
+      engine.Prepare(Query::Closure({LR("p(X,Y) :- p(X,Z), succ(Z,Y).")}));
   ASSERT_TRUE(single.ok());
-  EXPECT_FALSE(engine.ExecuteJoint(*single).ok());
+  EXPECT_FALSE(
+      engine.Execute(single->Bind().BindSeeds(w->seeds)).ok());
 
-  auto out = engine.ExecuteJoint(*plan);
+  auto out = engine.Execute(prepared->Bind().BindSeeds(w->seeds));
   ASSERT_TRUE(out.ok()) << out.status();
-  ASSERT_EQ(out->size(), 2u);
+  EXPECT_TRUE(out->joint);
+  ASSERT_EQ(out->relations.size(), 2u);
   for (int i = 0; i < 8; ++i) {
-    EXPECT_EQ((*out)[0].Contains({i}), i % 2 == 0) << i;
-    EXPECT_EQ((*out)[1].Contains({i}), i % 2 == 1) << i;
+    EXPECT_EQ(out->relations[0].Contains({i}), i % 2 == 0) << i;
+    EXPECT_EQ(out->relations[1].Contains({i}), i % 2 == 1) << i;
   }
   EXPECT_GT(engine.stats().derivations, 0u);
 }
@@ -553,11 +571,18 @@ TEST(EngineJointTest, JointPlansAreCachedSeedless) {
   EXPECT_TRUE(second->from_plan_cache);
   ASSERT_NE(second->joint_seeds, nullptr);
   EXPECT_EQ((*second->joint_seeds)[0].size(), 1u);
-  auto out = engine.ExecuteJoint(*second);
+  std::vector<Relation> rebind;
+  rebind.emplace_back(1);
+  rebind.back().Insert({2});
+  rebind.emplace_back(1);
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  auto out =
+      engine.Execute(prepared->Bind().BindSeeds(std::move(rebind)));
   ASSERT_TRUE(out.ok()) << out.status();
   // Seeded from 2 instead of 0: evens are {2,4}, odds {3,5}.
-  EXPECT_TRUE((*out)[0].Contains({4}));
-  EXPECT_FALSE((*out)[0].Contains({0}));
+  EXPECT_TRUE(out->relations[0].Contains({4}));
+  EXPECT_FALSE(out->relations[0].Contains({0}));
 }
 
 TEST(EngineJointTest, JointValidationErrors) {

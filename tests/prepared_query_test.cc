@@ -107,8 +107,9 @@ TEST(PreparedQueryTest, SigmaSweepPlansExactlyOnce) {
   // One Prepare + 100 binds = exactly one planning pass.
   EXPECT_EQ(engine.plan_cache_misses(), 1u);
 
-  // The deprecated Plan/Execute path shares the same structural digest:
-  // 100 distinct σ values are 100 hits, zero further planning passes.
+  // The planning/explain path (Engine::Plan) shares the same structural
+  // digest: 100 distinct σ values are 100 hits, zero further planning
+  // passes.
   const std::size_t hits_before = engine.plan_cache_hits();
   for (Value v = 0; v < 100; ++v) {
     auto plan = engine.Plan(
@@ -139,7 +140,7 @@ TEST(PreparedQueryTest, BoundSigmaBecomesBindDefault) {
   EXPECT_EQ(by_default->relation(), by_value->relation());
 }
 
-TEST(PreparedQueryTest, PreparedJointMatchesLegacyExecuteJoint) {
+TEST(PreparedQueryTest, PreparedJointMatchesDirectJointClosure) {
   auto w = MakeEvenOddChain(8);
   ASSERT_TRUE(w.ok()) << w.status();
   Engine engine(std::move(w->db));
@@ -155,12 +156,12 @@ TEST(PreparedQueryTest, PreparedJointMatchesLegacyExecuteJoint) {
   ASSERT_EQ(result->relations.size(), 2u);
   EXPECT_GT(result->stats.derivations, 0u);
 
-  auto legacy = engine.ExecuteJoint(
-      Query::JointClosure(w->members, w->rules).FromSeeds(w->seeds));
-  ASSERT_TRUE(legacy.ok()) << legacy.status();
+  auto direct =
+      JointSemiNaiveClosure(w->members, w->rules, engine.db(), w->seeds);
+  ASSERT_TRUE(direct.ok()) << direct.status();
   // Member order is preserved by both paths.
-  EXPECT_EQ(result->relations[0], (*legacy)[0]);
-  EXPECT_EQ(result->relations[1], (*legacy)[1]);
+  EXPECT_EQ(result->relations[0], (*direct)[0]);
+  EXPECT_EQ(result->relations[1], (*direct)[1]);
 }
 
 TEST(PreparedQueryTest, BindMisuseSurfacesAtExecute) {
@@ -210,15 +211,11 @@ TEST(PreparedQueryTest, BindMisuseSurfacesAtExecute) {
     EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
   }
 
-  // A σ-parameterized plan cannot slip through the deprecated
-  // Execute(ExecutionPlan) shim with its placeholder value.
+  // A σ-parameterized plan still marks itself unbound for Plan callers.
   {
     auto plan = engine.Plan(Query::Closure({tc}).SelectPosition(0).From(q));
     ASSERT_TRUE(plan.ok()) << plan.status();
     EXPECT_TRUE(plan->sigma_parameterized);
-    auto out = engine.Execute(*plan);
-    ASSERT_FALSE(out.ok());
-    EXPECT_NE(out.status().message().find("unbound"), std::string::npos);
   }
 
   // BindSeed on a joint prepared query.
@@ -243,8 +240,14 @@ TEST(PreparedQueryTest, ResetCountersResetsCoherently) {
   Engine engine(SameGenDb());
   Relation q = IdentitySeed(engine.db());
   Query query = Query::Closure({Down(), Up()}).From(q);
-  ASSERT_TRUE(engine.Execute(query).ok());
-  ASSERT_TRUE(engine.Execute(query).ok());
+  auto prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok()) << prepared.status();
+  ASSERT_TRUE(
+      engine.Execute(prepared->Bind().BindSeed(query.shared_seed())).ok());
+  prepared = engine.Prepare(query);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(
+      engine.Execute(prepared->Bind().BindSeed(query.shared_seed())).ok());
   EXPECT_GT(engine.stats().derivations, 0u);
   EXPECT_EQ(engine.plan_cache_misses(), 1u);
   EXPECT_GT(engine.plan_cache_hits(), 0u);

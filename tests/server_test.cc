@@ -1,0 +1,291 @@
+// End-to-end tests for the linrecd front door (src/server/): the text
+// protocol, LOAD-block compilation through the shared program registry,
+// pipelined query batches, per-session deadline and row-cap limits,
+// admission control, and the plan-cache-miss=1 guarantee across N
+// concurrent sessions submitting the same program.
+
+#include "server/server.h"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace linrec {
+namespace {
+
+/// The transitive closure of the chain 1→2→3→4 (6 result rows).
+const char* kTcProgram =
+    "edge(1, 2). edge(2, 3). edge(3, 4).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+
+/// Drives `lines` through HandleLine one at a time, collecting replies.
+std::vector<std::string> Drive(Server& server, Session& session,
+                               const std::vector<std::string>& lines) {
+  std::vector<std::string> out;
+  for (const std::string& line : lines) server.HandleLine(session, line, &out);
+  return out;
+}
+
+/// LOADs `program` into `session`, expecting an "OK loaded" reply.
+void Load(Server& server, Session& session, const std::string& program) {
+  std::vector<std::string> out;
+  server.HandleLine(session, "LOAD", &out);
+  for (std::size_t begin = 0; begin <= program.size();) {
+    std::size_t end = program.find('\n', begin);
+    if (end == std::string::npos) end = program.size();
+    server.HandleLine(session, program.substr(begin, end - begin), &out);
+    begin = end + 1;
+  }
+  server.HandleLine(session, "END", &out);
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.front().rfind("OK loaded", 0), 0u) << out.front();
+}
+
+bool IsErr(const std::string& reply, const std::string& code) {
+  return reply.rfind(StrCat("ERR ", code), 0) == 0;
+}
+
+TEST(ServerTest, FactAndQueryRoundTrip) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+
+  std::vector<std::string> out =
+      Drive(server, *session, {"?- tc(X, Y)."});
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=6 truncated=0");
+  EXPECT_EQ(out.back(), ".");
+  EXPECT_EQ(out.size(), 8u);  // header + 6 rows + terminator
+
+  // σ bind on each position, and a repeated-variable goal.
+  out = Drive(server, *session, {"?- tc(1, Y)."});
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=3 truncated=0");
+  out = Drive(server, *session, {"?- tc(X, 4)."});
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=3 truncated=0");
+  out = Drive(server, *session, {"?- tc(X, X)."});
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=0 truncated=0");
+
+  // Incremental FACT invalidates prior materialization.
+  out = Drive(server, *session, {"FACT edge(4, 5).", "?- tc(1, Y)."});
+  EXPECT_EQ(out.front(), "OK fact");
+  EXPECT_EQ(out[1], "RESULT tc/2 rows=4 truncated=0");
+}
+
+TEST(ServerTest, MalformedProgramRepliesErrorAndServerSurvives) {
+  Server server;
+  auto session = server.NewSession();
+  std::vector<std::string> out = Drive(
+      server, *session, {"LOAD", "this is not datalog(", "END"});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsErr(out.front(), "ParseError")) << out.front();
+
+  // Nonlinear rules are rejected at compile time, not at parse time.
+  out = Drive(server, *session,
+              {"LOAD", "p(X, Y) :- p(X, Z), p(Z, Y).", "END"});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsErr(out.front(), "InvalidArgument")) << out.front();
+
+  // The session (and server) keep serving after both failures.
+  Load(server, *session, kTcProgram);
+  out = Drive(server, *session, {"?- tc(1, Y)."});
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=3 truncated=0");
+}
+
+TEST(ServerTest, UnknownCommandAndBadClausesReplyError) {
+  Server server;
+  auto session = server.NewSession();
+  std::vector<std::string> out = Drive(
+      server, *session,
+      {"FROBNICATE", "FACT tc(X, 1).", "?- tc(1, Y", "END", "% comment", ""});
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(IsErr(out[0], "InvalidArgument"));  // unknown command
+  EXPECT_TRUE(IsErr(out[1], "ParseError"));       // non-ground fact
+  EXPECT_TRUE(IsErr(out[2], "ParseError"));       // unterminated goal
+  EXPECT_TRUE(IsErr(out[3], "InvalidArgument"));  // END outside LOAD
+}
+
+TEST(ServerTest, DeadlineExpiryRepliesWithoutKillingOtherQueries) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+
+  // timeout_ms=0 arms an already-expired token: the closure's first round
+  // boundary observes it deterministically.
+  std::vector<std::string> out = Drive(
+      server, *session, {"SET timeout_ms 0", "?- tc(X, Y)."});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK set timeout_ms=0");
+  EXPECT_TRUE(IsErr(out[1], "DeadlineExceeded")) << out[1];
+
+  // A batch neighbour on a fresh session is untouched by the expiry.
+  auto other = server.NewSession();
+  Load(server, *other, kTcProgram);
+  out = Drive(server, *other, {"?- tc(X, Y)."});
+  EXPECT_EQ(out.front(), "RESULT tc/2 rows=6 truncated=0");
+
+  // Disarming the deadline restores service on the same session too.
+  out = Drive(server, *session, {"SET timeout_ms -1", "?- tc(X, Y)."});
+  EXPECT_EQ(out[0], "OK set timeout_ms=-1");
+  EXPECT_EQ(out[1], "RESULT tc/2 rows=6 truncated=0");
+}
+
+TEST(ServerTest, ResultCapTruncationIsFlagged) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  std::vector<std::string> out = Drive(
+      server, *session, {"SET max_rows 2", "?- tc(X, Y)."});
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[0], "OK set max_rows=2");
+  EXPECT_EQ(out[1], "RESULT tc/2 rows=2 truncated=1");
+  EXPECT_EQ(out[4], ".");
+
+  // Raising the cap restores the full result.
+  out = Drive(server, *session, {"SET max_rows 100", "?- tc(X, Y)."});
+  EXPECT_EQ(out[1], "RESULT tc/2 rows=6 truncated=0");
+}
+
+TEST(ServerTest, PipelinedQueryLinesKeepReplyOrder) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  std::vector<std::string> out;
+  server.SubmitQueryLines(
+      *session,
+      {"?- tc(1, Y).", "?- tc(1, Y", "?- tc(X, 4).", "?- nope(X)."},
+      &out);
+  // Slot 0: 3 rows; slot 1: parse error in place; slot 2: 3 rows;
+  // slot 3: unknown predicate.
+  ASSERT_EQ(out.size(), 12u);
+  EXPECT_EQ(out[0], "RESULT tc/2 rows=3 truncated=0");
+  EXPECT_EQ(out[4], ".");
+  EXPECT_TRUE(IsErr(out[5], "ParseError")) << out[5];
+  EXPECT_EQ(out[6], "RESULT tc/2 rows=3 truncated=0");
+  EXPECT_EQ(out[10], ".");
+  EXPECT_TRUE(IsErr(out[11], "NotFound")) << out[11];
+}
+
+TEST(ServerTest, AdmissionControlRejectsPastPendingBound) {
+  ServerLimits limits;
+  limits.max_pending = 0;
+  Server server(limits);
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  std::vector<std::string> out = Drive(server, *session, {"?- tc(X, Y)."});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(IsErr(out.front(), "Unavailable")) << out.front();
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST(ServerTest, SessionLifecycleActions) {
+  Server server;
+  auto session = server.NewSession();
+  std::vector<std::string> out;
+  EXPECT_EQ(server.HandleLine(*session, "PING", &out),
+            Server::Action::kContinue);
+  EXPECT_EQ(out.back(), "OK pong");
+  EXPECT_EQ(server.HandleLine(*session, "QUIT", &out),
+            Server::Action::kCloseSession);
+  EXPECT_EQ(out.back(), "OK bye");
+  EXPECT_EQ(server.HandleLine(*session, "SHUTDOWN", &out),
+            Server::Action::kShutdown);
+  EXPECT_EQ(out.back(), "OK shutdown");
+}
+
+TEST(ServerTest, EmbeddedLoadQueriesAndExplain) {
+  Server server;
+  auto session = server.NewSession();
+  std::vector<std::string> out = Drive(
+      server, *session,
+      {"LOAD", "edge(1, 2). edge(2, 3).", "tc(X, Y) :- edge(X, Y).",
+       "tc(X, Y) :- tc(X, Z), edge(Z, Y).", "?- tc(1, Y).", "END"});
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0], "OK loaded rules=2 facts=2 queries=1");
+  EXPECT_EQ(out[1], "RESULT tc/2 rows=2 truncated=0");
+
+  out = Drive(server, *session, {"EXPLAIN"});
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front(), "OK explain");
+  EXPECT_EQ(out.back(), ".");
+  const std::string joined = [&] {
+    std::string j;
+    for (const std::string& line : out) j += line + "\n";
+    return j;
+  }();
+  EXPECT_NE(joined.find("tc"), std::string::npos);
+}
+
+TEST(ServerTest, StatsReportRegistryAndPlannerCounters) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  Drive(server, *session, {"?- tc(X, Y)."});
+  std::vector<std::string> out = Drive(server, *session, {"STATS"});
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), "OK stats");
+  EXPECT_EQ(out.back(), ".");
+  auto has = [&](const std::string& line) {
+    return std::find(out.begin(), out.end(), line) != out.end();
+  };
+  EXPECT_TRUE(has("programs=1"));
+  EXPECT_TRUE(has("program_misses=1"));
+  EXPECT_TRUE(has("queries_served=1"));
+  EXPECT_TRUE(has("session_queries=1"));
+}
+
+/// The tentpole acceptance test: N concurrent sessions submit the same TC
+/// program and query it; the program compiles exactly once (one registry
+/// miss, one planner plan-cache miss for the closure), and every session
+/// sees exactly the serial answer.
+TEST(ServerTest, ConcurrentSessionsShareOnePlanCompilation) {
+  constexpr int kSessions = 8;
+  Server server;
+
+  // The serial reference answer.
+  std::vector<std::string> expected;
+  {
+    Server reference;
+    auto session = reference.NewSession();
+    Load(reference, *session, kTcProgram);
+    expected = Drive(reference, *session, {"?- tc(X, Y)."});
+    ASSERT_EQ(expected.front(), "RESULT tc/2 rows=6 truncated=0");
+  }
+
+  std::vector<std::vector<std::string>> replies(kSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kSessions);
+  for (int i = 0; i < kSessions; ++i) {
+    threads.emplace_back([&server, &replies, i] {
+      auto session = server.NewSession();
+      Load(server, *session, kTcProgram);
+      replies[i] = Drive(server, *session, {"?- tc(X, Y)."});
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kSessions; ++i) {
+    // Rows may arrive in any storage order; compare as sets.
+    std::vector<std::string> got = replies[i];
+    std::vector<std::string> want = expected;
+    ASSERT_FALSE(got.empty());
+    EXPECT_EQ(got.front(), want.front());  // identical RESULT header
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "session " << i;
+  }
+
+  // One compile for all eight sessions: one registry miss (the program)
+  // and one planner plan-cache miss (its recursive closure).
+  EXPECT_EQ(server.registry().misses(), 1u);
+  EXPECT_EQ(server.registry().hits(), static_cast<std::size_t>(kSessions - 1));
+  EXPECT_EQ(server.planner().plan_cache_misses(), 1u);
+}
+
+}  // namespace
+}  // namespace linrec

@@ -42,10 +42,11 @@ std::vector<Tuple> ExpectAllStrategiesAgree(
   EXPECT_EQ(*naive, *semi);
 
   Engine engine(std::move(db));
-  Relation seed = q;
-  auto engine_out = engine.Execute(Query::Closure(rules).From(seed));
+  auto prepared = engine.Prepare(Query::Closure(rules));
+  EXPECT_TRUE(prepared.ok()) << prepared.status();
+  auto engine_out = engine.Execute(prepared->Bind().BindSeed(q));
   EXPECT_TRUE(engine_out.ok()) << engine_out.status();
-  EXPECT_EQ(*semi, *engine_out);
+  EXPECT_EQ(*semi, engine_out->relation());
   return semi->Sorted();
 }
 
@@ -241,11 +242,16 @@ TEST(ParallelSemiNaive, EngineForcedParallelMatchesSerial) {
 
   Engine serial_engine = build_engine(1);
   Engine parallel_engine = build_engine(8);
-  auto serial = serial_engine.Execute(Query::Closure(rules).From(q));
-  auto parallel = parallel_engine.Execute(Query::Closure(rules).From(q));
+  auto serial_prepared = serial_engine.Prepare(Query::Closure(rules));
+  auto parallel_prepared = parallel_engine.Prepare(Query::Closure(rules));
+  ASSERT_TRUE(serial_prepared.ok()) << serial_prepared.status();
+  ASSERT_TRUE(parallel_prepared.ok()) << parallel_prepared.status();
+  auto serial = serial_engine.Execute(serial_prepared->Bind().BindSeed(q));
+  auto parallel =
+      parallel_engine.Execute(parallel_prepared->Bind().BindSeed(q));
   ASSERT_TRUE(serial.ok()) << serial.status();
   ASSERT_TRUE(parallel.ok()) << parallel.status();
-  EXPECT_EQ(*serial, *parallel);
+  EXPECT_EQ(serial->relation(), parallel->relation());
   RestoreThreadCap();
 }
 

@@ -1,0 +1,267 @@
+// linrecd — the linrec front door. One binary, three fronts over one
+// protocol (src/server/protocol.h):
+//
+//   linrecd --file script.lr          run a script, replies to stdout
+//   linrecd --stdin                   line REPL on stdin/stdout (default)
+//   linrecd --port 0                  TCP on 127.0.0.1 (0 = ephemeral;
+//                                     prints "LISTENING <port>" when ready,
+//                                     serves a thread per connection until
+//                                     a client sends SHUTDOWN)
+//
+// Limits: --timeout-ms N, --max-rows N, --max-pending N, --workers N.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace linrec {
+namespace {
+
+bool IsQueryLine(const std::string& line) {
+  std::size_t i = 0;
+  while (i < line.size() &&
+         std::isspace(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return line.compare(i, 2, "?-") == 0;
+}
+
+/// Feeds `lines` to the server in order, batching maximal runs of
+/// consecutive "?-" lines (outside LOAD blocks) into one pipelined
+/// submission. Replies stream through `write`.
+Server::Action ProcessLines(Server& server, Session& session,
+                            const std::vector<std::string>& lines,
+                            const std::function<void(const std::string&)>& write) {
+  std::vector<std::string> replies;
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    replies.clear();
+    if (!session.in_load() && IsQueryLine(lines[i])) {
+      std::vector<std::string> run;
+      while (i < lines.size() && IsQueryLine(lines[i])) {
+        run.push_back(lines[i]);
+        ++i;
+      }
+      server.SubmitQueryLines(session, run, &replies);
+      for (const std::string& reply : replies) write(reply);
+      continue;
+    }
+    Server::Action action = server.HandleLine(session, lines[i], &replies);
+    ++i;
+    for (const std::string& reply : replies) write(reply);
+    if (action != Server::Action::kContinue) return action;
+  }
+  return Server::Action::kContinue;
+}
+
+int RunScript(Server& server, std::istream& in, std::ostream& out,
+              bool interactive) {
+  auto session = server.NewSession();
+  auto write = [&](const std::string& reply) { out << reply << "\n"; };
+  std::string line;
+  if (interactive) {
+    // REPL: one line at a time so replies appear promptly.
+    while (std::getline(in, line)) {
+      Server::Action action =
+          ProcessLines(server, *session, {line}, write);
+      out.flush();
+      if (action != Server::Action::kContinue) break;
+    }
+    return 0;
+  }
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ProcessLines(server, *session, lines, write);
+  out.flush();
+  return 0;
+}
+
+struct ListenState {
+  int listen_fd = -1;
+  std::atomic<bool> shutting_down{false};
+};
+
+void ServeConnection(Server& server, ListenState& state, int fd) {
+  auto session = server.NewSession();
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open && !state.shutting_down.load()) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    // Extract every complete line; a pipelined client's run of "?-" lines
+    // lands in one chunk and batches through SubmitQueryLines.
+    std::vector<std::string> lines;
+    std::size_t begin = 0;
+    for (;;) {
+      std::size_t end = buffer.find('\n', begin);
+      if (end == std::string::npos) break;
+      std::string line = buffer.substr(begin, end - begin);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      lines.push_back(std::move(line));
+      begin = end + 1;
+    }
+    buffer.erase(0, begin);
+    if (lines.empty()) continue;
+    std::string reply_bytes;
+    auto write = [&](const std::string& reply) {
+      reply_bytes += reply;
+      reply_bytes += '\n';
+    };
+    Server::Action action = ProcessLines(server, *session, lines, write);
+    std::size_t sent = 0;
+    while (sent < reply_bytes.size()) {
+      ssize_t w = ::send(fd, reply_bytes.data() + sent,
+                         reply_bytes.size() - sent, 0);
+      if (w <= 0) {
+        open = false;
+        break;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    if (action == Server::Action::kCloseSession) break;
+    if (action == Server::Action::kShutdown) {
+      state.shutting_down.store(true);
+      // Wake the accept loop.
+      ::shutdown(state.listen_fd, SHUT_RDWR);
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+int RunSocket(Server& server, int port) {
+  ListenState state;
+  state.listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (state.listen_fd < 0) {
+    std::cerr << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  int reuse = 1;
+  ::setsockopt(state.listen_fd, SOL_SOCKET, SO_REUSEADDR, &reuse,
+               sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(state.listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    std::cerr << "bind: " << std::strerror(errno) << "\n";
+    ::close(state.listen_fd);
+    return 1;
+  }
+  if (::listen(state.listen_fd, 64) < 0) {
+    std::cerr << "listen: " << std::strerror(errno) << "\n";
+    ::close(state.listen_fd);
+    return 1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(state.listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::cout << "LISTENING " << ntohs(addr.sin_port) << std::endl;
+
+  std::vector<std::thread> connections;
+  while (!state.shutting_down.load()) {
+    int fd = ::accept(state.listen_fd, nullptr, nullptr);
+    if (fd < 0) break;
+    if (state.shutting_down.load()) {
+      ::close(fd);
+      break;
+    }
+    connections.emplace_back(
+        [&server, &state, fd] { ServeConnection(server, state, fd); });
+  }
+  for (std::thread& t : connections) t.join();
+  ::close(state.listen_fd);
+  std::cout << "SHUTDOWN complete" << std::endl;
+  return 0;
+}
+
+int Usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--file <script> | --stdin | --port <n>]\n"
+               "       [--timeout-ms <n>] [--max-rows <n>]"
+               " [--max-pending <n>] [--workers <n>]\n";
+  return 2;
+}
+
+}  // namespace
+}  // namespace linrec
+
+int main(int argc, char** argv) {
+  using namespace linrec;
+  enum class Mode { kStdin, kFile, kSocket };
+  Mode mode = Mode::kStdin;
+  std::string file;
+  int port = 0;
+  ServerLimits limits;
+  EngineOptions engine_options;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--stdin") {
+      mode = Mode::kStdin;
+    } else if (arg == "--file") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      mode = Mode::kFile;
+      file = value;
+    } else if (arg == "--port") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      mode = Mode::kSocket;
+      port = std::atoi(value);
+    } else if (arg == "--timeout-ms") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.default_timeout_ms = std::atoi(value);
+    } else if (arg == "--max-rows") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.default_max_rows = static_cast<std::size_t>(std::atol(value));
+    } else if (arg == "--max-pending") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.max_pending = static_cast<std::size_t>(std::atol(value));
+    } else if (arg == "--workers") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      engine_options.parallel_workers = std::atoi(value);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  Server server(limits, engine_options);
+  switch (mode) {
+    case Mode::kFile: {
+      std::ifstream in(file);
+      if (!in) {
+        std::cerr << "cannot open " << file << "\n";
+        return 1;
+      }
+      return RunScript(server, in, std::cout, /*interactive=*/false);
+    }
+    case Mode::kStdin:
+      return RunScript(server, std::cin, std::cout, /*interactive=*/true);
+    case Mode::kSocket:
+      return RunSocket(server, port);
+  }
+  return 0;
+}
