@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/parser.h"
@@ -223,6 +224,37 @@ int Main(int argc, char** argv) {
         Query::Closure({TC("e")}).From(SelfLoops(96, 1)).Force(
             Strategy::kNaive);
     results.push_back(RunQuery("tc_chain", 96, engine2, naive_small, 3));
+  }
+
+  // --- Governed transitive closure: tc_chain with a (never-denying)
+  // memory budget attached, so the row-by-row diff against tc_chain — and
+  // the bench_diff gate once this row has a baseline — bounds the cost of
+  // budget accounting. Charging happens only at pool-growth/rehash sites,
+  // so the expected overhead is noise-level. ---
+  {
+    const int n = 512;
+    for (int workers : {1, 4, 8}) {
+      Database db;
+      db.GetOrCreate("e", 2) = ChainGraph(n);
+      EngineOptions options;
+      options.parallel_workers = workers;
+      Engine engine(std::move(db), options);
+      Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 1));
+      Result<PreparedQuery> prepared = engine.Prepare(q);
+      if (!prepared.ok()) {
+        std::fprintf(stderr, "FATAL planning governed_tc_chain: %s\n",
+                     prepared.status().ToString().c_str());
+        std::exit(1);
+      }
+      MemoryBudget global(/*limit_bytes=*/std::size_t{1} << 40);
+      QueryBudget budget(/*limit_bytes=*/std::size_t{1} << 40, &global);
+      BoundQuery bound =
+          prepared->Bind().BindSeed(q.shared_seed()).WithBudget(&budget);
+      results.push_back(Run("governed_tc_chain",
+                            StrategyName(prepared->plan().strategy), n,
+                            engine, bound,
+                            prepared->plan().parallel_workers, 3));
+    }
   }
 
   // --- Transitive closure over a random sparse graph. ---

@@ -16,7 +16,7 @@ fi
 
 WORKDIR="$(mktemp -d)"
 SERVER_LOG="$WORKDIR/server.log"
-trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+trap 'kill "$SERVER_PID" ${FAULT_PID:-} 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 "$LINRECD" --port 0 >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
@@ -104,6 +104,59 @@ if b"OK shutdown" not in data:
     sys.exit("FAIL: no OK shutdown reply")
 PY
 
+shutdown_daemon() {
+  # SHUTDOWN the daemon on $1 and wait for a clean exit of pid $2.
+  python3 - "$1" <<'PY'
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+s.sendall(b"SHUTDOWN\n")
+data = b""
+while b"OK shutdown\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+PY
+  local code=0
+  for _ in $(seq 1 50); do
+    if ! kill -0 "$2" 2>/dev/null; then
+      wait "$2" || code=$?
+      break
+    fi
+    sleep 0.1
+  done
+  if kill -0 "$2" 2>/dev/null; then
+    echo "FAIL: daemon still running 5s after SHUTDOWN" >&2
+    return 1
+  fi
+  return "$code"
+}
+
+start_daemon() {
+  # Start linrecd with extra flags ($@); sets FAULT_PID and FPORT globals.
+  local log="$1"
+  shift
+  "$LINRECD" --port 0 "$@" >"$log" 2>&1 &
+  FAULT_PID=$!
+  FPORT=""
+  for _ in $(seq 1 50); do
+    FPORT="$(awk '/^LISTENING /{print $2; exit}' "$log" 2>/dev/null || true)"
+    [ -n "$FPORT" ] && break
+    if ! kill -0 "$FAULT_PID" 2>/dev/null; then
+      echo "FAIL: daemon died before listening:" >&2
+      cat "$log" >&2
+      return 1
+    fi
+    sleep 0.1
+  done
+  if [ -z "$FPORT" ]; then
+    echo "FAIL: no LISTENING line within 5s" >&2
+    cat "$log" >&2
+    return 1
+  fi
+}
+
 EXIT_CODE=0
 for _ in $(seq 1 50); do
   if ! kill -0 "$SERVER_PID" 2>/dev/null; then
@@ -127,3 +180,85 @@ if ! grep -q "SHUTDOWN complete" "$SERVER_LOG"; then
   exit 1
 fi
 echo "PASS: linrecd smoke (port $PORT, clean shutdown)"
+
+# --- fault pass 1: injected socket-write failure -------------------------
+# The first reply write drops the connection (as if the peer vanished);
+# the daemon must survive and serve the next client normally.
+echo "--- fault pass: socket_write:1 ---"
+FAULT_LOG="$WORKDIR/fault_socket.log"
+start_daemon "$FAULT_LOG" --fault socket_write:1
+python3 - "$FPORT" <<'PY'
+import socket, sys
+port = int(sys.argv[1])
+# Victim: the injected fault eats its reply; connection just closes.
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(b"PING\n")
+data = b""
+try:
+    while True:
+        chunk = s.recv(65536)
+        if not chunk:
+            break
+        data += chunk
+except socket.timeout:
+    sys.exit("FAIL: victim connection hung instead of closing")
+s.close()
+if b"OK pong" in data:
+    sys.exit("FAIL: injected socket fault never fired")
+# Survivor: daemon still serves after dropping the victim.
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(b"PING\nQUIT\n")
+data = b""
+while b"OK bye\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+if b"OK pong" not in data:
+    sys.exit(f"FAIL: daemon did not serve after socket fault:\n{data!r}")
+print("socket-write fault: victim dropped, daemon survived")
+PY
+shutdown_daemon "$FPORT" "$FAULT_PID" || { cat "$FAULT_LOG" >&2; exit 1; }
+
+# --- fault pass 2: allocation failure under a tiny query budget ----------
+# A 1-byte per-query budget refuses the first pool growth, aborting the
+# closure with a typed error; the same session then lifts its budget and
+# the query succeeds — no daemon restart needed.
+echo "--- fault pass: query memory budget ---"
+FAULT_LOG="$WORKDIR/fault_budget.log"
+start_daemon "$FAULT_LOG" --query-memory-budget 1
+python3 - "$FPORT" <<'PY'
+import socket, sys
+port = int(sys.argv[1])
+script = (
+    "LOAD\n"
+    "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+    "END\n"
+    "?- tc(X, Y).\n"
+    "SET memory_budget 0\n"
+    "?- tc(X, Y).\n"
+    "QUIT\n"
+)
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(script.encode())
+data = b""
+while b"OK bye\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+reply = data.decode()
+for needle in ("ERR ResourceExhausted",
+               "OK set memory_budget=0",
+               "RESULT tc/2 rows=10 truncated=0"):
+    if needle not in reply:
+        sys.exit(f"FAIL: missing {needle!r} in reply:\n{reply}")
+print("budget fault: typed ERR ResourceExhausted, recovery without restart")
+PY
+shutdown_daemon "$FPORT" "$FAULT_PID" || { cat "$FAULT_LOG" >&2; exit 1; }
+
+echo "PASS: linrecd fault-injection smoke"

@@ -1,0 +1,108 @@
+#include "common/fault.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace linrec {
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kPoolGrowth:
+      return "pool_growth";
+    case FaultSite::kRehash:
+      return "rehash";
+    case FaultSite::kWorkerDispatch:
+      return "worker_dispatch";
+    case FaultSite::kSocketWrite:
+      return "socket_write";
+    case FaultSite::kSiteCount:
+      break;
+  }
+  return "unknown";
+}
+
+bool ParseFaultSite(const char* name, FaultSite* out) {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    const FaultSite site = static_cast<FaultSite>(i);
+    if (std::strcmp(name, FaultSiteName(site)) == 0) {
+      *out = site;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::ResetCounters() {
+  for (int i = 0; i < kFaultSiteCount; ++i) {
+    hits_[i].store(0, std::memory_order_relaxed);
+    fired_[i].store(0, std::memory_order_relaxed);
+    last_fired_hit_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::ArmAt(FaultSite site, std::uint64_t nth) {
+  armed_.store(false, std::memory_order_seq_cst);
+  ResetCounters();
+  mode_ = Mode::kNth;
+  target_site_ = site;
+  nth_ = nth;
+  armed_.store(true, std::memory_order_seq_cst);
+}
+
+void FaultInjector::ArmSeeded(std::uint64_t seed, std::uint64_t period) {
+  armed_.store(false, std::memory_order_seq_cst);
+  ResetCounters();
+  mode_ = Mode::kSeeded;
+  seed_ = seed;
+  period_ = period == 0 ? 1 : period;
+  armed_.store(true, std::memory_order_seq_cst);
+}
+
+void FaultInjector::Disarm() { armed_.store(false, std::memory_order_seq_cst); }
+
+bool FaultInjector::ShouldFire(FaultSite site) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  const int idx = static_cast<int>(site);
+  const std::uint64_t hit =
+      hits_[idx].fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (mode_) {
+    case Mode::kNth:
+      fire = site == target_site_ && hit == nth_;
+      break;
+    case Mode::kSeeded:
+      fire = HashFinalize(seed_ ^ (static_cast<std::uint64_t>(idx) << 32) ^
+                          hit) %
+                 period_ ==
+             0;
+      break;
+    case Mode::kDisarmed:
+      break;
+  }
+  if (fire) {
+    fired_[idx].fetch_add(1, std::memory_order_relaxed);
+    last_fired_hit_[idx].store(hit, std::memory_order_relaxed);
+  }
+  return fire;
+}
+
+std::uint64_t FaultInjector::hits(FaultSite site) const {
+  return hits_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const {
+  return fired_[static_cast<int>(site)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::last_fired_hit(FaultSite site) const {
+  return last_fired_hit_[static_cast<int>(site)].load(
+      std::memory_order_relaxed);
+}
+
+}  // namespace linrec

@@ -1,0 +1,49 @@
+#include "common/memory.h"
+
+#include "common/strings.h"
+
+namespace linrec {
+
+namespace {
+thread_local QueryBudget* g_current_budget = nullptr;
+}  // namespace
+
+void QueryBudget::Charge(std::size_t bytes) {
+  const std::size_t total =
+      charged_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && total > limit_) {
+    // Roll back: the destructor releases charged() from the parent, which
+    // must match only the charges the parent actually accepted below.
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw ResourceExhaustedError(
+        StrCat("query memory budget exhausted: would use ", total,
+               " bytes of ", limit_, " allowed"));
+  }
+  if (parent_ != nullptr && !parent_->TryCharge(bytes)) {
+    charged_.fetch_sub(bytes, std::memory_order_relaxed);
+    throw ResourceExhaustedError(
+        StrCat("global memory budget exhausted: ", parent_->used(),
+               " bytes in flight of ", parent_->limit(), " allowed"));
+  }
+}
+
+QueryBudget* CurrentQueryBudget() { return g_current_budget; }
+
+ScopedQueryBudget::ScopedQueryBudget(QueryBudget* budget)
+    : previous_(g_current_budget) {
+  g_current_budget = budget;
+}
+
+ScopedQueryBudget::~ScopedQueryBudget() { g_current_budget = previous_; }
+
+void ChargeBytesOrThrow(std::size_t bytes, FaultSite site) {
+  if (FaultFires(site)) {
+    throw ResourceExhaustedError(
+        StrCat("injected allocation failure at ", FaultSiteName(site),
+               " (hit ", FaultInjector::Instance().last_fired_hit(site), ")"));
+  }
+  QueryBudget* budget = g_current_budget;
+  if (budget != nullptr && bytes != 0) budget->Charge(bytes);
+}
+
+}  // namespace linrec

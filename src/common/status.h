@@ -32,6 +32,9 @@ enum class StatusCode {
   /// The service cannot accept the request right now (e.g. queue full);
   /// the caller may retry after backing off.
   kUnavailable,
+  /// The operation exceeded a resource budget (memory) and was aborted;
+  /// the system itself stays healthy and other work continues.
+  kResourceExhausted,
   /// Internal invariant violated; indicates a bug in linrec itself.
   kInternal,
 };
@@ -70,6 +73,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

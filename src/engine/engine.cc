@@ -443,6 +443,7 @@ Engine::ExecutionBinding Engine::BindingOf(const BoundQuery& bound) {
   binding.seeds = bound.seeds().get();
   binding.selection = bound.selection();
   binding.cancel = bound.cancel();
+  binding.budget = bound.budget();
   return binding;
 }
 
@@ -450,6 +451,24 @@ Result<QueryResult> Engine::Run(const ExecutionPlan& plan,
                                 const ExecutionBinding& binding,
                                 IndexCache* cache,
                                 int workers_override) const {
+  // Install this execution's budget: storage growth below charges the
+  // thread-local current budget, and the parallel rounds re-install it
+  // inside their worker lanes. Without a binding budget, any budget already
+  // in effect on this thread (e.g. installed by the serving layer around a
+  // whole goal) stays active. The guard converts a denial that escaped on
+  // the calling thread — the serial path — into the same typed
+  // ResourceExhausted the lanes report.
+  ScopedQueryBudget budget_scope(
+      binding.budget != nullptr ? binding.budget : CurrentQueryBudget());
+  return GuardAllocFailures([&]() -> Result<QueryResult> {
+    return RunImpl(plan, binding, cache, workers_override);
+  });
+}
+
+Result<QueryResult> Engine::RunImpl(const ExecutionPlan& plan,
+                                    const ExecutionBinding& binding,
+                                    IndexCache* cache,
+                                    int workers_override) const {
   // Plans from older callers may predate the resolved field; fall back to
   // the engine's own options.
   const int workers =
@@ -583,9 +602,12 @@ Result<QueryResult> Engine::Execute(const BoundQuery& bound) {
   // token flow through the binding, so executing never copies the plan.
   Result<QueryResult> result = Run(*bound.plan(), BindingOf(bound), &cache_,
                                    /*workers_override=*/0);
+  // Evict on the failure path too: an aborted execution (cancelled, budget
+  // denied) may have left indexes over its already-destroyed temporaries in
+  // the cache, and the next query would read dangling addresses.
+  EvictTemporaryIndexes();
   if (!result.ok()) return result;
   stats_.Accumulate(result->stats);
-  EvictTemporaryIndexes();
   return result;
 }
 

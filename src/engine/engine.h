@@ -172,10 +172,11 @@ class Engine {
   /// inserting it into the plan cache (digest: rules, σ position, forced
   /// strategy, member list — never the σ value or the seed).
   Result<ExecutionPlan> PlanParameterized(const Query& query);
-  /// One execution's bindings over a shared plan: the seed(s), the σ value
-  /// and the cancellation token live here — never in the (cached, shared)
-  /// ExecutionPlan — so N batch slots over one PreparedQuery share a single
-  /// plan object instead of deep-copying it per slot.
+  /// One execution's bindings over a shared plan: the seed(s), the σ value,
+  /// the cancellation token and the memory budget live here — never in the
+  /// (cached, shared) ExecutionPlan — so N batch slots over one
+  /// PreparedQuery share a single plan object instead of deep-copying it
+  /// per slot.
   struct ExecutionBinding {
     const Relation* seed = nullptr;
     const std::vector<Relation>* seeds = nullptr;
@@ -183,6 +184,8 @@ class Engine {
     /// require it; it overrides the plan's placeholder selection).
     std::optional<Selection> selection;
     const CancellationToken* cancel = nullptr;
+    /// Charged by this execution's relation growth; null = ungoverned.
+    QueryBudget* budget = nullptr;
   };
   static ExecutionBinding BindingOf(const BoundQuery& bound);
   /// The single execution path behind every public entry point: runs
@@ -191,10 +194,15 @@ class Engine {
   /// Const — it mutates no engine state, so batch lanes may call it
   /// concurrently with distinct caches. `workers_override` > 0 replaces
   /// the plan's resolved worker count (ExecuteBatchEach forces 1:
-  /// parallelism moves across queries).
+  /// parallelism moves across queries). Installs the binding's budget for
+  /// its duration and converts an escaped budget denial / bad_alloc into
+  /// Status::ResourceExhausted (RunImpl is the unguarded body).
   Result<QueryResult> Run(const ExecutionPlan& plan,
                           const ExecutionBinding& binding, IndexCache* cache,
                           int workers_override) const;
+  Result<QueryResult> RunImpl(const ExecutionPlan& plan,
+                              const ExecutionBinding& binding,
+                              IndexCache* cache, int workers_override) const;
   /// Fills groups via union-find over the memoized non-commuting pairs,
   /// appending per-pair verdicts to the plan's justification.
   Status ComputeGroups(ExecutionPlan* plan);

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/memory.h"
 #include "common/status.h"
 #include "engine/plan.h"
 #include "eval/stats.h"
@@ -130,6 +131,16 @@ class BoundQuery {
     return *this;
   }
 
+  /// Attaches a memory budget charged by this execution's relation growth
+  /// (pool growth + dedup rehash). Not owned: the budget must outlive the
+  /// execution. A null budget (the default) means ungoverned. Like the
+  /// cancellation token, the budget is a property of the binding and never
+  /// reaches the plan cache.
+  BoundQuery& WithBudget(QueryBudget* budget) {
+    budget_ = budget;
+    return *this;
+  }
+
   const std::shared_ptr<const ExecutionPlan>& plan() const { return plan_; }
   /// The fully bound selection, if the prepared query had a σ parameter or
   /// default value.
@@ -139,6 +150,7 @@ class BoundQuery {
     return seeds_;
   }
   const CancellationToken* cancel() const { return cancel_; }
+  QueryBudget* budget() const { return budget_; }
 
   /// Checks the binding is complete and coherent: a plan is attached, any
   /// deferred Bind misuse surfaces here, σ is bound iff the plan is
@@ -158,6 +170,7 @@ class BoundQuery {
   std::shared_ptr<const Relation> seed_;
   std::shared_ptr<const std::vector<Relation>> seeds_;
   const CancellationToken* cancel_ = nullptr;
+  QueryBudget* budget_ = nullptr;
   /// First misuse of the fluent surface (Bind(v) without a σ parameter,
   /// BindSeed on a joint plan, ...), reported by Validate.
   Status error_ = Status::OK();

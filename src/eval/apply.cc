@@ -74,7 +74,8 @@ struct CompiledRule::Impl {
   std::vector<std::size_t> emit_hashes;
 
   Status Execute(const PartitionView* delta, Relation* out,
-                 ClosureStats* stats, IndexCache* cache);
+                 ClosureStats* stats, IndexCache* cache,
+                 const CancellationToken* cancel);
 };
 
 CompiledRule::CompiledRule() : impl_(new Impl) {}
@@ -229,7 +230,8 @@ Result<CompiledRule> CompileRule(const Rule& rule, const Database& db,
 }
 
 Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
-                                   ClosureStats* stats, IndexCache* cache) {
+                                   ClosureStats* stats, IndexCache* cache,
+                                   const CancellationToken* cancel) {
   if (out->arity() != head_arity) {
     return Status::InvalidArgument(StrCat("output arity ", out->arity(),
                                           " != head arity ", head_arity));
@@ -325,6 +327,13 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
     const bool filter_first =
         delta != nullptr && !steps[0].key_positions.empty();
 
+    // In-cursor stop probe: one counter increment per candidate row, one
+    // relaxed atomic load every kCancelStride of them, zero clock reads.
+    // This is what lets the watchdog (which flips the token's flag) stop a
+    // query stuck inside a single enormous chunk within milliseconds.
+    constexpr std::size_t kCancelStride = 2048;
+    std::size_t candidates_since_check = 0;
+
     std::size_t depth = 0;
     bool descending = true;
     while (true) {
@@ -333,6 +342,13 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
       JoinFrame& f = frames[depth];
       bool matched = false;
       while (f.next < f.limit) {
+        if (cancel != nullptr && ++candidates_since_check >= kCancelStride) {
+          candidates_since_check = 0;
+          if (cancel->stop_requested()) {
+            flush_emits();
+            return cancel->Check();
+          }
+        }
         RowId row = f.rows != nullptr ? f.rows[f.next]
                                       : static_cast<RowId>(f.next);
         ++f.next;
@@ -389,17 +405,18 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
 }
 
 Status CompiledRule::Run(Relation* out, ClosureStats* stats,
-                         IndexCache* cache) {
-  return impl_->Execute(nullptr, out, stats, cache);
+                         IndexCache* cache, const CancellationToken* cancel) {
+  return impl_->Execute(nullptr, out, stats, cache, cancel);
 }
 
 Status CompiledRule::RunPartition(PartitionView delta, Relation* out,
-                                  ClosureStats* stats, IndexCache* cache) {
+                                  ClosureStats* stats, IndexCache* cache,
+                                  const CancellationToken* cancel) {
   if (!impl_->partitionable) {
     return Status::InvalidArgument(
         "RunPartition requires a rule compiled with options.first_atom");
   }
-  return impl_->Execute(&delta, out, stats, cache);
+  return impl_->Execute(&delta, out, stats, cache, cancel);
 }
 
 Status ApplyRule(const Rule& rule, const Database& db,

@@ -16,6 +16,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "datalog/rule.h"
 #include "eval/index_cache.h"
@@ -51,8 +52,12 @@ class CompiledRule {
 
   /// Evaluates the join over the first step's full relation, inserting each
   /// derived head row into `out`. Equivalent to the original ApplyRule.
+  /// A non-null `cancel` is probed (stop_requested, no clock) every few
+  /// thousand candidate rows, so even one enormous join stops in
+  /// milliseconds once the token flips.
   Status Run(Relation* out, ClosureStats* stats = nullptr,
-             IndexCache* cache = nullptr);
+             IndexCache* cache = nullptr,
+             const CancellationToken* cancel = nullptr);
 
   /// The chunked cursor entry point: evaluates the join with the first
   /// atom's scan restricted to `delta` — which must view the relation the
@@ -60,7 +65,8 @@ class CompiledRule {
   /// been compiled with options.first_atom >= 0.
   Status RunPartition(PartitionView delta, Relation* out,
                       ClosureStats* stats = nullptr,
-                      IndexCache* cache = nullptr);
+                      IndexCache* cache = nullptr,
+                      const CancellationToken* cancel = nullptr);
 
  private:
   friend Result<CompiledRule> CompileRule(const Rule& rule,

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <optional>
 
+#include "common/fault.h"
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
@@ -102,9 +104,11 @@ class RoundEvaluator {
   /// Applies every rule to input rows [begin, end) and appends the derived
   /// rows missing from `*target` to `*target`. The resulting relation is
   /// identical for every worker count; only the insertion order of the new
-  /// rows varies with the chunking.
-  Status Round(RowId begin, RowId end, Relation* target,
-               ClosureStats* stats) {
+  /// rows varies with the chunking. A non-null `cancel` is checked at every
+  /// Δ-chunk boundary (and inside the join cursor), so one runaway round
+  /// stops in milliseconds instead of running to completion.
+  Status Round(RowId begin, RowId end, Relation* target, ClosureStats* stats,
+               const CancellationToken* cancel) {
     const std::size_t rows = end - begin;
     if (rows == 0) return Status::OK();
     // The chunked path only pays for itself with real threads: when the
@@ -112,7 +116,7 @@ class RoundEvaluator {
     // pools and the sharded merge are pure overhead over direct emission.
     if (workers_ == 1 || rows < kSerialRowThreshold ||
         pool_->participants() == 1) {
-      return SerialRound(begin, end, target, stats);
+      return SerialRound(begin, end, target, stats, cancel);
     }
 
     const std::size_t chunk = std::max(
@@ -124,15 +128,29 @@ class RoundEvaluator {
       lane.stats = ClosureStats{};
       lane.status = Status::OK();
     }
-    pool_->Run(chunks, [&](int lane_id, std::size_t c) {
+    // Pool threads have their own (empty) budget TLS: re-install the calling
+    // thread's budget inside every lane so their output-pool growth is
+    // charged to the query being evaluated.
+    QueryBudget* budget = CurrentQueryBudget();
+    pool_->Run(chunks, [&, budget](int lane_id, std::size_t c) {
       Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
       if (!lane.status.ok()) return;
+      if (cancel != nullptr && cancel->stop_requested()) {
+        lane.status = cancel->Check();
+        return;
+      }
+      if (FaultFires(FaultSite::kWorkerDispatch)) {
+        lane.status = Status::Internal(
+            StrCat("injected worker fault dispatching chunk ", c));
+        return;
+      }
+      ScopedQueryBudget budget_scope(budget);
       const RowId chunk_begin = begin + static_cast<RowId>(c * chunk);
       const RowId chunk_end = static_cast<RowId>(
           std::min<std::size_t>(end, chunk_begin + chunk));
       PartitionView slice = input_->View(chunk_begin, chunk_end);
       for (CompiledRule& rule : lane.compiled) {
-        Status s = lane.RunOne(&rule, slice, LaneCache(lane_id));
+        Status s = lane.RunOne(&rule, slice, LaneCache(lane_id), cancel);
         if (!s.ok()) {
           lane.status = std::move(s);
           return;
@@ -148,6 +166,8 @@ class RoundEvaluator {
     }
     try {
       merger_.Merge(pools.data(), pools.size(), target, &*pool_);
+    } catch (const ResourceExhaustedError& e) {
+      return Status::ResourceExhausted(e.what());
     } catch (const std::exception& e) {
       return Status::Internal(StrCat("parallel merge threw: ", e.what()));
     } catch (...) {
@@ -164,12 +184,18 @@ class RoundEvaluator {
     ClosureStats stats;
     Status status;
 
-    /// Wrapped so an exception escaping the join (bad_alloc, a throwing
-    /// assertion) becomes a Status instead of terminating a pool thread.
+    /// Wrapped so an exception escaping the join (a denied budget charge,
+    /// bad_alloc, a throwing assertion) becomes a Status instead of
+    /// terminating a pool thread.
     Status RunOne(CompiledRule* rule, PartitionView slice,
-                  IndexCache* cache_ptr) {
+                  IndexCache* cache_ptr, const CancellationToken* cancel) {
       try {
-        return rule->RunPartition(slice, &out, &stats, cache_ptr);
+        return rule->RunPartition(slice, &out, &stats, cache_ptr, cancel);
+      } catch (const ResourceExhaustedError& e) {
+        return Status::ResourceExhausted(e.what());
+      } catch (const std::bad_alloc&) {
+        return Status::ResourceExhausted(
+            "allocation failed in parallel round (out of memory)");
       } catch (const std::exception& e) {
         return Status::Internal(StrCat("parallel round threw: ", e.what()));
       } catch (...) {
@@ -184,7 +210,7 @@ class RoundEvaluator {
   }
 
   Status SerialRound(RowId begin, RowId end, Relation* target,
-                     ClosureStats* stats) {
+                     ClosureStats* stats, const CancellationToken* cancel) {
     // Emit straight into the target — no intermediate pool, one dedup probe
     // per derivation. Safe even when target == input (the semi-naive case):
     // the cursor's Δ scan is bounded by `end`, the recursive atom is the
@@ -194,7 +220,7 @@ class RoundEvaluator {
     PartitionView slice = input_->View(begin, end);
     for (CompiledRule& rule : lanes_.front().compiled) {
       LINREC_RETURN_IF_ERROR(
-          rule.RunPartition(slice, target, stats, LaneCache(0)));
+          rule.RunPartition(slice, target, stats, LaneCache(0), cancel));
     }
     return Status::OK();
   }
@@ -225,7 +251,7 @@ Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
     LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     if (stats != nullptr) ++stats->iterations;
     RowId end = static_cast<RowId>(result->size());
-    LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, result, stats));
+    LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, result, stats, cancel));
     begin = end;
   }
   return Status::OK();
@@ -233,11 +259,18 @@ Status RunSemiNaive(const std::vector<LinearRule>& rules, const Database& db,
 
 }  // namespace
 
+// Every public closure entry point runs under GuardAllocFailures: a denied
+// budget charge (or injected allocation fault) on the calling thread throws
+// ResourceExhaustedError out of the storage layer, and the guard converts it
+// — like a genuine bad_alloc — into Status::ResourceExhausted. Worker-lane
+// threads convert theirs in Lane::RunOne, so both paths produce the same
+// typed status.
 Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
                                   const Database& db, const Relation& q,
                                   ClosureStats* stats, IndexCache* cache,
                                   int workers,
                                   const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Result<Relation> {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -254,6 +287,7 @@ Result<Relation> SemiNaiveClosure(const std::vector<LinearRule>& rules,
     stats->duplicates = stats->derivations - (result.size() - q.size());
   }
   return result;
+  });
 }
 
 Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
@@ -261,6 +295,7 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  const Relation& extra, ClosureStats* stats,
                                  IndexCache* cache, int workers,
                                  const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Result<Relation> {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, closed));
   if (extra.arity() != closed.arity()) {
     return Status::InvalidArgument(
@@ -292,12 +327,14 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
     stats->duplicates += stats->derivations - (result.size() - seeded);
   }
   return result;
+  });
 }
 
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
                               ClosureStats* stats, IndexCache* cache,
                               int workers, const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Result<Relation> {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -320,7 +357,8 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
     LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
     if (stats != nullptr) ++stats->iterations;
     RowId before = static_cast<RowId>(result.size());
-    LINREC_RETURN_IF_ERROR(evaluator.Round(0, before, &result, stats));
+    LINREC_RETURN_IF_ERROR(
+        evaluator.Round(0, before, &result, stats, cancel));
     changed = result.size() > before;
   }
   if (stats != nullptr) {
@@ -328,6 +366,7 @@ Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
     stats->duplicates = stats->derivations - (result.size() - q.size());
   }
   return result;
+  });
 }
 
 Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
@@ -335,6 +374,7 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
                           int max_power, ClosureStats* stats,
                           IndexCache* cache, int workers,
                           const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Result<Relation> {
   LINREC_RETURN_IF_ERROR(ValidateRules(rules, q));
   if (max_power < 0) {
     return Status::InvalidArgument("max_power must be >= 0");
@@ -361,7 +401,7 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
     if (stats != nullptr) ++stats->iterations;
     next.Clear();
     LINREC_RETURN_IF_ERROR(evaluator.Round(
-        0, static_cast<RowId>(current.size()), &next, stats));
+        0, static_cast<RowId>(current.size()), &next, stats, cancel));
     std::swap(current, next);
     if (current.empty()) break;
     result.UnionWith(current);
@@ -371,6 +411,7 @@ Result<Relation> PowerSum(const std::vector<LinearRule>& rules,
     stats->duplicates = stats->derivations - (result.size() - q.size());
   }
   return result;
+  });
 }
 
 }  // namespace linrec

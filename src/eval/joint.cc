@@ -5,6 +5,8 @@
 #include <optional>
 #include <string>
 
+#include "common/fault.h"
+#include "common/memory.h"
 #include "common/parallel.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
@@ -98,7 +100,7 @@ class JointRoundEvaluator {
   /// head member relations. The resulting family of relations is
   /// identical for every worker count (only insertion order varies).
   Status Round(const std::vector<RowId>& begin, const std::vector<RowId>& end,
-               ClosureStats* stats) {
+               ClosureStats* stats, const CancellationToken* cancel) {
     std::size_t total_rows = 0;
     for (std::size_t m = 0; m < rels_->size(); ++m) {
       if (Feeds(m)) total_rows += end[m] - begin[m];
@@ -106,7 +108,7 @@ class JointRoundEvaluator {
     if (total_rows == 0) return Status::OK();
     if (workers_ == 1 || total_rows < kSerialRowThreshold ||
         pool_->participants() == 1) {
-      return SerialRound(begin, end, stats);
+      return SerialRound(begin, end, stats, cancel);
     }
 
     const std::size_t chunk = std::max(
@@ -128,9 +130,22 @@ class JointRoundEvaluator {
       lane.stats = ClosureStats{};
       lane.status = Status::OK();
     }
-    pool_->Run(items_.size(), [&](int lane_id, std::size_t i) {
+    // Same Δ-chunk-boundary cancellation, fault site and budget TLS
+    // re-install as the single-relation Round (fixpoint.cc).
+    QueryBudget* budget = CurrentQueryBudget();
+    pool_->Run(items_.size(), [&, budget](int lane_id, std::size_t i) {
       Lane& lane = lanes_[static_cast<std::size_t>(lane_id)];
       if (!lane.status.ok()) return;
+      if (cancel != nullptr && cancel->stop_requested()) {
+        lane.status = cancel->Check();
+        return;
+      }
+      if (FaultFires(FaultSite::kWorkerDispatch)) {
+        lane.status = Status::Internal(
+            StrCat("injected worker fault dispatching joint chunk ", i));
+        return;
+      }
+      ScopedQueryBudget budget_scope(budget);
       const Item& item = items_[i];
       PartitionView slice =
           (*rels_)[static_cast<std::size_t>(item.member)].View(item.begin,
@@ -139,7 +154,7 @@ class JointRoundEvaluator {
         Relation* out = &lane.out[static_cast<std::size_t>(
             (*rules_)[static_cast<std::size_t>(k)].head_member)];
         Status s = lane.RunOne(&lane.compiled[static_cast<std::size_t>(k)],
-                               slice, out, LaneCache(lane_id));
+                               slice, out, LaneCache(lane_id), cancel);
         if (!s.ok()) {
           lane.status = std::move(s);
           return;
@@ -157,6 +172,8 @@ class JointRoundEvaluator {
       for (Lane& lane : lanes_) pools.push_back(&lane.out[m]);
       try {
         merger_.Merge(pools.data(), pools.size(), &(*rels_)[m], &*pool_);
+      } catch (const ResourceExhaustedError& e) {
+        return Status::ResourceExhausted(e.what());
       } catch (const std::exception& e) {
         return Status::Internal(StrCat("parallel merge threw: ", e.what()));
       } catch (...) {
@@ -181,9 +198,14 @@ class JointRoundEvaluator {
     Status status;
 
     Status RunOne(CompiledRule* rule, PartitionView slice, Relation* out,
-                  IndexCache* cache_ptr) {
+                  IndexCache* cache_ptr, const CancellationToken* cancel) {
       try {
-        return rule->RunPartition(slice, out, &stats, cache_ptr);
+        return rule->RunPartition(slice, out, &stats, cache_ptr, cancel);
+      } catch (const ResourceExhaustedError& e) {
+        return Status::ResourceExhausted(e.what());
+      } catch (const std::bad_alloc&) {
+        return Status::ResourceExhausted(
+            "allocation failed in parallel round (out of memory)");
       } catch (const std::exception& e) {
         return Status::Internal(StrCat("parallel round threw: ", e.what()));
       } catch (...) {
@@ -198,7 +220,8 @@ class JointRoundEvaluator {
   }
 
   Status SerialRound(const std::vector<RowId>& begin,
-                     const std::vector<RowId>& end, ClosureStats* stats) {
+                     const std::vector<RowId>& end, ClosureStats* stats,
+                     const CancellationToken* cancel) {
     // Emit straight into the member relations. Safe for the same reason
     // the single-relation serial round is: each RunPartition's Δ scan is
     // bounded by a fixed row range, the recursive atom is the only step
@@ -214,7 +237,7 @@ class JointRoundEvaluator {
             (*rules_)[static_cast<std::size_t>(k)].head_member)];
         LINREC_RETURN_IF_ERROR(
             lane.compiled[static_cast<std::size_t>(k)].RunPartition(
-                slice, out, stats, LaneCache(0)));
+                slice, out, stats, LaneCache(0), cancel));
       }
     }
     return Status::OK();
@@ -248,6 +271,7 @@ Result<std::vector<Relation>> CloseJoint(
     const std::vector<Relation>& seeds, ClosureStats* stats,
     IndexCache* cache, int workers, bool naive,
     const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Result<std::vector<Relation>> {
   LINREC_RETURN_IF_ERROR(ValidateJointRules(members, rules, seeds));
   Result<std::vector<JointRule>> prepared = PrepareJointRules(rules);
   if (!prepared.ok()) return prepared.status();
@@ -274,7 +298,7 @@ Result<std::vector<Relation>> CloseJoint(
       if (delta_rows == 0) break;
       LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
       if (stats != nullptr) ++stats->iterations;
-      LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, stats));
+      LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, stats, cancel));
       if (naive) {
         // Re-feed everything each round; stop once a full re-application
         // adds nothing.
@@ -289,6 +313,7 @@ Result<std::vector<Relation>> CloseJoint(
     stats->duplicates += stats->derivations - (TotalSize(rels) - seeded);
   }
   return rels;
+  });
 }
 
 }  // namespace

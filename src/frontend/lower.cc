@@ -381,20 +381,42 @@ bool ProgramInstance::SigmaFastPath(const Atom& goal, const CompiledUnit& unit,
 
 Result<QueryResult> ProgramInstance::EvalQuery(const Atom& goal,
                                                Planner& planner,
-                                               const CancellationToken* cancel) {
+                                               const CancellationToken* cancel,
+                                               QueryBudget* budget,
+                                               std::size_t row_limit) {
   const std::vector<const CancellationToken*> cancels = {cancel};
+  const std::vector<QueryBudget*> budgets = {budget};
   std::vector<Result<QueryResult>> results =
-      EvalQueries({goal}, planner, &cancels);
+      EvalQueries({goal}, planner, &cancels, &budgets, row_limit);
   return std::move(results.front());
 }
 
+namespace {
+
+/// The first `row_limit` rows of `rows` — the reply-side truncation of a
+/// relation that was materialized in full for correctness.
+Relation FirstRows(const Relation& rows, std::size_t row_limit) {
+  Relation out(rows.arity());
+  for (TupleView row : rows) {
+    if (out.size() >= row_limit) break;
+    out.Insert(row);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<Result<QueryResult>> ProgramInstance::EvalQueries(
     const std::vector<Atom>& goals, Planner& planner,
-    const std::vector<const CancellationToken*>* cancels) {
+    const std::vector<const CancellationToken*>* cancels,
+    const std::vector<QueryBudget*>* budgets, std::size_t row_limit) {
   std::vector<Result<QueryResult>> results(
       goals.size(), Result<QueryResult>(Status::Internal("goal not run")));
   auto cancel_of = [&](std::size_t i) -> const CancellationToken* {
     return cancels != nullptr && i < cancels->size() ? (*cancels)[i] : nullptr;
+  };
+  auto budget_of = [&](std::size_t i) -> QueryBudget* {
+    return budgets != nullptr && i < budgets->size() ? (*budgets)[i] : nullptr;
   };
 
   // Pass 1: σ-bind fast paths become batch slots; everything else gets
@@ -412,91 +434,104 @@ std::vector<Result<QueryResult>> ProgramInstance::EvalQueries(
   for (std::size_t gi = 0; gi < goals.size(); ++gi) {
     const Atom& goal = goals[gi];
     const CancellationToken* cancel = cancel_of(gi);
-    if (program_ == nullptr) {
-      results[gi] = Status::InvalidArgument("no program loaded");
-      continue;
-    }
-    auto unit_it = program_->unit_of.find(goal.predicate);
-    if (unit_it == program_->unit_of.end()) {
-      // Base predicate: answer from the session's facts.
-      const Relation* facts = facts_.Find(goal.predicate);
-      if (facts == nullptr) {
-        results[gi] = Status::NotFound(
-            StrCat("unknown predicate '", goal.predicate, "/", goal.arity(),
-                   "' (not derived by the program, no facts loaded)"));
-        continue;
+    // The goal's budget governs every caller-thread allocation made on its
+    // behalf — cone materialization, seeds, reply filtering — and nested
+    // Engine executions inherit it through the thread-local scope. A shared
+    // cost (a unit materialized once, a seed reused by later goals) is
+    // charged to the first goal that needs it. GuardAllocFailures turns an
+    // escaped denial into this goal's typed status; neighbours keep running.
+    ScopedQueryBudget budget_scope(budget_of(gi));
+    Result<bool> queued = GuardAllocFailures([&]() -> Result<bool> {
+      if (program_ == nullptr) {
+        results[gi] = Status::InvalidArgument("no program loaded");
+        return false;
       }
-      if (facts->arity() != goal.arity()) {
+      auto unit_it = program_->unit_of.find(goal.predicate);
+      if (unit_it == program_->unit_of.end()) {
+        // Base predicate: answer from the session's facts.
+        const Relation* facts = facts_.Find(goal.predicate);
+        if (facts == nullptr) {
+          results[gi] = Status::NotFound(
+              StrCat("unknown predicate '", goal.predicate, "/", goal.arity(),
+                     "' (not derived by the program, no facts loaded)"));
+          return false;
+        }
+        if (facts->arity() != goal.arity()) {
+          results[gi] = Status::InvalidArgument(
+              StrCat("goal for '", goal.predicate, "' has arity ", goal.arity(),
+                     ", facts have ", facts->arity()));
+          return false;
+        }
+        QueryResult qr;
+        qr.relations.push_back(MatchGoal(*facts, goal, row_limit));
+        results[gi] = std::move(qr);
+        return false;
+      }
+
+      const std::size_t ui = unit_it->second;
+      const CompiledUnit& unit = program_->units[ui];
+      const std::size_t member = program_->member_of.at(goal.predicate);
+      if (goal.arity() != unit.arities[member]) {
         results[gi] = Status::InvalidArgument(
             StrCat("goal for '", goal.predicate, "' has arity ", goal.arity(),
-                   ", facts have ", facts->arity()));
-        continue;
+                   ", rules use ", unit.arities[member]));
+        return false;
       }
-      QueryResult qr;
-      qr.relations.push_back(MatchGoal(*facts, goal));
-      results[gi] = std::move(qr);
-      continue;
-    }
 
-    const std::size_t ui = unit_it->second;
-    const CompiledUnit& unit = program_->units[ui];
-    const std::size_t member = program_->member_of.at(goal.predicate);
-    if (goal.arity() != unit.arities[member]) {
-      results[gi] = Status::InvalidArgument(
-          StrCat("goal for '", goal.predicate, "' has arity ", goal.arity(),
-                 ", rules use ", unit.arities[member]));
-      continue;
-    }
-
-    int position = 0;
-    Value value = 0;
-    if (ui >= materialized_ &&
-        SigmaFastPath(goal, unit, &position, &value)) {
-      // Materialize the dependencies (not the unit), seed once per unit,
-      // and prepare the σ-parameterized closure through the shared planner
-      // — its plan-cache digest covers the σ position, so repeated point
-      // queries (from any session) plan once.
-      Status deps = MaterializeUpTo(ui, cancel);
-      if (!deps.ok()) {
-        results[gi] = deps;
-        continue;
-      }
-      auto seed_it = unit_seeds.find(ui);
-      if (seed_it == unit_seeds.end()) {
-        Result<Relation> seed = SeedMember(unit, 0, cancel);
-        if (!seed.ok()) {
-          results[gi] = seed.status();
-          continue;
+      int position = 0;
+      Value value = 0;
+      if (ui >= materialized_ &&
+          SigmaFastPath(goal, unit, &position, &value)) {
+        // Materialize the dependencies (not the unit), seed once per unit,
+        // and prepare the σ-parameterized closure through the shared planner
+        // — its plan-cache digest covers the σ position, so repeated point
+        // queries (from any session) plan once.
+        Status deps = MaterializeUpTo(ui, cancel);
+        if (!deps.ok()) {
+          results[gi] = deps;
+          return false;
         }
-        seed_it = unit_seeds
-                      .emplace(ui, std::make_shared<const Relation>(
-                                       std::move(seed).value()))
-                      .first;
+        auto seed_it = unit_seeds.find(ui);
+        if (seed_it == unit_seeds.end()) {
+          Result<Relation> seed = SeedMember(unit, 0, cancel);
+          if (!seed.ok()) {
+            results[gi] = seed.status();
+            return false;
+          }
+          seed_it = unit_seeds
+                        .emplace(ui, std::make_shared<const Relation>(
+                                         std::move(seed).value()))
+                        .first;
+        }
+        Result<PreparedQuery> sigma = planner.Prepare(
+            Query::Closure(unit.linear).SelectPosition(position));
+        if (!sigma.ok()) {
+          results[gi] = sigma.status();
+          return false;
+        }
+        sigma_slots.push_back({gi, ui});
+        batch.push_back(sigma->Bind(value)
+                            .BindSeed(seed_it->second)
+                            .WithCancellation(cancel)
+                            .WithBudget(budget_of(gi)));
+        return true;
       }
-      Result<PreparedQuery> sigma = planner.Prepare(
-          Query::Closure(unit.linear).SelectPosition(position));
-      if (!sigma.ok()) {
-        results[gi] = sigma.status();
-        continue;
-      }
-      sigma_slots.push_back({gi, ui});
-      batch.push_back(sigma->Bind(value)
-                          .BindSeed(seed_it->second)
-                          .WithCancellation(cancel));
-      continue;
-    }
 
-    // Full path: materialize the cone through this unit, filter.
-    Status upto = MaterializeUpTo(ui + 1, cancel);
-    if (!upto.ok()) {
-      results[gi] = upto;
-      continue;
-    }
-    const Relation* rows = engine_->db().Find(goal.predicate);
-    QueryResult qr;
-    qr.relations.push_back(rows != nullptr ? MatchGoal(*rows, goal)
-                                           : Relation(goal.arity()));
-    results[gi] = std::move(qr);
+      // Full path: materialize the cone through this unit, filter.
+      Status upto = MaterializeUpTo(ui + 1, cancel);
+      if (!upto.ok()) {
+        results[gi] = upto;
+        return false;
+      }
+      const Relation* rows = engine_->db().Find(goal.predicate);
+      QueryResult qr;
+      qr.relations.push_back(rows != nullptr
+                                 ? MatchGoal(*rows, goal, row_limit)
+                                 : Relation(goal.arity()));
+      results[gi] = std::move(qr);
+      return false;
+    });
+    if (!queued.ok()) results[gi] = queued.status();
   }
 
   if (!batch.empty()) {
@@ -504,14 +539,32 @@ std::vector<Result<QueryResult>> ProgramInstance::EvalQueries(
         engine_->ExecuteBatchEach(batch);
     for (std::size_t si = 0; si < sigma_slots.size(); ++si) {
       Result<QueryResult>& outcome = outcomes[si];
-      if (outcome.ok()) derivations_ += outcome->stats.derivations;
+      if (outcome.ok()) {
+        derivations_ += outcome->stats.derivations;
+        // The closure ran to fixpoint (correctness); the *reply* still
+        // honors the streaming cap.
+        Relation& rel = outcome->relation();
+        if (rel.size() > row_limit) {
+          ScopedQueryBudget budget_scope(
+              budget_of(sigma_slots[si].goal_index));
+          auto capped = GuardAllocFailures([&]() -> Result<Relation> {
+            return FirstRows(rel, row_limit);
+          });
+          if (capped.ok()) {
+            rel = std::move(capped).value();
+          } else {
+            outcome = capped.status();
+          }
+        }
+      }
       results[sigma_slots[si].goal_index] = std::move(outcome);
     }
   }
   return results;
 }
 
-Relation MatchGoal(const Relation& rows, const Atom& goal) {
+Relation MatchGoal(const Relation& rows, const Atom& goal,
+                   std::size_t row_limit) {
   // Constant positions and repeated-variable position groups.
   std::vector<std::pair<std::size_t, Value>> constants;
   std::map<VarId, std::vector<std::size_t>> var_positions;
@@ -527,10 +580,13 @@ Relation MatchGoal(const Relation& rows, const Atom& goal) {
   for (const auto& [var, positions] : var_positions) {
     if (positions.size() > 1) trivial = false;
   }
-  if (trivial) return rows;
+  if (trivial) {
+    return rows.size() <= row_limit ? rows : FirstRows(rows, row_limit);
+  }
 
   Relation out(rows.arity());
   for (TupleView row : rows) {
+    if (out.size() >= row_limit) break;
     bool keep = true;
     for (const auto& [pos, value] : constants) {
       if (row[pos] != value) {

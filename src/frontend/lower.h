@@ -31,6 +31,7 @@
 
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -39,6 +40,7 @@
 #include <vector>
 
 #include "common/cancel.h"
+#include "common/memory.h"
 #include "common/status.h"
 #include "datalog/ast.h"
 #include "datalog/rule.h"
@@ -146,17 +148,27 @@ class ProgramInstance {
   /// (cached until facts change), takes the σ-bind fast path for a
   /// single-constant goal over a recursive singleton predicate, and
   /// filters rows against the goal's constants and repeated variables.
-  /// `cancel` is checked at round boundaries of every closure run.
+  /// `cancel` is checked at round boundaries (and Δ-chunk boundaries) of
+  /// every closure run. A non-null `budget` is charged by every relation
+  /// grown on the goal's behalf — including materializing its dependency
+  /// cone — and denial surfaces as Status::ResourceExhausted.
+  /// `row_limit` caps the rows copied into the reply relation (the closure
+  /// itself always runs to fixpoint — correctness — but a reply is never
+  /// materialized past the cap; pass cap+1 to keep truncation detectable).
   Result<QueryResult> EvalQuery(const Atom& goal, Planner& planner,
-                                const CancellationToken* cancel = nullptr);
+                                const CancellationToken* cancel = nullptr,
+                                QueryBudget* budget = nullptr,
+                                std::size_t row_limit = SIZE_MAX);
 
   /// Batch EvalQuery: σ-fast-path goals over one unit run concurrently
-  /// through Engine::ExecuteBatchEach (per-slot cancellation tokens —
-  /// aligned with `cancels` when non-null), the rest sequentially.
-  /// Replies align with `goals`; a failing goal fails alone.
+  /// through Engine::ExecuteBatchEach (per-slot cancellation tokens and
+  /// budgets — aligned with `cancels` / `budgets` when non-null), the rest
+  /// sequentially. Replies align with `goals`; a failing goal fails alone.
   std::vector<Result<QueryResult>> EvalQueries(
       const std::vector<Atom>& goals, Planner& planner,
-      const std::vector<const CancellationToken*>* cancels = nullptr);
+      const std::vector<const CancellationToken*>* cancels = nullptr,
+      const std::vector<QueryBudget*>* budgets = nullptr,
+      std::size_t row_limit = SIZE_MAX);
 
   /// Total derivations across every closure this session has run.
   std::size_t derivations() const { return derivations_; }
@@ -190,7 +202,10 @@ class ProgramInstance {
 
 /// Filters `rows` against `goal`: constants must match their column,
 /// repeated variables must agree across their columns. Distinct variables
-/// match anything.
-Relation MatchGoal(const Relation& rows, const Atom& goal);
+/// match anything. At most `row_limit` matching rows are copied into the
+/// result — the streaming cap: a reply over a huge closure materializes
+/// O(row_limit) rows, not a second full copy.
+Relation MatchGoal(const Relation& rows, const Atom& goal,
+                   std::size_t row_limit = SIZE_MAX);
 
 }  // namespace linrec

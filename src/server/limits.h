@@ -23,6 +23,25 @@ struct ServerLimits {
   /// Result-size cap default: replies stream at most this many rows and
   /// flag `truncated=1`. Sessions override with SET max_rows.
   std::size_t default_max_rows = 100000;
+
+  /// Global memory ledger limit, in bytes, across every in-flight query's
+  /// relation growth. 0 = unlimited. A query whose charge would cross it
+  /// replies ERR ResourceExhausted; new submissions shed with
+  /// ERR Unavailable while the ledger sits in the pressure band (top 1/8).
+  std::size_t global_memory_budget = 0;
+
+  /// Per-query memory budget default, in bytes (0 = unlimited). Sessions
+  /// override with SET memory_budget.
+  std::size_t default_query_memory_budget = 0;
+
+  /// Retry hint stamped into every shed reply:
+  /// "ERR Unavailable retry_after_ms=<N> ...".
+  int retry_after_ms = 100;
+
+  /// Watchdog scan interval: how often deadline-armed in-flight tokens are
+  /// checked for expiry (and force-cancelled mid-chunk). The watchdog
+  /// thread starts lazily with the first deadline-armed query.
+  int watchdog_interval_ms = 10;
 };
 
 }  // namespace linrec

@@ -89,6 +89,48 @@ Result<Request> ParseRequestLine(const std::string& line) {
   return request;
 }
 
+Result<SetArgs> ParseSetArgs(const std::string& args) {
+  std::size_t space = args.find(' ');
+  if (space == std::string::npos) {
+    return Status::InvalidArgument("SET expects '<key> <value>'");
+  }
+  SetArgs set;
+  set.key = args.substr(0, space);
+  const std::string value_text = Trim(args.substr(space + 1));
+  try {
+    std::size_t consumed = 0;
+    set.value = std::stol(value_text, &consumed);
+    if (consumed != value_text.size()) {
+      return Status::InvalidArgument(
+          StrCat("SET ", set.key, ": '", value_text, "' is not an integer"));
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument(
+        StrCat("SET ", set.key, ": '", value_text, "' is not an integer"));
+  }
+  // Range validation lives here, at the protocol layer: an invalid SET is
+  // rejected before any session state could be half-applied.
+  if (set.key == "timeout_ms") {
+    if (set.value > 86400000) {
+      return Status::InvalidArgument("timeout_ms above 86400000 (one day)");
+    }
+  } else if (set.key == "max_rows") {
+    if (set.value < 0) {
+      return Status::InvalidArgument("max_rows must be >= 0");
+    }
+  } else if (set.key == "memory_budget") {
+    if (set.value < 0) {
+      return Status::InvalidArgument(
+          "memory_budget must be >= 0 bytes (0 = unlimited)");
+    }
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown setting '", set.key,
+               "' (expected timeout_ms, max_rows or memory_budget)"));
+  }
+  return set;
+}
+
 std::string SanitizeMessage(std::string message) {
   std::replace(message.begin(), message.end(), '\n', ' ');
   std::replace(message.begin(), message.end(), '\r', ' ');

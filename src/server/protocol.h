@@ -67,6 +67,20 @@ struct Request {
 /// block state lives in the session, not here.
 Result<Request> ParseRequestLine(const std::string& line);
 
+/// A fully validated SET request.
+struct SetArgs {
+  std::string key;
+  long value = 0;
+};
+
+/// Parses and validates "<key> <value>" from a kSet request's text, at the
+/// protocol layer — before any session state is touched. Typed
+/// InvalidArgument on: missing value, non-integer value, unknown key,
+/// negative max_rows / memory_budget, timeout_ms above one day. A valid
+/// result is safe to apply directly (timeout_ms may be negative: no
+/// deadline; memory_budget 0 = unlimited).
+Result<SetArgs> ParseSetArgs(const std::string& args);
+
 /// "ERR <StatusCodeName> <sanitized message>".
 std::string FormatError(const Status& status);
 

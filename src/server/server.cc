@@ -1,5 +1,6 @@
 #include "server/server.h"
 
+#include <cstdint>
 #include <utility>
 
 #include "common/strings.h"
@@ -7,28 +8,6 @@
 
 namespace linrec {
 namespace {
-
-/// Parses "<key> <value>" where value is a base-10 integer.
-Result<std::pair<std::string, long>> ParseSetArgs(const std::string& args) {
-  std::size_t space = args.find(' ');
-  if (space == std::string::npos) {
-    return Status::InvalidArgument("SET expects '<key> <value>'");
-  }
-  std::string key = args.substr(0, space);
-  std::string value_text = args.substr(space + 1);
-  try {
-    std::size_t consumed = 0;
-    long value = std::stol(value_text, &consumed);
-    if (consumed != value_text.size()) {
-      return Status::InvalidArgument(
-          StrCat("SET ", key, ": '", value_text, "' is not an integer"));
-    }
-    return std::make_pair(std::move(key), value);
-  } catch (const std::exception&) {
-    return Status::InvalidArgument(
-        StrCat("SET ", key, ": '", value_text, "' is not an integer"));
-  }
-}
 
 /// Parses one FACT / "?-" clause through the full program parser.
 Result<Program> ParseClauseLine(const std::string& text) {
@@ -157,6 +136,19 @@ void Server::HandleLoadEnd(Session& session, std::vector<std::string>* out) {
 std::vector<Result<QueryResult>> Server::EvaluateGoals(
     Session& session, const std::vector<Atom>& goals) {
   if (goals.empty()) return {};
+  // Overload shedding: while the global ledger sits in its pressure band,
+  // new work is turned away with a retry hint instead of being admitted
+  // only to die on a budget denial mid-round. The message leads with the
+  // hint so the reply reads "ERR Unavailable retry_after_ms=<N> ...".
+  if (memory_budget_.under_pressure()) {
+    queries_shed_.fetch_add(static_cast<long>(goals.size()));
+    const Status shed = Status::Unavailable(
+        StrCat("retry_after_ms=", limits_.retry_after_ms,
+               " server under memory pressure (", memory_budget_.used(), "/",
+               memory_budget_.limit(), " bytes in use)"));
+    return std::vector<Result<QueryResult>>(goals.size(),
+                                            Result<QueryResult>(shed));
+  }
   // Admission: the whole batch is admitted or rejected atomically against
   // the global pending bound.
   const long admitted = pending_.fetch_add(static_cast<long>(goals.size())) +
@@ -165,27 +157,62 @@ std::vector<Result<QueryResult>> Server::EvaluateGoals(
     pending_.fetch_sub(static_cast<long>(goals.size()));
     queries_rejected_.fetch_add(static_cast<long>(goals.size()));
     const Status rejected = Status::Unavailable(
-        StrCat("server at capacity (", limits_.max_pending,
-               " queries in flight); retry later"));
+        StrCat("retry_after_ms=", limits_.retry_after_ms,
+               " server at capacity (", limits_.max_pending,
+               " queries in flight)"));
     return std::vector<Result<QueryResult>>(goals.size(),
                                             Result<QueryResult>(rejected));
   }
 
   // Arm per-goal deadlines. Tokens live here (stable addresses) for the
-  // whole evaluation.
+  // whole evaluation; deadline-armed tokens also register with the
+  // watchdog, which force-expires them mid-chunk if they blow.
   std::vector<CancellationToken> tokens;
   tokens.reserve(goals.size());
   std::vector<const CancellationToken*> cancels(goals.size(), nullptr);
+  std::vector<std::size_t> watch_handles;
   if (session.timeout_ms() >= 0) {
     for (std::size_t i = 0; i < goals.size(); ++i) {
       tokens.push_back(CancellationToken::WithTimeout(
           std::chrono::milliseconds(session.timeout_ms())));
     }
-    for (std::size_t i = 0; i < goals.size(); ++i) cancels[i] = &tokens[i];
+    watch_handles.reserve(goals.size());
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      cancels[i] = &tokens[i];
+      watch_handles.push_back(watchdog_.Watch(&tokens[i]));
+    }
   }
 
-  std::vector<Result<QueryResult>> outcomes =
-      session.instance().EvalQueries(goals, planner_, &cancels);
+  // Per-goal memory budgets, attached whenever the session cap or the
+  // global ledger is armed (unique_ptr: QueryBudget is address-pinned —
+  // its destructor re-credits the parent). Wholly ungoverned sessions
+  // skip this and pay nothing.
+  std::vector<std::unique_ptr<QueryBudget>> budget_storage;
+  std::vector<QueryBudget*> budgets(goals.size(), nullptr);
+  if (session.memory_budget() > 0 || memory_budget_.limit() != 0) {
+    budget_storage.reserve(goals.size());
+    for (std::size_t i = 0; i < goals.size(); ++i) {
+      budget_storage.push_back(std::make_unique<QueryBudget>(
+          session.memory_budget(), &memory_budget_));
+      budgets[i] = budget_storage.back().get();
+    }
+  }
+
+  // row_limit = cap + 1: one row past the cap is enough to set
+  // truncated=1, and the reply never materializes a full second copy of a
+  // huge closure.
+  const std::size_t cap = session.max_rows();
+  const std::size_t row_limit = cap == SIZE_MAX ? SIZE_MAX : cap + 1;
+
+  std::vector<Result<QueryResult>> outcomes = session.instance().EvalQueries(
+      goals, planner_, &cancels, &budgets, row_limit);
+  for (std::size_t handle : watch_handles) watchdog_.Unwatch(handle);
+  for (const Result<QueryResult>& outcome : outcomes) {
+    if (!outcome.ok() &&
+        outcome.status().code() == StatusCode::kResourceExhausted) {
+      queries_exhausted_.fetch_add(1);
+    }
+  }
   pending_.fetch_sub(static_cast<long>(goals.size()));
   session.CountQueries(goals.size());
   queries_served_.fetch_add(static_cast<long>(goals.size()));
@@ -259,33 +286,21 @@ void Server::AppendOutcome(Session& session, const Atom& goal,
 
 void Server::HandleSet(Session& session, const std::string& args,
                        std::vector<std::string>* out) {
-  Result<std::pair<std::string, long>> parsed = ParseSetArgs(args);
+  // ParseSetArgs (protocol layer) fully validates key, syntax and range;
+  // a returned SetArgs is safe to apply unconditionally.
+  Result<SetArgs> parsed = ParseSetArgs(args);
   if (!parsed.ok()) {
     out->push_back(FormatError(parsed.status()));
     return;
   }
-  const auto& [key, value] = *parsed;
-  if (key == "timeout_ms") {
-    if (value > 86400000) {
-      out->push_back(FormatError(
-          Status::InvalidArgument("timeout_ms above 86400000 (one day)")));
-      return;
-    }
-    session.set_timeout_ms(static_cast<int>(value));
-  } else if (key == "max_rows") {
-    if (value < 0) {
-      out->push_back(
-          FormatError(Status::InvalidArgument("max_rows must be >= 0")));
-      return;
-    }
-    session.set_max_rows(static_cast<std::size_t>(value));
-  } else {
-    out->push_back(FormatError(Status::InvalidArgument(
-        StrCat("unknown setting '", key,
-               "' (expected timeout_ms or max_rows)"))));
-    return;
+  if (parsed->key == "timeout_ms") {
+    session.set_timeout_ms(static_cast<int>(parsed->value));
+  } else if (parsed->key == "max_rows") {
+    session.set_max_rows(static_cast<std::size_t>(parsed->value));
+  } else {  // memory_budget — ParseSetArgs admits no other key
+    session.set_memory_budget(static_cast<std::size_t>(parsed->value));
   }
-  out->push_back(StrCat("OK set ", key, "=", value));
+  out->push_back(StrCat("OK set ", parsed->key, "=", parsed->value));
 }
 
 void Server::HandleStats(Session& session, std::vector<std::string>* out) {
@@ -297,7 +312,14 @@ void Server::HandleStats(Session& session, std::vector<std::string>* out) {
   out->push_back(StrCat("plan_misses=", planner_.plan_cache_misses()));
   out->push_back(StrCat("queries_served=", queries_served_.load()));
   out->push_back(StrCat("queries_rejected=", queries_rejected_.load()));
+  out->push_back(StrCat("queries_exhausted=", queries_exhausted_.load()));
+  out->push_back(StrCat("queries_shed=", queries_shed_.load()));
   out->push_back(StrCat("pending=", pending_.load()));
+  out->push_back(StrCat("mem_budget_used=", memory_budget_.used()));
+  out->push_back(StrCat("mem_budget_limit=", memory_budget_.limit()));
+  out->push_back(
+      StrCat("mem_pressure=", memory_budget_.under_pressure() ? 1 : 0));
+  out->push_back(StrCat("watchdog_cancels=", watchdog_.cancels()));
   out->push_back(StrCat("session_queries=", session.queries_served()));
   out->push_back(
       StrCat("session_derivations=", session.instance().derivations()));

@@ -17,6 +17,22 @@
 // queueing. Per-query deadlines become CancellationTokens checked at round
 // boundaries, so an expired query replies ERR DeadlineExceeded without
 // killing the server or its batch neighbours.
+//
+// Resource governance (the graceful-degradation ladder):
+//
+//   1. Every admitted goal gets a QueryBudget (per-query limit = the
+//      session's SET memory_budget, parent = the server-wide MemoryBudget
+//      ledger). A query whose relation growth would cross either bound
+//      replies ERR ResourceExhausted; its neighbours and every other
+//      session keep running, and the ledger is re-credited when the
+//      query's relations die.
+//   2. While the global ledger sits in its pressure band (or the pending
+//      bound is hit), new submissions shed with
+//      "ERR Unavailable retry_after_ms=<N> ..." instead of being admitted
+//      only to die mid-round.
+//   3. A watchdog thread force-expires deadline-blown tokens every few
+//      milliseconds, so even a query stuck inside one enormous Δ-chunk
+//      stops at the next in-cursor probe instead of the next round.
 
 #pragma once
 
@@ -25,11 +41,13 @@
 #include <string>
 #include <vector>
 
+#include "common/memory.h"
 #include "engine/registry.h"
 #include "frontend/lower.h"
 #include "server/limits.h"
 #include "server/protocol.h"
 #include "server/session.h"
+#include "server/watchdog.h"
 
 namespace linrec {
 
@@ -41,9 +59,17 @@ class Server {
   explicit Server(ServerLimits limits = {}, EngineOptions engine_options = {})
       : limits_(limits),
         engine_options_(engine_options),
-        planner_(engine_options) {}
+        planner_(engine_options),
+        watchdog_(limits.watchdog_interval_ms) {
+    memory_budget_.set_limit(limits.global_memory_budget);
+  }
 
   const ServerLimits& limits() const { return limits_; }
+
+  /// The server-wide memory ledger every governed query charges into.
+  MemoryBudget& global_budget() { return memory_budget_; }
+  /// The deadline watchdog (observability: cancels()).
+  const Watchdog& watchdog() const { return watchdog_; }
 
   /// Creates an independent session (the caller owns it; one per
   /// connection/REPL). Thread-safe.
@@ -96,10 +122,17 @@ class Server {
   EngineOptions engine_options_;
   Planner planner_;
   DigestRegistry<CompiledProgram> registry_;
+  /// Global ledger across every in-flight query's relation growth.
+  MemoryBudget memory_budget_;
+  Watchdog watchdog_;
   std::atomic<long> pending_{0};
   std::atomic<long> next_session_{0};
   std::atomic<long> queries_served_{0};
   std::atomic<long> queries_rejected_{0};
+  /// Queries that died on a budget denial (ERR ResourceExhausted).
+  std::atomic<long> queries_exhausted_{0};
+  /// Submissions turned away under memory pressure (ERR Unavailable).
+  std::atomic<long> queries_shed_{0};
 };
 
 }  // namespace linrec

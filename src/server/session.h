@@ -21,7 +21,8 @@ class Session {
       : id_(std::move(id)),
         instance_(engine_options),
         timeout_ms_(limits.default_timeout_ms),
-        max_rows_(limits.default_max_rows) {}
+        max_rows_(limits.default_max_rows),
+        memory_budget_(limits.default_query_memory_budget) {}
 
   const std::string& id() const { return id_; }
   ProgramInstance& instance() { return instance_; }
@@ -33,6 +34,10 @@ class Session {
   /// Reply row cap; results past it are cut and flagged truncated=1.
   std::size_t max_rows() const { return max_rows_; }
   void set_max_rows(std::size_t rows) { max_rows_ = rows; }
+
+  /// Per-query memory budget in bytes; 0 = ungoverned.
+  std::size_t memory_budget() const { return memory_budget_; }
+  void set_memory_budget(std::size_t bytes) { memory_budget_ = bytes; }
 
   /// LOAD...END block state.
   bool in_load() const { return in_load_; }
@@ -59,6 +64,7 @@ class Session {
   ProgramInstance instance_;
   int timeout_ms_;
   std::size_t max_rows_;
+  std::size_t memory_budget_;
   bool in_load_ = false;
   std::string load_text_;
   std::size_t queries_served_ = 0;

@@ -1,0 +1,55 @@
+#include "server/watchdog.h"
+
+#include <chrono>
+
+namespace linrec {
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+std::size_t Watchdog::Watch(CancellationToken* token) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_) {
+    started_ = true;
+    thread_ = std::thread([this] { Loop(); });
+  }
+  const std::size_t handle = next_handle_++;
+  watched_.emplace(handle, token);
+  return handle;
+}
+
+void Watchdog::Unwatch(std::size_t handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watched_.erase(handle);
+}
+
+std::size_t Watchdog::watched() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watched_.size();
+}
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                 [this] { return stop_; });
+    if (stop_) return;
+    for (auto& [handle, token] : watched_) {
+      // stop_requested() first: a token already flagged (cancelled, or
+      // force-expired on an earlier scan) is not counted twice.
+      if (!token->stop_requested() && token->has_deadline() &&
+          token->expired()) {
+        token->ForceDeadline();
+        cancels_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+}  // namespace linrec

@@ -1,0 +1,69 @@
+// Deadline watchdog: the piece that makes mid-chunk cancellation real.
+//
+// Round/chunk boundaries call CancellationToken::Check() (which reads the
+// clock), but the in-cursor probe inside the join loop is deliberately
+// clock-free — one relaxed flag load every few thousand candidates. That
+// flag only turns on when someone calls Cancel() or ForceDeadline(). The
+// watchdog is that someone: a single lazily-started thread that scans the
+// deadline-armed tokens of in-flight queries every `interval_ms` and calls
+// ForceDeadline() on any whose deadline has passed, so a query stuck deep
+// inside one enormous Δ-chunk still stops within roughly one watchdog
+// interval.
+//
+// Thread safety: Watch/Unwatch may be called from any session thread; the
+// scan thread holds the same mutex while walking the table. Tokens must
+// stay alive until Unwatch returns (the server keeps them on the
+// evaluation's stack frame and unwatches before unwinding).
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "common/cancel.h"
+
+namespace linrec {
+
+class Watchdog {
+ public:
+  explicit Watchdog(int interval_ms = 10) : interval_ms_(interval_ms) {}
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Registers a token for deadline enforcement; returns a handle for
+  /// Unwatch. Starts the scan thread on first use. Tokens without a
+  /// deadline are accepted but never fire.
+  std::size_t Watch(CancellationToken* token);
+
+  /// Deregisters; the token may be destroyed once this returns.
+  void Unwatch(std::size_t handle);
+
+  /// Tokens force-expired by the scan thread since construction.
+  std::size_t cancels() const {
+    return cancels_.load(std::memory_order_relaxed);
+  }
+
+  /// Tokens currently under watch (observability / tests).
+  std::size_t watched() const;
+
+ private:
+  void Loop();
+
+  const int interval_ms_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::size_t, CancellationToken*> watched_;
+  std::size_t next_handle_ = 0;
+  bool stop_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::atomic<std::size_t> cancels_{0};
+};
+
+}  // namespace linrec

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 
+#include "common/memory.h"
 #include "common/parallel.h"
 
 namespace linrec {
@@ -54,6 +55,10 @@ bool Relation::InsertHashed(const Value* row, std::size_t hash) {
   }
   assert(row_count_ < static_cast<std::size_t>(kNoRow) &&
          "relation exceeds RowId capacity");
+  // Growth happens before any mutation, so a denied charge (or injected
+  // allocation fault) leaves the relation exactly as it was.
+  if (pool_.size() + arity_ > pool_.capacity()) GrowPool(pool_.size() + arity_);
+  if (hashes_.size() == hashes_.capacity()) GrowHashes(hashes_.size() + 1);
   RowId id = static_cast<RowId>(row_count_++);
   pool_.insert(pool_.end(), row, row + arity_);
   hashes_.push_back(hash);
@@ -78,7 +83,31 @@ RowId Relation::FindRow(const Value* row, std::size_t hash) const {
   }
 }
 
+// Pool and hash-array growth is explicit (never left to the vectors'
+// internal reallocation) so the capacity delta can be charged to the active
+// memory budget — and an armed allocation fault can fire — before the bytes
+// are committed. These are the only growth paths a closure's result takes.
+void Relation::GrowPool(std::size_t needed_values) {
+  std::size_t new_cap = std::max(needed_values, pool_.capacity() * 2);
+  if (new_cap < 64) new_cap = 64;
+  ChargeBytesOrThrow((new_cap - pool_.capacity()) * sizeof(Value),
+                     FaultSite::kPoolGrowth);
+  pool_.reserve(new_cap);
+}
+
+void Relation::GrowHashes(std::size_t needed_rows) {
+  std::size_t new_cap = std::max(needed_rows, hashes_.capacity() * 2);
+  if (new_cap < 16) new_cap = 16;
+  ChargeBytesOrThrow((new_cap - hashes_.capacity()) * sizeof(std::size_t),
+                     FaultSite::kPoolGrowth);
+  hashes_.reserve(new_cap);
+}
+
 void Relation::Rehash(std::size_t slot_count) {
+  if (slot_count > slots_.capacity()) {
+    ChargeBytesOrThrow((slot_count - slots_.capacity()) * sizeof(RowId),
+                       FaultSite::kRehash);
+  }
   slots_.assign(slot_count, 0);
   std::size_t mask = slot_count - 1;
   // Reinsertion is a stream of independent random probes — prefetch a
@@ -103,12 +132,8 @@ void Relation::Reserve(std::size_t rows) {
   // Grow geometrically past the request: vector::reserve allocates exactly
   // what is asked, so a closure loop reserving `current + Δ` every round
   // would otherwise reallocate (and copy the whole pool) every round.
-  if (rows * arity_ > pool_.capacity()) {
-    pool_.reserve(std::max(rows * arity_, pool_.capacity() * 2));
-  }
-  if (rows > hashes_.capacity()) {
-    hashes_.reserve(std::max(rows, hashes_.capacity() * 2));
-  }
+  if (rows * arity_ > pool_.capacity()) GrowPool(rows * arity_);
+  if (rows > hashes_.capacity()) GrowHashes(rows);
   // Size the table so `rows` insertions stay under the 7/8 growth trigger.
   std::size_t needed = NextPow2(rows * 8 / 7 + 1);
   if (needed > slots_.size()) Rehash(needed);

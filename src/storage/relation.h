@@ -251,6 +251,10 @@ class Relation {
     return true;
   }
   void Rehash(std::size_t slot_count);
+  /// Budget-charged capacity growth (see ChargeBytesOrThrow in
+  /// common/memory.h); may throw ResourceExhaustedError before mutating.
+  void GrowPool(std::size_t needed_values);
+  void GrowHashes(std::size_t needed_rows);
 
   std::size_t arity_;
   /// Lazily drawn content stamp; see version(). Atomics make concurrent

@@ -8,7 +8,18 @@
 //                                     serves a thread per connection until
 //                                     a client sends SHUTDOWN)
 //
-// Limits: --timeout-ms N, --max-rows N, --max-pending N, --workers N.
+// Limits: --timeout-ms N, --max-rows N, --max-pending N, --workers N,
+// --memory-budget BYTES (global ledger), --query-memory-budget BYTES
+// (per-query default; sessions override with SET memory_budget),
+// --retry-after MS (backoff hint in Unavailable replies),
+// --watchdog-interval MS (deadline-watchdog scan period).
+//
+// Fault injection (deterministic, for smoke tests):
+//   --fault <site>:<n>      fire an injected fault on the nth hit of the
+//                           named site (pool_growth, rehash,
+//                           worker_dispatch, socket_write)
+//   --fault-seed <s>:<p>    seeded schedule: every site fires wherever
+//                           hash(seed, site, hit) % period == 0
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -16,6 +27,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -25,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/fault.h"
 #include "server/server.h"
 
 namespace linrec {
@@ -125,6 +138,12 @@ void ServeConnection(Server& server, ListenState& state, int fd) {
     Server::Action action = ProcessLines(server, *session, lines, write);
     std::size_t sent = 0;
     while (sent < reply_bytes.size()) {
+      // Injected socket fault: behave exactly like a peer that vanished
+      // mid-reply — drop this connection, leave the daemon serving.
+      if (FaultFires(FaultSite::kSocketWrite)) {
+        open = false;
+        break;
+      }
       ssize_t w = ::send(fd, reply_bytes.data() + sent,
                          reply_bytes.size() - sent, 0);
       if (w <= 0) {
@@ -194,8 +213,45 @@ int Usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--file <script> | --stdin | --port <n>]\n"
                "       [--timeout-ms <n>] [--max-rows <n>]"
-               " [--max-pending <n>] [--workers <n>]\n";
+               " [--max-pending <n>] [--workers <n>]\n"
+               "       [--memory-budget <bytes>]"
+               " [--query-memory-budget <bytes>]\n"
+               "       [--retry-after <ms>] [--watchdog-interval <ms>]\n"
+               "       [--fault <site>:<n>] [--fault-seed <seed>:<period>]\n";
   return 2;
+}
+
+/// Parses "--fault pool_growth:3" / "--fault-seed 42:1000" specs and arms
+/// the process-wide injector. Returns false (after a diagnostic) on a
+/// malformed spec or unknown site.
+bool ArmFault(const std::string& spec, bool seeded) {
+  const std::size_t colon = spec.find(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) {
+    std::cerr << "fault spec '" << spec << "' is not <"
+              << (seeded ? "seed" : "site") << ">:<n>\n";
+    return false;
+  }
+  const std::string head = spec.substr(0, colon);
+  const long n = std::atol(spec.c_str() + colon + 1);
+  if (n <= 0) {
+    std::cerr << "fault spec '" << spec << "' needs a positive count\n";
+    return false;
+  }
+  if (seeded) {
+    FaultInjector::Instance().ArmSeeded(
+        static_cast<std::uint64_t>(std::atol(head.c_str())),
+        static_cast<std::uint64_t>(n));
+    return true;
+  }
+  FaultSite site;
+  if (!ParseFaultSite(head.c_str(), &site)) {
+    std::cerr << "unknown fault site '" << head
+              << "' (expected pool_growth, rehash, worker_dispatch or "
+                 "socket_write)\n";
+    return false;
+  }
+  FaultInjector::Instance().ArmAt(site, static_cast<std::uint64_t>(n));
+  return true;
 }
 
 }  // namespace
@@ -243,6 +299,31 @@ int main(int argc, char** argv) {
       const char* value = next();
       if (value == nullptr) return Usage(argv[0]);
       engine_options.parallel_workers = std::atoi(value);
+    } else if (arg == "--memory-budget") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.global_memory_budget = static_cast<std::size_t>(std::atol(value));
+    } else if (arg == "--query-memory-budget") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.default_query_memory_budget =
+          static_cast<std::size_t>(std::atol(value));
+    } else if (arg == "--retry-after") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.retry_after_ms = std::atoi(value);
+    } else if (arg == "--watchdog-interval") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      limits.watchdog_interval_ms = std::atoi(value);
+    } else if (arg == "--fault") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      if (!ArmFault(value, /*seeded=*/false)) return 2;
+    } else if (arg == "--fault-seed") {
+      const char* value = next();
+      if (value == nullptr) return Usage(argv[0]);
+      if (!ArmFault(value, /*seeded=*/true)) return 2;
     } else {
       return Usage(argv[0]);
     }
