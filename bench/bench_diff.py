@@ -10,6 +10,12 @@ gate exists to catch regressions on work both records measured). `workers`
 participates in the key only when both records carry it, so a v1 record
 (pre-workers schema) still gates the overlapping rows of a v2 record.
 
+When either record's `meta` block carries `single_core_host: true`
+(emitted since PR 8 when `hardware_concurrency == 1`), rows with
+workers > 1 are skipped instead of gated: on a one-thread host those rows
+measure the parallel machinery's overhead, not scaling, and their
+run-to-run noise would gate nothing meaningful.
+
 Besides the per-row throughput gate, the `meta` block's
 `plan_cache_hit_rate` (the one-shot σ-sweep's hits / lookups; present
 since schema v3) is gated when both records carry it: the sweep runs N
@@ -95,6 +101,13 @@ def main():
     prev = index_rows(prev_rows, with_workers)
     curr = index_rows(curr_rows, with_workers)
 
+    # Parallel rows are meaningless noise on a one-thread host (either
+    # side: a record from such a host measured overhead, not scaling).
+    skip_parallel = bool(
+        (prev_doc.get("meta") or {}).get("single_core_host")
+        or (curr_doc.get("meta") or {}).get("single_core_host")
+    )
+
     header = f"{'workload':<24} {'strategy':<12} {'n':>6} {'prev d/s':>14} {'curr d/s':>14} {'ratio':>7}"
     print(header)
     print("-" * len(header))
@@ -103,6 +116,9 @@ def main():
     for key in sorted(prev, key=str):
         if key not in curr:
             print(f"SKIP {key}: missing from current record")
+            continue
+        if skip_parallel and prev[key].get("workers", 1) > 1:
+            print(f"SKIP {key}: workers>1 on a single-core host")
             continue
         p = prev[key].get("derivations_per_sec", 0.0)
         c = curr[key].get("derivations_per_sec", 0.0)

@@ -30,6 +30,9 @@
 #include "common/strings.h"
 #include "datalog/parser.h"
 #include "engine/engine.h"
+#include "eval/apply.h"
+#include "eval/index_cache.h"
+#include "eval/stats.h"
 #include "server/server.h"
 #include "workload/databases.h"
 #include "workload/graphs.h"
@@ -169,15 +172,21 @@ void WriteJson(const std::vector<BenchResult>& results, const char* path,
                         static_cast<double>(lookups)
                   : 0.0;
   std::fprintf(f, "{\n  \"schema\": \"linrec-bench-engine/v3\",\n");
+  // single_core_host: on a 1-thread host every workers>1 row measures the
+  // parallel machinery's overhead, not scaling — bench_diff.py skips those
+  // comparisons when either side sets this.
   std::fprintf(f,
                "  \"meta\": {\"git_sha\": \"%s\", "
                "\"default_parallel_workers\": %d, "
-               "\"hardware_concurrency\": %u, \"compiler\": \"%s\", "
+               "\"hardware_concurrency\": %u, "
+               "\"single_core_host\": %s, \"compiler\": \"%s\", "
                "\"plan_cache_hits\": %zu, \"plan_cache_misses\": %zu, "
                "\"plan_cache_hit_rate\": %.4f},\n",
                GitSha().c_str(), ResolveWorkers(0),
-               std::thread::hardware_concurrency(), Compiler().c_str(),
-               plan_cache_hits, plan_cache_misses, hit_rate);
+               std::thread::hardware_concurrency(),
+               std::thread::hardware_concurrency() <= 1 ? "true" : "false",
+               Compiler().c_str(), plan_cache_hits, plan_cache_misses,
+               hit_rate);
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -390,6 +399,98 @@ int Main(int argc, char** argv) {
       return std::chrono::duration<double, std::milli>(end - start).count();
     });
     r.result_size = result_rows;
+    results.push_back(r);
+  }
+
+  // --- scan_sigma: the σ columnar-scan kernel in isolation, SIMD vs the
+  // scalar reference (Relation::WhereEquals vs WhereEqualsScalar — in a
+  // -DLINREC_SIMD=OFF build both rows run the scalar kernel and the ratio
+  // is 1). Arity-2 pool, 1/64 selectivity so the strided count + mask
+  // passes dominate the matched-row copies. derivations := rows scanned by
+  // the count pass, so derivations/sec is scan throughput and the
+  // SIMD/scalar row ratio is the kernel speedup the acceptance bar gates.
+  {
+    const int n = 1 << 16;
+    const int inner = 32;  // scans per timed repetition
+    Relation rel(2);
+    for (int i = 0; i < n; ++i) rel.Insert({i & 63, i});
+    const Value needle = 7;
+    auto scan_row = [&](const char* strategy, bool simd_kernel) {
+      BenchResult r;
+      r.workload = "scan_sigma";
+      r.strategy = strategy;
+      r.n = n;
+      r.workers = 1;
+      r.reps = 5;
+      TimeInto(&r, [&]() -> double {
+        auto start = std::chrono::steady_clock::now();
+        std::size_t hits = 0;
+        for (int it = 0; it < inner; ++it) {
+          Relation out = simd_kernel ? rel.WhereEquals(0, needle)
+                                     : rel.WhereEqualsScalar(0, needle);
+          hits += out.size();
+        }
+        auto end = std::chrono::steady_clock::now();
+        r.derivations = static_cast<std::size_t>(n) * inner;
+        r.result_size = hits / inner;
+        return std::chrono::duration<double, std::milli>(end - start)
+            .count();
+      });
+      results.push_back(r);
+    };
+    scan_row("simd", true);
+    scan_row("scalar", false);
+  }
+
+  // --- probe_chain: the join cursor's probe pipeline in isolation — one
+  // semi-naive-style round (RunPartition over the full Δ) of
+  // p(X,Y) :- p(X,Z), e(Z,Y) against a random graph, repeated on a warmed
+  // CompiledRule + IndexCache with the output pool Clear()ed between
+  // rounds (steady-state: zero allocations, all time in probes and
+  // emits). derivations counts body matches, as everywhere else. ---
+  {
+    const int nodes = 4096;
+    Database db;
+    db.GetOrCreate("e", 2) = RandomGraph(nodes, nodes * 4, /*seed=*/7);
+    Relation delta = RandomGraph(nodes, nodes * 4, /*seed=*/7);
+    LinearRule lr = TC("e");
+    ApplyOptions options;
+    options.overrides[lr.recursive_atom_index()] = &delta;
+    options.first_atom = lr.recursive_atom_index();
+    Result<CompiledRule> compiled = CompileRule(lr.rule(), db, options);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "FATAL compiling probe_chain: %s\n",
+                   compiled.status().ToString().c_str());
+      std::exit(1);
+    }
+    IndexCache cache;
+    Relation out(2);
+    const int inner = 16;  // rounds per timed repetition
+    BenchResult r;
+    r.workload = "probe_chain";
+    r.strategy = "kernel";
+    r.n = nodes;
+    r.workers = 1;
+    r.reps = 5;
+    TimeInto(&r, [&]() -> double {
+      ClosureStats stats;
+      auto start = std::chrono::steady_clock::now();
+      for (int it = 0; it < inner; ++it) {
+        out.Clear();
+        Status s = compiled->RunPartition(
+            delta.View(0, static_cast<RowId>(delta.size())), &out, &stats,
+            &cache);
+        if (!s.ok()) {
+          std::fprintf(stderr, "FATAL probe_chain: %s\n",
+                       s.ToString().c_str());
+          std::exit(1);
+        }
+      }
+      auto end = std::chrono::steady_clock::now();
+      r.derivations = stats.derivations;
+      r.result_size = out.size();
+      return std::chrono::duration<double, std::milli>(end - start).count();
+    });
     results.push_back(r);
   }
 

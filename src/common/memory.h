@@ -79,7 +79,10 @@ class MemoryBudget {
   }
 
  private:
-  std::atomic<std::size_t> used_{0};
+  /// Own cache line: charged from every governed thread's growth path;
+  /// keeps the read-mostly limit_ (and anything placed after the budget)
+  /// off the contended line.
+  alignas(64) std::atomic<std::size_t> used_{0};
   std::size_t limit_;
 };
 
@@ -113,7 +116,9 @@ class QueryBudget {
  private:
   std::size_t limit_;
   MemoryBudget* parent_;
-  std::atomic<std::size_t> charged_{0};
+  /// Own cache line, like MemoryBudget::used_: all lanes of one query's
+  /// parallel round charge through this atomic.
+  alignas(64) std::atomic<std::size_t> charged_{0};
 };
 
 /// The budget charged by storage growth on this thread; null = ungoverned.

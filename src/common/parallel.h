@@ -76,7 +76,10 @@ class WorkerPool {
   std::condition_variable batch_done_;
   const std::function<void(int, std::size_t)>* fn_ = nullptr;
   std::size_t chunk_count_ = 0;
-  std::atomic<std::size_t> next_chunk_{0};
+  /// Own cache line: every lane hammers this with fetch_add while stealing
+  /// chunks; sharing its line with the batch bookkeeping the main thread
+  /// reads would false-share the hottest counter in a parallel round.
+  alignas(64) std::atomic<std::size_t> next_chunk_{0};
   std::uint64_t generation_ = 0;
   int active_helpers_ = 0;
   bool stopping_ = false;

@@ -583,7 +583,7 @@ Result<QueryResult> Engine::RunImpl(const ExecutionPlan& plan,
   if (!out.ok()) return out.status();
   Relation relation = std::move(out).value();
   if (selection.has_value() && !plan.selection_pushed) {
-    relation = ApplySelection(relation, *selection);
+    relation = ApplySelection(relation, *selection, &s);
     s.result_size = relation.size();
   }
   result.relations.push_back(std::move(relation));

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/simd_kernels.h"
 #include "common/strings.h"
 #include "datalog/equality.h"
 #include "datalog/printer.h"
@@ -263,6 +264,10 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
   }
 
   std::size_t produced = 0;
+  std::size_t rows_scanned = 0;   // candidate rows examined across depths
+  std::size_t probes_issued = 0;  // index lookups resolved in enter()
+  std::size_t filter_blocks = 0;  // Δ-filter blocks walked (+ lane hits)
+  std::size_t filter_hits = 0;
   emit_rows.clear();
   emit_hashes.clear();
   auto flush_emits = [&]() {
@@ -296,6 +301,13 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
     // writes, and InsertRow — zero heap allocations per candidate tuple.
     const std::size_t last = steps.size() - 1;
 
+    // Probe pipeline depth: candidate row data is prefetched this many
+    // rows ahead of consumption (seeded in enter(), advanced one row per
+    // candidate below), so an index bucket's scattered row reads miss the
+    // cache in overlapping flight instead of serializing — the same idiom
+    // as the dedup rehash batch prefetch (storage/relation.cc).
+    constexpr std::size_t kProbePrefetch = 8;
+
     // Positions the candidate cursor at `depth`, resolving the step's
     // index bucket from the current binding (no candidates ⇒ limit 0).
     auto enter = [&](std::size_t depth) {
@@ -309,9 +321,17 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
                            ? parts[k].constant
                            : binding[static_cast<std::size_t>(parts[k].var)];
         }
+        ++probes_issued;
         RowSpan span = indexes[depth]->Lookup(key_buf.data());
         f.rows = span.ids;
         f.limit = span.count;
+        // Fill the pipeline: the bucket's row ids are contiguous, but the
+        // rows they name are scattered across the pool.
+        const std::size_t fill =
+            span.count < kProbePrefetch ? span.count : kProbePrefetch;
+        for (std::size_t k = 0; k < fill; ++k) {
+          __builtin_prefetch(step.relation->RowData(span.ids[k]));
+        }
       } else if (depth == 0 && delta != nullptr) {
         f.rows = nullptr;  // partitioned: scan the Δ slice only
         f.next = delta->begin;
@@ -322,10 +342,20 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
       }
     };
 
-    // Constant positions of the partitioned first step, checked per row
-    // (the full-scan path resolves them through an index instead).
+    // Constant positions of the partitioned first step, checked blockwise
+    // along the Δ slice (the full-scan path resolves them through an index
+    // instead). The check is a per-block equality mask — one vector compare
+    // per constant per simd::kLanes rows under LINREC_SIMD, the scalar
+    // reference kernel otherwise — cached across the consecutive rows of
+    // the block. All key parts of step 0 are constants: no variable is
+    // bound before the first step.
     const bool filter_first =
         delta != nullptr && !steps[0].key_positions.empty();
+    const Value* filt_pool =
+        filter_first ? steps[0].relation->RowData(0) : nullptr;
+    const std::size_t filt_stride = steps[0].relation->arity();
+    std::size_t filt_base = static_cast<std::size_t>(-1);
+    unsigned filt_mask = 0;
 
     // In-cursor stop probe: one counter increment per candidate row, one
     // relaxed atomic load every kCancelStride of them, zero clock reads.
@@ -352,18 +382,47 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
         RowId row = f.rows != nullptr ? f.rows[f.next]
                                       : static_cast<RowId>(f.next);
         ++f.next;
-        const Value* t = step.relation->RowData(row);
-        if (depth == 0 && filter_first) {
-          bool pass = true;
-          for (std::size_t k = 0; k < step.key_positions.size(); ++k) {
-            if (t[static_cast<std::size_t>(step.key_positions[k])] !=
-                step.key_parts[k].constant) {
-              pass = false;
-              break;
-            }
+        ++rows_scanned;
+        if (f.rows != nullptr) {
+          // Keep the probe pipeline full: prefetch the row kProbePrefetch
+          // candidates ahead of the one being consumed.
+          const std::size_t ahead = f.next - 1 + kProbePrefetch;
+          if (ahead < f.limit) {
+            __builtin_prefetch(step.relation->RowData(f.rows[ahead]));
           }
-          if (!pass) continue;
         }
+        if (depth == 0 && filter_first) {
+          const std::size_t r = static_cast<std::size_t>(row);
+          const std::size_t base = r & ~(simd::kLanes - 1);
+          if (base != filt_base) {
+            filt_base = base;
+            // Lanes past the relation's last row read padded pool storage
+            // (in-allocation, but uninitialized) — mask them out up front
+            // so the hit counters stay deterministic.
+            const std::size_t left = steps[0].relation->size() - base;
+            unsigned m = left >= simd::kLanes
+                             ? (1u << simd::kLanes) - 1u
+                             : (1u << left) - 1u;
+            const Value* block = filt_pool + base * filt_stride;
+            for (std::size_t k = 0;
+                 m != 0 && k < step.key_positions.size(); ++k) {
+              const Value* col =
+                  block + static_cast<std::size_t>(step.key_positions[k]);
+#if LINREC_SIMD
+              m &= simd::BlockEqMask(col, filt_stride,
+                                     step.key_parts[k].constant);
+#else
+              m &= simd::BlockEqMaskScalar(col, filt_stride,
+                                           step.key_parts[k].constant);
+#endif
+            }
+            filt_mask = m;
+            ++filter_blocks;
+            filter_hits += static_cast<std::size_t>(__builtin_popcount(m));
+          }
+          if (((filt_mask >> (r - base)) & 1u) == 0) continue;
+        }
+        const Value* t = step.relation->RowData(row);
         // Bind new variables, then verify intra-atom repeats.
         for (const auto& [pos, var] : step.bind_positions) {
           binding[static_cast<std::size_t>(var)] =
@@ -400,6 +459,10 @@ Status CompiledRule::Impl::Execute(const PartitionView* delta, Relation* out,
   if (stats != nullptr) {
     stats->rule_applications += 1;
     stats->derivations += produced;
+    stats->rows_scanned += rows_scanned;
+    stats->probes_issued += probes_issued;
+    stats->simd_blocks += filter_blocks;
+    stats->simd_lane_hits += filter_hits;
   }
   return Status::OK();
 }

@@ -177,7 +177,10 @@ class RoundEvaluator {
   }
 
  private:
-  struct Lane {
+  // Cache-line aligned: each worker lane mutates its own entry (stats
+  // counters, output pool headers) on every candidate row; without the
+  // alignment two lanes' hot fields can share one line and ping-pong it.
+  struct alignas(64) Lane {
     std::vector<CompiledRule> compiled;
     IndexCache cache;
     Relation out;

@@ -4,8 +4,8 @@ namespace linrec {
 
 const HashIndex& IndexCache::Get(const Relation& rel,
                                  const std::vector<int>& positions) {
-  Key key(&rel, positions);
-  auto it = entries_.find(key);
+  probe_.Assign(&rel, positions);
+  auto it = entries_.find(probe_);
   if (it != entries_.end() &&
       it->second->built_at_version() == rel.version()) {
     return *it->second;
@@ -16,7 +16,7 @@ const HashIndex& IndexCache::Get(const Relation& rel,
     it->second = std::move(index);
     return *it->second;
   }
-  auto [pos, inserted] = entries_.emplace(std::move(key), std::move(index));
+  auto [pos, inserted] = entries_.emplace(probe_, std::move(index));
   return *pos->second;
 }
 

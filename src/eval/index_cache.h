@@ -19,8 +19,12 @@ namespace linrec {
 /// parameter relations are built once across all iterations.
 ///
 /// The table is an unordered_map whose key carries its own precomputed hash,
-/// so a Get is one O(1) probe (plus one small vector copy to build the probe
-/// key) instead of a red-black-tree walk with per-node vector comparisons.
+/// so a Get is one O(1) probe instead of a red-black-tree walk with per-node
+/// vector comparisons. The probe key is a member whose positions vector is
+/// reused across calls, so a cache hit — every steady-state closure round —
+/// performs zero heap allocations. (Get always mutated the cache, so this
+/// adds no new thread-safety requirement; concurrent users already need
+/// their own tier or a lock, as TieredIndexCache arranges.)
 ///
 /// Get is virtual so a TieredIndexCache can route probes between a shared
 /// and a private tier; the call runs once per (round, Δ chunk, join step),
@@ -50,12 +54,23 @@ class IndexCache {
 
  private:
   struct Key {
-    const Relation* rel;
+    const Relation* rel = nullptr;
     std::vector<int> positions;
-    std::size_t hash;
+    std::size_t hash = 0;
 
+    Key() = default;
     Key(const Relation* r, std::vector<int> p)
         : rel(r), positions(std::move(p)) {
+      Rehash();
+    }
+    /// Rebinds in place, reusing the positions vector's capacity — the
+    /// allocation-free path Get probes with.
+    void Assign(const Relation* r, const std::vector<int>& p) {
+      rel = r;
+      positions.assign(p.begin(), p.end());
+      Rehash();
+    }
+    void Rehash() {
       std::size_t h = std::hash<const void*>{}(rel);
       for (int x : positions) HashCombine(&h, std::hash<int>{}(x));
       hash = h;
@@ -69,6 +84,7 @@ class IndexCache {
   };
 
   std::unordered_map<Key, std::unique_ptr<HashIndex>, KeyHash> entries_;
+  Key probe_;  // reused across Gets: hit path allocates nothing
   std::size_t rebuilds_ = 0;
 };
 

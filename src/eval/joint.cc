@@ -190,7 +190,9 @@ class JointRoundEvaluator {
     RowId end;
   };
 
-  struct Lane {
+  // Cache-line aligned for the same reason as RoundEvaluator::Lane
+  // (fixpoint.cc): per-lane hot state must not share lines across lanes.
+  struct alignas(64) Lane {
     std::vector<CompiledRule> compiled;  // one per joint rule
     std::vector<Relation> out;           // one output pool per member
     IndexCache cache;

@@ -4,14 +4,23 @@
 
 namespace linrec {
 
-Relation ApplySelection(const Relation& input, const Selection& selection) {
+Relation ApplySelection(const Relation& input, const Selection& selection,
+                        ClosureStats* stats) {
   assert(selection.position >= 0 &&
          static_cast<std::size_t>(selection.position) < input.arity());
   // Columnar: one strided pass over the selected column counts the matches
-  // (vectorizable — no other column is touched), the output is reserved
-  // exactly, and the matching rows are bulk-copied with their cached
-  // hashes. O(matches) allocations however large the input.
-  return input.WhereEquals(selection.position, selection.value);
+  // (SIMD blocks under LINREC_SIMD — no other column is touched), the
+  // output is reserved exactly, and the matching rows are bulk-copied with
+  // their cached hashes. O(matches) allocations however large the input.
+  ScanCounters counters;
+  Relation out = input.WhereEquals(selection.position, selection.value,
+                                   stats != nullptr ? &counters : nullptr);
+  if (stats != nullptr) {
+    stats->rows_scanned += counters.rows;
+    stats->simd_blocks += counters.blocks;
+    stats->simd_lane_hits += counters.hits;
+  }
+  return out;
 }
 
 }  // namespace linrec

@@ -2,6 +2,7 @@
 
 #pragma once
 
+#include "eval/stats.h"
 #include "storage/relation.h"
 
 namespace linrec {
@@ -13,7 +14,10 @@ struct Selection {
   Value value = 0;
 };
 
-/// Applies the selection, returning the filtered relation.
-Relation ApplySelection(const Relation& input, const Selection& selection);
+/// Applies the selection, returning the filtered relation. When `stats` is
+/// non-null, the scan's row/block/hit counts are added to its
+/// rows_scanned / simd_blocks / simd_lane_hits counters.
+Relation ApplySelection(const Relation& input, const Selection& selection,
+                        ClosureStats* stats = nullptr);
 
 }  // namespace linrec

@@ -301,7 +301,7 @@ Result<Relation> ProgramInstance::SeedMember(const CompiledUnit& unit,
     LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine_->db(), {}, &seed,
                                      &stats, &engine_->index_cache()));
   }
-  derivations_ += stats.derivations;
+  totals_.Accumulate(stats);
   return seed;
 }
 
@@ -317,7 +317,7 @@ Status ProgramInstance::MaterializeUnit(std::size_t index,
           unit.closure->Bind().BindSeed(std::move(value)).WithCancellation(
               cancel));
       if (!closed.ok()) return closed.status();
-      derivations_ += closed->stats.derivations;
+      totals_.Accumulate(closed->stats);
       value = std::move(closed->relation());
     }
     engine_->db().GetOrCreate(unit.members[0], unit.arities[0]) =
@@ -338,7 +338,7 @@ Status ProgramInstance::MaterializeUnit(std::size_t index,
         unit.closure->Bind().BindSeeds(std::move(seeds)).WithCancellation(
             cancel));
     if (!out.ok()) return out.status();
-    derivations_ += out->stats.derivations;
+    totals_.Accumulate(out->stats);
     closed = std::move(out->relations);
   } else {
     closed = std::move(seeds);
@@ -540,7 +540,7 @@ std::vector<Result<QueryResult>> ProgramInstance::EvalQueries(
     for (std::size_t si = 0; si < sigma_slots.size(); ++si) {
       Result<QueryResult>& outcome = outcomes[si];
       if (outcome.ok()) {
-        derivations_ += outcome->stats.derivations;
+        totals_.Accumulate(outcome->stats);
         // The closure ran to fixpoint (correctness); the *reply* still
         // honors the streaming cap.
         Relation& rel = outcome->relation();

@@ -171,7 +171,12 @@ class ProgramInstance {
       std::size_t row_limit = SIZE_MAX);
 
   /// Total derivations across every closure this session has run.
-  std::size_t derivations() const { return derivations_; }
+  std::size_t derivations() const { return totals_.derivations; }
+
+  /// Accumulated execution counters across every closure this session has
+  /// run — derivations plus the kernel-level set (rows scanned, probes
+  /// issued, SIMD blocks / lane hits). Exported via linrecd STATS.
+  const ClosureStats& totals() const { return totals_; }
 
  private:
   /// True if `goal` qualifies for the σ-bind fast path; fills position
@@ -197,7 +202,7 @@ class ProgramInstance {
   /// Units fully materialized into the engine database (prefix lengths:
   /// units materialize in dependency order).
   std::size_t materialized_ = 0;
-  std::size_t derivations_ = 0;
+  ClosureStats totals_;
 };
 
 /// Filters `rows` against `goal`: constants must match their column,

@@ -65,14 +65,14 @@ Result<Relation> SeparableClosureUnchecked(
 
   Relation filtered;
   if (b_rules.empty()) {
-    filtered = ApplySelection(q, sigma);
+    filtered = ApplySelection(q, sigma, stats);
   } else {
     ClosureStats phase;
     Result<Relation> after_b =
         SemiNaiveClosure(b_rules, db, q, &phase, cache, workers, cancel);
     if (!after_b.ok()) return after_b.status();
     if (stats != nullptr) stats->Accumulate(phase);
-    filtered = ApplySelection(*after_b, sigma);
+    filtered = ApplySelection(*after_b, sigma, stats);
   }
 
   ClosureStats phase2;
@@ -94,7 +94,7 @@ Result<Relation> ClosureThenSelect(const std::vector<LinearRule>& a_rules,
   Result<Relation> closure =
       SemiNaiveClosure(all, db, q, stats, cache, workers);
   if (!closure.ok()) return closure.status();
-  return ApplySelection(*closure, sigma);
+  return ApplySelection(*closure, sigma, stats);
 }
 
 }  // namespace linrec

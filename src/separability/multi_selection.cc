@@ -58,7 +58,8 @@ Result<Relation> MultiSelectionClosure(
   }
 
   // Right-to-left evaluation: σ0 first, then each (σ_i A_i*).
-  Relation current = sigma0.has_value() ? ApplySelection(q, *sigma0) : q;
+  Relation current =
+      sigma0.has_value() ? ApplySelection(q, *sigma0, stats) : q;
   IndexCache cache;
   for (auto it = groups.rbegin(); it != groups.rend(); ++it) {
     ClosureStats phase;
@@ -66,8 +67,9 @@ Result<Relation> MultiSelectionClosure(
         SemiNaiveClosure(it->rules, db, current, &phase, &cache);
     if (!closed.ok()) return closed.status();
     if (stats != nullptr) stats->Accumulate(phase);
-    current = it->sigma.has_value() ? ApplySelection(*closed, *it->sigma)
-                                    : std::move(*closed);
+    current = it->sigma.has_value()
+                  ? ApplySelection(*closed, *it->sigma, stats)
+                  : std::move(*closed);
   }
   if (stats != nullptr) stats->result_size = current.size();
   return current;

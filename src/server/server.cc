@@ -323,6 +323,16 @@ void Server::HandleStats(Session& session, std::vector<std::string>* out) {
   out->push_back(StrCat("session_queries=", session.queries_served()));
   out->push_back(
       StrCat("session_derivations=", session.instance().derivations()));
+  const ClosureStats& totals = session.instance().totals();
+  out->push_back(StrCat("session_rows_scanned=", totals.rows_scanned));
+  out->push_back(StrCat("session_probes_issued=", totals.probes_issued));
+  out->push_back(StrCat("session_simd_blocks=", totals.simd_blocks));
+  out->push_back(StrCat("session_simd_lane_hits=", totals.simd_lane_hits));
+  // Scan-lane utilization as an integer percent: how full the kLanes-row
+  // vector compares ran, 0 when no block has been walked.
+  const std::size_t lanes = totals.simd_blocks * simd::kLanes;
+  out->push_back(StrCat("session_simd_lane_util_pct=",
+                        lanes == 0 ? 0 : totals.simd_lane_hits * 100 / lanes));
   out->push_back(".");
 }
 

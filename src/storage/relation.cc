@@ -5,11 +5,15 @@
 
 #include "common/memory.h"
 #include "common/parallel.h"
+#include "common/simd_kernels.h"
 
 namespace linrec {
 namespace {
 
-std::atomic<std::uint64_t> g_version_counter{0};
+/// Own cache line: bumped from every thread that first reads a mutated
+/// relation's version; sharing a line with unrelated statics would make
+/// those reads contend with it.
+alignas(64) std::atomic<std::uint64_t> g_version_counter{0};
 
 /// Smallest power of two ≥ n (and ≥ 8).
 std::size_t NextPow2(std::size_t n) {
@@ -90,6 +94,10 @@ RowId Relation::FindRow(const Value* row, std::size_t hash) const {
 void Relation::GrowPool(std::size_t needed_values) {
   std::size_t new_cap = std::max(needed_values, pool_.capacity() * 2);
   if (new_cap < 64) new_cap = 64;
+  // Round up to a whole number of kPadRows-row blocks: the scan kernels
+  // load the tail as one full block, and this keeps that load inside the
+  // allocation. The padding is charged like any other capacity.
+  new_cap = PaddedPoolCapacity(new_cap, arity_);
   ChargeBytesOrThrow((new_cap - pool_.capacity()) * sizeof(Value),
                      FaultSite::kPoolGrowth);
   pool_.reserve(new_cap);
@@ -148,28 +156,89 @@ void Relation::Clear() {
   std::fill(slots_.begin(), slots_.end(), 0);
 }
 
-Relation Relation::WhereEquals(int position, Value value) const {
+// The σ scan, parameterized on the kernel. Both instantiations walk the
+// same rows in the same order (the copy pass drains each block's equality
+// mask low bit first), so SIMD and scalar results are bit-identical —
+// arity, size, and row-by-row insertion order.
+template <bool kSimd>
+Relation Relation::WhereEqualsKernel(int position, Value value,
+                                     ScanCounters* counters) const {
   assert(position >= 0 && static_cast<std::size_t>(position) < arity_);
   Relation out(arity_);
-  if (row_count_ == 0) return out;
+  const std::size_t rows = row_count_;
+  if (counters != nullptr) {
+    counters->rows += rows;
+    counters->blocks += (rows + simd::kLanes - 1) / simd::kLanes;
+  }
+  if (rows == 0) return out;
   const Value* column = pool_.data() + position;
   const std::size_t stride = arity_;
-  // Pass 1: count matches along one strided column — no branches that
-  // touch other columns, so -O3 vectorizes the compare+accumulate.
-  std::size_t matches = 0;
-  for (std::size_t i = 0; i < row_count_; ++i) {
-    matches += static_cast<std::size_t>(column[i * stride] == value);
+  // Pass 1: count matches along one strided column.
+  std::size_t matches;
+#if LINREC_SIMD
+  if constexpr (kSimd) {
+    matches = simd::CountEqStrided(column, stride, rows, value);
+  } else
+#endif
+  {
+    matches = simd::CountEqStridedScalar(column, stride, rows, value);
   }
+  if (counters != nullptr) counters->hits += matches;
   if (matches == 0) return out;
   out.Reserve(matches);
-  // Pass 2: bulk-copy the matching rows, reusing their cached hashes (rows
-  // of a relation are unique, so every insert lands).
-  for (std::size_t i = 0; i < row_count_; ++i) {
-    if (column[i * stride] == value) {
+  // Pass 2: bulk-copy the matching rows from blockwise equality masks,
+  // reusing their cached hashes (rows of a relation are unique, so every
+  // insert lands). The SIMD tail is a full-block load masked down — safe
+  // because pool capacities are padded to whole blocks (GrowPool).
+  const std::size_t full = rows / simd::kLanes * simd::kLanes;
+  auto drain = [&](std::size_t base, unsigned mask) {
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      mask &= mask - 1;
+      const std::size_t i = base + lane;
       out.InsertHashed(pool_.data() + i * stride, hashes_[i]);
     }
+  };
+  for (std::size_t base = 0; base < full; base += simd::kLanes) {
+    unsigned mask;
+#if LINREC_SIMD
+    if constexpr (kSimd) {
+      mask = simd::BlockEqMask(column + base * stride, stride, value);
+    } else
+#endif
+    {
+      mask = simd::BlockEqMaskScalar(column + base * stride, stride, value);
+    }
+    drain(base, mask);
+  }
+  if (const std::size_t tail = rows - full; tail != 0) {
+    unsigned mask;
+#if LINREC_SIMD
+    if constexpr (kSimd) {
+      mask = simd::BlockEqMask(column + full * stride, stride, value) &
+             ((1u << tail) - 1u);
+    } else
+#endif
+    {
+      mask = 0;
+      for (std::size_t i = 0; i < tail; ++i) {
+        mask |= static_cast<unsigned>(column[(full + i) * stride] == value)
+                << i;
+      }
+    }
+    drain(full, mask);
   }
   return out;
+}
+
+Relation Relation::WhereEquals(int position, Value value,
+                               ScanCounters* counters) const {
+  return WhereEqualsKernel<simd::kEnabled>(position, value, counters);
+}
+
+Relation Relation::WhereEqualsScalar(int position, Value value,
+                                     ScanCounters* counters) const {
+  return WhereEqualsKernel<false>(position, value, counters);
 }
 
 std::size_t Relation::UnionWith(const Relation& other) {

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/simd.h"
 #include "storage/tuple.h"
 
 namespace linrec {
@@ -19,6 +20,16 @@ using RowId = std::uint32_t;
 
 class Relation;
 class WorkerPool;
+
+/// What one columnar σ scan examined — accumulated into ClosureStats
+/// (rows_scanned / simd_blocks / simd_lane_hits) by callers that carry
+/// stats. Deterministic across SIMD and scalar builds: a "block" is a
+/// kLanes-row window whichever kernel walked it.
+struct ScanCounters {
+  std::size_t rows = 0;    // rows examined
+  std::size_t blocks = 0;  // kLanes-row blocks, including a partial tail
+  std::size_t hits = 0;    // matching rows
+};
 
 /// A borrowed contiguous row range [begin, end) of one Relation — the unit
 /// of work the parallel semi-naive round hands to each worker. Views are
@@ -49,15 +60,23 @@ class Relation {
   explicit Relation(std::size_t arity) : arity_(arity) {}
 
   // Copy/move are member-wise; spelled out because the version stamp is
-  // atomic (for concurrent version() reads) and atomics are not copyable.
+  // atomic (for concurrent version() reads) and atomics are not copyable,
+  // and because the pool copy must re-establish the padded-capacity
+  // invariant (a plain vector copy would give capacity == size, and the
+  // scan kernels' full-block tail loads rely on capacity being a
+  // kPadRows-row multiple; see GrowPool).
   Relation(const Relation& o)
       : arity_(o.arity_),
         version_(o.version_.load(std::memory_order_relaxed)),
         version_stale_(o.version_stale_.load(std::memory_order_relaxed)),
         row_count_(o.row_count_),
-        pool_(o.pool_),
         hashes_(o.hashes_),
-        slots_(o.slots_) {}
+        slots_(o.slots_) {
+    if (!o.pool_.empty()) {
+      pool_.reserve(PaddedPoolCapacity(o.pool_.size(), arity_));
+      pool_.insert(pool_.end(), o.pool_.begin(), o.pool_.end());
+    }
+  }
   Relation(Relation&& o) noexcept
       : arity_(o.arity_),
         version_(o.version_.load(std::memory_order_relaxed)),
@@ -160,10 +179,21 @@ class Relation {
   }
 
   /// σ_{position = value} as a columnar scan: stride-walks the selected
-  /// column of the flat pool counting matches (one tight, vectorizable
-  /// loop), reserves the output exactly, then bulk-copies the matching rows
-  /// reusing their cached hashes. Allocates O(matches), not O(rows).
-  Relation WhereEquals(int position, Value value) const;
+  /// column of the flat pool counting matches (SIMD blocks of simd::kLanes
+  /// rows when LINREC_SIMD is on, the scalar reference kernel otherwise),
+  /// reserves the output exactly, then bulk-copies the matching rows from
+  /// blockwise equality masks, reusing their cached hashes. Allocates
+  /// O(matches), not O(rows). The scalar and SIMD paths examine the same
+  /// rows in the same order, so results are bit-identical.
+  /// When `counters` is non-null the scan's row/block/hit counts are added
+  /// to it.
+  Relation WhereEquals(int position, Value value,
+                       ScanCounters* counters = nullptr) const;
+  /// WhereEquals forced onto the scalar reference kernel in every build —
+  /// the baseline the scan_sigma microbench and the SIMD parity tests
+  /// compare against.
+  Relation WhereEqualsScalar(int position, Value value,
+                             ScanCounters* counters = nullptr) const;
 
   bool Contains(const Tuple& t) const {
     assert(t.arity() == arity_);
@@ -253,8 +283,24 @@ class Relation {
   void Rehash(std::size_t slot_count);
   /// Budget-charged capacity growth (see ChargeBytesOrThrow in
   /// common/memory.h); may throw ResourceExhaustedError before mutating.
+  /// GrowPool rounds the new capacity up to a simd::kPadRows-row multiple
+  /// (the scan kernels' tail-load invariant).
   void GrowPool(std::size_t needed_values);
   void GrowHashes(std::size_t needed_rows);
+  /// `values` rounded up to a multiple of simd::kPadRows rows of `arity`,
+  /// plus one extra pad block: the stride-2 de-interleave load reads
+  /// 2·kLanes consecutive values starting at pool + column, so the last
+  /// full block's load ends up to `column` values past the rounded row
+  /// count — the extra block keeps every such read inside the allocation.
+  static std::size_t PaddedPoolCapacity(std::size_t values,
+                                        std::size_t arity) {
+    if (arity == 0) return values;
+    const std::size_t block = simd::kPadRows * arity;
+    return (values + block - 1) / block * block + block;
+  }
+  template <bool kSimd>
+  Relation WhereEqualsKernel(int position, Value value,
+                             ScanCounters* counters) const;
 
   std::size_t arity_;
   /// Lazily drawn content stamp; see version(). Atomics make concurrent
@@ -263,7 +309,11 @@ class Relation {
   mutable std::atomic<std::uint64_t> version_{0};
   mutable std::atomic<bool> version_stale_{false};
   std::size_t row_count_ = 0;     // == pool_.size() / arity_ unless arity 0
-  std::vector<Value> pool_;       // arity-strided row storage
+  /// Arity-strided row storage. The aligned allocator starts every pool on
+  /// a vector-width boundary; every capacity is a kPadRows-row multiple
+  /// (GrowPool / copy ctor), so a full-block load at the scan tail stays
+  /// inside the allocation.
+  std::vector<Value, simd::PoolAllocator<Value>> pool_;
   std::vector<std::size_t> hashes_;  // per-row hash (dedup probes, rehash)
   std::vector<RowId> slots_;      // open addressing: row id + 1; 0 = empty
 };
@@ -300,7 +350,11 @@ class PoolMerger {
                     Relation* target, WorkerPool* pool = nullptr);
 
  private:
-  struct Shard {
+  /// Cache-line aligned: neighbouring shards are written by different
+  /// worker lanes during the dedup phase, and an unaligned Shard would put
+  /// two lanes' vector headers (data/size/capacity, mutated on every
+  /// survivor push) on one line — false sharing on the hottest merge loop.
+  struct alignas(64) Shard {
     /// Surviving rows as (pool index, row id), in arrival order.
     std::vector<std::pair<std::uint32_t, RowId>> survivors;
     /// Open-addressing table over `survivors` (index + 1; 0 = empty).

@@ -1,12 +1,18 @@
 // Verifies the acceptance contract of the flat join kernel: ApplyRule's
-// inner probe loop performs ZERO heap allocations per candidate tuple.
+// inner probe loop performs ZERO heap allocations per candidate tuple —
+// and, strategy by strategy, that the steady-state rounds of every
+// closure allocate nothing beyond amortized capacity growth.
 //
-// Strategy: this binary replaces global operator new with a counting
-// wrapper, then measures the allocation count of one warm ApplyRule call
-// (indexes cached, output pre-reserved) at two very different input sizes.
-// The per-call compile phase allocates a small constant number of vectors;
-// if the per-candidate path allocated anything, the larger input would
-// allocate strictly more.
+// Strategy: this binary replaces global operator new (the plain AND the
+// aligned overloads — the Relation pool allocates through
+// std::align_val_t) with a counting wrapper, then measures the allocation
+// count of one warm ApplyRule call (indexes cached, output pre-reserved)
+// at two very different input sizes. The per-call compile phase allocates
+// a small constant number of vectors; if the per-candidate path allocated
+// anything, the larger input would allocate strictly more. The closure
+// tests apply the same doubling argument per round: a strategy whose
+// steady-state round allocated even once would grow its count by the
+// extra rounds, so the size-doubled delta is pinned far below that.
 
 #include <gtest/gtest.h>
 
@@ -15,34 +21,59 @@
 #include <new>
 #include <vector>
 
+#include "algebra/closure.h"
 #include "datalog/parser.h"
 #include "eval/apply.h"
+#include "eval/fixpoint.h"
 #include "eval/index_cache.h"
+#include "eval/joint.h"
 #include "eval/selection.h"
+#include "separability/algorithm.h"
+#include "workload/databases.h"
 #include "workload/graphs.h"
+#include "workload/rulegen.h"
 
 namespace {
 std::atomic<std::size_t> g_allocations{0};
-}  // namespace
 
-void* operator new(std::size_t size) {
+void* CountedAlloc(std::size_t size) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
   void* p = std::malloc(size);
   if (p == nullptr) throw std::bad_alloc();
   return p;
 }
 
-void* operator new[](std::size_t size) {
+void* CountedAlignedAlloc(std::size_t size, std::align_val_t align) {
   g_allocations.fetch_add(1, std::memory_order_relaxed);
-  void* p = std::malloc(size);
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t a = static_cast<std::size_t>(align);
+  void* p = std::aligned_alloc(a, (size + a - 1) / a * a);
   if (p == nullptr) throw std::bad_alloc();
   return p;
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, align);
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, align);
 }
 
 void operator delete(void* p) noexcept { std::free(p); }
 void operator delete[](void* p) noexcept { std::free(p); }
 void operator delete(void* p, std::size_t) noexcept { std::free(p); }
 void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace linrec {
 namespace {
@@ -113,6 +144,143 @@ TEST(JoinAllocTest, SelectiveScanAllocatesPerMatchNotPerInputRow) {
   EXPECT_EQ(small, large) << "selection allocates per input row";
   // And the absolute count is the output relation's few buffers.
   EXPECT_LE(small, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state closure rounds, strategy by strategy.
+//
+// Each test runs one full closure at two input sizes whose round counts
+// differ by dozens to hundreds, and pins the allocation-count delta to a
+// small constant. Geometric pool growth costs O(log n) reallocations per
+// container, so the doubled input may legitimately allocate a few more
+// times — but one allocation per steady-state round would blow the bound
+// by the number of added rounds.
+
+constexpr std::ptrdiff_t kGrowthSlack = 32;
+
+/// Allocations of one full `closure(rules, db, q)` call: chain of n nodes,
+/// q seeded with n self-loops — the closure is the full upper-triangle
+/// reachability, reached after ~n rounds.
+template <typename Closure>
+std::size_t ChainClosureAllocations(int n, const Closure& closure) {
+  auto rule = ParseLinearRule("p(X,Y) :- p(X,Z), e(Z,Y).");
+  EXPECT_TRUE(rule.ok());
+  std::vector<LinearRule> rules{*rule};
+  Database db;
+  db.GetOrCreate("e", 2) = ChainGraph(n);
+  Relation q(2);
+  for (int i = 0; i < n; ++i) q.Insert({i, i});
+
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  Result<Relation> out = closure(rules, db, q);
+  std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(out->size(),
+            static_cast<std::size_t>(n) * (n + 1) / 2);
+  return after - before;
+}
+
+TEST(ClosureAllocTest, SemiNaiveSteadyStateRoundsAllocateNothing) {
+  auto run = [](const std::vector<LinearRule>& rules, const Database& db,
+                const Relation& q) { return SemiNaiveClosure(rules, db, q); };
+  std::size_t small = ChainClosureAllocations(128, run);
+  std::size_t large = ChainClosureAllocations(256, run);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "semi-naive rounds allocate: " << small << " -> " << large;
+}
+
+TEST(ClosureAllocTest, NaiveSteadyStateRoundsAllocateNothing) {
+  auto run = [](const std::vector<LinearRule>& rules, const Database& db,
+                const Relation& q) { return NaiveClosure(rules, db, q); };
+  std::size_t small = ChainClosureAllocations(48, run);
+  std::size_t large = ChainClosureAllocations(96, run);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "naive rounds allocate: " << small << " -> " << large;
+}
+
+TEST(ClosureAllocTest, PowerSumSteadyStateRoundsAllocateNothing) {
+  auto run = [](const std::vector<LinearRule>& rules, const Database& db,
+                const Relation& q) {
+    // q holds one self-loop per chain node, so q.size() powers suffice.
+    return PowerSum(rules, db, q, static_cast<int>(q.size()) + 1);
+  };
+  std::size_t small = ChainClosureAllocations(64, run);
+  std::size_t large = ChainClosureAllocations(128, run);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "power-sum rounds allocate: " << small << " -> " << large;
+}
+
+/// Allocations of one DecomposedClosure over same-generation with each rule
+/// in its own group (the commuting pair of Example 5.2), serial.
+std::size_t DecomposedAllocations(int width) {
+  SameGenerationWorkload w = MakeSameGeneration(5, width, 2, 7);
+  std::vector<LinearRule> rules = SameGenerationRules();
+  std::vector<std::vector<LinearRule>> groups = {{rules[0]}, {rules[1]}};
+
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  Result<Relation> out = DecomposedClosure(groups, w.db, w.q, nullptr,
+                                           nullptr, /*workers=*/1);
+  std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(out.ok());
+  EXPECT_GT(out->size(), 0u);
+  return after - before;
+}
+
+TEST(ClosureAllocTest, DecomposedSteadyStateRoundsAllocateNothing) {
+  std::size_t small = DecomposedAllocations(8);
+  std::size_t large = DecomposedAllocations(16);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "decomposed rounds allocate: " << small << " -> " << large;
+}
+
+/// Allocations of one SeparableClosure A*(σ(B* q)) over same-generation.
+/// The up-front commutativity oracle allocates, but a per-call constant
+/// amount — the doubling argument still pins the round path.
+std::size_t SeparableAllocations(int width) {
+  auto r1 = ParseLinearRule("p(X,Y) :- p(X,V), down(V,Y).");
+  auto r2 = ParseLinearRule("p(X,Y) :- p(U,Y), up(X,U).");
+  EXPECT_TRUE(r1.ok() && r2.ok());
+  std::vector<LinearRule> a_rules{*r1};
+  std::vector<LinearRule> b_rules{*r2};
+  SameGenerationWorkload w = MakeSameGeneration(5, width, 2, 11);
+  Selection sigma{0, w.q.Sorted().front()[0]};
+
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  Result<Relation> out =
+      SeparableClosure(a_rules, b_rules, sigma, w.db, w.q);
+  std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(out.ok());
+  EXPECT_GT(out->size(), 0u);
+  return after - before;
+}
+
+TEST(ClosureAllocTest, SeparableSteadyStateRoundsAllocateNothing) {
+  std::size_t small = SeparableAllocations(8);
+  std::size_t large = SeparableAllocations(16);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "separable rounds allocate: " << small << " -> " << large;
+}
+
+/// Allocations of one JointSemiNaiveClosure over the even/odd parity chain:
+/// n rounds whose Δs alternate between the two members.
+std::size_t JointAllocations(int n) {
+  Result<JointWorkload> w = MakeEvenOddChain(n);
+  EXPECT_TRUE(w.ok());
+
+  std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  Result<std::vector<Relation>> out =
+      JointSemiNaiveClosure(w->members, w->rules, w->db, w->seeds);
+  std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ((*out)[0].size() + (*out)[1].size(), static_cast<std::size_t>(n));
+  return after - before;
+}
+
+TEST(ClosureAllocTest, JointSteadyStateRoundsAllocateNothing) {
+  std::size_t small = JointAllocations(128);
+  std::size_t large = JointAllocations(256);
+  EXPECT_LE(static_cast<std::ptrdiff_t>(large - small), kGrowthSlack)
+      << "joint rounds allocate: " << small << " -> " << large;
 }
 
 TEST(JoinAllocTest, CountingHookIsLive) {
