@@ -52,6 +52,11 @@ struct BenchResult {
   std::size_t derivations = 0;  // per repetition
   double derivations_per_sec = 0.0;
   std::size_t result_size = 0;
+  /// Measured same-binary run-to-run spread where it exceeds the default
+  /// regression gate (fractional drop; 0 = workload is quieter than the
+  /// gate). bench_diff.py widens the row's threshold to this value, so a
+  /// noisy workload's own variance never reads as a regression.
+  double noise_margin = 0.0;
 };
 
 LinearRule TC(const char* edge) {
@@ -195,10 +200,11 @@ void WriteJson(const std::vector<BenchResult>& results, const char* path,
         "    {\"workload\": \"%s\", \"strategy\": \"%s\", \"n\": %d, "
         "\"workers\": %d, \"reps\": %d, \"wall_ms_mean\": %.3f, "
         "\"wall_ms_min\": %.3f, \"derivations\": %zu, "
-        "\"derivations_per_sec\": %.1f, \"result_size\": %zu}%s\n",
+        "\"derivations_per_sec\": %.1f, \"result_size\": %zu, "
+        "\"noise_margin\": %.2f}%s\n",
         r.workload.c_str(), r.strategy.c_str(), r.n, r.workers, r.reps,
         r.wall_ms_mean, r.wall_ms_min, r.derivations, r.derivations_per_sec,
-        r.result_size, i + 1 < results.size() ? "," : "");
+        r.result_size, r.noise_margin, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -277,6 +283,11 @@ int Main(int argc, char** argv) {
       Engine engine(std::move(db), options);
       Query q = Query::Closure({TC("e")}).From(SelfLoops(n, 8));
       results.push_back(RunQuery("tc_random", n, engine, q, 3));
+      // The random-graph closure is the suite's noisiest workload:
+      // identical binaries have measured 0.54-1.0x run to run (dedup-heavy
+      // rounds, allocator- and cache-layout-sensitive). Let the diff gate
+      // at the measured spread instead of crying wolf at the default 20%.
+      results.back().noise_margin = 0.50;
     }
   }
 

@@ -82,7 +82,7 @@ class MemoryBudget {
   /// Own cache line: charged from every governed thread's growth path;
   /// keeps the read-mostly limit_ (and anything placed after the budget)
   /// off the contended line.
-  alignas(64) std::atomic<std::size_t> used_{0};
+  alignas(64) std::atomic<std::size_t> used_{0};  // lint: hot-atomic
   std::size_t limit_;
 };
 
@@ -118,7 +118,7 @@ class QueryBudget {
   MemoryBudget* parent_;
   /// Own cache line, like MemoryBudget::used_: all lanes of one query's
   /// parallel round charge through this atomic.
-  alignas(64) std::atomic<std::size_t> charged_{0};
+  alignas(64) std::atomic<std::size_t> charged_{0};  // lint: hot-atomic
 };
 
 /// The budget charged by storage growth on this thread; null = ungoverned.

@@ -36,10 +36,10 @@ WorkerPool::WorkerPool(int lanes) : lanes_(std::max(lanes, 1)) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
-  work_ready_.notify_all();
+  work_ready_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -49,9 +49,8 @@ void WorkerPool::HelperLoop(int lane) {
     const std::function<void(int, std::size_t)>* fn;
     std::size_t chunks;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_ready_.wait(lock,
-                       [&] { return stopping_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      while (!stopping_ && generation_ == seen) work_ready_.Wait(mutex_);
       if (stopping_) return;
       seen = generation_;
       fn = fn_;
@@ -67,8 +66,8 @@ void WorkerPool::HelperLoop(int lane) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
-      if (--active_helpers_ == 0) batch_done_.notify_one();
+      MutexLock lock(mutex_);
+      if (--active_helpers_ == 0) batch_done_.NotifyOne();
     }
   }
 }
@@ -78,13 +77,13 @@ void WorkerPool::Run(std::size_t chunks,
   if (chunks == 0) return;
   bool woke_helpers = !threads_.empty() && chunks > 1;
   if (woke_helpers) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     fn_ = &fn;
     chunk_count_ = chunks;
     next_chunk_.store(0, std::memory_order_relaxed);
     active_helpers_ = static_cast<int>(threads_.size());
     ++generation_;
-    work_ready_.notify_all();
+    work_ready_.NotifyAll();
   } else {
     next_chunk_.store(0, std::memory_order_relaxed);
   }
@@ -98,8 +97,8 @@ void WorkerPool::Run(std::size_t chunks,
     }
   }
   if (woke_helpers) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    batch_done_.wait(lock, [&] { return active_helpers_ == 0; });
+    MutexLock lock(mutex_);
+    while (active_helpers_ != 0) batch_done_.Wait(mutex_);
     fn_ = nullptr;
   }
 }

@@ -9,17 +9,23 @@
 //
 // Threads persist across Run() calls, so a semi-naive closure that executes
 // hundreds of rounds pays thread creation once, not once per round.
+//
+// Lock discipline (statically enforced, see common/thread_annotations.h):
+// all batch hand-off state — the published function, chunk count,
+// generation stamp, helper countdown, stop flag — is guarded by mutex_;
+// only the chunk-claim counter is lock-free (an atomic on its own cache
+// line, hammered by every lane mid-batch).
 
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace linrec {
 
@@ -58,7 +64,8 @@ class WorkerPool {
   /// swallowed per chunk — fn must report failures through its own
   /// lane-indexed state (closure code records a Status per lane).
   void Run(std::size_t chunks,
-           const std::function<void(int, std::size_t)>& fn);
+           const std::function<void(int, std::size_t)>& fn)
+      LINREC_EXCLUDES(mutex_);
 
   /// Test hook: overrides the hardware-thread cap on helper threads so a
   /// single-core CI host can still exercise true cross-thread execution.
@@ -66,23 +73,29 @@ class WorkerPool {
   static void OverrideThreadCapForTesting(int cap);
 
  private:
-  void HelperLoop(int lane);
+  void HelperLoop(int lane) LINREC_EXCLUDES(mutex_);
 
   int lanes_;
+  /// Helper threads; written once in the constructor, joined in the
+  /// destructor after stopping_ is published — never touched mid-batch.
   std::vector<std::thread> threads_;
 
-  std::mutex mutex_;
-  std::condition_variable work_ready_;
-  std::condition_variable batch_done_;
-  const std::function<void(int, std::size_t)>* fn_ = nullptr;
-  std::size_t chunk_count_ = 0;
+  Mutex mutex_;
+  /// Signals helpers that a new batch (generation_ moved) or stop was
+  /// published under mutex_.
+  CondVar work_ready_;
+  /// Signals the Run() caller that active_helpers_ hit zero.
+  CondVar batch_done_;
+  const std::function<void(int, std::size_t)>* fn_
+      LINREC_GUARDED_BY(mutex_) = nullptr;
+  std::size_t chunk_count_ LINREC_GUARDED_BY(mutex_) = 0;
   /// Own cache line: every lane hammers this with fetch_add while stealing
   /// chunks; sharing its line with the batch bookkeeping the main thread
   /// reads would false-share the hottest counter in a parallel round.
-  alignas(64) std::atomic<std::size_t> next_chunk_{0};
-  std::uint64_t generation_ = 0;
-  int active_helpers_ = 0;
-  bool stopping_ = false;
+  alignas(64) std::atomic<std::size_t> next_chunk_{0};  // lint: hot-atomic
+  std::uint64_t generation_ LINREC_GUARDED_BY(mutex_) = 0;
+  int active_helpers_ LINREC_GUARDED_BY(mutex_) = 0;
+  bool stopping_ LINREC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace linrec

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <numeric>
 #include <unordered_set>
 
@@ -638,19 +637,18 @@ std::vector<Result<QueryResult>> Engine::ExecuteBatchEach(
   }
 
   // The batch's shared read side: the engine's parameter relations are
-  // quiescent for the whole batch, so their indexes live in the engine
-  // cache behind one mutex — built by whichever query needs one first,
-  // reused by every other. Everything else a query indexes is a private
-  // temporary.
+  // quiescent for the whole batch, so their indexes live in the engine's
+  // SharedIndexCache — internally locked, built by whichever query needs
+  // one first, reused by every other. Everything else a query indexes is a
+  // private temporary.
   std::unordered_set<const Relation*> shared_relations;
   for (const std::string& name : db_.Names()) {
     shared_relations.insert(db_.Find(name));
   }
-  std::mutex shared_mu;
 
   auto run_one = [&](std::size_t i) {
     if (!runnable[i]) return;  // failed validation above
-    TieredIndexCache cache(&cache_, &shared_mu, &shared_relations);
+    TieredIndexCache cache(&cache_, &shared_relations);
     // Each query runs its rounds serially: batch-level parallelism
     // replaces intra-round parallelism, so results cannot depend on the
     // lane schedule. The per-query temporary tier dies right here, at the

@@ -157,6 +157,9 @@ class Engine {
     plan_cache_misses_ = 0;
   }
 
+  /// The engine's long-lived index tier (SharedIndexCache: internally
+  /// locked, so batch lanes and the post-execution eviction sweep share it
+  /// without a side-channel mutex).
   IndexCache& index_cache() { return cache_; }
   const AnalysisCache& analysis_cache() const { return analysis_; }
 
@@ -221,7 +224,10 @@ class Engine {
   Database db_;
   EngineOptions options_;
   AnalysisCache analysis_;
-  IndexCache cache_;
+  /// Self-locking: every Get / RetainOnly runs under its internal mutex,
+  /// which is what lets ExecuteBatchEach's lanes and EvictTemporaryIndexes
+  /// touch one tier with a statically checkable discipline.
+  SharedIndexCache cache_;
   ClosureStats stats_;
   /// Compiled plans keyed on the query digest, stored seedless (the seed is
   /// re-attached per query, so caching never pins a caller's relation).

@@ -14,16 +14,20 @@
 // The registry is a header-only template so src/engine/ never depends on
 // the types compiled into it (the server instantiates it with the
 // frontend's CompiledProgram).
+//
+// Everything behind mu_ — the entry table and the hit/miss ledger — is
+// annotated LINREC_GUARDED_BY, so an unlocked fast path added later fails
+// the thread-safety build instead of the next TSan lottery.
 
 #pragma once
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace linrec {
 
@@ -37,10 +41,12 @@ class DigestRegistry {
   /// across the factory, so concurrent callers with the same digest block
   /// until the first compile finishes and then share its result — the
   /// factory never runs twice for one digest. A failing factory registers
-  /// nothing (the next caller retries).
+  /// nothing (the next caller retries). The factory must not call back
+  /// into this registry (LINREC_EXCLUDES: re-entry deadlocks).
   Result<std::shared_ptr<const T>> GetOrCompile(const std::string& digest,
-                                                const Factory& factory) {
-    std::lock_guard<std::mutex> lock(mu_);
+                                                const Factory& factory)
+      LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = entries_.find(digest);
     if (it != entries_.end()) {
       ++hits_;
@@ -56,30 +62,32 @@ class DigestRegistry {
 
   /// Returns the artifact under `digest`, or null if absent (no counter
   /// movement — a pure probe).
-  std::shared_ptr<const T> Find(const std::string& digest) const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const T> Find(const std::string& digest) const
+      LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     auto it = entries_.find(digest);
     return it == entries_.end() ? nullptr : it->second;
   }
 
-  std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t size() const LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return entries_.size();
   }
-  std::size_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t hits() const LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return hits_;
   }
-  std::size_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t misses() const LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return misses_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const T>> entries_;
-  std::size_t hits_ = 0;
-  std::size_t misses_ = 0;
+  mutable Mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const T>> entries_
+      LINREC_GUARDED_BY(mu_);
+  std::size_t hits_ LINREC_GUARDED_BY(mu_) = 0;
+  std::size_t misses_ LINREC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace linrec

@@ -20,7 +20,8 @@ const HashIndex& IndexCache::Get(const Relation& rel,
   return *pos->second;
 }
 
-void IndexCache::RetainOnly(const std::unordered_set<const Relation*>& keep) {
+void IndexCache::RetainOnly(
+    const std::unordered_set<const Relation*>& keep) {
   for (auto it = entries_.begin(); it != entries_.end();) {
     if (keep.count(it->first.rel) == 0) {
       it = entries_.erase(it);

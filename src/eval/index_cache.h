@@ -3,12 +3,12 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/hash.h"
+#include "common/thread_annotations.h"
 #include "storage/relation.h"
 
 namespace linrec {
@@ -24,11 +24,17 @@ namespace linrec {
 /// reused across calls, so a cache hit — every steady-state closure round —
 /// performs zero heap allocations. (Get always mutated the cache, so this
 /// adds no new thread-safety requirement; concurrent users already need
-/// their own tier or a lock, as TieredIndexCache arranges.)
+/// their own tier or an internally locked tier, as SharedIndexCache /
+/// TieredIndexCache arrange.)
 ///
-/// Get is virtual so a TieredIndexCache can route probes between a shared
-/// and a private tier; the call runs once per (round, Δ chunk, join step),
-/// never per tuple, so the indirection costs nothing measurable.
+/// NOT internally synchronized: this is the per-lane / per-query tier.
+/// Concurrent sharing goes through SharedIndexCache, whose mutex the
+/// thread-safety analysis enforces.
+///
+/// The accessors are virtual so SharedIndexCache (locked) and
+/// TieredIndexCache (routing) can interpose; Get runs once per (round, Δ
+/// chunk, join step), never per tuple, so the indirection costs nothing
+/// measurable.
 class IndexCache {
  public:
   IndexCache() = default;
@@ -47,10 +53,10 @@ class IndexCache {
   /// Drops every entry whose keyed relation is not in `keep`. Long-lived
   /// owners (the engine) call this after a closure so indexes built over
   /// dead temporary relations (per-iteration Δs, seeds) do not accumulate.
-  void RetainOnly(const std::unordered_set<const Relation*>& keep);
+  virtual void RetainOnly(const std::unordered_set<const Relation*>& keep);
 
-  std::size_t entry_count() const { return entries_.size(); }
-  std::size_t rebuilds() const { return rebuilds_; }
+  virtual std::size_t entry_count() const { return entries_.size(); }
+  virtual std::size_t rebuilds() const { return rebuilds_; }
 
  private:
   struct Key {
@@ -88,41 +94,101 @@ class IndexCache {
   std::size_t rebuilds_ = 0;
 };
 
+/// The engine's long-lived cache: an IndexCache whose every access runs
+/// under an internal mutex, so batch lanes (through TieredIndexCache) and
+/// the engine's own eviction sweep share it safely — and the thread-safety
+/// analysis can prove it, because the lock and the tier it guards live in
+/// one class (inner_ is LINREC_GUARDED_BY(mu_)).
+///
+/// This replaces the old arrangement — a per-batch function-local
+/// std::mutex beside an unguarded engine member — where the eviction
+/// sweep's safety rested on "all lanes have joined by now", an argument no
+/// analyzer could check.
+///
+/// Returning references out of Get after the lock drops is safe for the
+/// same reason it always was: entries are heap-owned (the map never moves
+/// them), and a shared relation is quiescent while a batch runs, so no Get
+/// can rebuild an entry another lane still reads. The serial path pays one
+/// uncontended lock per Get — per (round, chunk, join step), never per
+/// tuple; see the bench gate.
+class SharedIndexCache final : public IndexCache {
+ public:
+  SharedIndexCache() = default;
+
+  // Movable so Engine stays movable (tests/benches return engines from
+  // factories). Moves are single-threaded by contract — nothing else can
+  // hold a reference to an engine still being constructed — but the
+  // source's mutex is taken anyway so the access discipline on inner_
+  // holds everywhere the analysis looks. The destination gets a fresh
+  // mutex (mutexes are not movable, and must not be).
+  SharedIndexCache(SharedIndexCache&& other) {
+    MutexLock lock(other.mu_);
+    inner_ = std::move(other.inner_);
+  }
+  SharedIndexCache& operator=(SharedIndexCache&& other) {
+    if (this != &other) {
+      MutexLock mine(mu_);
+      MutexLock theirs(other.mu_);
+      inner_ = std::move(other.inner_);
+    }
+    return *this;
+  }
+
+  const HashIndex& Get(const Relation& rel,
+                       const std::vector<int>& positions) override
+      LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_.Get(rel, positions);
+  }
+
+  void RetainOnly(const std::unordered_set<const Relation*>& keep) override
+      LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    inner_.RetainOnly(keep);
+  }
+
+  std::size_t entry_count() const override LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_.entry_count();
+  }
+  std::size_t rebuilds() const override LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return inner_.rebuilds();
+  }
+
+ private:
+  mutable Mutex mu_;
+  IndexCache inner_ LINREC_GUARDED_BY(mu_);
+};
+
 /// Two-tier cache for batched multi-query execution (Engine::ExecuteBatch).
 ///
 /// Probes over relations in `shared_relations` (the engine's parameter
 /// relations, which every query of a batch reads but none mutates) route to
-/// the shared cache under `shared_mu`, so an index over a parameter relation
-/// is built once and reused by every query of the batch. Every other probe —
-/// per-query temporaries: the Δ-carrying result, seeds, phase intermediates —
-/// lands in this object's own private tier, keeping queries isolated from
-/// each other; the private tier dies with the TieredIndexCache at query end,
-/// which is also what defers shared-tier eviction to the batch boundary.
-///
-/// Returning shared references across threads is safe: entries are
-/// heap-owned (unordered_map inserts never move them), and a shared relation
-/// is quiescent for the whole batch, so no Get can rebuild an entry another
-/// lane still reads.
+/// the engine's SharedIndexCache — internally locked, so an index over a
+/// parameter relation is built once and reused by every query of the batch.
+/// Every other probe — per-query temporaries: the Δ-carrying result, seeds,
+/// phase intermediates — lands in this object's own private (lock-free)
+/// tier, keeping queries isolated from each other; the private tier dies
+/// with the TieredIndexCache at query end, which is also what defers
+/// shared-tier eviction to the batch boundary.
 class TieredIndexCache final : public IndexCache {
  public:
-  TieredIndexCache(IndexCache* shared, std::mutex* shared_mu,
+  TieredIndexCache(IndexCache* shared,
                    const std::unordered_set<const Relation*>* shared_relations)
-      : shared_(shared),
-        shared_mu_(shared_mu),
-        shared_relations_(shared_relations) {}
+      : shared_(shared), shared_relations_(shared_relations) {}
 
   const HashIndex& Get(const Relation& rel,
                        const std::vector<int>& positions) override {
     if (shared_relations_->count(&rel) != 0) {
-      std::lock_guard<std::mutex> lock(*shared_mu_);
       return shared_->Get(rel, positions);
     }
     return IndexCache::Get(rel, positions);
   }
 
  private:
+  /// The engine's shared tier (a SharedIndexCache: self-locking).
   IndexCache* shared_;
-  std::mutex* shared_mu_;
   const std::unordered_set<const Relation*>* shared_relations_;
 };
 

@@ -34,7 +34,6 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -42,6 +41,7 @@
 #include "common/cancel.h"
 #include "common/memory.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "datalog/ast.h"
 #include "datalog/rule.h"
 #include "engine/engine.h"
@@ -50,28 +50,30 @@ namespace linrec {
 
 /// A shared planning front: one Engine (no data, only plan/analysis
 /// caches) behind one mutex. Engines are not internally synchronized;
-/// every cross-session Prepare goes through here.
+/// every cross-session Prepare goes through here — engine_ is
+/// LINREC_GUARDED_BY(mu_), so a future accessor that reaches into the
+/// planning engine without the lock fails the thread-safety build.
 class Planner {
  public:
   explicit Planner(EngineOptions options = {}) : engine_(Database{}, options) {}
 
-  Result<PreparedQuery> Prepare(const Query& query) {
-    std::lock_guard<std::mutex> lock(mu_);
+  Result<PreparedQuery> Prepare(const Query& query) LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return engine_.Prepare(query);
   }
 
-  std::size_t plan_cache_hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t plan_cache_hits() const LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return engine_.plan_cache_hits();
   }
-  std::size_t plan_cache_misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::size_t plan_cache_misses() const LINREC_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return engine_.plan_cache_misses();
   }
 
  private:
-  mutable std::mutex mu_;
-  Engine engine_;
+  mutable Mutex mu_;
+  Engine engine_ LINREC_GUARDED_BY(mu_);
 };
 
 /// One strongly connected component of the compiled program, in

@@ -118,6 +118,15 @@ class Server {
                      const Result<QueryResult>& outcome,
                      std::vector<std::string>* out);
 
+  // Teardown ordering (load-bearing, enforced by declaration order +
+  // tests/watchdog_teardown_test.cc): members destroy in reverse order, so
+  // watchdog_ — declared LAST among the stateful members — dies FIRST. Its
+  // destructor joins the scan thread (after any in-flight sweep's
+  // MutexLock releases), so by the time planner_ / registry_ /
+  // memory_budget_ destruct, no background thread can touch them. Sessions
+  // are owned by callers and must finish their evaluations (which Watch /
+  // Unwatch tokens against watchdog_) before the Server dies — Unwatch
+  // returning is the hand-off that makes the token safe to destroy.
   ServerLimits limits_;
   EngineOptions engine_options_;
   Planner planner_;

@@ -1,20 +1,29 @@
 #include "server/watchdog.h"
 
 #include <chrono>
+#include <utility>
 
 namespace linrec {
 
 Watchdog::~Watchdog() {
+  // Publish stop under the lock and take ownership of the thread handle,
+  // but JOIN outside it: the scan thread's final iterations need mu_ to
+  // observe stop_ and to finish a sweep already in flight. Joining under
+  // the lock would deadlock with any mid-sweep scan; joining without
+  // having moved the handle would race a concurrent lazy start (which the
+  // guarded thread_ now makes impossible to write).
+  std::thread scanner;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
+    scanner = std::move(thread_);
   }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  cv_.NotifyAll();
+  if (scanner.joinable()) scanner.join();
 }
 
 std::size_t Watchdog::Watch(CancellationToken* token) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!started_) {
     started_ = true;
     thread_ = std::thread([this] { Loop(); });
@@ -25,20 +34,21 @@ std::size_t Watchdog::Watch(CancellationToken* token) {
 }
 
 void Watchdog::Unwatch(std::size_t handle) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   watched_.erase(handle);
 }
 
 std::size_t Watchdog::watched() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return watched_.size();
 }
 
 void Watchdog::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!stop_) {
-    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                 [this] { return stop_; });
+    // Wake on notify (teardown) or after one interval; spurious wakeups
+    // only make a sweep run early, which is harmless.
+    cv_.WaitFor(mu_, std::chrono::milliseconds(interval_ms_));
     if (stop_) return;
     for (auto& [handle, token] : watched_) {
       // stop_requested() first: a token already flagged (cancelled, or

@@ -10,21 +10,26 @@
 // inside one enormous Δ-chunk still stops within roughly one watchdog
 // interval.
 //
-// Thread safety: Watch/Unwatch may be called from any session thread; the
-// scan thread holds the same mutex while walking the table. Tokens must
-// stay alive until Unwatch returns (the server keeps them on the
-// evaluation's stack frame and unwatches before unwinding).
+// Thread safety (statically enforced): the watch table, the handle
+// counter, the stop flag AND the scan thread handle are guarded by mu_.
+// Watch/Unwatch may be called from any session thread; the scan thread
+// holds mu_ while walking the table, so Unwatch returning means no sweep
+// is touching the token — tokens must stay alive until Unwatch returns
+// (the server keeps them on the evaluation's stack frame and unwatches
+// before unwinding). Teardown moves the thread handle out under the lock,
+// publishes stop_, and joins *outside* the lock: a destructor racing a
+// mid-sweep scan blocks until the sweep's MutexLock releases, never while
+// holding the mutex the scan needs to finish.
 
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <map>
-#include <mutex>
 #include <thread>
 
 #include "common/cancel.h"
+#include "common/thread_annotations.h"
 
 namespace linrec {
 
@@ -39,10 +44,11 @@ class Watchdog {
   /// Registers a token for deadline enforcement; returns a handle for
   /// Unwatch. Starts the scan thread on first use. Tokens without a
   /// deadline are accepted but never fire.
-  std::size_t Watch(CancellationToken* token);
+  std::size_t Watch(CancellationToken* token) LINREC_EXCLUDES(mu_);
 
-  /// Deregisters; the token may be destroyed once this returns.
-  void Unwatch(std::size_t handle);
+  /// Deregisters; the token may be destroyed once this returns (the scan
+  /// thread cannot hold a reference past it — sweeps run under mu_).
+  void Unwatch(std::size_t handle) LINREC_EXCLUDES(mu_);
 
   /// Tokens force-expired by the scan thread since construction.
   std::size_t cancels() const {
@@ -50,19 +56,22 @@ class Watchdog {
   }
 
   /// Tokens currently under watch (observability / tests).
-  std::size_t watched() const;
+  std::size_t watched() const LINREC_EXCLUDES(mu_);
 
  private:
-  void Loop();
+  void Loop() LINREC_EXCLUDES(mu_);
 
   const int interval_ms_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::size_t, CancellationToken*> watched_;
-  std::size_t next_handle_ = 0;
-  bool stop_ = false;
-  bool started_ = false;
-  std::thread thread_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::size_t, CancellationToken*> watched_ LINREC_GUARDED_BY(mu_);
+  std::size_t next_handle_ LINREC_GUARDED_BY(mu_) = 0;
+  bool stop_ LINREC_GUARDED_BY(mu_) = false;
+  bool started_ LINREC_GUARDED_BY(mu_) = false;
+  /// Lazily started by Watch, moved out (under mu_) and joined by the
+  /// destructor. Guarded so a Watch racing teardown is a compile-time
+  /// question, not a schedule-dependent one.
+  std::thread thread_ LINREC_GUARDED_BY(mu_);
   std::atomic<std::size_t> cancels_{0};
 };
 

@@ -13,7 +13,7 @@ namespace {
 /// Own cache line: bumped from every thread that first reads a mutated
 /// relation's version; sharing a line with unrelated statics would make
 /// those reads contend with it.
-alignas(64) std::atomic<std::uint64_t> g_version_counter{0};
+alignas(64) std::atomic<std::uint64_t> g_version_counter{0};  // lint: hot-atomic
 
 /// Smallest power of two ≥ n (and ≥ 8).
 std::size_t NextPow2(std::size_t n) {

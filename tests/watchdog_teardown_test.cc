@@ -1,0 +1,136 @@
+// Teardown-discipline tests for the watchdog and the server it lives in:
+// a Server must be destructible while its watchdog scan thread is
+// mid-sweep, immediately after a session's query was force-cancelled, and
+// when the watchdog never started at all. The destructor contract under
+// test (see src/server/server.h and watchdog.h): teardown publishes stop_
+// and takes the thread handle under the mutex, then joins OUTSIDE it — a
+// destructor racing an in-flight sweep blocks behind the sweep's lock,
+// never deadlocks against it, and never frees state the sweep still
+// reads.
+//
+// Determinism: interval_ms = 0 keeps the scan thread sweeping
+// continuously (WaitFor times out immediately), so "destructor runs while
+// a sweep is in flight" is the overwhelmingly probable interleaving on
+// every run, not a lucky schedule; the cancels() counter is the
+// observable that proves the mid-cancel happened before teardown began.
+
+#include "server/watchdog.h"
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cancel.h"
+#include "common/strings.h"
+#include "server/server.h"
+
+namespace linrec {
+namespace {
+
+std::string ChainProgram(int n) {
+  std::string text;
+  for (int i = 1; i < n; ++i) {
+    text += StrCat("edge(", i, ", ", i + 1, ").\n");
+  }
+  text +=
+      "tc(X, Y) :- edge(X, Y).\n"
+      "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n";
+  return text;
+}
+
+void Load(Server& server, Session& session, const std::string& program) {
+  std::vector<std::string> out;
+  server.HandleLine(session, "LOAD", &out);
+  for (std::size_t begin = 0; begin <= program.size();) {
+    std::size_t end = program.find('\n', begin);
+    if (end == std::string::npos) end = program.size();
+    server.HandleLine(session, program.substr(begin, end - begin), &out);
+    begin = end + 1;
+  }
+  server.HandleLine(session, "END", &out);
+  ASSERT_FALSE(out.empty());
+  ASSERT_EQ(out.front().rfind("OK loaded", 0), 0u) << out.front();
+}
+
+TEST(WatchdogTeardownTest, DestructorJoinsMidSweepScanThread) {
+  // interval 0: the scan thread never parks — every destructor below runs
+  // against an actively sweeping (or about-to-sweep) thread.
+  Watchdog watchdog(/*interval_ms=*/0);
+  CancellationToken token;
+  const std::size_t handle = watchdog.Watch(&token);
+  // Give the busy sweep time to be provably running.
+  while (watchdog.watched() != 1) {
+    std::this_thread::yield();
+  }
+  watchdog.Unwatch(handle);
+  // Scope exit: ~Watchdog races the busy sweep. Completing (and ASan/TSan
+  // silence in those CI builds) is the assertion.
+}
+
+TEST(WatchdogTeardownTest, DestructorWithoutStartedThreadIsTrivial) {
+  // The thread starts lazily with the first Watch; a never-used watchdog
+  // must tear down without touching a thread handle.
+  Watchdog watchdog(/*interval_ms=*/0);
+  EXPECT_EQ(watchdog.watched(), 0u);
+}
+
+TEST(WatchdogTeardownTest, ServerDiesWhileSweepingAfterMidCancel) {
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    ServerLimits limits;
+    limits.watchdog_interval_ms = 0;  // busy sweep
+    auto server = std::make_unique<Server>(limits);
+    auto session = server->NewSession();
+    Load(*server, *session, ChainProgram(64));
+
+    // A deadline-armed query the watchdog force-expires: timeout 0 arms an
+    // already-blown token, and the busy sweep fires it (the round-boundary
+    // clock check may win the race, but the sweep keeps running either
+    // way). Driven from a second thread so the cancel unwinds on a
+    // different thread than the one destroying the server.
+    std::vector<std::string> replies;
+    std::thread query([&] {
+      std::vector<std::string> out;
+      server->HandleLine(*session, "SET timeout_ms 0", &out);
+      server->HandleLine(*session, "?- tc(X, Y).", &out);
+      replies = std::move(out);
+    });
+
+    query.join();
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_EQ(replies[1].rfind("ERR DeadlineExceeded", 0), 0u)
+        << replies[1];
+
+    // The session finished (Unwatch returned, evaluation unwound) but the
+    // scan thread is still busy-sweeping an empty table. Destroy the
+    // session, then the Server: ~Server must join the sweep, not race it.
+    session.reset();
+    server.reset();
+  }
+}
+
+TEST(WatchdogTeardownTest, ServerDiesImmediatelyAfterWatchdogStarts) {
+  // The tightest window: the scan thread has just been started by the
+  // query's Watch when the server goes down. Several iterations walk the
+  // destructor across the thread's startup phase.
+  for (int iteration = 0; iteration < 8; ++iteration) {
+    ServerLimits limits;
+    limits.watchdog_interval_ms = 0;
+    auto server = std::make_unique<Server>(limits);
+    auto session = server->NewSession();
+    Load(*server, *session, ChainProgram(16));
+
+    std::vector<std::string> out;
+    server->HandleLine(*session, "SET timeout_ms 0", &out);
+    server->HandleLine(*session, "?- tc(X, Y).", &out);  // starts the thread
+
+    session.reset();
+    server.reset();  // destructor vs. freshly-started busy sweep
+  }
+}
+
+}  // namespace
+}  // namespace linrec

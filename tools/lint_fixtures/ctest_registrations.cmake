@@ -1,0 +1,3 @@
+# Fixture CTestTestfile: registers alpha_test but not orphan_test.
+add_test(alpha_test "/build/tests/alpha_test")
+set_tests_properties(alpha_test PROPERTIES _BACKTRACE_TRIPLES "x")

@@ -1,0 +1,12 @@
+// Fixture: an atomic claimed hot but not cache-line-isolated.
+#include <atomic>
+#include <cstddef>
+
+namespace linrec {
+
+struct Counters {
+  std::atomic<std::size_t> next_chunk{0};  // lint: hot-atomic
+  std::size_t limit = 0;
+};
+
+}  // namespace linrec

@@ -1,0 +1,15 @@
+// Fixture: hot atomics done right — alignas(64) on the marker line and on
+// a wrapped declaration (the lint joins up to three preceding lines).
+#include <atomic>
+#include <cstddef>
+
+namespace linrec {
+
+struct Counters {
+  alignas(64) std::atomic<std::size_t> next_chunk{0};  // lint: hot-atomic
+  alignas(64) std::atomic<std::size_t>
+      charged{0};  // lint: hot-atomic
+  std::size_t limit = 0;  // unmarked, unchecked
+};
+
+}  // namespace linrec

@@ -1,0 +1,10 @@
+// Fixture: includes the vector kernels from a TU that is not on the
+// kernel whitelist (no per-TU -mavx2, so this reintroduces the ISA leak
+// at the source level).
+#include <cstddef>
+
+#include "common/simd_kernels.h"
+
+namespace linrec {
+int Fixture() { return 0; }
+}  // namespace linrec

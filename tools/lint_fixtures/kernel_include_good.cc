@@ -1,0 +1,9 @@
+// Fixture: a well-behaved non-kernel TU — mentions simd_kernels.h only
+// in this comment and includes the scalar fallbacks instead.
+#include <cstddef>
+
+#include "common/simd_scalar.h"
+
+namespace linrec {
+int Fixture() { return 0; }
+}  // namespace linrec
