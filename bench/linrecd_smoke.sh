@@ -261,4 +261,67 @@ print("budget fault: typed ERR ResourceExhausted, recovery without restart")
 PY
 shutdown_daemon "$FPORT" "$FAULT_PID" || { cat "$FAULT_LOG" >&2; exit 1; }
 
+# --- fault pass 3: mid-Apply abort during incremental maintenance --------
+# An injected fault inside Engine::Apply aborts the first INSERT after the
+# view is materialized. The view must roll back to its exact pre-INSERT
+# bytes (same rows, same order), and the retried INSERT (fault now spent)
+# must extend it incrementally — no daemon restart, no recompute.
+echo "--- fault pass: ivm_apply:1 ---"
+FAULT_LOG="$WORKDIR/fault_ivm.log"
+start_daemon "$FAULT_LOG" --fault ivm_apply:1
+python3 - "$FPORT" <<'PY'
+import socket, sys
+port = int(sys.argv[1])
+script = (
+    "LOAD\n"
+    "edge(1, 2). edge(2, 3). edge(3, 4). edge(4, 5).\n"
+    "tc(X, Y) :- edge(X, Y).\n"
+    "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n"
+    "END\n"
+    "?- tc(X, Y).\n"
+    "INSERT edge(5, 6).\n"
+    "?- tc(X, Y).\n"
+    "INSERT edge(5, 6).\n"
+    "?- tc(X, Y).\n"
+    "STATS\n"
+    "QUIT\n"
+)
+s = socket.create_connection(("127.0.0.1", port), timeout=10)
+s.sendall(script.encode())
+data = b""
+while b"OK bye\n" not in data:
+    chunk = s.recv(65536)
+    if not chunk:
+        break
+    data += chunk
+s.close()
+reply = data.decode()
+lines = reply.splitlines()
+blocks = []
+for i, line in enumerate(lines):
+    if line.startswith("RESULT "):
+        j = i + 1
+        while j < len(lines) and lines[j] != ".":
+            j += 1
+        blocks.append(lines[i:j])
+if len(blocks) != 3:
+    sys.exit(f"FAIL: expected 3 RESULT blocks, got {len(blocks)}:\n{reply}")
+if blocks[0][0] != "RESULT tc/2 rows=10 truncated=0":
+    sys.exit(f"FAIL: unexpected first block header {blocks[0][0]!r}")
+if "ERR Internal" not in reply or "ivm_apply" not in reply:
+    sys.exit(f"FAIL: injected ivm_apply fault never surfaced:\n{reply}")
+if blocks[1] != blocks[0]:
+    sys.exit("FAIL: view not byte-identical after aborted INSERT:\n"
+             + "\n".join(blocks[0]) + "\n--- vs ---\n" + "\n".join(blocks[1]))
+if "OK insert applied=1 views=1 added=5" not in reply:
+    sys.exit(f"FAIL: retried INSERT did not extend the view:\n{reply}")
+if blocks[2][0] != "RESULT tc/2 rows=15 truncated=0":
+    sys.exit(f"FAIL: unexpected final block header {blocks[2][0]!r}")
+if "ivm_applied=1" not in reply:
+    sys.exit(f"FAIL: STATS missing ivm_applied=1:\n{reply}")
+print("ivm_apply fault: aborted INSERT rolled back byte-identical, "
+      "retry extended the view")
+PY
+shutdown_daemon "$FPORT" "$FAULT_PID" || { cat "$FAULT_LOG" >&2; exit 1; }
+
 echo "PASS: linrecd fault-injection smoke"

@@ -16,6 +16,8 @@ const char* FaultSiteName(FaultSite site) {
       return "worker_dispatch";
     case FaultSite::kSocketWrite:
       return "socket_write";
+    case FaultSite::kIvmApply:
+      return "ivm_apply";
     case FaultSite::kSiteCount:
       break;
   }

@@ -36,6 +36,11 @@ enum class FaultSite : int {
   kWorkerDispatch,
   /// A reply about to be written to a client socket (tools/linrecd.cc).
   kSocketWrite,
+  /// An incremental maintenance pass about to commit its in-place delta
+  /// (src/ivm/maintain.cc) — checked after the view mutation begins and
+  /// again after the resume, so arming it proves the rollback path
+  /// restores the pre-Apply bytes.
+  kIvmApply,
   kSiteCount,
 };
 

@@ -45,6 +45,7 @@
 #include "engine/rule_info.h"
 #include "eval/index_cache.h"
 #include "eval/stats.h"
+#include "ivm/view.h"
 #include "storage/database.h"
 
 namespace linrec {
@@ -140,6 +141,42 @@ class Engine {
   /// (BoundQuery::WithCancellation) degrades per query, not per batch.
   std::vector<Result<QueryResult>> ExecuteBatchEach(
       const std::vector<BoundQuery>& batch);
+
+  /// Runs `bound` once and installs its result relations into the
+  /// engine's database under `names` (one per member; a single-predicate
+  /// query takes exactly one name), returning the MaterializedView
+  /// handle that Apply/Retract maintain in place. Plans carrying a
+  /// selection are rejected — a σ-filtered view is not closed under the
+  /// rules, so it cannot be extended tuple-at-a-time. A non-null `stats`
+  /// receives the materializing execution's own ClosureStats. Defined in
+  /// ivm/maintain.cc with the rest of the delta engine.
+  Result<MaterializedView> Materialize(const BoundQuery& bound,
+                                       std::vector<std::string> names,
+                                       ClosureStats* stats = nullptr);
+
+  /// Extends `view` with new input tuples: unions the parameter deltas
+  /// into the database, derives the one-step consequences of exactly the
+  /// new tuples (delta rules: one body atom reads the delta, the
+  /// recursive atom reads the closed view), appends them together with
+  /// the new seed tuples, and resumes the semi-naive fixpoint from the
+  /// appended rows only. On any failure (budget denial, cancellation,
+  /// injected fault at FaultSite::kIvmApply) every touched relation is
+  /// truncated back to its pre-call size — byte-identical rollback.
+  Result<ApplyOutcome> Apply(MaterializedView& view, const DeltaInsert& delta,
+                             const CancellationToken* cancel = nullptr,
+                             QueryBudget* budget = nullptr);
+
+  /// Removes input tuples from `view` by delete-and-rederive (DRed):
+  /// over-approximates the suspect set (the closure of the directly
+  /// deleted derivations), deletes it, then re-derives the suspects
+  /// still reachable from the surviving tuples and updated parameters.
+  /// The rebuilt relations are swapped in only at commit; a failure
+  /// restores the displaced parameter relations and leaves the view
+  /// untouched.
+  Result<RetractOutcome> Retract(MaterializedView& view,
+                                 const DeltaDelete& delta,
+                                 const CancellationToken* cancel = nullptr,
+                                 QueryBudget* budget = nullptr);
 
   /// Aggregated ClosureStats over every Execute call since ResetStats.
   /// Per-execution stats are returned in each QueryResult.

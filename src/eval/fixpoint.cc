@@ -333,6 +333,30 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
   });
 }
 
+Status SemiNaiveExtend(const std::vector<LinearRule>& rules,
+                       const Database& db, Relation* result,
+                       RowId delta_begin, ClosureStats* stats,
+                       IndexCache* cache, int workers,
+                       const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Status {
+    LINREC_RETURN_IF_ERROR(ValidateRules(rules, *result));
+    if (delta_begin > result->size()) {
+      return Status::InvalidArgument(
+          StrCat("delta_begin ", delta_begin, " past result size ",
+                 result->size()));
+    }
+    Result<std::vector<LinearRule>> prepared = PrepareRules(rules);
+    if (!prepared.ok()) return prepared.status();
+    ClosureTimer timer(stats);
+    IndexCache local_cache;
+    if (cache == nullptr) cache = &local_cache;
+    LINREC_RETURN_IF_ERROR(RunSemiNaive(*prepared, db, result, delta_begin,
+                                        stats, cache, workers, cancel));
+    if (stats != nullptr) stats->result_size = result->size();
+    return Status::OK();
+  });
+}
+
 Result<Relation> NaiveClosure(const std::vector<LinearRule>& rules,
                               const Database& db, const Relation& q,
                               ClosureStats* stats, IndexCache* cache,

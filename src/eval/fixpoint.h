@@ -62,6 +62,22 @@ Result<Relation> SemiNaiveResume(const std::vector<LinearRule>& rules,
                                  int workers = 1,
                                  const CancellationToken* cancel = nullptr);
 
+/// In-place semi-naive continuation — the primitive behind SemiNaiveResume
+/// and the IVM delta engine (src/ivm). `result` holds a closed prefix
+/// (rows [0, delta_begin), a fixpoint of the rules) with the new seed
+/// tuples already appended as rows [delta_begin, size()); the call extends
+/// `result` to the fixpoint of the union by running Δ rounds from exactly
+/// that appended range. Unlike SemiNaiveResume nothing is copied: the
+/// caller owns the relation and — because every mutation is an append —
+/// can roll a failure back by truncating to the pre-call size
+/// (Relation::TruncateRows). On any error `result` holds a sound partial
+/// extension (a subset of the fixpoint), never garbage rows.
+Status SemiNaiveExtend(const std::vector<LinearRule>& rules,
+                       const Database& db, Relation* result,
+                       RowId delta_begin, ClosureStats* stats = nullptr,
+                       IndexCache* cache = nullptr, int workers = 1,
+                       const CancellationToken* cancel = nullptr);
+
 /// Same fixpoint by naive evaluation: each round applies every operator to
 /// the full accumulated relation. Baseline for bench_engine (E7); produces
 /// identical results with many more duplicate derivations.

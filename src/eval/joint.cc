@@ -449,4 +449,53 @@ Result<std::vector<Relation>> JointNaiveClosure(
                     /*naive=*/true, cancel);
 }
 
+Status JointSemiNaiveExtend(const std::vector<std::string>& members,
+                            const std::vector<JointRule>& rules,
+                            const Database& db, std::vector<Relation>* rels,
+                            const std::vector<RowId>& delta_begin,
+                            ClosureStats* stats, IndexCache* cache,
+                            int workers, const CancellationToken* cancel) {
+  return GuardAllocFailures([&]() -> Status {
+    LINREC_RETURN_IF_ERROR(ValidateJointRules(members, rules, *rels));
+    if (delta_begin.size() != rels->size()) {
+      return Status::InvalidArgument(
+          StrCat("joint extend has ", delta_begin.size(),
+                 " delta offsets for ", rels->size(), " members"));
+    }
+    for (std::size_t m = 0; m < rels->size(); ++m) {
+      if (delta_begin[m] > (*rels)[m].size()) {
+        return Status::InvalidArgument(
+            StrCat("delta_begin ", delta_begin[m], " past member ", m,
+                   " size ", (*rels)[m].size()));
+      }
+    }
+    Result<std::vector<JointRule>> prepared = PrepareJointRules(rules);
+    if (!prepared.ok()) return prepared.status();
+    ClosureTimer timer(stats);
+    IndexCache local_cache;
+    if (cache == nullptr) cache = &local_cache;
+    if (prepared->empty()) return Status::OK();
+
+    JointRoundEvaluator evaluator(*prepared, db, rels, workers);
+    LINREC_RETURN_IF_ERROR(evaluator.Compile(cache));
+    const std::size_t member_count = rels->size();
+    std::vector<RowId> begin = delta_begin;
+    std::vector<RowId> end(member_count, 0);
+    for (;;) {
+      std::size_t delta_rows = 0;
+      for (std::size_t m = 0; m < member_count; ++m) {
+        end[m] = static_cast<RowId>((*rels)[m].size());
+        if (evaluator.Feeds(m)) delta_rows += end[m] - begin[m];
+      }
+      if (delta_rows == 0) break;
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
+      if (stats != nullptr) ++stats->iterations;
+      LINREC_RETURN_IF_ERROR(evaluator.Round(begin, end, stats, cancel));
+      begin = end;
+    }
+    if (stats != nullptr) stats->result_size = TotalSize(*rels);
+    return Status::OK();
+  });
+}
+
 }  // namespace linrec

@@ -80,6 +80,23 @@ Result<std::vector<Relation>> JointSemiNaiveClosure(
     IndexCache* cache = nullptr, int workers = 1,
     const CancellationToken* cancel = nullptr);
 
+/// In-place joint continuation — the multi-member counterpart of
+/// SemiNaiveExtend (eval/fixpoint.h), used by the IVM delta engine.
+/// `rels` holds one relation per member whose rows [0, delta_begin[m])
+/// form a jointly closed prefix (a fixpoint of the rules) and whose rows
+/// [delta_begin[m], size) are freshly appended seed/delta tuples; the call
+/// extends every member to the joint fixpoint of the union, running Δ
+/// rounds from exactly the appended ranges. Nothing is copied: every
+/// mutation is an append, so the caller rolls a failure back by truncating
+/// each member to its pre-call size (Relation::TruncateRows).
+Status JointSemiNaiveExtend(const std::vector<std::string>& members,
+                            const std::vector<JointRule>& rules,
+                            const Database& db, std::vector<Relation>* rels,
+                            const std::vector<RowId>& delta_begin,
+                            ClosureStats* stats = nullptr,
+                            IndexCache* cache = nullptr, int workers = 1,
+                            const CancellationToken* cancel = nullptr);
+
 /// The same fixpoint by naive evaluation: each round re-applies every rule
 /// to its recursive member's FULL relation. Reference/baseline only —
 /// identical results with many more duplicate derivations.

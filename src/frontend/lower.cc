@@ -20,6 +20,15 @@ struct PredicateRules {
   std::vector<Rule> rules;
 };
 
+/// Rows of `rel` absent from `drop`, in `rel`'s insertion order.
+Relation Difference(const Relation& rel, const Relation& drop) {
+  Relation out(rel.arity());
+  for (TupleView t : rel) {
+    if (!drop.Contains(t)) out.Insert(t);
+  }
+  return out;
+}
+
 std::string JoinNames(const std::vector<std::string>& names) {
   std::string out;
   for (const std::string& name : names) {
@@ -229,6 +238,7 @@ void ProgramInstance::RebuildEngine() {
   Database db = facts_;  // deep copy: materialization overwrites in place
   engine_ = std::make_unique<Engine>(std::move(db), options_);
   materialized_ = 0;
+  views_.clear();  // the views named relations of the dropped engine
 }
 
 void ProgramInstance::SetProgram(
@@ -237,7 +247,7 @@ void ProgramInstance::SetProgram(
   RebuildEngine();
 }
 
-Status ProgramInstance::AddFact(const Atom& fact) {
+Status ProgramInstance::ValidateFact(const Atom& fact) const {
   for (const Term& term : fact.terms) {
     if (!term.is_const()) {
       return Status::InvalidArgument(
@@ -257,6 +267,11 @@ Status ProgramInstance::AddFact(const Atom& fact) {
                  existing->arity(), ", got ", fact.arity()));
     }
   }
+  return Status::OK();
+}
+
+Status ProgramInstance::AddFact(const Atom& fact) {
+  LINREC_RETURN_IF_ERROR(ValidateFact(fact));
   Relation& rel = facts_.GetOrCreate(fact.predicate, fact.arity());
   std::vector<Value> row;
   row.reserve(fact.arity());
@@ -266,6 +281,258 @@ Status ProgramInstance::AddFact(const Atom& fact) {
   // the session engine's index cache entries over them) by rebuilding.
   RebuildEngine();
   return Status::OK();
+}
+
+Result<std::vector<Relation>> ProgramInstance::SeedDeltas(
+    const CompiledUnit& unit, const std::map<std::string, Relation>& delta,
+    const CancellationToken* cancel) {
+  std::vector<Relation> out;
+  out.reserve(unit.members.size());
+  for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+    out.emplace_back(unit.arities[mi]);
+  }
+  ClosureStats stats;
+  for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+    for (const Rule& base : unit.base_rules[mi]) {
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
+      Rule effective = base;
+      if (HasEqualities(base)) {
+        Result<std::optional<Rule>> eliminated = EliminateEqualities(base);
+        if (!eliminated.ok()) return eliminated.status();
+        if (!eliminated->has_value()) continue;
+        effective = std::move(**eliminated);
+      }
+      // One run per body atom reading an updated predicate: that atom is
+      // pinned to the delta, the rest read the full post-update database
+      // (covering derivations that combine several new tuples; duplicate
+      // derivations deduplicate on insert).
+      for (std::size_t i = 0; i < effective.body().size(); ++i) {
+        auto it = delta.find(effective.body()[i].predicate);
+        if (it == delta.end()) continue;
+        ApplyOptions options;
+        options.overrides[static_cast<int>(i)] = &it->second;
+        options.first_atom = static_cast<int>(i);
+        LINREC_RETURN_IF_ERROR(ApplyRule(effective, engine_->db(), options,
+                                         &out[mi], &stats,
+                                         &engine_->index_cache()));
+      }
+    }
+  }
+  totals_.Accumulate(stats);
+  return out;
+}
+
+Result<FactUpdateOutcome> ProgramInstance::InsertFact(
+    const Atom& fact, const CancellationToken* cancel, QueryBudget* budget) {
+  LINREC_RETURN_IF_ERROR(ValidateFact(fact));
+  FactUpdateOutcome out;
+  std::vector<Value> row;
+  row.reserve(fact.arity());
+  for (const Term& term : fact.terms) row.push_back(term.constant());
+
+  Relation& frel = facts_.GetOrCreate(fact.predicate, fact.arity());
+  const std::size_t facts_pre = frel.size();
+
+  // Every mutation on this path is an append (fact relations, database
+  // relations, view closures, view seeds), so recorded sizes are the whole
+  // rollback state; a failure anywhere truncates back to pre-call bytes.
+  struct Checkpoint {
+    Relation* rel;
+    std::size_t size;
+  };
+  std::vector<Checkpoint> checkpoints;
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>>
+      seed_checkpoints;
+
+  ScopedQueryBudget budget_scope(budget);
+  Status status = GuardAllocFailures([&]() -> Status {
+    if (!frel.InsertRow(row.data())) return Status::OK();  // already present
+    out.applied = true;
+    Relation& dbrel = engine_->db().GetOrCreate(fact.predicate, fact.arity());
+    checkpoints.push_back({&dbrel, dbrel.size()});
+    dbrel.InsertRow(row.data());
+    if (program_ == nullptr || materialized_ == 0) return Status::OK();
+
+    // The running delta: updated predicate → its new tuples. Starts with
+    // the fact; each maintained unit's appended rows join it under the
+    // member names, cascading into downstream units (dependency order).
+    std::map<std::string, Relation> delta;
+    {
+      Relation d(fact.arity());
+      d.InsertRow(row.data());
+      delta.emplace(fact.predicate, std::move(d));
+    }
+    for (std::size_t ui = 0; ui < materialized_; ++ui) {
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
+      const CompiledUnit& unit = program_->units[ui];
+      Result<std::vector<Relation>> seed_new = SeedDeltas(unit, delta, cancel);
+      if (!seed_new.ok()) return seed_new.status();
+
+      if (!unit.closure.has_value()) {
+        // Fixpoint = seed: maintain the database entries directly.
+        for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+          if ((*seed_new)[mi].empty()) continue;
+          Relation* rel = engine_->db().FindMutable(unit.members[mi]);
+          if (rel == nullptr) continue;
+          checkpoints.push_back({rel, rel->size()});
+          const RowId begin = static_cast<RowId>(rel->size());
+          rel->UnionWith((*seed_new)[mi]);
+          if (rel->size() == static_cast<std::size_t>(begin)) continue;
+          Relation& d =
+              delta.try_emplace(unit.members[mi], Relation(rel->arity()))
+                  .first->second;
+          for (RowId r = begin; r < static_cast<RowId>(rel->size()); ++r) {
+            d.InsertRow(rel->RowData(r));
+          }
+        }
+        continue;
+      }
+
+      MaterializedView& view = *views_[ui];
+      // Checkpoint before Apply: Apply rolls ITSELF back on failure, but a
+      // failure in a LATER unit must unwind this one's successful Apply
+      // too.
+      for (const std::string& name : view.names()) {
+        if (Relation* rel = engine_->db().FindMutable(name)) {
+          checkpoints.push_back({rel, rel->size()});
+        }
+      }
+      seed_checkpoints.emplace_back(ui, view.SeedSizes());
+
+      DeltaInsert di;
+      bool any_seed = false;
+      for (const Relation& s : *seed_new) any_seed |= !s.empty();
+      if (any_seed) di.seed_inserts = std::move(*seed_new);
+      di.param_inserts = delta;
+      Result<ApplyOutcome> applied = engine_->Apply(view, di, cancel, budget);
+      if (!applied.ok()) return applied.status();
+      totals_.Accumulate(applied->stats);
+      if (applied->added > 0) ++out.views_applied;
+      out.tuples_added += applied->added;
+      for (std::size_t mi = 0; mi < view.member_count(); ++mi) {
+        const auto [b, e] = applied->appended[mi];
+        if (e == b) continue;
+        const Relation* rel = engine_->db().Find(view.names()[mi]);
+        Relation& d = delta.try_emplace(view.names()[mi], Relation(rel->arity()))
+                          .first->second;
+        for (RowId r = b; r < e; ++r) d.InsertRow(rel->RowData(r));
+      }
+    }
+    return Status::OK();
+  });
+
+  if (!status.ok()) {
+    // Reverse touch order so a relation checkpointed twice restores to its
+    // earliest size last; the base fact goes last of all.
+    for (auto it = checkpoints.rbegin(); it != checkpoints.rend(); ++it) {
+      it->rel->TruncateRows(it->size);
+    }
+    for (auto& [ui, sizes] : seed_checkpoints) {
+      views_[ui]->TruncateSeeds(sizes);
+    }
+    frel.TruncateRows(facts_pre);
+    return status;
+  }
+  ivm_applies_ += out.views_applied;
+  return out;
+}
+
+Result<FactUpdateOutcome> ProgramInstance::DeleteFact(
+    const Atom& fact, const CancellationToken* cancel, QueryBudget* budget) {
+  LINREC_RETURN_IF_ERROR(ValidateFact(fact));
+  FactUpdateOutcome out;
+  std::vector<Value> row;
+  row.reserve(fact.arity());
+  for (const Term& term : fact.terms) row.push_back(term.constant());
+
+  Relation* frel = facts_.FindMutable(fact.predicate);
+  if (frel == nullptr || !frel->ContainsRow(row.data())) {
+    return out;  // absent: idempotent no-op
+  }
+  out.removed = true;
+  Relation drop(fact.arity());
+  drop.InsertRow(row.data());
+  Relation facts_backup = *frel;
+
+  ScopedQueryBudget budget_scope(budget);
+  Status status = GuardAllocFailures([&]() -> Status {
+    *frel = Difference(*frel, drop);
+    if (Relation* dbrel = engine_->db().FindMutable(fact.predicate)) {
+      if (dbrel->ContainsRow(row.data())) *dbrel = Difference(*dbrel, drop);
+    }
+    if (program_ == nullptr || materialized_ == 0) return Status::OK();
+
+    // The running delete-delta: predicate → net-removed tuples, cascading
+    // through the materialized units in dependency order.
+    std::map<std::string, Relation> deleted;
+    deleted.emplace(fact.predicate, drop);
+    for (std::size_t ui = 0; ui < materialized_; ++ui) {
+      LINREC_RETURN_IF_ERROR(CheckCancel(cancel));
+      const CompiledUnit& unit = program_->units[ui];
+
+      if (!unit.closure.has_value()) {
+        // Fixpoint = seed: recompute the seed over the post-delete
+        // database (monotone, so it only shrinks) and filter the entry.
+        for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+          Relation* rel = engine_->db().FindMutable(unit.members[mi]);
+          if (rel == nullptr) continue;
+          Result<Relation> reseeded = SeedMember(unit, mi, cancel);
+          if (!reseeded.ok()) return reseeded.status();
+          Relation removed(rel->arity());
+          for (TupleView t : *rel) {
+            if (!reseeded->Contains(t)) removed.Insert(t);
+          }
+          if (removed.empty()) continue;
+          *rel = Difference(*rel, removed);
+          deleted.emplace(unit.members[mi], std::move(removed));
+        }
+        continue;
+      }
+
+      MaterializedView& view = *views_[ui];
+      DeltaDelete dd;
+      dd.param_deletes = deleted;
+      dd.seed_deletes.reserve(view.member_count());
+      for (std::size_t mi = 0; mi < view.member_count(); ++mi) {
+        // Seed tuples that no longer arise: maintained seed minus the seed
+        // recomputed over the post-delete database.
+        Result<Relation> reseeded = SeedMember(unit, mi, cancel);
+        if (!reseeded.ok()) return reseeded.status();
+        Relation gone(view.seed(mi).arity());
+        for (TupleView t : view.seed(mi)) {
+          if (!reseeded->Contains(t)) gone.Insert(t);
+        }
+        dd.seed_deletes.push_back(std::move(gone));
+      }
+      Result<RetractOutcome> retracted =
+          engine_->Retract(view, dd, cancel, budget);
+      if (!retracted.ok()) return retracted.status();
+      totals_.Accumulate(retracted->stats);
+      if (retracted->removed_count > 0) ++out.views_retracted;
+      out.tuples_removed += retracted->removed_count;
+      out.rederived += retracted->rederived;
+      for (std::size_t mi = 0; mi < view.member_count(); ++mi) {
+        if (!retracted->removed[mi].empty()) {
+          deleted.emplace(view.names()[mi], std::move(retracted->removed[mi]));
+        }
+      }
+    }
+    return Status::OK();
+  });
+
+  if (!status.ok()) {
+    // Deletion mutates by whole-relation swap, not append, so the cheap
+    // truncation rollback does not apply: restore the base fact and
+    // rebuild the session engine from the restored facts (materialized
+    // views recompute lazily on the next query). Correctness over
+    // cleverness on this rare path.
+    *facts_.FindMutable(fact.predicate) = std::move(facts_backup);
+    RebuildEngine();
+    return status;
+  }
+  ivm_retracts_ += out.views_retracted;
+  ivm_rederived_ += out.rederived;
+  return out;
 }
 
 void ProgramInstance::Reset() {
@@ -280,7 +547,11 @@ Result<Relation> ProgramInstance::SeedMember(const CompiledUnit& unit,
   const std::string& pred = unit.members[member];
   const std::size_t arity = unit.arities[member];
   Relation seed(arity);
-  if (const Relation* facts = engine_->db().Find(pred)) {
+  // Read the member's own facts from the base-fact store, not the engine
+  // database: for an already-materialized unit the database entry holds
+  // the CLOSED relation, and re-seeding (the IVM delete path) must start
+  // from the raw facts. For not-yet-materialized units the two coincide.
+  if (const Relation* facts = facts_.Find(pred)) {
     if (facts->arity() != arity) {
       return Status::InvalidArgument(
           StrCat("facts for '", pred, "' have arity ", facts->arity(),
@@ -308,44 +579,47 @@ Result<Relation> ProgramInstance::SeedMember(const CompiledUnit& unit,
 Status ProgramInstance::MaterializeUnit(std::size_t index,
                                         const CancellationToken* cancel) {
   const CompiledUnit& unit = program_->units[index];
-  if (!unit.joint) {
-    Result<Relation> seed = SeedMember(unit, 0, cancel);
-    if (!seed.ok()) return seed.status();
-    Relation value = std::move(seed).value();
-    if (unit.closure.has_value()) {
-      Result<QueryResult> closed = engine_->Execute(
-          unit.closure->Bind().BindSeed(std::move(value)).WithCancellation(
-              cancel));
-      if (!closed.ok()) return closed.status();
-      totals_.Accumulate(closed->stats);
-      value = std::move(closed->relation());
-    }
-    engine_->db().GetOrCreate(unit.members[0], unit.arities[0]) =
-        std::move(value);
+  if (views_.size() <= index) views_.resize(index + 1);
+
+  if (unit.closure.has_value()) {
+    // Materialize through the IVM surface: the engine runs the closure,
+    // installs the result under the member names, and hands back the view
+    // handle InsertFact / DeleteFact maintain in place.
+    ClosureStats stats;
+    Result<MaterializedView> view = [&]() -> Result<MaterializedView> {
+      if (!unit.joint) {
+        Result<Relation> seed = SeedMember(unit, 0, cancel);
+        if (!seed.ok()) return seed.status();
+        return engine_->Materialize(unit.closure->Bind()
+                                        .BindSeed(std::move(seed).value())
+                                        .WithCancellation(cancel),
+                                    {unit.members[0]}, &stats);
+      }
+      std::vector<Relation> seeds;
+      seeds.reserve(unit.members.size());
+      for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
+        Result<Relation> seed = SeedMember(unit, mi, cancel);
+        if (!seed.ok()) return seed.status();
+        seeds.push_back(std::move(seed).value());
+      }
+      return engine_->Materialize(unit.closure->Bind()
+                                      .BindSeeds(std::move(seeds))
+                                      .WithCancellation(cancel),
+                                  unit.members, &stats);
+    }();
+    if (!view.ok()) return view.status();
+    totals_.Accumulate(stats);
+    views_[index] = std::move(view).value();
     return Status::OK();
   }
 
-  std::vector<Relation> seeds;
-  seeds.reserve(unit.members.size());
+  // No recursive rules: the fixpoint IS the seed; no view needed (the
+  // cascade maintains the database entry directly).
   for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
     Result<Relation> seed = SeedMember(unit, mi, cancel);
     if (!seed.ok()) return seed.status();
-    seeds.push_back(std::move(seed).value());
-  }
-  std::vector<Relation> closed;
-  if (unit.closure.has_value()) {
-    Result<QueryResult> out = engine_->Execute(
-        unit.closure->Bind().BindSeeds(std::move(seeds)).WithCancellation(
-            cancel));
-    if (!out.ok()) return out.status();
-    totals_.Accumulate(out->stats);
-    closed = std::move(out->relations);
-  } else {
-    closed = std::move(seeds);
-  }
-  for (std::size_t mi = 0; mi < unit.members.size(); ++mi) {
     engine_->db().GetOrCreate(unit.members[mi], unit.arities[mi]) =
-        std::move(closed[mi]);
+        std::move(seed).value();
   }
   return Status::OK();
 }

@@ -45,6 +45,7 @@
 #include "datalog/ast.h"
 #include "datalog/rule.h"
 #include "engine/engine.h"
+#include "ivm/view.h"
 
 namespace linrec {
 
@@ -119,6 +120,24 @@ std::string ProgramDigest(const std::vector<Rule>& rules);
 Result<CompiledProgram> CompileProgram(const std::vector<Rule>& rules,
                                        Planner& planner);
 
+/// What one incremental fact update did across the session's materialized
+/// views — the counters the server surfaces per INSERT / DELETE reply and
+/// aggregates into STATS / METRICS.
+struct FactUpdateOutcome {
+  /// Insert: the fact was new (false = already present, nothing changed).
+  bool applied = false;
+  /// Delete: the fact was present (false = absent, nothing changed).
+  bool removed = false;
+  /// Views whose closure actually changed.
+  std::size_t views_applied = 0;
+  std::size_t views_retracted = 0;
+  /// Derived tuples appended / removed across every maintained view.
+  std::size_t tuples_added = 0;
+  std::size_t tuples_removed = 0;
+  /// Suspects that survived deletion via an alternative derivation.
+  std::size_t rederived = 0;
+};
+
 /// One session's evaluation state over a shared CompiledProgram.
 /// Not internally synchronized: a session is single-threaded by design
 /// (the server serializes each session's requests; concurrency is across
@@ -142,6 +161,30 @@ class ProgramInstance {
   /// every materialized derived predicate (the fixpoints may grow).
   /// Rejects facts for predicates the program derives.
   Status AddFact(const Atom& fact);
+
+  /// Adds one ground fact and maintains every materialized view
+  /// incrementally (Engine::Apply): the new tuple's one-step consequences
+  /// seed a semi-naive continuation per affected view, in dependency
+  /// order, with each view's appended rows cascading into the next
+  /// view's delta. Nothing is recomputed from scratch and goal caches
+  /// stay warm. Atomic: on any failure (budget denial, cancellation,
+  /// injected fault) every touched relation is truncated back to its
+  /// pre-call bytes and the fact is not applied. Validation (groundness,
+  /// derived-predicate rejection, arity) happens before any mutation.
+  Result<FactUpdateOutcome> InsertFact(const Atom& fact,
+                                       const CancellationToken* cancel =
+                                           nullptr,
+                                       QueryBudget* budget = nullptr);
+
+  /// Removes one ground fact, maintaining every materialized view by
+  /// delete-and-rederive (Engine::Retract), cascading net removals into
+  /// downstream views. Absent facts are a no-op (removed = false).
+  /// Atomic: a failure restores the base fact and rebuilds the session
+  /// engine from the (restored) facts, dropping materializations.
+  Result<FactUpdateOutcome> DeleteFact(const Atom& fact,
+                                       const CancellationToken* cancel =
+                                           nullptr,
+                                       QueryBudget* budget = nullptr);
 
   /// Drops program and facts both.
   void Reset();
@@ -180,7 +223,22 @@ class ProgramInstance {
   /// issued, SIMD blocks / lane hits). Exported via linrecd STATS.
   const ClosureStats& totals() const { return totals_; }
 
+  /// Lifetime IVM counters across InsertFact / DeleteFact calls.
+  std::uint64_t ivm_applies() const { return ivm_applies_; }
+  std::uint64_t ivm_retracts() const { return ivm_retracts_; }
+  std::uint64_t ivm_rederived() const { return ivm_rederived_; }
+
  private:
+  /// Shared validation of a ground fact (groundness, derived-predicate
+  /// rejection, arity against existing facts) — runs before any mutation.
+  Status ValidateFact(const Atom& fact) const;
+  /// Per-member one-step heads of the unit's BASE rules restricted to the
+  /// updated predicates in `delta` (each run pins one body atom to its
+  /// delta relation; the rest read the full session database) — the seed
+  /// delta the cascade feeds into Engine::Apply.
+  Result<std::vector<Relation>> SeedDeltas(
+      const CompiledUnit& unit, const std::map<std::string, Relation>& delta,
+      const CancellationToken* cancel);
   /// True if `goal` qualifies for the σ-bind fast path; fills position
   /// and value.
   bool SigmaFastPath(const Atom& goal, const CompiledUnit& unit,
@@ -204,7 +262,16 @@ class ProgramInstance {
   /// Units fully materialized into the engine database (prefix lengths:
   /// units materialize in dependency order).
   std::size_t materialized_ = 0;
+  /// Per-unit IVM handles, aligned with program_->units for the
+  /// materialized prefix. Engaged for units with a prepared closure
+  /// (recursive); units whose fixpoint IS the seed are maintained
+  /// directly. Cleared by RebuildEngine (views name relations of the
+  /// dropped engine).
+  std::vector<std::optional<MaterializedView>> views_;
   ClosureStats totals_;
+  std::uint64_t ivm_applies_ = 0;
+  std::uint64_t ivm_retracts_ = 0;
+  std::uint64_t ivm_rederived_ = 0;
 };
 
 /// Filters `rows` against `goal`: constants must match their column,

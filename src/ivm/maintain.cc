@@ -1,0 +1,622 @@
+// The IVM delta engine: Engine::Materialize / Apply / Retract.
+//
+// Apply is the insert half: the closed view plus freshly appended tuples
+// is handed to the in-place semi-naive continuation (SemiNaiveExtend /
+// JointSemiNaiveExtend), which runs Δ rounds from exactly the appended
+// row ranges. The one-step consequences of new PARAMETER tuples are
+// produced first by "delta rules" — the rule with one body atom pinned
+// to the delta relation and the recursive atom pinned to the closed view
+// — so a parameter insert seeds the continuation the same way a seed
+// insert does. Every mutation on this path is an append; failure
+// rollback is Relation::TruncateRows back to the recorded sizes, which
+// restores the exact pre-call bytes (and cannot itself fail: same-size
+// rehash never charges the budget).
+//
+// Retract is the delete half — delete-and-rederive (DRed):
+//   1. Over-delete: close the set of DIRECTLY damaged tuples (deleted
+//      seed tuples, plus heads of derivations consuming a deleted
+//      parameter tuple) under the rules — linearity makes "derivable
+//      from a suspect" the same linear closure the view itself uses, so
+//      the suspect set D is computed by SemiNaiveClosure over the
+//      suspects.
+//   2. Re-derive: the survivors closed \ D are sound (none of their
+//      derivations touched a deleted tuple). Re-seed with the deleted-
+//      then-still-present seed tuples and every one-step head derivable
+//      from the survivors over the POST-delete database, intersected
+//      into D, and resume the fixpoint in place. The result equals the
+//      from-scratch closure of the new seed over the new database: any
+//      tuple of that closure has a minimal derivation chain, and
+//      induction along the chain lands it either in the survivors or in
+//      the re-derivation frontier.
+// The rebuilt relations replace the view only at commit; the only
+// in-place mutation before commit is the parameter filtering, which
+// keeps the displaced originals for restore-on-failure.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/memory.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "datalog/equality.h"
+#include "engine/engine.h"
+#include "eval/apply.h"
+#include "eval/fixpoint.h"
+#include "eval/joint.h"
+#include "ivm/view.h"
+#include "storage/relation.h"
+
+namespace linrec {
+
+namespace {
+
+/// Uniform shape for the delta runs: every rule as (rule, head member,
+/// recursive atom, recursive member), equality atoms statically
+/// eliminated (elimination shifts atom indices, so the recursive atom is
+/// re-identified afterwards). Single-predicate plans use member 0.
+struct DeltaRule {
+  Rule rule;
+  int head_member = 0;
+  int recursive_atom = -1;
+  int recursive_member = 0;
+};
+
+Result<std::vector<DeltaRule>> DeltaRulesOf(
+    const std::vector<LinearRule>& rules) {
+  std::vector<DeltaRule> out;
+  out.reserve(rules.size());
+  for (const LinearRule& lr : rules) {
+    if (!HasEqualities(lr.rule())) {
+      out.push_back({lr.rule(), 0, lr.recursive_atom_index(), 0});
+      continue;
+    }
+    Result<std::optional<LinearRule>> e = EliminateEqualitiesLinear(lr);
+    if (!e.ok()) return e.status();
+    if (!e->has_value()) continue;  // unsatisfiable: derives nothing
+    out.push_back({(*e)->rule(), 0, (*e)->recursive_atom_index(), 0});
+  }
+  return out;
+}
+
+Result<std::vector<DeltaRule>> DeltaRulesOf(
+    const std::vector<std::string>& members,
+    const std::vector<JointRule>& rules) {
+  std::vector<DeltaRule> out;
+  out.reserve(rules.size());
+  for (const JointRule& jr : rules) {
+    Rule rule = jr.rule;
+    if (HasEqualities(rule)) {
+      Result<std::optional<Rule>> e = EliminateEqualities(rule);
+      if (!e.ok()) return e.status();
+      if (!e->has_value()) continue;
+      rule = std::move(**e);
+    }
+    int rec_atom = -1;
+    int rec_member = -1;
+    for (std::size_t i = 0; i < rule.body().size(); ++i) {
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        if (rule.body()[i].predicate == members[m]) {
+          rec_atom = static_cast<int>(i);
+          rec_member = static_cast<int>(m);
+        }
+      }
+    }
+    // Exactly one member atom per body (ValidateJointRuleStructure held at
+    // plan time), and elimination never drops a non-equality atom.
+    if (rec_atom < 0) {
+      return Status::Internal(StrCat("joint rule lost its member atom"));
+    }
+    out.push_back({std::move(rule), jr.head_member, rec_atom, rec_member});
+  }
+  return out;
+}
+
+/// Rows of `rel` absent from `drop`, in `rel`'s insertion order.
+Relation Difference(const Relation& rel, const Relation& drop) {
+  if (drop.empty()) return rel;
+  Relation out(rel.arity());
+  for (TupleView t : rel) {
+    if (!drop.Contains(t)) out.Insert(t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<MaterializedView> Engine::Materialize(const BoundQuery& bound,
+                                             std::vector<std::string> names,
+                                             ClosureStats* stats) {
+  LINREC_RETURN_IF_ERROR(bound.Validate());
+  const std::shared_ptr<const ExecutionPlan>& plan = bound.plan();
+  if (bound.selection().has_value() || plan->selection.has_value()) {
+    return Status::InvalidArgument(
+        "cannot materialize a view over a selected (σ) query: the filtered "
+        "relation is not closed under the rules, so it cannot be maintained "
+        "incrementally");
+  }
+  const bool joint = plan->strategy == Strategy::kJointSemiNaive;
+  const std::size_t members = joint ? plan->members.size() : 1;
+  if (names.size() != members) {
+    return Status::InvalidArgument(
+        StrCat("Materialize needs one name per member: got ", names.size(),
+               " names for ", members, " member(s)"));
+  }
+
+  Result<QueryResult> result = Execute(bound);
+  if (!result.ok()) return result.status();
+  if (stats != nullptr) *stats = result->stats;
+
+  // Arity guard before any installation (GetOrCreate asserts on mismatch).
+  for (std::size_t m = 0; m < members; ++m) {
+    const Relation* existing = db_.Find(names[m]);
+    if (existing != nullptr &&
+        existing->arity() != result->relations[m].arity()) {
+      return Status::InvalidArgument(
+          StrCat("cannot install view member '", names[m], "' of arity ",
+                 result->relations[m].arity(), " over existing relation of ",
+                 "arity ", existing->arity()));
+    }
+  }
+
+  MaterializedView view;
+  view.plan_ = plan;
+  view.joint_ = joint;
+  view.names_ = std::move(names);
+  if (joint) {
+    view.seeds_ = *bound.seeds();
+  } else {
+    view.seeds_.push_back(*bound.seed());
+  }
+  for (std::size_t m = 0; m < members; ++m) {
+    Relation& slot =
+        db_.GetOrCreate(view.names_[m], result->relations[m].arity());
+    slot = std::move(result->relations[m]);
+  }
+  return view;
+}
+
+Result<ApplyOutcome> Engine::Apply(MaterializedView& view,
+                                   const DeltaInsert& delta,
+                                   const CancellationToken* cancel,
+                                   QueryBudget* budget) {
+  if (view.plan_ == nullptr) {
+    return Status::InvalidArgument("Apply on a default-constructed view");
+  }
+  const ExecutionPlan& plan = view.plan();
+  const std::size_t members = view.member_count();
+
+  // Resolve and validate everything before the first mutation.
+  std::vector<Relation*> closed(members, nullptr);
+  for (std::size_t m = 0; m < members; ++m) {
+    closed[m] = db_.FindMutable(view.names_[m]);
+    if (closed[m] == nullptr) {
+      return Status::Internal(StrCat("view relation '", view.names_[m],
+                                     "' missing from the database"));
+    }
+  }
+  if (!delta.seed_inserts.empty() && delta.seed_inserts.size() != members) {
+    return Status::InvalidArgument(
+        StrCat("seed_inserts must have one relation per member: got ",
+               delta.seed_inserts.size(), " for ", members, " member(s)"));
+  }
+  for (std::size_t m = 0; m < delta.seed_inserts.size(); ++m) {
+    if (delta.seed_inserts[m].arity() != closed[m]->arity()) {
+      return Status::InvalidArgument(
+          StrCat("seed_inserts[", m, "] arity ", delta.seed_inserts[m].arity(),
+                 " != member arity ", closed[m]->arity()));
+    }
+  }
+  for (const auto& [pred, rel] : delta.param_inserts) {
+    for (const std::string& name : view.names_) {
+      if (pred == name) {
+        return Status::InvalidArgument(
+            StrCat("cannot insert into '", pred,
+                   "': it is a derived member of the view, not an input"));
+      }
+    }
+    const Relation* existing = db_.Find(pred);
+    if (existing != nullptr && existing->arity() != rel.arity()) {
+      return Status::InvalidArgument(
+          StrCat("param_inserts['", pred, "'] arity ", rel.arity(),
+                 " != database arity ", existing->arity()));
+    }
+  }
+  Result<std::vector<DeltaRule>> delta_rules =
+      view.joint_ ? DeltaRulesOf(plan.members, plan.joint_rules)
+                  : DeltaRulesOf(plan.rules);
+  if (!delta_rules.ok()) return delta_rules.status();
+
+  // Checkpoint: every relation this call may touch is append-only, so the
+  // sizes are the rollback state.
+  std::vector<std::size_t> closed_pre(members), seed_pre(members);
+  for (std::size_t m = 0; m < members; ++m) {
+    closed_pre[m] = closed[m]->size();
+    seed_pre[m] = view.seeds_[m].size();
+  }
+  std::vector<std::pair<Relation*, std::size_t>> param_pre;
+
+  const int workers = plan.parallel_workers > 0 ? plan.parallel_workers : 1;
+  ApplyOutcome outcome;
+  outcome.appended.assign(members, {0, 0});
+
+  ScopedQueryBudget budget_scope(budget != nullptr ? budget
+                                                   : CurrentQueryBudget());
+  Status status = GuardAllocFailures([&]() -> Status {
+    // 1. Union the parameter deltas into the database. The given delta —
+    // not the subset that was actually new — seeds the delta rules below:
+    // a stale delta row only re-derives heads the closure already holds
+    // (deduplicated), and taking it as-given is what lets a cascading
+    // caller pre-insert facts and still pass them here.
+    for (const auto& [pred, rel] : delta.param_inserts) {
+      Relation& target = db_.GetOrCreate(pred, rel.arity());
+      param_pre.emplace_back(&target, target.size());
+      target.UnionWith(rel);
+    }
+
+    // 2. Delta rules: the one-step consequences of exactly the new
+    // parameter tuples, with the recursive atom reading the closed view.
+    // Other body atoms read the full post-update database, which covers
+    // derivations combining several new tuples.
+    std::vector<Relation> heads;
+    heads.reserve(members);
+    for (std::size_t m = 0; m < members; ++m) {
+      heads.emplace_back(closed[m]->arity());
+    }
+    for (const DeltaRule& dr : *delta_rules) {
+      for (std::size_t i = 0; i < dr.rule.body().size(); ++i) {
+        if (static_cast<int>(i) == dr.recursive_atom) continue;
+        auto it = delta.param_inserts.find(dr.rule.body()[i].predicate);
+        if (it == delta.param_inserts.end()) continue;
+        ApplyOptions options;
+        options.overrides[dr.recursive_atom] = closed[dr.recursive_member];
+        options.overrides[static_cast<int>(i)] = &it->second;
+        options.first_atom = static_cast<int>(i);
+        LINREC_RETURN_IF_ERROR(ApplyRule(dr.rule, db_, options,
+                                         &heads[dr.head_member],
+                                         &outcome.stats, &cache_));
+      }
+    }
+
+    // 3. Append the new seed tuples (to the maintained seed too) and the
+    // delta-rule heads; the appended ranges seed the continuation.
+    for (std::size_t m = 0; m < members; ++m) {
+      outcome.appended[m].first = static_cast<RowId>(closed[m]->size());
+      if (!delta.seed_inserts.empty()) {
+        view.seeds_[m].UnionWith(delta.seed_inserts[m]);
+        closed[m]->UnionWith(delta.seed_inserts[m]);
+      }
+      closed[m]->UnionWith(heads[m]);
+    }
+
+    if (FaultFires(FaultSite::kIvmApply)) {
+      return Status::Internal(
+          "injected fault at ivm_apply (before the resume)");
+    }
+
+    // 4. Resume the fixpoint in place from the appended rows only.
+    if (!view.joint_) {
+      LINREC_RETURN_IF_ERROR(SemiNaiveExtend(
+          plan.rules, db_, closed[0], outcome.appended[0].first,
+          &outcome.stats, &cache_, workers, cancel));
+    } else {
+      // JointSemiNaiveExtend works on a member vector; the members live as
+      // separate database entries, so move them out, extend, move back
+      // (O(1) moves — and safe: the linearity invariant means no rule body
+      // reads a member through the database).
+      std::vector<Relation> rels;
+      rels.reserve(members);
+      for (std::size_t m = 0; m < members; ++m) {
+        rels.push_back(std::move(*closed[m]));
+      }
+      std::vector<RowId> begin(members);
+      for (std::size_t m = 0; m < members; ++m) {
+        begin[m] = outcome.appended[m].first;
+      }
+      Status extended = JointSemiNaiveExtend(
+          plan.members, plan.joint_rules, db_, &rels, begin, &outcome.stats,
+          &cache_, workers, cancel);
+      for (std::size_t m = 0; m < members; ++m) {
+        *closed[m] = std::move(rels[m]);
+      }
+      LINREC_RETURN_IF_ERROR(extended);
+    }
+
+    if (FaultFires(FaultSite::kIvmApply)) {
+      return Status::Internal("injected fault at ivm_apply (at commit)");
+    }
+
+    for (std::size_t m = 0; m < members; ++m) {
+      outcome.appended[m].second = static_cast<RowId>(closed[m]->size());
+      outcome.added += outcome.appended[m].second - outcome.appended[m].first;
+    }
+    return Status::OK();
+  });
+
+  if (!status.ok()) {
+    // Byte-identical rollback: every mutation above was an append, so
+    // truncating to the recorded sizes restores the pre-call state exactly
+    // (a parameter relation this call created stays behind empty —
+    // indistinguishable from absent to every reader). Truncation never
+    // grows capacity, so the rollback itself cannot be denied.
+    for (std::size_t m = 0; m < members; ++m) {
+      closed[m]->TruncateRows(closed_pre[m]);
+      view.seeds_[m].TruncateRows(seed_pre[m]);
+    }
+    for (auto& [rel, size] : param_pre) rel->TruncateRows(size);
+    EvictTemporaryIndexes();
+    return status;
+  }
+
+  ++view.applies_;
+  stats_.Accumulate(outcome.stats);
+  EvictTemporaryIndexes();
+  return outcome;
+}
+
+Result<RetractOutcome> Engine::Retract(MaterializedView& view,
+                                       const DeltaDelete& delta,
+                                       const CancellationToken* cancel,
+                                       QueryBudget* budget) {
+  if (view.plan_ == nullptr) {
+    return Status::InvalidArgument("Retract on a default-constructed view");
+  }
+  const ExecutionPlan& plan = view.plan();
+  const std::size_t members = view.member_count();
+
+  std::vector<Relation*> closed(members, nullptr);
+  for (std::size_t m = 0; m < members; ++m) {
+    closed[m] = db_.FindMutable(view.names_[m]);
+    if (closed[m] == nullptr) {
+      return Status::Internal(StrCat("view relation '", view.names_[m],
+                                     "' missing from the database"));
+    }
+  }
+  if (!delta.seed_deletes.empty() && delta.seed_deletes.size() != members) {
+    return Status::InvalidArgument(
+        StrCat("seed_deletes must have one relation per member: got ",
+               delta.seed_deletes.size(), " for ", members, " member(s)"));
+  }
+  for (std::size_t m = 0; m < delta.seed_deletes.size(); ++m) {
+    if (delta.seed_deletes[m].arity() != closed[m]->arity()) {
+      return Status::InvalidArgument(
+          StrCat("seed_deletes[", m, "] arity ", delta.seed_deletes[m].arity(),
+                 " != member arity ", closed[m]->arity()));
+    }
+  }
+  for (const auto& [pred, rel] : delta.param_deletes) {
+    for (const std::string& name : view.names_) {
+      if (pred == name) {
+        return Status::InvalidArgument(
+            StrCat("cannot delete from '", pred,
+                   "': it is a derived member of the view, not an input"));
+      }
+    }
+    const Relation* existing = db_.Find(pred);
+    if (existing != nullptr && existing->arity() != rel.arity()) {
+      return Status::InvalidArgument(
+          StrCat("param_deletes['", pred, "'] arity ", rel.arity(),
+                 " != database arity ", existing->arity()));
+    }
+  }
+  Result<std::vector<DeltaRule>> delta_rules =
+      view.joint_ ? DeltaRulesOf(plan.members, plan.joint_rules)
+                  : DeltaRulesOf(plan.rules);
+  if (!delta_rules.ok()) return delta_rules.status();
+
+  const int workers = plan.parallel_workers > 0 ? plan.parallel_workers : 1;
+
+  // Parameter relations whose rows this call filtered out, with the
+  // displaced originals — the rollback state (everything else mutates only
+  // at commit, by whole-relation swap).
+  std::vector<std::pair<Relation*, Relation>> displaced;
+
+  ScopedQueryBudget budget_scope(budget != nullptr ? budget
+                                                   : CurrentQueryBudget());
+  Result<RetractOutcome> result =
+      GuardAllocFailures([&]() -> Result<RetractOutcome> {
+        RetractOutcome out;
+        for (std::size_t m = 0; m < members; ++m) {
+          out.removed.emplace_back(closed[m]->arity());
+        }
+
+        // Pre-delete image of each deleted parameter (current ∪ delta):
+        // the delta is taken as-given, so the over-deletion pass sees the
+        // same derivations whether or not a cascading caller already
+        // filtered the database.
+        std::map<std::string, Relation> pre;
+        for (const auto& [pred, rel] : delta.param_deletes) {
+          const Relation* current = db_.Find(pred);
+          Relation p = current != nullptr ? *current : Relation(rel.arity());
+          p.UnionWith(rel);
+          pre.emplace(pred, std::move(p));
+        }
+
+        // 1a. Directly damaged tuples: deleted seed tuples still in the
+        // seed, plus heads of derivations consuming a deleted parameter
+        // tuple (delta rules with the deleted atom pinned to the delta,
+        // every other deleted-parameter atom pinned to its pre-delete
+        // image, and the recursive atom reading the closed view).
+        // Intersected with the closure: a never-present "deleted" tuple
+        // must not seed suspects.
+        std::vector<Relation> suspects0;
+        suspects0.reserve(members);
+        for (std::size_t m = 0; m < members; ++m) {
+          suspects0.emplace_back(closed[m]->arity());
+        }
+        if (!delta.seed_deletes.empty()) {
+          for (std::size_t m = 0; m < members; ++m) {
+            for (TupleView t : delta.seed_deletes[m]) {
+              if (view.seeds_[m].Contains(t)) suspects0[m].Insert(t);
+            }
+          }
+        }
+        for (const DeltaRule& dr : *delta_rules) {
+          for (std::size_t i = 0; i < dr.rule.body().size(); ++i) {
+            if (static_cast<int>(i) == dr.recursive_atom) continue;
+            auto it = delta.param_deletes.find(dr.rule.body()[i].predicate);
+            if (it == delta.param_deletes.end()) continue;
+            ApplyOptions options;
+            options.overrides[dr.recursive_atom] =
+                closed[dr.recursive_member];
+            for (std::size_t j = 0; j < dr.rule.body().size(); ++j) {
+              if (j == i || static_cast<int>(j) == dr.recursive_atom) {
+                continue;
+              }
+              auto pj = pre.find(dr.rule.body()[j].predicate);
+              if (pj != pre.end()) {
+                options.overrides[static_cast<int>(j)] = &pj->second;
+              }
+            }
+            options.overrides[static_cast<int>(i)] = &it->second;
+            options.first_atom = static_cast<int>(i);
+            Relation scratch(closed[dr.head_member]->arity());
+            LINREC_RETURN_IF_ERROR(ApplyRule(dr.rule, db_, options, &scratch,
+                                             &out.stats, &cache_));
+            for (TupleView t : scratch) {
+              if (closed[dr.head_member]->Contains(t)) {
+                suspects0[dr.head_member].Insert(t);
+              }
+            }
+          }
+        }
+
+        // 1b. Close the suspects: everything derivable FROM a suspect is
+        // suspect (linear rules — one recursive tuple per derivation — so
+        // this is the view's own closure seeded with the suspects).
+        std::vector<Relation> suspects;
+        if (!view.joint_) {
+          Result<Relation> d =
+              SemiNaiveClosure(plan.rules, db_, suspects0[0], &out.stats,
+                               &cache_, workers, cancel);
+          if (!d.ok()) return d.status();
+          suspects.push_back(*std::move(d));
+        } else {
+          Result<std::vector<Relation>> d = JointSemiNaiveClosure(
+              plan.members, plan.joint_rules, db_, suspects0, &out.stats,
+              &cache_, workers, cancel);
+          if (!d.ok()) return d.status();
+          suspects = *std::move(d);
+        }
+
+        // 2. Filter the deleted parameter tuples out of the database,
+        // keeping the displaced originals for restore-on-failure. From
+        // here on the database is post-delete.
+        for (const auto& [pred, rel] : delta.param_deletes) {
+          Relation* slot = db_.FindMutable(pred);
+          if (slot == nullptr) continue;
+          bool any = false;
+          for (TupleView t : rel) {
+            if (slot->Contains(t)) {
+              any = true;
+              break;
+            }
+          }
+          if (!any) continue;
+          Relation filtered = Difference(*slot, rel);
+          displaced.emplace_back(slot, std::move(*slot));
+          *slot = std::move(filtered);
+        }
+
+        bool have_suspects = false;
+        for (const Relation& s : suspects) have_suspects |= !s.empty();
+        if (!have_suspects) {
+          // Nothing derived is affected; only the parameter filtering (if
+          // any) mattered. Commit as-is.
+          ++view.retracts_;
+          return out;
+        }
+
+        // 3. Survivors: the closure minus every suspect — sound, since no
+        // surviving tuple's derivation consumed a deleted tuple. The new
+        // seed drops the deleted seed tuples.
+        std::vector<Relation> survivors;
+        std::vector<Relation> new_seeds;
+        survivors.reserve(members);
+        new_seeds.reserve(members);
+        for (std::size_t m = 0; m < members; ++m) {
+          survivors.push_back(Difference(*closed[m], suspects[m]));
+          new_seeds.push_back(
+              delta.seed_deletes.empty()
+                  ? view.seeds_[m]
+                  : Difference(view.seeds_[m], delta.seed_deletes[m]));
+        }
+
+        // 4. Re-derivation frontier: suspects that are still seed tuples,
+        // plus every one-step head derivable from the survivors over the
+        // post-delete database (all such heads lie inside the old closure,
+        // so appending them — deduplicated — only re-establishes
+        // suspects). Then resume the fixpoint in place: the Δ rounds run
+        // from the frontier only, which is complete precisely because the
+        // frontier already holds ALL one-step heads of the survivor
+        // prefix.
+        std::vector<RowId> begin(members);
+        for (std::size_t m = 0; m < members; ++m) {
+          begin[m] = static_cast<RowId>(survivors[m].size());
+          for (TupleView t : new_seeds[m]) {
+            if (suspects[m].Contains(t)) survivors[m].Insert(t);
+          }
+        }
+        std::vector<Relation> pass;
+        pass.reserve(members);
+        for (std::size_t m = 0; m < members; ++m) {
+          pass.emplace_back(survivors[m].arity());
+        }
+        for (const DeltaRule& dr : *delta_rules) {
+          ApplyOptions options;
+          options.overrides[dr.recursive_atom] = &survivors[dr.recursive_member];
+          LINREC_RETURN_IF_ERROR(ApplyRule(dr.rule, db_, options,
+                                           &pass[dr.head_member], &out.stats,
+                                           &cache_));
+        }
+        for (std::size_t m = 0; m < members; ++m) {
+          for (TupleView t : pass[m]) {
+            if (suspects[m].Contains(t)) survivors[m].Insert(t);
+          }
+        }
+        if (!view.joint_) {
+          LINREC_RETURN_IF_ERROR(SemiNaiveExtend(plan.rules, db_,
+                                                 &survivors[0], begin[0],
+                                                 &out.stats, &cache_, workers,
+                                                 cancel));
+        } else {
+          LINREC_RETURN_IF_ERROR(JointSemiNaiveExtend(
+              plan.members, plan.joint_rules, db_, &survivors, begin,
+              &out.stats, &cache_, workers, cancel));
+        }
+
+        // 5. Outcome + commit (whole-relation swaps; nothing here can
+        // fail).
+        for (std::size_t m = 0; m < members; ++m) {
+          out.rederived += survivors[m].size() - begin[m];
+          for (TupleView t : suspects[m]) {
+            if (!survivors[m].Contains(t)) out.removed[m].Insert(t);
+          }
+          out.removed_count += out.removed[m].size();
+        }
+        for (std::size_t m = 0; m < members; ++m) {
+          *closed[m] = std::move(survivors[m]);
+        }
+        view.seeds_ = std::move(new_seeds);
+        ++view.retracts_;
+        view.rederived_ += out.rederived;
+        return out;
+      });
+
+  if (!result.ok()) {
+    // The only pre-commit in-place mutation was the parameter filtering:
+    // restore the displaced originals and the database is byte-identical.
+    for (auto& [slot, original] : displaced) *slot = std::move(original);
+    EvictTemporaryIndexes();
+    return result.status();
+  }
+  stats_.Accumulate(result->stats);
+  EvictTemporaryIndexes();
+  return result;
+}
+
+}  // namespace linrec

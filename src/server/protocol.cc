@@ -60,6 +60,18 @@ Result<Request> ParseRequestLine(const std::string& line) {
     if (request.text.empty()) {
       return Status::InvalidArgument("FACT expects a ground atom clause");
     }
+  } else if (keyword == "INSERT") {
+    request.kind = RequestKind::kInsert;
+    request.text = Trim(Rest(trimmed));
+    if (request.text.empty()) {
+      return Status::InvalidArgument("INSERT expects a ground atom clause");
+    }
+  } else if (keyword == "DELETE") {
+    request.kind = RequestKind::kDelete;
+    request.text = Trim(Rest(trimmed));
+    if (request.text.empty()) {
+      return Status::InvalidArgument("DELETE expects a ground atom clause");
+    }
   } else if (keyword == "EXPLAIN") {
     request.kind = RequestKind::kExplain;
   } else if (keyword == "SET") {
@@ -72,6 +84,8 @@ Result<Request> ParseRequestLine(const std::string& line) {
     }
   } else if (keyword == "STATS") {
     request.kind = RequestKind::kStats;
+  } else if (keyword == "METRICS") {
+    request.kind = RequestKind::kMetrics;
   } else if (keyword == "RESET") {
     request.kind = RequestKind::kReset;
   } else if (keyword == "PING") {
@@ -83,8 +97,8 @@ Result<Request> ParseRequestLine(const std::string& line) {
   } else {
     return Status::InvalidArgument(
         StrCat("unknown command '", keyword,
-               "' (expected LOAD, FACT, ?-, EXPLAIN, SET, STATS, RESET, "
-               "PING, QUIT or SHUTDOWN)"));
+               "' (expected LOAD, FACT, INSERT, DELETE, ?-, EXPLAIN, SET, "
+               "STATS, METRICS, RESET, PING, QUIT or SHUTDOWN)"));
   }
   return request;
 }

@@ -9,12 +9,17 @@
 //                         from the shared registry by program digest),
 //                         facts become session facts, "?-" goals run
 //   FACT p(1, 2).         adds one ground fact to the session
+//   INSERT p(1, 2).       adds one ground fact AND incrementally maintains
+//                         every materialized view (Engine::Apply cascade)
+//   DELETE p(1, 2).       removes one ground fact, retracting its
+//                         derivations via delete-and-rederive
 //   ?- p(X, 5).           evaluates one goal (consecutive goal lines are
 //                         batched through Engine::ExecuteBatchEach)
 //   EXPLAIN               prints the loaded program's plan explanations
 //   SET timeout_ms 50     per-session limits (also SET max_rows N;
 //                         "SET key=value" is accepted too)
 //   STATS                 server + session counters
+//   METRICS               the STATS counters in Prometheus text format
 //   RESET                 drops the session's program and facts
 //   PING                  liveness probe
 //   QUIT                  ends the session
@@ -45,10 +50,13 @@ enum class RequestKind {
   kLoad,      // LOAD — begins a program block
   kEnd,       // END — closes a program block
   kFact,      // FACT <atom>.
+  kInsert,    // INSERT <atom>. — fact + incremental view maintenance
+  kDelete,    // DELETE <atom>. — fact removal + delete-and-rederive
   kQuery,     // ?- <atom>.
   kExplain,
   kSet,       // SET <key> <value>
   kStats,
+  kMetrics,   // METRICS — Prometheus text exposition of the counters
   kReset,
   kPing,
   kQuit,
@@ -57,7 +65,8 @@ enum class RequestKind {
 
 struct Request {
   RequestKind kind = RequestKind::kEmpty;
-  /// kFact/kQuery: the clause text (with the keyword stripped for FACT).
+  /// kFact/kInsert/kDelete/kQuery: the clause text (with the keyword
+  /// stripped for FACT/INSERT/DELETE).
   /// kSet: "<key> <value>" normalized ('=' replaced by space).
   std::string text;
 };

@@ -68,6 +68,12 @@ Server::Action Server::HandleLine(Session& session, const std::string& line,
       out->push_back(added.ok() ? "OK fact" : FormatError(added));
       return Action::kContinue;
     }
+    case RequestKind::kInsert:
+      HandleFactUpdate(session, request->text, /*insert=*/true, out);
+      return Action::kContinue;
+    case RequestKind::kDelete:
+      HandleFactUpdate(session, request->text, /*insert=*/false, out);
+      return Action::kContinue;
     case RequestKind::kQuery:
       SubmitQueryLines(session, {request->text}, out);
       return Action::kContinue;
@@ -79,6 +85,9 @@ Server::Action Server::HandleLine(Session& session, const std::string& line,
       return Action::kContinue;
     case RequestKind::kStats:
       HandleStats(session, out);
+      return Action::kContinue;
+    case RequestKind::kMetrics:
+      HandleMetrics(out);
       return Action::kContinue;
     case RequestKind::kReset:
       session.instance().Reset();
@@ -284,6 +293,92 @@ void Server::AppendOutcome(Session& session, const Atom& goal,
   out->push_back(".");
 }
 
+void Server::HandleFactUpdate(Session& session, const std::string& text,
+                              bool insert, std::vector<std::string>* out) {
+  const char* verb = insert ? "INSERT" : "DELETE";
+  // Protocol-layer validation first: a malformed line replies ERR and
+  // touches nothing — no fact lands, no view moves. (Groundness and arity
+  // are re-checked by InsertFact/DeleteFact before their first mutation,
+  // so that path is just as safe.)
+  Result<Program> parsed = ParseClauseLine(text);
+  if (!parsed.ok()) {
+    out->push_back(FormatError(parsed.status()));
+    return;
+  }
+  if (parsed->facts.size() != 1 || !parsed->rules.empty() ||
+      !parsed->queries.empty()) {
+    out->push_back(FormatError(Status::InvalidArgument(
+        StrCat(verb, " expects exactly one ground atom clause"))));
+    return;
+  }
+  const Atom& fact = parsed->facts.front();
+
+  // Maintenance is resource-governed exactly like a query: shed under
+  // memory pressure, admitted against the pending bound, deadline-watched,
+  // charged to the session and global budgets.
+  if (memory_budget_.under_pressure()) {
+    queries_shed_.fetch_add(1);
+    out->push_back(FormatError(Status::Unavailable(
+        StrCat("retry_after_ms=", limits_.retry_after_ms,
+               " server under memory pressure (", memory_budget_.used(), "/",
+               memory_budget_.limit(), " bytes in use)"))));
+    return;
+  }
+  const long admitted = pending_.fetch_add(1) + 1;
+  if (admitted > static_cast<long>(limits_.max_pending)) {
+    pending_.fetch_sub(1);
+    queries_rejected_.fetch_add(1);
+    out->push_back(FormatError(Status::Unavailable(
+        StrCat("retry_after_ms=", limits_.retry_after_ms,
+               " server at capacity (", limits_.max_pending,
+               " queries in flight)"))));
+    return;
+  }
+
+  CancellationToken token;
+  const CancellationToken* cancel = nullptr;
+  std::size_t watch_handle = 0;
+  bool watched = false;
+  if (session.timeout_ms() >= 0) {
+    token = CancellationToken::WithTimeout(
+        std::chrono::milliseconds(session.timeout_ms()));
+    cancel = &token;
+    watch_handle = watchdog_.Watch(&token);
+    watched = true;
+  }
+  std::unique_ptr<QueryBudget> budget;
+  if (session.memory_budget() > 0 || memory_budget_.limit() != 0) {
+    budget = std::make_unique<QueryBudget>(session.memory_budget(),
+                                           &memory_budget_);
+  }
+
+  Result<FactUpdateOutcome> outcome =
+      insert ? session.instance().InsertFact(fact, cancel, budget.get())
+             : session.instance().DeleteFact(fact, cancel, budget.get());
+  if (watched) watchdog_.Unwatch(watch_handle);
+  pending_.fetch_sub(1);
+  if (!outcome.ok()) {
+    if (outcome.status().code() == StatusCode::kResourceExhausted) {
+      queries_exhausted_.fetch_add(1);
+    }
+    out->push_back(FormatError(outcome.status()));
+    return;
+  }
+  if (insert) {
+    ivm_applied_.fetch_add(static_cast<long>(outcome->views_applied));
+    out->push_back(StrCat("OK insert applied=", outcome->applied ? 1 : 0,
+                          " views=", outcome->views_applied,
+                          " added=", outcome->tuples_added));
+  } else {
+    ivm_retracted_.fetch_add(static_cast<long>(outcome->views_retracted));
+    ivm_rederived_.fetch_add(static_cast<long>(outcome->rederived));
+    out->push_back(StrCat("OK delete removed=", outcome->removed ? 1 : 0,
+                          " views=", outcome->views_retracted,
+                          " retracted=", outcome->tuples_removed,
+                          " rederived=", outcome->rederived));
+  }
+}
+
 void Server::HandleSet(Session& session, const std::string& args,
                        std::vector<std::string>* out) {
   // ParseSetArgs (protocol layer) fully validates key, syntax and range;
@@ -314,6 +409,9 @@ void Server::HandleStats(Session& session, std::vector<std::string>* out) {
   out->push_back(StrCat("queries_rejected=", queries_rejected_.load()));
   out->push_back(StrCat("queries_exhausted=", queries_exhausted_.load()));
   out->push_back(StrCat("queries_shed=", queries_shed_.load()));
+  out->push_back(StrCat("ivm_applied=", ivm_applied_.load()));
+  out->push_back(StrCat("ivm_retracted=", ivm_retracted_.load()));
+  out->push_back(StrCat("ivm_rederived=", ivm_rederived_.load()));
   out->push_back(StrCat("pending=", pending_.load()));
   out->push_back(StrCat("mem_budget_used=", memory_budget_.used()));
   out->push_back(StrCat("mem_budget_limit=", memory_budget_.limit()));
@@ -333,6 +431,39 @@ void Server::HandleStats(Session& session, std::vector<std::string>* out) {
   const std::size_t lanes = totals.simd_blocks * simd::kLanes;
   out->push_back(StrCat("session_simd_lane_util_pct=",
                         lanes == 0 ? 0 : totals.simd_lane_hits * 100 / lanes));
+  out->push_back(".");
+}
+
+void Server::HandleMetrics(std::vector<std::string>* out) {
+  // Prometheus text exposition of the server-wide counters (the
+  // session-scoped STATS keys are deliberately absent: a scraper sees the
+  // process, not one connection). Dot-terminated like every multi-line OK
+  // payload; an HTTP front can strip the first and last line verbatim.
+  out->push_back("OK metrics");
+  const auto emit = [out](const char* name, const char* type, long value) {
+    out->push_back(StrCat("# TYPE linrec_", name, " ", type));
+    out->push_back(StrCat("linrec_", name, " ", value));
+  };
+  emit("programs", "gauge", static_cast<long>(registry_.size()));
+  emit("program_hits", "counter", static_cast<long>(registry_.hits()));
+  emit("program_misses", "counter", static_cast<long>(registry_.misses()));
+  emit("plan_hits", "counter", static_cast<long>(planner_.plan_cache_hits()));
+  emit("plan_misses", "counter",
+       static_cast<long>(planner_.plan_cache_misses()));
+  emit("queries_served", "counter", queries_served_.load());
+  emit("queries_rejected", "counter", queries_rejected_.load());
+  emit("queries_exhausted", "counter", queries_exhausted_.load());
+  emit("queries_shed", "counter", queries_shed_.load());
+  emit("ivm_applied", "counter", ivm_applied_.load());
+  emit("ivm_retracted", "counter", ivm_retracted_.load());
+  emit("ivm_rederived", "counter", ivm_rederived_.load());
+  emit("pending", "gauge", pending_.load());
+  emit("mem_budget_used", "gauge", static_cast<long>(memory_budget_.used()));
+  emit("mem_budget_limit", "gauge",
+       static_cast<long>(memory_budget_.limit()));
+  emit("mem_pressure", "gauge", memory_budget_.under_pressure() ? 1 : 0);
+  emit("watchdog_cancels", "counter",
+       static_cast<long>(watchdog_.cancels()));
   out->push_back(".");
 }
 

@@ -111,7 +111,14 @@ class Server {
   void HandleSet(Session& session, const std::string& args,
                  std::vector<std::string>* out);
   void HandleStats(Session& session, std::vector<std::string>* out);
+  void HandleMetrics(std::vector<std::string>* out);
   void HandleExplain(Session& session, std::vector<std::string>* out);
+  /// INSERT/DELETE share one resource-governed path: validation happens
+  /// before any session state is touched (malformed input replies ERR
+  /// InvalidArgument and changes nothing), then the update runs under the
+  /// same shedding / admission / deadline / budget regime as a query.
+  void HandleFactUpdate(Session& session, const std::string& text,
+                        bool insert, std::vector<std::string>* out);
   /// Formats one goal's outcome (RESULT block with the session's row cap,
   /// or an ERR line).
   void AppendOutcome(Session& session, const Atom& goal,
@@ -142,6 +149,12 @@ class Server {
   std::atomic<long> queries_exhausted_{0};
   /// Submissions turned away under memory pressure (ERR Unavailable).
   std::atomic<long> queries_shed_{0};
+  // Incremental-maintenance counters across sessions: views extended by
+  // INSERT, views retracted by DELETE, and suspect tuples DELETE kept
+  // because an alternative derivation survived.
+  std::atomic<long> ivm_applied_{0};
+  std::atomic<long> ivm_retracted_{0};
+  std::atomic<long> ivm_rederived_{0};
 };
 
 }  // namespace linrec

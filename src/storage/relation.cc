@@ -156,6 +156,28 @@ void Relation::Clear() {
   std::fill(slots_.begin(), slots_.end(), 0);
 }
 
+void Relation::TruncateRows(std::size_t rows) {
+  assert(rows <= row_count_ && "can only truncate, never extend");
+  if (rows == row_count_) return;
+  row_count_ = rows;
+  // resize() never shrinks capacity, so the padded-capacity invariant the
+  // scan kernels rely on (capacity = whole kPadRows blocks) still holds.
+  pool_.resize(rows * arity_);
+  hashes_.resize(rows);
+  if (rows == 0) {
+    // An empty relation must report version 0 (the "two empties share a
+    // stamp" rule in version()).
+    version_.store(0, std::memory_order_relaxed);
+    version_stale_.store(false, std::memory_order_relaxed);
+    std::fill(slots_.begin(), slots_.end(), 0);
+    return;
+  }
+  // Same slot count: Rehash only charges when capacity grows, so the
+  // rollback path cannot itself be denied.
+  Rehash(slots_.size());
+  version_stale_.store(true, std::memory_order_release);
+}
+
 // The σ scan, parameterized on the kernel. Both instantiations walk the
 // same rows in the same order (the copy pass drains each block's equality
 // mask low bit first), so SIMD and scalar results are bit-identical —

@@ -172,6 +172,15 @@ class Relation {
   /// reused across rounds without reallocating.
   void Clear();
 
+  /// Shrinks the relation back to its first `rows` rows (requires
+  /// rows <= size()). Insert order, pool bytes and cached hashes of the
+  /// surviving prefix are untouched, so truncating to a recorded size
+  /// restores the exact pre-append bytes — the IVM rollback primitive
+  /// (appends are the only mutation, so size() is a checkpoint). The dedup
+  /// table is rebuilt over the survivors in place; no capacity grows, so
+  /// no budget charge (and no injected fault) can fire mid-rollback.
+  void TruncateRows(std::size_t rows);
+
   /// Rows [begin, end) as a borrowed view (no copy).
   PartitionView View(RowId begin, RowId end) const {
     assert(begin <= end && end <= row_count_);

@@ -239,6 +239,131 @@ TEST(ServerTest, StatsReportRegistryAndPlannerCounters) {
   EXPECT_TRUE(has("session_queries=1"));
 }
 
+/// Collects the sorted row lines of a single-query reply (strips the
+/// RESULT header and the "." terminator) so maintained and recomputed
+/// answers compare deterministically.
+std::vector<std::string> SortedRows(Server& server, Session& session,
+                                    const std::string& goal) {
+  std::vector<std::string> out = Drive(server, session, {goal});
+  EXPECT_GE(out.size(), 2u);
+  EXPECT_EQ(out.front().rfind("RESULT", 0), 0u) << out.front();
+  std::vector<std::string> rows(out.begin() + 1, out.end() - 1);
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(ServerTest, InsertMaintainsMaterializedViewIncrementally) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  // First query materializes tc; INSERT must now maintain it in place
+  // (unlike FACT, which drops the materialization and recomputes).
+  Drive(server, *session, {"?- tc(X, Y)."});
+
+  std::vector<std::string> out =
+      Drive(server, *session, {"INSERT edge(4, 5)."});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front(), "OK insert applied=1 views=1 added=4") << out.front();
+
+  // The maintained answer equals a from-scratch session given all facts.
+  Server fresh_server;
+  auto fresh = fresh_server.NewSession();
+  Load(fresh_server, *fresh, StrCat(kTcProgram, "edge(4, 5).\n"));
+  EXPECT_EQ(SortedRows(server, *session, "?- tc(X, Y)."),
+            SortedRows(fresh_server, *fresh, "?- tc(X, Y)."));
+
+  // Re-inserting is an idempotent no-op.
+  out = Drive(server, *session, {"INSERT edge(4, 5)."});
+  EXPECT_EQ(out.front(), "OK insert applied=0 views=0 added=0");
+
+  out = Drive(server, *session, {"STATS"});
+  EXPECT_NE(std::find(out.begin(), out.end(), "ivm_applied=1"), out.end());
+}
+
+TEST(ServerTest, DeleteRetractsDerivationsAndRederives) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, StrCat(kTcProgram, "edge(1, 3).\n"));
+  Drive(server, *session, {"?- tc(X, Y)."});
+
+  // Deleting edge(2,3) kills tc(2,3)/tc(2,4) but tc(1,3)/tc(1,4) survive
+  // through the direct edge(1,3) — the re-derive half of DRed.
+  std::vector<std::string> out =
+      Drive(server, *session, {"DELETE edge(2, 3)."});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.front().rfind("OK delete removed=1 views=1", 0), 0u)
+      << out.front();
+
+  Server fresh_server;
+  auto fresh = fresh_server.NewSession();
+  Load(fresh_server, *fresh,
+       "edge(1, 2). edge(3, 4). edge(1, 3).\n"
+       "tc(X, Y) :- edge(X, Y).\n"
+       "tc(X, Y) :- tc(X, Z), edge(Z, Y).\n");
+  EXPECT_EQ(SortedRows(server, *session, "?- tc(X, Y)."),
+            SortedRows(fresh_server, *fresh, "?- tc(X, Y)."));
+
+  // Deleting an absent fact is an idempotent no-op.
+  out = Drive(server, *session, {"DELETE edge(9, 9)."});
+  EXPECT_EQ(out.front(), "OK delete removed=0 views=0 retracted=0 rederived=0");
+
+  out = Drive(server, *session, {"STATS"});
+  EXPECT_NE(std::find(out.begin(), out.end(), "ivm_retracted=1"), out.end());
+}
+
+TEST(ServerTest, InsertValidationRejectsWithoutTouchingSessionState) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  const std::vector<std::string> before =
+      SortedRows(server, *session, "?- tc(X, Y).");
+
+  // Every malformed shape replies ERR InvalidArgument (or ParseError for
+  // unparsable text) and leaves the session untouched.
+  std::vector<std::string> out = Drive(
+      server, *session,
+      {"INSERT", "INSERT edge(X, 2).", "INSERT tc(1, 2).",
+       "INSERT edge(1, 2, 3).", "INSERT edge(1, 2). edge(3, 4).",
+       "INSERT ?- tc(X, Y).", "DELETE edge(X, 2).", "DELETE tc(1, 2)."});
+  ASSERT_EQ(out.size(), 8u);
+  for (const std::string& reply : out) {
+    EXPECT_TRUE(IsErr(reply, "InvalidArgument") || IsErr(reply, "ParseError"))
+        << reply;
+  }
+
+  EXPECT_EQ(SortedRows(server, *session, "?- tc(X, Y)."), before);
+  out = Drive(server, *session, {"STATS"});
+  EXPECT_NE(std::find(out.begin(), out.end(), "ivm_applied=0"), out.end());
+  EXPECT_NE(std::find(out.begin(), out.end(), "ivm_retracted=0"), out.end());
+}
+
+TEST(ServerTest, MetricsExportPrometheusTextFormat) {
+  Server server;
+  auto session = server.NewSession();
+  Load(server, *session, kTcProgram);
+  Drive(server, *session, {"?- tc(X, Y).", "INSERT edge(4, 5)."});
+
+  std::vector<std::string> out = Drive(server, *session, {"METRICS"});
+  ASSERT_GE(out.size(), 3u);
+  EXPECT_EQ(out.front(), "OK metrics");
+  EXPECT_EQ(out.back(), ".");
+  auto has = [&](const std::string& line) {
+    return std::find(out.begin(), out.end(), line) != out.end();
+  };
+  EXPECT_TRUE(has("# TYPE linrec_queries_served counter"));
+  EXPECT_TRUE(has("linrec_queries_served 1"));
+  EXPECT_TRUE(has("# TYPE linrec_ivm_applied counter"));
+  EXPECT_TRUE(has("linrec_ivm_applied 1"));
+  EXPECT_TRUE(has("# TYPE linrec_pending gauge"));
+  EXPECT_TRUE(has("linrec_pending 0"));
+  // Every non-frame line is a comment or a "linrec_<name> <value>" sample.
+  for (std::size_t i = 1; i + 1 < out.size(); ++i) {
+    EXPECT_TRUE(out[i].rfind("# TYPE linrec_", 0) == 0 ||
+                out[i].rfind("linrec_", 0) == 0)
+        << out[i];
+  }
+}
+
 /// The tentpole acceptance test: N concurrent sessions submit the same TC
 /// program and query it; the program compiles exactly once (one registry
 /// miss, one planner plan-cache miss for the closure), and every session
